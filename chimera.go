@@ -1,0 +1,271 @@
+// Package chimera is a from-scratch reproduction of "Composite Events in
+// Chimera" (R. Meo, G. Psaila, S. Ceri — EDBT 1996): an active
+// object-oriented database whose ECA rules are triggered by composite
+// event expressions built from a minimal, orthogonal operator set —
+// conjunction, disjunction, negation and precedence, each in a
+// set-oriented and an instance-oriented (same-object) variant — with the
+// paper's integer-valued ts semantics, the occurred/at/holds event
+// formulas, immediate/deferred coupling, consuming/preserving event
+// consumption, priorities, and the V(E) static optimization of the
+// Trigger Support.
+//
+// Quick start:
+//
+//	db := chimera.Open()
+//	db.DefineClass("stock",
+//		chimera.Attr("name", chimera.KindString),
+//		chimera.Attr("quantity", chimera.KindInt),
+//		chimera.Attr("maxquantity", chimera.KindInt))
+//	chimera.MustLoad(db, `
+//		define immediate checkStockQty for stock
+//		events create
+//		condition stock(S), occurred(create, S), S.quantity > S.maxquantity
+//		action modify(stock.quantity, S, S.maxquantity)
+//		end`)
+//	db.Run(func(tx *chimera.Txn) error {
+//		_, err := tx.Create("stock", chimera.Values{
+//			"name": chimera.Str("bolts"), "quantity": chimera.Int(99),
+//			"maxquantity": chimera.Int(40)})
+//		return err
+//	})
+//
+// The event-expression syntax follows the paper's Figure 1:
+//
+//	create(stock) , modify(stock.quantity)        set disjunction
+//	create(stock) + modify(stock.quantity)        set conjunction
+//	create(stock) < modify(stock.quantity)        set precedence
+//	-create(stock)                                set negation
+//	,=  +=  <=  -=                                instance-oriented variants
+package chimera
+
+import (
+	"fmt"
+
+	"chimera/internal/act"
+	"chimera/internal/analysis"
+	"chimera/internal/calculus"
+	"chimera/internal/clock"
+	"chimera/internal/cond"
+	"chimera/internal/engine"
+	"chimera/internal/event"
+	"chimera/internal/lang"
+	"chimera/internal/rules"
+	"chimera/internal/schema"
+	"chimera/internal/storage"
+	"chimera/internal/types"
+)
+
+// Core engine types.
+type (
+	// DB is a Chimera database: schema, object store, rules and the
+	// transaction machinery.
+	DB = engine.DB
+	// Txn is an open transaction (a sequence of transaction lines).
+	Txn = engine.Txn
+	// Options configures a database.
+	Options = engine.Options
+	// Body is a rule's condition/action pair.
+	Body = engine.Body
+	// Stats aggregates engine counters.
+	Stats = engine.Stats
+)
+
+// Rule machinery.
+type (
+	// RuleDef is a rule's triggering definition (event expression,
+	// coupling, consumption, priority, target).
+	RuleDef = rules.Def
+	// Coupling is the EC coupling mode.
+	Coupling = rules.Coupling
+	// Consumption is the event consumption mode.
+	Consumption = rules.Consumption
+)
+
+// Coupling and consumption modes.
+const (
+	Immediate  = rules.Immediate
+	Deferred   = rules.Deferred
+	Consuming  = rules.Consuming
+	Preserving = rules.Preserving
+)
+
+// Event calculus.
+type (
+	// Expr is a composite event expression.
+	Expr = calculus.Expr
+	// EventType is a primitive event type (operation + class [+ attr]).
+	EventType = event.Type
+	// TS is the integer ts value of the calculus (positive = active).
+	TS = calculus.TS
+	// Time is a logical time stamp.
+	Time = clock.Time
+)
+
+// Values.
+type (
+	// Value is a dynamically typed attribute value.
+	Value = types.Value
+	// Values maps attribute names to values for creation.
+	Values = map[string]types.Value
+	// OID is an object identity.
+	OID = types.OID
+	// Kind is a value kind.
+	Kind = types.Kind
+)
+
+// Value kinds.
+const (
+	KindInt    = types.KindInt
+	KindFloat  = types.KindFloat
+	KindString = types.KindString
+	KindBool   = types.KindBool
+	KindTime   = types.KindTime
+	KindOID    = types.KindOID
+)
+
+// Value constructors.
+var (
+	// Int builds an integer value.
+	Int = types.Int
+	// Float builds a float value.
+	Float = types.Float
+	// Str builds a string value.
+	Str = types.String_
+	// Bool builds a boolean value.
+	Bool = types.Bool
+	// Ref builds an object reference.
+	Ref = types.Ref
+)
+
+// Expression constructors (the programmatic alternative to ParseExpr).
+var (
+	// Ev wraps a primitive event type into an expression.
+	Ev = calculus.P
+	// Conj is set conjunction (+), Disj set disjunction (,), Prec set
+	// precedence (<), Neg set negation (-).
+	Conj = calculus.Conj
+	Disj = calculus.Disj
+	Prec = calculus.Prec
+	Neg  = calculus.Neg
+	// ConjI, DisjI, PrecI and NegI are the instance-oriented variants
+	// (+=, ,=, <=, -=).
+	ConjI = calculus.ConjI
+	DisjI = calculus.DisjI
+	PrecI = calculus.PrecI
+	NegI  = calculus.NegI
+	// CreateOf, DeleteOf and ModifyOf build primitive event types.
+	CreateOf = event.Create
+	DeleteOf = event.Delete
+	ModifyOf = event.Modify
+)
+
+// SchemaAttribute declares one typed attribute of a class.
+type SchemaAttribute = schema.Attribute
+
+// Attr declares a class attribute.
+func Attr(name string, kind Kind) SchemaAttribute {
+	return SchemaAttribute{Name: name, Kind: kind}
+}
+
+// Open creates an empty database with the paper's default configuration
+// (V(E)-filtered Trigger Support, formal ∃t' triggering).
+func Open() *DB { return engine.New(engine.DefaultOptions()) }
+
+// OpenWith creates a database with explicit options.
+func OpenWith(opts Options) *DB { return engine.New(opts) }
+
+// ParseExpr parses an event expression in the Figure 1 syntax. target,
+// when non-empty, resolves bare operation names ("create") against that
+// class.
+func ParseExpr(src, target string) (Expr, error) { return lang.ParseExpr(src, target) }
+
+// MustParseExpr is ParseExpr panicking on error, for expression literals
+// in examples and tests.
+func MustParseExpr(src string) Expr {
+	e, err := lang.ParseExpr(src, "")
+	if err != nil {
+		panic(err)
+	}
+	return e
+}
+
+// Load parses a script of class and rule definitions and installs it
+// into the database.
+func Load(db *DB, src string) error {
+	prog, err := lang.ParseProgram(src)
+	if err != nil {
+		return err
+	}
+	for _, c := range prog.Classes {
+		if c.Extends != "" {
+			if err := db.DefineSubclass(c.Name, c.Extends, attrDefs(c)...); err != nil {
+				return err
+			}
+			continue
+		}
+		if err := db.DefineClass(c.Name, attrDefs(c)...); err != nil {
+			return err
+		}
+	}
+	for _, r := range prog.Rules {
+		if err := db.DefineRule(r.Def, engine.Body{Condition: r.Condition, Action: r.Action}); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func attrDefs(c lang.ClassDef) []schema.Attribute {
+	out := make([]schema.Attribute, len(c.Attrs))
+	for i, a := range c.Attrs {
+		out[i] = schema.Attribute{Name: a.Name, Kind: a.Kind}
+	}
+	return out
+}
+
+// MustLoad is Load panicking on error.
+func MustLoad(db *DB, src string) {
+	if err := Load(db, src); err != nil {
+		panic(fmt.Sprintf("chimera: %v", err))
+	}
+}
+
+// DefineRule installs a programmatically built rule.
+func DefineRule(db *DB, def RuleDef, condition cond.Formula, action act.Action) error {
+	return db.DefineRule(def, engine.Body{Condition: condition, Action: action})
+}
+
+// AnalysisReport is the result of the static termination analysis.
+type AnalysisReport = analysis.Report
+
+// Analyze builds the triggering graph of the database's rule set and
+// reports potential non-termination (a conservative static check; the
+// engine additionally enforces a runtime execution limit).
+func Analyze(db *DB) AnalysisReport { return analysis.Analyze(db) }
+
+// Save writes a snapshot of the database (schema, live objects, rules)
+// as JSON to path. Snapshots capture committed state only; the Event
+// Base is per-transaction and is not persisted.
+func Save(db *DB, path string) error { return storage.SaveFile(db, path) }
+
+// Restore reconstructs a database from a snapshot file written by Save.
+func Restore(path string) (*DB, error) {
+	return storage.LoadFile(path, engine.DefaultOptions())
+}
+
+// Derived combinators: related-work idioms (Ode/HiPAC/Snoop/Samos/
+// REFLEX) expressed in the minimal calculus; see
+// internal/calculus/derived.go for each operator's fidelity notes.
+var (
+	// Sequence chains expressions with set precedence (x1 < x2 < ...).
+	Sequence = calculus.Sequence
+	// SequenceI is Sequence on one object.
+	SequenceI = calculus.SequenceI
+	// AnyOf is n-ary set disjunction, AllOf n-ary set conjunction.
+	AnyOf = calculus.AnyOf
+	AllOf = calculus.ConjAll
+	// NoneOf is the absence of every listed event in the window.
+	NoneOf = calculus.NoneOf
+	// SameObject is n-ary instance conjunction (Samos's "same").
+	SameObject = calculus.SameObject
+)

@@ -1,0 +1,42 @@
+// Command chimera-bench runs the measured experiments of EXPERIMENTS.md
+// (B1..B6) and prints their tables. Each experiment exercises a
+// performance claim Section 5 of the paper makes qualitatively.
+//
+// Usage:
+//
+//	chimera-bench              # run everything
+//	chimera-bench -exp B1      # run one experiment
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"chimera/internal/bench"
+)
+
+func main() {
+	exp := flag.String("exp", "", "experiment id (B1..B7); empty runs all")
+	format := flag.String("format", "table", "output format: table or csv")
+	flag.Parse()
+
+	render := func(t bench.Table) string {
+		if *format == "csv" {
+			return "# " + t.ID + " — " + t.Title + "\n" + t.CSV()
+		}
+		return t.String()
+	}
+	if *exp == "" {
+		for _, t := range bench.All() {
+			fmt.Println(render(t))
+		}
+		return
+	}
+	t, ok := bench.ByID(*exp)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "chimera-bench: unknown experiment %q (B1..B7)\n", *exp)
+		os.Exit(1)
+	}
+	fmt.Println(render(t))
+}

@@ -1,0 +1,38 @@
+// Command chimera-figures regenerates every figure of "Composite Events
+// in Chimera" (EDBT 1996) and the in-text worked examples from the
+// implementation.
+//
+// Usage:
+//
+//	chimera-figures            # print every figure
+//	chimera-figures -fig 5     # print one figure (1-7, x1, x2, x6)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"chimera/internal/figures"
+)
+
+func main() {
+	fig := flag.String("fig", "", "figure id to print (1..7, x1, x2, x6); empty prints all")
+	flag.Parse()
+
+	all := figures.All()
+	if *fig == "" {
+		for _, f := range all {
+			fmt.Println(f.Text)
+		}
+		return
+	}
+	for _, f := range all {
+		if f.ID == *fig {
+			fmt.Println(f.Text)
+			return
+		}
+	}
+	fmt.Fprintf(os.Stderr, "chimera-figures: unknown figure %q\n", *fig)
+	os.Exit(1)
+}

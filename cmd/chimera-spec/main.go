@@ -1,0 +1,54 @@
+// Command chimera-spec runs conformance-spec files against the event
+// calculus (see internal/spec for the format). The repository's corpus
+// lives in internal/spec/testdata; the tool lets users write and run
+// their own scenarios:
+//
+//	chimera-spec internal/spec/testdata/*.spec
+//	chimera-spec -v my_scenario.spec
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"chimera/internal/spec"
+)
+
+func main() {
+	verbose := flag.Bool("v", false, "print every passing file too")
+	flag.Parse()
+	if flag.NArg() == 0 {
+		fmt.Fprintln(os.Stderr, "usage: chimera-spec [-v] <file.spec>...")
+		os.Exit(2)
+	}
+	failed := 0
+	for _, path := range flag.Args() {
+		sc, err := spec.ParseFile(path)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", path, err)
+			failed++
+			continue
+		}
+		fails, err := sc.Run()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", path, err)
+			failed++
+			continue
+		}
+		if len(fails) > 0 {
+			failed++
+			for _, f := range fails {
+				fmt.Fprintf(os.Stderr, "%s:%d: %s\n", path, f.Line, f.Msg)
+			}
+			continue
+		}
+		if *verbose {
+			fmt.Printf("%s: ok (%d assertions)\n", path, len(sc.Directives))
+		}
+	}
+	if failed > 0 {
+		fmt.Fprintf(os.Stderr, "chimera-spec: %d file(s) failed\n", failed)
+		os.Exit(1)
+	}
+}

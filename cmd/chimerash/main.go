@@ -1,0 +1,109 @@
+// Command chimerash is an interactive shell for the Chimera
+// reproduction: it executes transaction lines against a database with
+// active rules, exactly the Block Executor loop of the paper's Section 5.
+//
+// Each input line is one non-interruptible block; after it executes,
+// triggered immediate rules are considered and executed. Example
+// session:
+//
+//	> class stock(name: string, quantity: integer, maxquantity: integer)
+//	> define checkStockQty for stock
+//	>   events create
+//	>   condition stock(S), occurred(create, S), S.quantity > S.maxquantity
+//	>   action modify(stock.quantity, S, S.maxquantity)
+//	> end
+//	> begin
+//	> create stock(name = "bolts", quantity = 99, maxquantity = 40)
+//	> show objects
+//	> commit
+//
+// A script can be piped on stdin or passed with -f.
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"chimera"
+	"chimera/internal/engine"
+	"chimera/internal/shell"
+)
+
+func main() {
+	file := flag.String("f", "", "script file to execute instead of stdin")
+	quiet := flag.Bool("q", false, "suppress the prompt and banners")
+	trace := flag.Bool("trace", false, "print rule-processing trace lines")
+	flag.Parse()
+
+	in := io.Reader(os.Stdin)
+	interactive := !*quiet
+	if *file != "" {
+		f, err := os.Open(*file)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "chimerash:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		in = f
+		interactive = false
+	}
+
+	db := chimera.Open()
+	if *trace {
+		db.SetTracer(engine.WriterTracer{W: os.Stderr})
+	}
+	sh := shell.New(db, os.Stdout)
+	if interactive {
+		fmt.Println("chimerash — Composite Events in Chimera (EDBT 1996 reproduction)")
+		fmt.Println(`type "help" for commands, "quit" to exit`)
+	}
+	scanner := bufio.NewScanner(in)
+	scanner.Buffer(make([]byte, 1<<20), 1<<20)
+	var block strings.Builder
+	for {
+		if interactive {
+			if block.Len() == 0 {
+				fmt.Print("> ")
+			} else {
+				fmt.Print("... ")
+			}
+		}
+		if !scanner.Scan() {
+			break
+		}
+		line := strings.TrimSpace(scanner.Text())
+		if block.Len() == 0 {
+			if line == "" || strings.HasPrefix(line, "--") {
+				continue
+			}
+			switch line {
+			case "quit", "exit":
+				return
+			case "help":
+				sh.Help()
+				continue
+			}
+		}
+		block.WriteString(line)
+		block.WriteString("\n")
+		if shell.NeedsMore(block.String()) {
+			continue
+		}
+		src := block.String()
+		block.Reset()
+		if err := sh.Execute(src); err != nil {
+			fmt.Fprintln(os.Stderr, "error:", err)
+			if !interactive {
+				os.Exit(1)
+			}
+		}
+	}
+	if sh.InTransaction() {
+		fmt.Fprintln(os.Stderr, "warning: open transaction rolled back at exit")
+	}
+	sh.Close()
+}

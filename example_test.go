@@ -1,0 +1,84 @@
+package chimera_test
+
+import (
+	"fmt"
+
+	"chimera"
+)
+
+// The paper's Section 2 rule, end to end: a stock item created over its
+// maximum is clamped by the checkStockQty trigger before the transaction
+// commits.
+func Example() {
+	db := chimera.Open()
+	chimera.MustLoad(db, `
+class stock(name: string, quantity: integer, maxquantity: integer)
+
+define immediate checkStockQty for stock
+events create
+condition stock(S), occurred(create, S), S.quantity > S.maxquantity
+action modify(stock.quantity, S, S.maxquantity)
+end`)
+
+	var oid chimera.OID
+	db.Run(func(tx *chimera.Txn) error {
+		var err error
+		oid, err = tx.Create("stock", chimera.Values{
+			"name": chimera.Str("bolts"), "quantity": chimera.Int(99),
+			"maxquantity": chimera.Int(40)})
+		return err
+	})
+	o, _ := db.Store().Get(oid)
+	fmt.Println(o)
+	// Output:
+	// stock(o1){maxquantity: 40, name: "bolts", quantity: 40}
+}
+
+// Event expressions follow Figure 1's priorities: conjunction binds
+// tighter than disjunction, instance operators tighter than set ones.
+func ExampleParseExpr() {
+	e, _ := chimera.ParseExpr(
+		"create(stock) , modify(stock.quantity) + -delete(stock)", "")
+	fmt.Println(e)
+	inst, _ := chimera.ParseExpr(
+		"create(stock) += modify(stock.quantity) , delete(stock)", "")
+	fmt.Println(inst)
+	// Output:
+	// create(stock) , modify(stock.quantity) + -delete(stock)
+	// create(stock) += modify(stock.quantity) , delete(stock)
+}
+
+// The static analysis builds the triggering graph and warns about rule
+// sets that can cascade forever.
+func ExampleAnalyze() {
+	db := chimera.Open()
+	chimera.MustLoad(db, `
+class item(n: integer)
+
+define spawner for item
+events create
+condition occurred(create, X)
+action create(item, n = 0)
+end`)
+	fmt.Print(chimera.Analyze(db))
+	// Output:
+	// triggering graph: 1 rules, 1 edges
+	//   spawner -> spawner  via create(item)
+	// verdict: POTENTIALLY NON-TERMINATING
+	//   cycle: spawner -> spawner
+}
+
+// Expressions can be assembled programmatically; String renders the
+// concrete syntax with minimal parentheses.
+func ExampleConj() {
+	e := chimera.Conj(
+		chimera.Ev(chimera.CreateOf("stock")),
+		chimera.NegI(chimera.ConjI(
+			chimera.Ev(chimera.CreateOf("order")),
+			chimera.Ev(chimera.ModifyOf("order", "delquantity")),
+		)),
+	)
+	fmt.Println(e)
+	// Output:
+	// create(stock) + -=(create(order) += modify(order.delquantity))
+}

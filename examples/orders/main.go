@@ -1,0 +1,156 @@
+// Orders: an order-fulfilment workflow over the class hierarchy of the
+// paper's Figure 3 (order and its subclass notFilledOrder), driven by
+// composite events through the programmatic API rather than the script
+// language.
+//
+// Rules:
+//
+//   - escalate (deferred): at commit, any order that was created but
+//     whose delivered quantity was never modified afterwards — the
+//     negated sequence -(create(order) <= modify(order.delquantity)),
+//     per object — is specialized into notFilledOrder;
+//
+//   - fulfilled (immediate): an order whose delivered quantity reaches
+//     the ordered quantity is deleted, exercising the instance sequence
+//     create <= modify(delquantity);
+//
+//   - netAudit (deferred): the legacy holds() net-effect predicate finds
+//     orders that net-survive the transaction as creations.
+//
+// Run with: go run ./examples/orders
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"chimera"
+	"chimera/internal/act"
+	"chimera/internal/cond"
+)
+
+func main() {
+	db := chimera.Open()
+	must(db.DefineClass("order",
+		chimera.Attr("item", chimera.KindString),
+		chimera.Attr("quantity", chimera.KindInt),
+		chimera.Attr("delquantity", chimera.KindInt)))
+	must(db.DefineSubclass("notFilledOrder", "order"))
+	must(db.DefineClass("auditlog",
+		chimera.Attr("entry", chimera.KindString)))
+
+	createOrder := chimera.Ev(chimera.CreateOf("order"))
+	modDel := chimera.Ev(chimera.ModifyOf("order", "delquantity"))
+
+	// fulfilled: create <= modify(delquantity) on the same order, and the
+	// delivered quantity covers the ordered one.
+	must(chimera.DefineRule(db,
+		chimera.RuleDef{
+			Name:   "fulfilled",
+			Target: "order",
+			Event:  chimera.PrecI(createOrder, modDel),
+		},
+		cond.Formula{Atoms: []cond.Atom{
+			cond.Class{Class: "order", Var: "O"},
+			cond.Occurred{Event: chimera.PrecI(createOrder, modDel), Var: "O"},
+			cond.Compare{
+				L:  cond.Attr{Var: "O", Attr: "delquantity"},
+				Op: cond.CmpGe,
+				R:  cond.Attr{Var: "O", Attr: "quantity"},
+			},
+		}},
+		act.Action{Statements: []act.Statement{
+			act.Create{Class: "auditlog", Vals: map[string]cond.Term{
+				"entry": cond.Attr{Var: "O", Attr: "item"}}},
+			act.Delete{Var: "O"},
+		}},
+	))
+
+	// escalate: at commit, orders created in this transaction with no
+	// delivery touch get specialized into notFilledOrder. The per-object
+	// absence is expressed with occurred(create += -=modify(delquantity)).
+	pending := chimera.ConjI(createOrder, chimera.NegI(modDel))
+	must(chimera.DefineRule(db,
+		chimera.RuleDef{
+			Name:     "escalate",
+			Target:   "order",
+			Event:    createOrder,
+			Coupling: chimera.Deferred,
+		},
+		cond.Formula{Atoms: []cond.Atom{
+			cond.Class{Class: "order", Var: "O"},
+			cond.Occurred{Event: pending, Var: "O"},
+		}},
+		act.Action{Statements: []act.Statement{
+			act.Specialize{Var: "O", To: "notFilledOrder"},
+		}},
+	))
+
+	// netAudit: the legacy holds() predicate — orders whose net effect is
+	// a creation (created and not deleted, regardless of modifications).
+	must(chimera.DefineRule(db,
+		chimera.RuleDef{
+			Name:        "netAudit",
+			Target:      "order",
+			Event:       createOrder,
+			Coupling:    chimera.Deferred,
+			Consumption: chimera.Preserving,
+			Priority:    10, // after escalate
+		},
+		cond.Formula{Atoms: []cond.Atom{
+			cond.Holds{Event: chimera.CreateOf("order"), Var: "O"},
+		}},
+		act.Action{Statements: []act.Statement{
+			act.Create{Class: "auditlog", Once: true, Vals: map[string]cond.Term{
+				"entry": cond.Const{V: chimera.Str("net new orders this txn")}}},
+		}},
+	))
+
+	// One transaction: three orders; one fully delivered (deleted by
+	// fulfilled), one partially delivered, one never touched (escalated).
+	must(db.Run(func(tx *chimera.Txn) error {
+		full, err := tx.Create("order", chimera.Values{
+			"item": chimera.Str("bolts"), "quantity": chimera.Int(10),
+			"delquantity": chimera.Int(0)})
+		if err != nil {
+			return err
+		}
+		partial, err := tx.Create("order", chimera.Values{
+			"item": chimera.Str("nuts"), "quantity": chimera.Int(10),
+			"delquantity": chimera.Int(0)})
+		if err != nil {
+			return err
+		}
+		if _, err := tx.Create("order", chimera.Values{
+			"item": chimera.Str("washers"), "quantity": chimera.Int(4),
+			"delquantity": chimera.Int(0)}); err != nil {
+			return err
+		}
+		if err := tx.EndLine(); err != nil {
+			return err
+		}
+		if err := tx.Modify(full, "delquantity", chimera.Int(10)); err != nil {
+			return err
+		}
+		return tx.Modify(partial, "delquantity", chimera.Int(4))
+	}))
+
+	fmt.Println("orders after commit:")
+	oids, _ := db.Store().Select("order")
+	for _, oid := range oids {
+		o, _ := db.Store().Get(oid)
+		fmt.Printf("  %s [%s]\n", o, o.Class().Name())
+	}
+	fmt.Println("audit log:")
+	logs, _ := db.Store().Select("auditlog")
+	for _, oid := range logs {
+		o, _ := db.Store().Get(oid)
+		fmt.Printf("  %s\n", o)
+	}
+}
+
+func must(err error) {
+	if err != nil {
+		log.Fatal(err)
+	}
+}

@@ -1,0 +1,62 @@
+// Quickstart: the paper's Section 2 example, verbatim.
+//
+// A rule targeted to the stock class reacts to creations and clamps the
+// quantity of any new stock item that exceeds its maximum:
+//
+//	define immediate checkStockQty for stock
+//	events create
+//	condition stock(S), occurred(create, S), S.quantity > S.maxquantity
+//	action modify(stock.quantity, S, S.maxquantity)
+//	end
+//
+// Run with: go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"chimera"
+)
+
+func main() {
+	db := chimera.Open()
+
+	chimera.MustLoad(db, `
+class stock(name: string, quantity: integer, maxquantity: integer)
+
+define immediate checkStockQty for stock
+events create
+condition stock(S), occurred(create, S), S.quantity > S.maxquantity
+action modify(stock.quantity, S, S.maxquantity)
+end`)
+
+	var bolts, nuts chimera.OID
+	err := db.Run(func(tx *chimera.Txn) error {
+		var err error
+		// The rule is executed set-orientedly: both creations below are
+		// processed together by a single consideration at the end of the
+		// transaction line.
+		bolts, err = tx.Create("stock", chimera.Values{
+			"name": chimera.Str("bolts"), "quantity": chimera.Int(99),
+			"maxquantity": chimera.Int(40)})
+		if err != nil {
+			return err
+		}
+		nuts, err = tx.Create("stock", chimera.Values{
+			"name": chimera.Str("nuts"), "quantity": chimera.Int(10),
+			"maxquantity": chimera.Int(40)})
+		return err
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	for _, oid := range []chimera.OID{bolts, nuts} {
+		o, _ := db.Store().Get(oid)
+		fmt.Println(o)
+	}
+	st := db.Stats()
+	fmt.Printf("rule executions: %d (one set-oriented execution for both objects)\n",
+		st.RuleExecutions)
+}

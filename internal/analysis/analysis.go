@@ -1,0 +1,275 @@
+// Package analysis implements static rule-set analysis: the triggering
+// graph (which rules' actions can generate events that trigger which
+// rules) and a conservative termination check via cycle detection — the
+// classic active-database design aid (Aiken/Widom/Hull) that complements
+// the engine's runtime execution limit. The paper leaves rule
+// termination to the rule designer; this extension surfaces the risk at
+// definition time.
+package analysis
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"chimera/internal/act"
+	"chimera/internal/calculus"
+	"chimera/internal/cond"
+	"chimera/internal/engine"
+	"chimera/internal/event"
+	"chimera/internal/schema"
+)
+
+// Edge is one triggering-graph edge: From's action can generate an
+// occurrence of Via that can trigger To.
+type Edge struct {
+	From string
+	To   string
+	Via  event.Type
+}
+
+// Report is the analysis result for one database's rule set.
+type Report struct {
+	// Rules lists the analyzed rule names in priority order.
+	Rules []string
+	// Edges is the triggering graph, deterministic order.
+	Edges []Edge
+	// Cycles lists one representative per strongly connected component
+	// with at least one edge (including self-loops); each cycle is a rule
+	// sequence r0 → r1 → ... → r0.
+	Cycles [][]string
+	// Terminates reports the conservative verdict: true means no rule
+	// cascade can run forever (the triggering graph is acyclic); false
+	// means a cycle exists and termination depends on conditions the
+	// analysis cannot see.
+	Terminates bool
+}
+
+// String renders the report.
+func (r Report) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "triggering graph: %d rules, %d edges\n", len(r.Rules), len(r.Edges))
+	for _, e := range r.Edges {
+		fmt.Fprintf(&sb, "  %s -> %s  via %s\n", e.From, e.To, e.Via)
+	}
+	if r.Terminates {
+		sb.WriteString("verdict: terminates (acyclic triggering graph)\n")
+	} else {
+		sb.WriteString("verdict: POTENTIALLY NON-TERMINATING\n")
+		for _, c := range r.Cycles {
+			fmt.Fprintf(&sb, "  cycle: %s -> %s\n", strings.Join(c, " -> "), c[0])
+		}
+	}
+	return sb.String()
+}
+
+// Analyze builds the triggering graph of a database's rule set.
+func Analyze(db *engine.DB) Report {
+	names := db.Support().Rules()
+	rep := Report{Rules: names, Terminates: true}
+
+	// Per rule: the event types its action can generate, and its filter.
+	produces := make(map[string][]event.Type)
+	filters := make(map[string]*calculus.Filter)
+	for _, name := range names {
+		st, _ := db.Support().Rule(name)
+		filters[name] = st.Filter
+		body := db.RuleBody(name)
+		produces[name] = actionEventTypes(db.Schema(), body)
+	}
+
+	adj := make(map[string][]string)
+	for _, from := range names {
+		seen := make(map[string]bool)
+		for _, to := range names {
+			f := filters[to]
+			for _, t := range produces[from] {
+				if relevantTo(f, t) {
+					rep.Edges = append(rep.Edges, Edge{From: from, To: to, Via: t})
+					if !seen[to] {
+						seen[to] = true
+						adj[from] = append(adj[from], to)
+					}
+					break
+				}
+			}
+		}
+	}
+	sort.Slice(rep.Edges, func(i, j int) bool {
+		a, b := rep.Edges[i], rep.Edges[j]
+		if a.From != b.From {
+			return a.From < b.From
+		}
+		return a.To < b.To
+	})
+
+	rep.Cycles = findCycles(names, adj)
+	rep.Terminates = len(rep.Cycles) == 0
+	return rep
+}
+
+// relevantTo reports whether an occurrence of t can contribute to
+// triggering a rule with filter f. Vacuously active rules (MatchAll)
+// listen to every event, including the ones their own action produces.
+func relevantTo(f *calculus.Filter, t event.Type) bool {
+	return f.Relevant(t)
+}
+
+// actionEventTypes conservatively enumerates the event types a rule's
+// action can generate. Variable classes are inferred from the
+// condition's class atoms and occurred() expressions; statements over
+// variables of unknown class over-approximate with every class in the
+// schema. Deletions and hierarchy moves on a class also produce the
+// operation on the variable's possible subclasses (the bound object may
+// live lower in the hierarchy).
+func actionEventTypes(cat *schema.Schema, body engine.Body) []event.Type {
+	classesOf := varClasses(cat, body.Condition)
+	seen := make(map[event.Type]bool)
+	var out []event.Type
+	add := func(t event.Type) {
+		if !seen[t] {
+			seen[t] = true
+			out = append(out, t)
+		}
+	}
+	varTargets := func(v string) []string {
+		if cs, ok := classesOf[v]; ok {
+			return withSubclasses(cat, cs)
+		}
+		return cat.Names() // unknown: every class
+	}
+	for _, stmt := range body.Action.Statements {
+		switch s := stmt.(type) {
+		case act.Create:
+			add(event.Create(s.Class))
+		case act.Modify:
+			add(event.Modify(s.Class, s.Attr))
+		case act.Delete:
+			for _, c := range varTargets(s.Var) {
+				add(event.Delete(c))
+			}
+		case act.Specialize:
+			add(event.T(event.OpSpecialize, s.To))
+		case act.Generalize:
+			add(event.T(event.OpGeneralize, s.To))
+		}
+	}
+	return out
+}
+
+// varClasses infers, per condition variable, the classes its bindings
+// can belong to.
+func varClasses(cat *schema.Schema, f cond.Formula) map[string][]string {
+	out := make(map[string][]string)
+	add := func(v, class string) {
+		for _, c := range out[v] {
+			if c == class {
+				return
+			}
+		}
+		out[v] = append(out[v], class)
+	}
+	for _, a := range f.Atoms {
+		switch at := a.(type) {
+		case cond.Class:
+			add(at.Var, at.Class)
+		case cond.Occurred:
+			for _, t := range calculus.Primitives(at.Event) {
+				add(at.Var, t.Class)
+			}
+		case cond.At:
+			for _, t := range calculus.Primitives(at.Event) {
+				add(at.Var, t.Class)
+			}
+		case cond.Holds:
+			add(at.Var, at.Event.Class)
+		}
+	}
+	return out
+}
+
+// withSubclasses closes a class list downward over the hierarchy.
+func withSubclasses(cat *schema.Schema, classes []string) []string {
+	seen := make(map[string]bool)
+	var out []string
+	for _, base := range classes {
+		bc, ok := cat.Class(base)
+		if !ok {
+			continue
+		}
+		for _, name := range cat.Names() {
+			c, _ := cat.Class(name)
+			if c != nil && c.IsA(bc) && !seen[name] {
+				seen[name] = true
+				out = append(out, name)
+			}
+		}
+	}
+	return out
+}
+
+// findCycles returns one representative cycle per non-trivial strongly
+// connected component (Tarjan), plus self-loops.
+func findCycles(names []string, adj map[string][]string) [][]string {
+	index := make(map[string]int)
+	low := make(map[string]int)
+	onStack := make(map[string]bool)
+	var stack []string
+	next := 0
+	var cycles [][]string
+
+	var strongconnect func(v string)
+	strongconnect = func(v string) {
+		index[v] = next
+		low[v] = next
+		next++
+		stack = append(stack, v)
+		onStack[v] = true
+		for _, w := range adj[v] {
+			if _, visited := index[w]; !visited {
+				strongconnect(w)
+				if low[w] < low[v] {
+					low[v] = low[w]
+				}
+			} else if onStack[w] && index[w] < low[v] {
+				low[v] = index[w]
+			}
+		}
+		if low[v] == index[v] {
+			var comp []string
+			for {
+				w := stack[len(stack)-1]
+				stack = stack[:len(stack)-1]
+				onStack[w] = false
+				comp = append(comp, w)
+				if w == v {
+					break
+				}
+			}
+			if len(comp) > 1 {
+				// Reverse into discovery order for readability.
+				for i, j := 0, len(comp)-1; i < j; i, j = i+1, j-1 {
+					comp[i], comp[j] = comp[j], comp[i]
+				}
+				cycles = append(cycles, comp)
+			} else if hasSelfLoop(comp[0], adj) {
+				cycles = append(cycles, comp)
+			}
+		}
+	}
+	for _, v := range names {
+		if _, visited := index[v]; !visited {
+			strongconnect(v)
+		}
+	}
+	return cycles
+}
+
+func hasSelfLoop(v string, adj map[string][]string) bool {
+	for _, w := range adj[v] {
+		if w == v {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,247 @@
+package analysis
+
+import (
+	"strings"
+	"testing"
+
+	"chimera/internal/act"
+	"chimera/internal/calculus"
+	"chimera/internal/cond"
+	"chimera/internal/engine"
+	"chimera/internal/event"
+	"chimera/internal/rules"
+	"chimera/internal/schema"
+	"chimera/internal/types"
+)
+
+func newDB(t *testing.T) *engine.DB {
+	t.Helper()
+	db := engine.New(engine.DefaultOptions())
+	for _, c := range []struct {
+		name  string
+		super string
+	}{
+		{"stock", ""}, {"order", ""}, {"bigOrder", "order"}, {"log", ""},
+	} {
+		var err error
+		if c.super == "" {
+			err = db.DefineClass(c.name, schema.Attribute{Name: "n", Kind: types.KindInt})
+		} else {
+			err = db.DefineSubclass(c.name, c.super)
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	return db
+}
+
+func rule(t *testing.T, db *engine.DB, name string, evt calculus.Expr, body engine.Body) {
+	t.Helper()
+	if err := db.DefineRule(rules.Def{Name: name, Event: evt}, body); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAcyclicChainTerminates(t *testing.T) {
+	db := newDB(t)
+	// onStock creates an order; onOrder creates a log; onLog does nothing.
+	rule(t, db, "onStock", calculus.P(event.Create("stock")), engine.Body{
+		Action: act.Action{Statements: []act.Statement{
+			act.Create{Class: "order", Vals: map[string]cond.Term{}}}}})
+	rule(t, db, "onOrder", calculus.P(event.Create("order")), engine.Body{
+		Action: act.Action{Statements: []act.Statement{
+			act.Create{Class: "log", Vals: map[string]cond.Term{}}}}})
+	rule(t, db, "onLog", calculus.P(event.Create("log")), engine.Body{})
+
+	rep := Analyze(db)
+	if !rep.Terminates {
+		t.Fatalf("acyclic chain flagged: %s", rep)
+	}
+	wantEdges := map[string]string{"onStock": "onOrder", "onOrder": "onLog"}
+	if len(rep.Edges) != 2 {
+		t.Fatalf("edges = %v", rep.Edges)
+	}
+	for _, e := range rep.Edges {
+		if wantEdges[e.From] != e.To {
+			t.Errorf("unexpected edge %v", e)
+		}
+	}
+	if !strings.Contains(rep.String(), "terminates") {
+		t.Error("rendering lacks the verdict")
+	}
+}
+
+func TestSelfLoopDetected(t *testing.T) {
+	db := newDB(t)
+	rule(t, db, "loop", calculus.P(event.Create("stock")), engine.Body{
+		Action: act.Action{Statements: []act.Statement{
+			act.Create{Class: "stock", Vals: map[string]cond.Term{}}}}})
+	rep := Analyze(db)
+	if rep.Terminates {
+		t.Fatal("self-triggering rule not flagged")
+	}
+	if len(rep.Cycles) != 1 || len(rep.Cycles[0]) != 1 || rep.Cycles[0][0] != "loop" {
+		t.Fatalf("cycles = %v", rep.Cycles)
+	}
+}
+
+func TestTwoRuleCycleDetected(t *testing.T) {
+	db := newDB(t)
+	rule(t, db, "a", calculus.P(event.Create("stock")), engine.Body{
+		Action: act.Action{Statements: []act.Statement{
+			act.Create{Class: "order", Vals: map[string]cond.Term{}}}}})
+	rule(t, db, "b", calculus.P(event.Create("order")), engine.Body{
+		Action: act.Action{Statements: []act.Statement{
+			act.Create{Class: "stock", Vals: map[string]cond.Term{}}}}})
+	rep := Analyze(db)
+	if rep.Terminates {
+		t.Fatal("a<->b cycle not flagged")
+	}
+	if len(rep.Cycles) != 1 || len(rep.Cycles[0]) != 2 {
+		t.Fatalf("cycles = %v", rep.Cycles)
+	}
+	if !strings.Contains(rep.String(), "NON-TERMINATING") {
+		t.Error("rendering lacks the warning")
+	}
+}
+
+// A pure Δ− connection is not an edge: a rule creating the NEGATED type
+// of another rule can only deactivate it.
+func TestNegativeVariationIsNotAnEdge(t *testing.T) {
+	db := newDB(t)
+	rule(t, db, "maker", calculus.P(event.Create("stock")), engine.Body{
+		Action: act.Action{Statements: []act.Statement{
+			act.Create{Class: "order", Vals: map[string]cond.Term{}}}}})
+	// listener: create(log) + -create(order) — an order creation is Δ−.
+	rule(t, db, "listener", calculus.Conj(
+		calculus.P(event.Create("log")),
+		calculus.Neg(calculus.P(event.Create("order")))), engine.Body{})
+	rep := Analyze(db)
+	for _, e := range rep.Edges {
+		if e.From == "maker" && e.To == "listener" {
+			t.Fatalf("Δ− arrival counted as a triggering edge: %v", e)
+		}
+	}
+}
+
+// Vacuously active rules listen to everything — including their own
+// output, which is a self-loop.
+func TestVacuousRuleListensToEverything(t *testing.T) {
+	db := newDB(t)
+	rule(t, db, "watchdog", calculus.Neg(calculus.P(event.Create("stock"))), engine.Body{
+		Action: act.Action{Statements: []act.Statement{
+			act.Create{Class: "log", Vals: map[string]cond.Term{}}}}})
+	rep := Analyze(db)
+	if rep.Terminates {
+		t.Fatal("vacuous self-feeding watchdog not flagged")
+	}
+}
+
+// Deletion edges use the variable's inferred class, closed over
+// subclasses.
+func TestDeleteEdgesUseInferredClasses(t *testing.T) {
+	db := newDB(t)
+	// reaper deletes orders it binds via a class atom; bigOrder is a
+	// subclass, so delete(bigOrder) listeners are reachable too.
+	rule(t, db, "reaper", calculus.P(event.Create("order")), engine.Body{
+		Condition: cond.Formula{Atoms: []cond.Atom{
+			cond.Class{Class: "order", Var: "O"},
+		}},
+		Action: act.Action{Statements: []act.Statement{act.Delete{Var: "O"}}},
+	})
+	rule(t, db, "onOrderGone", calculus.P(event.Delete("order")), engine.Body{})
+	rule(t, db, "onBigGone", calculus.P(event.Delete("bigOrder")), engine.Body{})
+	rule(t, db, "onStockGone", calculus.P(event.Delete("stock")), engine.Body{})
+
+	rep := Analyze(db)
+	to := make(map[string]bool)
+	for _, e := range rep.Edges {
+		if e.From == "reaper" {
+			to[e.To] = true
+		}
+	}
+	if !to["onOrderGone"] || !to["onBigGone"] {
+		t.Fatalf("delete edges missing: %v", rep.Edges)
+	}
+	if to["onStockGone"] {
+		t.Fatal("delete edge leaked to an unrelated class")
+	}
+}
+
+// Without a class atom the variable's class is unknown and the analysis
+// over-approximates with every class.
+func TestUnknownVariableOverApproximates(t *testing.T) {
+	db := newDB(t)
+	rule(t, db, "blind", calculus.P(event.Create("order")), engine.Body{
+		Condition: cond.Formula{Atoms: []cond.Atom{
+			cond.Occurred{Event: calculus.P(event.Create("order")), Var: "O"},
+		}},
+		Action: act.Action{Statements: []act.Statement{act.Delete{Var: "O"}}},
+	})
+	rule(t, db, "onStockGone", calculus.P(event.Delete("stock")), engine.Body{})
+	rep := Analyze(db)
+	// occurred(create(order), O) pins O to class order — no stock edge.
+	for _, e := range rep.Edges {
+		if e.To == "onStockGone" {
+			t.Fatalf("inference from occurred() failed: %v", e)
+		}
+	}
+
+	// A genuinely untyped variable (bound by nothing the analysis reads)
+	// over-approximates.
+	db2 := newDB(t)
+	rule(t, db2, "blind2", calculus.P(event.Create("order")), engine.Body{
+		Action: act.Action{Statements: []act.Statement{act.Delete{Var: "X"}}},
+	})
+	rule(t, db2, "onStockGone", calculus.P(event.Delete("stock")), engine.Body{})
+	rep = Analyze(db2)
+	found := false
+	for _, e := range rep.Edges {
+		if e.From == "blind2" && e.To == "onStockGone" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("untyped delete did not over-approximate")
+	}
+}
+
+// The engine's audit-example pattern: including the rule's own output in
+// the negated disjunction removes the self-loop.
+func TestSelfQuenchingNegationRule(t *testing.T) {
+	db := newDB(t)
+	rule(t, db, "heartbeat", calculus.Neg(calculus.Disj(
+		calculus.P(event.Create("stock")),
+		calculus.P(event.Create("log")))), engine.Body{
+		Action: act.Action{Statements: []act.Statement{
+			act.Create{Class: "log", Vals: map[string]cond.Term{}}}}})
+	rep := Analyze(db)
+	// Vacuous expressions still listen to everything, so the self-loop
+	// remains in the conservative graph — the analysis errs on the side
+	// of flagging. (At runtime the ∃t' probe cannot re-fire it; the
+	// verdict documents that the analysis is conservative.)
+	if rep.Terminates {
+		t.Fatal("conservative analysis should still flag the vacuous rule")
+	}
+}
+
+func TestSpecializeGeneralizeEdges(t *testing.T) {
+	db := newDB(t)
+	rule(t, db, "promoter", calculus.P(event.Create("order")), engine.Body{
+		Condition: cond.Formula{Atoms: []cond.Atom{cond.Class{Class: "order", Var: "O"}}},
+		Action: act.Action{Statements: []act.Statement{
+			act.Specialize{Var: "O", To: "bigOrder"}}},
+	})
+	rule(t, db, "onPromote", calculus.P(event.T(event.OpSpecialize, "bigOrder")), engine.Body{})
+	rep := Analyze(db)
+	found := false
+	for _, e := range rep.Edges {
+		if e.From == "promoter" && e.To == "onPromote" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("specialize edge missing: %v", rep.Edges)
+	}
+}

@@ -1,0 +1,640 @@
+// Package bench implements the measured experiments B1..B6 of
+// EXPERIMENTS.md: the performance claims Section 5 of the paper makes
+// qualitatively, run on synthetic workloads from internal/workload. The
+// chimera-bench command prints the tables; the repository-root
+// benchmarks (bench_test.go) expose the same code paths to testing.B.
+package bench
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"time"
+
+	"chimera/internal/act"
+	"chimera/internal/calculus"
+	"chimera/internal/clock"
+	"chimera/internal/cond"
+	"chimera/internal/engine"
+	"chimera/internal/event"
+	"chimera/internal/rules"
+	"chimera/internal/schema"
+	"chimera/internal/types"
+	"chimera/internal/workload"
+)
+
+// Table is one experiment's report.
+type Table struct {
+	ID     string
+	Title  string
+	Header []string
+	Rows   [][]string
+	Notes  []string
+}
+
+// CSV renders the table as RFC-4180-ish CSV (header row first); the
+// chimera-bench -format csv mode emits it for plotting pipelines.
+func (t Table) CSV() string {
+	var sb strings.Builder
+	quote := func(cell string) string {
+		if strings.ContainsAny(cell, ",\"\n") {
+			return "\"" + strings.ReplaceAll(cell, "\"", "\"\"") + "\""
+		}
+		return cell
+	}
+	row := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				sb.WriteString(",")
+			}
+			sb.WriteString(quote(c))
+		}
+		sb.WriteString("\n")
+	}
+	row(t.Header)
+	for _, r := range t.Rows {
+		row(r)
+	}
+	return sb.String()
+}
+
+// String renders the table with aligned columns.
+func (t Table) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "== %s — %s ==\n", t.ID, t.Title)
+	widths := make([]int, len(t.Header))
+	for i, h := range t.Header {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	line := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				sb.WriteString("  ")
+			}
+			fmt.Fprintf(&sb, "%-*s", widths[i], c)
+		}
+		sb.WriteString("\n")
+	}
+	line(t.Header)
+	for _, row := range t.Rows {
+		line(row)
+	}
+	for _, n := range t.Notes {
+		sb.WriteString("note: " + n + "\n")
+	}
+	return sb.String()
+}
+
+// ---------------------------------------------------------------------
+// B1 — naive vs V(E)-filtered Trigger Support.
+
+// B1Result carries the raw counters for one configuration.
+type B1Result struct {
+	Rules         int
+	HotFraction   float64
+	NaiveTsEvals  int64
+	OptTsEvals    int64
+	NaiveNs       int64
+	OptNs         int64
+	SkippedShare  float64
+	TriggeringsOK bool
+}
+
+// RunB1Config measures one (rules, hotFraction) cell.
+func RunB1Config(nRules int, hotFraction float64, blocks, eventsPerBlock int) B1Result {
+	vocab := workload.Vocabulary(32)
+	defs := workload.Rules(rand.New(rand.NewSource(1)), workload.RuleSetOptions{
+		Rules: nRules, Vocab: vocab, TypesPerRule: 3, Depth: 2,
+		Negation: true, Precedence: true,
+	})
+	// Repeat small configurations so the wall-clock column is not noise;
+	// the first iteration is warm-up and is not counted.
+	reps := 20000 / nRules
+	if reps < 3 {
+		reps = 3
+	}
+	if reps > 50 {
+		reps = 50
+	}
+	run := func(opts rules.Options) (workload.RunResult, int64) {
+		var res workload.RunResult
+		var total int64
+		for i := 0; i <= reps; i++ {
+			c := clock.New()
+			b := event.NewBase()
+			s := rules.NewSupport(b, opts)
+			s.BeginTransaction(c.Now())
+			for _, d := range defs {
+				if err := s.Define(d); err != nil {
+					panic(err)
+				}
+			}
+			stream := workload.Stream(rand.New(rand.NewSource(2)), c, b, workload.StreamOptions{
+				Blocks: blocks, EventsPerBlock: eventsPerBlock,
+				Objects: 32, Vocab: vocab, HotFraction: hotFraction,
+			})
+			start := time.Now()
+			res = workload.Drive(s, c, stream, true)
+			if i > 0 {
+				total += time.Since(start).Nanoseconds()
+			}
+		}
+		return res, total / int64(reps)
+	}
+	naive, naiveNs := run(rules.Options{})
+	opt, optNs := run(rules.Options{UseFilter: true})
+	share := 0.0
+	if opt.RulesExamined > 0 {
+		share = float64(opt.RulesSkipped) / float64(opt.RulesExamined)
+	}
+	return B1Result{
+		Rules: nRules, HotFraction: hotFraction,
+		NaiveTsEvals: naive.TsEvaluations, OptTsEvals: opt.TsEvaluations,
+		NaiveNs: naiveNs, OptNs: optNs,
+		SkippedShare:  share,
+		TriggeringsOK: naive.Triggerings == opt.Triggerings,
+	}
+}
+
+// B1 sweeps rule count and relevant-event fraction.
+func B1() Table {
+	t := Table{
+		ID:     "B1",
+		Title:  "Trigger Support: naive recomputation vs V(E) static optimization",
+		Header: []string{"rules", "hot%", "ts-evals naive", "ts-evals V(E)", "evals saved", "skip share", "speedup", "same triggerings"},
+	}
+	for _, nRules := range []int{10, 100, 1000} {
+		for _, hot := range []float64{0.05, 0.25, 1.0} {
+			r := RunB1Config(nRules, hot, 50, 8)
+			saved := 1 - float64(r.OptTsEvals)/float64(r.NaiveTsEvals)
+			speedup := float64(r.NaiveNs) / float64(r.OptNs)
+			t.Rows = append(t.Rows, []string{
+				fmt.Sprint(r.Rules),
+				fmt.Sprintf("%.0f", hot*100),
+				fmt.Sprint(r.NaiveTsEvals),
+				fmt.Sprint(r.OptTsEvals),
+				fmt.Sprintf("%.1f%%", saved*100),
+				fmt.Sprintf("%.1f%%", r.SkippedShare*100),
+				fmt.Sprintf("%.2fx", speedup),
+				fmt.Sprint(r.TriggeringsOK),
+			})
+		}
+	}
+	t.Notes = append(t.Notes,
+		"paper §5.1: recompute ts only when an arrival matches V(E); the lower the relevant fraction, the larger the saving",
+		"'same triggerings' checks the optimization is semantically transparent")
+	return t
+}
+
+// ---------------------------------------------------------------------
+// B2 — ts evaluation cost vs expression depth.
+
+// B2Eval builds a (history, expression) pair for one depth; the root
+// bench reuses it under testing.B.
+func B2Eval(depth int) (env *calculus.Env, e calculus.Expr, now clock.Time) {
+	vocab := workload.Vocabulary(8)
+	r := rand.New(rand.NewSource(int64(depth)))
+	e = calculus.GenExpr(r, calculus.GenOptions{
+		Types: vocab, MaxDepth: depth, Full: true,
+		AllowNegation: true, AllowInstance: true, AllowPrecedence: true,
+	})
+	c := clock.New()
+	b := event.NewBase()
+	workload.Stream(r, c, b, workload.StreamOptions{
+		Blocks: 20, EventsPerBlock: 10, Objects: 16, Vocab: vocab,
+	})
+	return &calculus.Env{Base: b, RestrictDomain: true}, e, c.Now()
+}
+
+// B2 measures ns per ts evaluation by depth.
+func B2() Table {
+	t := Table{
+		ID:     "B2",
+		Title:  "ts evaluation cost vs expression depth (200 events in R)",
+		Header: []string{"depth", "nodes", "ns/eval", "active"},
+	}
+	for depth := 1; depth <= 8; depth++ {
+		env, e, now := B2Eval(depth)
+		const iters = 2000
+		start := time.Now()
+		var v calculus.TS
+		for i := 0; i < iters; i++ {
+			v = env.TS(e, now)
+		}
+		ns := time.Since(start).Nanoseconds() / iters
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprint(depth), fmt.Sprint(calculus.Size(e)),
+			fmt.Sprint(ns), fmt.Sprint(v.Active()),
+		})
+	}
+	t.Notes = append(t.Notes,
+		"paper §6: 'a formal and efficient evaluation of triggering caused by event expressions of arbitrary complexity'",
+		"cost grows with tree size; instance lifts dominate when present")
+	return t
+}
+
+// ---------------------------------------------------------------------
+// B3 — instance-oriented evaluation vs number of distinct objects.
+
+// B3Eval prepares an instance-conjunction lift over a history touching n
+// objects. The expression listens on one class out of eight, so most
+// objects in R are touched only by foreign types — the regime in which
+// restricting the lift domain to the expression's own types pays off.
+func B3Eval(objects int) (env *calculus.Env, e calculus.Expr, now clock.Time) {
+	vocab := workload.Vocabulary(8)
+	r := rand.New(rand.NewSource(9))
+	c := clock.New()
+	b := event.NewBase()
+	workload.Stream(r, c, b, workload.StreamOptions{
+		Blocks: 40, EventsPerBlock: 25, Objects: objects, Vocab: vocab,
+	})
+	e = calculus.ConjI(calculus.P(vocab[0]), calculus.P(vocab[2]))
+	return &calculus.Env{Base: b, RestrictDomain: true}, e, c.Now()
+}
+
+// B3 measures the lift cost against the object count, with and without
+// the domain restriction.
+func B3() Table {
+	t := Table{
+		ID:     "B3",
+		Title:  "instance-oriented lift cost vs distinct objects (1000 events in R)",
+		Header: []string{"objects", "ns/eval restricted", "ns/eval full-domain", "ratio"},
+	}
+	for _, objects := range []int{4, 16, 64, 256} {
+		env, e, now := B3Eval(objects)
+		measure := func(restrict bool) int64 {
+			env.RestrictDomain = restrict
+			const iters = 500
+			start := time.Now()
+			for i := 0; i < iters; i++ {
+				env.TS(e, now)
+			}
+			return time.Since(start).Nanoseconds() / iters
+		}
+		restricted := measure(true)
+		full := measure(false)
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprint(objects), fmt.Sprint(restricted), fmt.Sprint(full),
+			fmt.Sprintf("%.2fx", float64(full)/float64(restricted)),
+		})
+	}
+	t.Notes = append(t.Notes,
+		"paper §5: a sparse per-object structure supports instance-oriented operators; cost scales with the object domain",
+		"the restricted domain (objects touched by the expression's own types) is sign-equivalent; computing it costs more than it saves on small object counts and wins about 2x once most objects are foreign to the expression — a crossover, not a uniform win")
+	return t
+}
+
+// ---------------------------------------------------------------------
+// B4 — calculus support vs legacy disjunction-only Chimera.
+
+// B4Result carries one comparison run.
+type B4Result struct {
+	LegacyNs    int64
+	CalculusNs  int64
+	Triggerings int
+}
+
+// RunB4 drives identical disjunction-only rule sets through the legacy
+// support and the calculus-based support.
+func RunB4(nRules, blocks, eventsPerBlock int) B4Result {
+	vocab := workload.Vocabulary(16)
+	defs := workload.Rules(rand.New(rand.NewSource(5)), workload.RuleSetOptions{
+		Rules: nRules, Vocab: vocab, TypesPerRule: 3, Depth: 0, // disjunction-only
+	})
+
+	// Legacy.
+	legacy := rules.NewLegacySupport()
+	for _, d := range defs {
+		if err := legacy.Define(d.Name, d.Event); err != nil {
+			panic(err)
+		}
+	}
+	cl := clock.New()
+	bl := event.NewBase()
+	streamL := workload.Stream(rand.New(rand.NewSource(6)), cl, bl, workload.StreamOptions{
+		Blocks: blocks, EventsPerBlock: eventsPerBlock, Objects: 16, Vocab: vocab,
+	})
+	start := time.Now()
+	fired := 0
+	for _, blk := range streamL {
+		legacy.NotifyArrivals(blk)
+		names := legacy.CheckTriggered(cl.Now())
+		fired += len(names)
+		for _, n := range names {
+			legacy.Consider(n)
+		}
+	}
+	legacyNs := time.Since(start).Nanoseconds()
+
+	// Calculus.
+	c := clock.New()
+	b := event.NewBase()
+	s := rules.NewSupport(b, rules.Options{UseFilter: true})
+	s.BeginTransaction(c.Now())
+	for _, d := range defs {
+		if err := s.Define(d); err != nil {
+			panic(err)
+		}
+	}
+	stream := workload.Stream(rand.New(rand.NewSource(6)), c, b, workload.StreamOptions{
+		Blocks: blocks, EventsPerBlock: eventsPerBlock, Objects: 16, Vocab: vocab,
+	})
+	start = time.Now()
+	res := workload.Drive(s, c, stream, true)
+	calculusNs := time.Since(start).Nanoseconds()
+	_ = res
+	return B4Result{LegacyNs: legacyNs, CalculusNs: calculusNs, Triggerings: fired}
+}
+
+// B4 compares throughput on the original Chimera event language.
+func B4() Table {
+	t := Table{
+		ID:     "B4",
+		Title:  "disjunction-only rules: legacy type-index support vs event calculus",
+		Header: []string{"rules", "legacy ms", "calculus ms", "overhead"},
+	}
+	for _, nRules := range []int{10, 100, 1000} {
+		r := RunB4(nRules, 50, 8)
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprint(nRules),
+			fmt.Sprintf("%.2f", float64(r.LegacyNs)/1e6),
+			fmt.Sprintf("%.2f", float64(r.CalculusNs)/1e6),
+			fmt.Sprintf("%.2fx", float64(r.CalculusNs)/float64(r.LegacyNs)),
+		})
+	}
+	t.Notes = append(t.Notes,
+		"paper §1/§6: the extension 'continuously evolves' Chimera — the old disjunctive rules must not become disproportionately slower",
+		"the legacy support is a constant-time type index, the theoretical floor")
+	return t
+}
+
+// ---------------------------------------------------------------------
+// B5 — end-to-end engine throughput.
+
+// B5Config selects the rule modes under test.
+type B5Config struct {
+	Coupling    rules.Coupling
+	Consumption rules.Consumption
+}
+
+// RunB5 runs transactions of line-batched creates and modifies against
+// nRules clamp-style rules and returns ns per transaction.
+func RunB5(cfg B5Config, nRules, txns, linesPerTxn int) int64 {
+	db := engine.New(engine.DefaultOptions())
+	if err := db.DefineClass("stock",
+		schema.Attribute{Name: "quantity", Kind: types.KindInt},
+		schema.Attribute{Name: "maxquantity", Kind: types.KindInt}); err != nil {
+		panic(err)
+	}
+	evt := calculus.Disj(
+		calculus.P(event.Create("stock")),
+		calculus.P(event.Modify("stock", "quantity")))
+	for i := 0; i < nRules; i++ {
+		def := rules.Def{
+			Name: fmt.Sprintf("clamp%d", i), Target: "stock", Event: evt,
+			Coupling: cfg.Coupling, Consumption: cfg.Consumption, Priority: i,
+		}
+		body := engine.Body{
+			Condition: cond.Formula{Atoms: []cond.Atom{
+				cond.Class{Class: "stock", Var: "S"},
+				cond.Occurred{Event: calculus.P(event.Create("stock")), Var: "S"},
+				cond.Compare{L: cond.Attr{Var: "S", Attr: "quantity"}, Op: cond.CmpGt,
+					R: cond.Attr{Var: "S", Attr: "maxquantity"}},
+			}},
+			Action: act.Action{Statements: []act.Statement{
+				act.Modify{Class: "stock", Attr: "quantity", Var: "S",
+					Value: cond.Attr{Var: "S", Attr: "maxquantity"}},
+			}},
+		}
+		if err := db.DefineRule(def, body); err != nil {
+			panic(err)
+		}
+	}
+	r := rand.New(rand.NewSource(7))
+	start := time.Now()
+	for i := 0; i < txns; i++ {
+		err := db.Run(func(tx *engine.Txn) error {
+			for l := 0; l < linesPerTxn; l++ {
+				if _, err := tx.Create("stock", map[string]types.Value{
+					"quantity":    types.Int(int64(r.Intn(100))),
+					"maxquantity": types.Int(50),
+				}); err != nil {
+					return err
+				}
+				if err := tx.EndLine(); err != nil {
+					return err
+				}
+			}
+			return nil
+		})
+		if err != nil {
+			panic(err)
+		}
+	}
+	return time.Since(start).Nanoseconds() / int64(txns)
+}
+
+// B5 reports end-to-end transaction cost across coupling and consumption
+// modes.
+func B5() Table {
+	t := Table{
+		ID:     "B5",
+		Title:  "end-to-end transactions (5 lines/txn, 10 clamp rules)",
+		Header: []string{"coupling", "consumption", "µs/txn"},
+	}
+	for _, cfg := range []B5Config{
+		{rules.Immediate, rules.Consuming},
+		{rules.Immediate, rules.Preserving},
+		{rules.Deferred, rules.Consuming},
+		{rules.Deferred, rules.Preserving},
+	} {
+		ns := RunB5(cfg, 10, 200, 5)
+		t.Rows = append(t.Rows, []string{
+			cfg.Coupling.String(), cfg.Consumption.String(),
+			fmt.Sprintf("%.1f", float64(ns)/1e3),
+		})
+	}
+	t.Notes = append(t.Notes,
+		"deferred coupling batches considerations at commit; preserving consumption re-reads the whole transaction window")
+	return t
+}
+
+// ---------------------------------------------------------------------
+// B6 — formal ∃t' probe vs boundary-only ablation.
+
+// B6Result counts triggerings under the two semantics.
+type B6Result struct {
+	FormalTriggerings   int64
+	BoundaryTriggerings int64
+	FormalTsEvals       int64
+	BoundaryTsEvals     int64
+}
+
+// RunB6 drives an adversarial stream (conjunctions with negated arms,
+// where activations are transient within a block) through both probes.
+func RunB6(nRules, blocks, eventsPerBlock int) B6Result {
+	vocab := workload.Vocabulary(6)
+	r := rand.New(rand.NewSource(11))
+	defs := make([]rules.Def, nRules)
+	for i := range defs {
+		a := vocab[r.Intn(len(vocab))]
+		b := vocab[r.Intn(len(vocab))]
+		defs[i] = rules.Def{
+			Name: fmt.Sprintf("r%03d", i),
+			// A + -B: active in the window between an A and the next B.
+			Event:    calculus.Conj(calculus.P(a), calculus.Neg(calculus.P(b))),
+			Priority: i,
+		}
+	}
+	run := func(opts rules.Options) workload.RunResult {
+		c := clock.New()
+		b := event.NewBase()
+		s := rules.NewSupport(b, opts)
+		s.BeginTransaction(c.Now())
+		for _, d := range defs {
+			if err := s.Define(d); err != nil {
+				panic(err)
+			}
+		}
+		stream := workload.Stream(rand.New(rand.NewSource(12)), c, b, workload.StreamOptions{
+			Blocks: blocks, EventsPerBlock: eventsPerBlock, Objects: 8, Vocab: vocab,
+		})
+		return workload.Drive(s, c, stream, true)
+	}
+	formal := run(rules.Options{UseFilter: true})
+	boundary := run(rules.Options{UseFilter: true, BoundaryOnly: true})
+	return B6Result{
+		FormalTriggerings: formal.Triggerings, BoundaryTriggerings: boundary.Triggerings,
+		FormalTsEvals: formal.TsEvaluations, BoundaryTsEvals: boundary.TsEvaluations,
+	}
+}
+
+// B6 reports the trigger loss of the boundary-only implementation sketch.
+func B6() Table {
+	t := Table{
+		ID:     "B6",
+		Title:  "∃t' triggering (formal §4.4) vs boundary-only evaluation (implementation sketch §5)",
+		Header: []string{"events/block", "triggerings ∃t'", "triggerings boundary", "missed", "ts-evals ∃t'", "ts-evals boundary"},
+	}
+	for _, epb := range []int{1, 4, 16} {
+		r := RunB6(40, 60, epb)
+		missed := r.FormalTriggerings - r.BoundaryTriggerings
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprint(epb),
+			fmt.Sprint(r.FormalTriggerings), fmt.Sprint(r.BoundaryTriggerings),
+			fmt.Sprintf("%d (%.1f%%)", missed, 100*float64(missed)/float64(max64(r.FormalTriggerings, 1))),
+			fmt.Sprint(r.FormalTsEvals), fmt.Sprint(r.BoundaryTsEvals),
+		})
+	}
+	t.Notes = append(t.Notes,
+		"rules of shape A + -B are active only in the window between an A and the next B; the boundary-only check evaluates ts at the block end, where some occurrence of B is almost always already in R, so it misses nearly every transient activation",
+		"the formal probe pays ts evaluations proportional to the arrivals in R — the price of the ∃t' quantifier the paper's semantics demands")
+	return t
+}
+
+func max64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// ---------------------------------------------------------------------
+// B7 — filter granularity ablation: no filter, the paper's literal
+// "arrival mentioned in V(E)" condition, and the sign-aware refinement
+// (skip pure Δ− arrivals for non-triggered rules).
+
+// RunB7 drives a negation-heavy workload through the three filter
+// settings and reports the ts-evaluation counts.
+func RunB7(nRules, blocks, eventsPerBlock int) (none, mentioned, relevant workload.RunResult) {
+	vocab := workload.Vocabulary(24)
+	r := rand.New(rand.NewSource(21))
+	defs := make([]rules.Def, nRules)
+	for i := range defs {
+		// A + -B: B is a pure Δ− type — the sign-aware filter can skip
+		// its arrivals entirely.
+		a := vocab[r.Intn(len(vocab))]
+		b := vocab[r.Intn(len(vocab))]
+		defs[i] = rules.Def{
+			Name:     fmt.Sprintf("r%04d", i),
+			Event:    calculus.Conj(calculus.P(a), calculus.Neg(calculus.P(b))),
+			Priority: i,
+		}
+	}
+	run := func(opts rules.Options) workload.RunResult {
+		c := clock.New()
+		b := event.NewBase()
+		s := rules.NewSupport(b, opts)
+		s.BeginTransaction(c.Now())
+		for _, d := range defs {
+			if err := s.Define(d); err != nil {
+				panic(err)
+			}
+		}
+		stream := workload.Stream(rand.New(rand.NewSource(22)), c, b, workload.StreamOptions{
+			Blocks: blocks, EventsPerBlock: eventsPerBlock, Objects: 16, Vocab: vocab,
+		})
+		return workload.Drive(s, c, stream, true)
+	}
+	none = run(rules.Options{})
+	mentioned = run(rules.Options{UseFilter: true, FilterMode: rules.FilterMentioned})
+	relevant = run(rules.Options{UseFilter: true, FilterMode: rules.FilterRelevant})
+	return none, mentioned, relevant
+}
+
+// B7 reports the ablation table.
+func B7() Table {
+	t := Table{
+		ID:     "B7",
+		Title:  "filter granularity ablation on A + -B rules (pure Δ− arrivals skippable)",
+		Header: []string{"rules", "ts-evals none", "ts-evals mentioned", "ts-evals sign-aware", "triggerings equal"},
+	}
+	for _, nRules := range []int{50, 500} {
+		none, mentioned, relevant := RunB7(nRules, 50, 6)
+		equal := none.Triggerings == mentioned.Triggerings && mentioned.Triggerings == relevant.Triggerings
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprint(nRules),
+			fmt.Sprint(none.TsEvaluations),
+			fmt.Sprint(mentioned.TsEvaluations),
+			fmt.Sprint(relevant.TsEvaluations),
+			fmt.Sprint(equal),
+		})
+	}
+	t.Notes = append(t.Notes,
+		"'mentioned' is the paper's literal condition (any arrival matching V(E)); 'sign-aware' additionally skips pure Δ− arrivals for rules that are not yet triggered",
+		"all three settings must produce identical triggerings — the filters are pure optimizations")
+	return t
+}
+
+// All runs every experiment.
+func All() []Table {
+	return []Table{B1(), B2(), B3(), B4(), B5(), B6(), B7()}
+}
+
+// ByID runs one experiment.
+func ByID(id string) (Table, bool) {
+	switch strings.ToUpper(id) {
+	case "B1":
+		return B1(), true
+	case "B2":
+		return B2(), true
+	case "B3":
+		return B3(), true
+	case "B4":
+		return B4(), true
+	case "B5":
+		return B5(), true
+	case "B6":
+		return B6(), true
+	case "B7":
+		return B7(), true
+	}
+	return Table{}, false
+}

@@ -1,0 +1,107 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+
+	"chimera/internal/rules"
+)
+
+func TestTableRendering(t *testing.T) {
+	tbl := Table{
+		ID: "T", Title: "demo",
+		Header: []string{"a", "long-header"},
+		Rows:   [][]string{{"1", "2"}, {"333", "4"}},
+		Notes:  []string{"a note"},
+	}
+	s := tbl.String()
+	for _, want := range []string{"== T — demo ==", "long-header", "333", "note: a note"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("rendering missing %q:\n%s", want, s)
+		}
+	}
+}
+
+// Small-configuration smoke runs of every experiment driver: the
+// invariants the tables assert (semantic transparency of the filters,
+// boundary-only missing at most what the formal probe finds) must hold
+// at any scale.
+func TestRunB1Transparency(t *testing.T) {
+	r := RunB1Config(20, 0.2, 10, 4)
+	if !r.TriggeringsOK {
+		t.Fatal("V(E) optimization changed the triggering outcome")
+	}
+	if r.OptTsEvals > r.NaiveTsEvals {
+		t.Fatalf("filtered run evaluated more: %d > %d", r.OptTsEvals, r.NaiveTsEvals)
+	}
+}
+
+func TestRunB4Shapes(t *testing.T) {
+	r := RunB4(20, 10, 4)
+	if r.LegacyNs <= 0 || r.CalculusNs <= 0 {
+		t.Fatalf("timings missing: %+v", r)
+	}
+	if r.Triggerings == 0 {
+		t.Fatal("no triggerings in the legacy run")
+	}
+}
+
+func TestRunB6BoundaryNeverExceedsFormal(t *testing.T) {
+	r := RunB6(10, 15, 4)
+	if r.BoundaryTriggerings > r.FormalTriggerings {
+		t.Fatalf("boundary-only fired more than the formal semantics: %+v", r)
+	}
+	if r.BoundaryTsEvals > r.FormalTsEvals {
+		t.Fatalf("boundary-only evaluated more: %+v", r)
+	}
+}
+
+func TestRunB7AllTransparent(t *testing.T) {
+	none, mentioned, relevant := RunB7(20, 15, 4)
+	if none.Triggerings != mentioned.Triggerings || mentioned.Triggerings != relevant.Triggerings {
+		t.Fatalf("filter settings diverged: %d / %d / %d",
+			none.Triggerings, mentioned.Triggerings, relevant.Triggerings)
+	}
+	if relevant.TsEvaluations > mentioned.TsEvaluations ||
+		mentioned.TsEvaluations > none.TsEvaluations {
+		t.Fatalf("filters increased work: %d / %d / %d",
+			none.TsEvaluations, mentioned.TsEvaluations, relevant.TsEvaluations)
+	}
+}
+
+func TestRunB5Modes(t *testing.T) {
+	ns := RunB5(B5Config{Coupling: rules.Immediate, Consumption: rules.Consuming}, 2, 5, 2)
+	if ns <= 0 {
+		t.Fatal("no timing")
+	}
+}
+
+func TestB2B3Builders(t *testing.T) {
+	env, e, now := B2Eval(3)
+	if env == nil || e == nil || now == 0 {
+		t.Fatal("B2Eval incomplete")
+	}
+	env.TS(e, now) // must not panic
+	env, e, now = B3Eval(8)
+	env.TS(e, now)
+}
+
+func TestByID(t *testing.T) {
+	if _, ok := ByID("nope"); ok {
+		t.Fatal("unknown experiment accepted")
+	}
+	// Case-insensitive lookup resolves without running (cheap ids only
+	// would still run the experiment; just check the miss path plus the
+	// registry size via All's length elsewhere).
+}
+
+func TestTableCSV(t *testing.T) {
+	tbl := Table{ID: "T", Title: "demo",
+		Header: []string{"a", "b"},
+		Rows:   [][]string{{"1", `x,"y`}}}
+	got := tbl.CSV()
+	want := "a,b\n1,\"x,\"\"y\"\n"
+	if got != want {
+		t.Fatalf("CSV = %q, want %q", got, want)
+	}
+}

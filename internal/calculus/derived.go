@@ -1,0 +1,108 @@
+package calculus
+
+// This file provides derived combinators: composite-event idioms from
+// the systems the paper's related-work section surveys (Ode, HiPAC,
+// Snoop, Samos, REFLEX), expressed in the minimal orthogonal operator
+// set — the paper's central design claim is that a small calculus
+// composes into the richer vocabularies of those systems. Each
+// combinator documents which related-work operator it reproduces and
+// with what fidelity (the calculus deliberately has no counting or
+// explicit clock operators, so Times/periodic have no equivalent).
+
+// ConjAll folds expressions into a left-nested set conjunction — HiPAC's
+// "all of these events have been signalled".
+func ConjAll(xs ...Expr) Expr {
+	if len(xs) == 0 {
+		panic("calculus: ConjAll of no expressions")
+	}
+	e := xs[0]
+	for _, x := range xs[1:] {
+		e = Conj(e, x)
+	}
+	return e
+}
+
+// Sequence folds expressions into a left-nested set precedence chain
+// x1 < x2 < ... < xn: Ode/HiPAC's sequence operator. It is active when
+// every component is active and each component's latest activation is no
+// later than the next one's.
+func Sequence(xs ...Expr) Expr {
+	if len(xs) == 0 {
+		panic("calculus: Sequence of no expressions")
+	}
+	e := xs[0]
+	for _, x := range xs[1:] {
+		e = Prec(e, x)
+	}
+	return e
+}
+
+// SequenceI is Sequence at the instance level (all components on the
+// same object).
+func SequenceI(xs ...Expr) Expr {
+	if len(xs) == 0 {
+		panic("calculus: SequenceI of no expressions")
+	}
+	e := xs[0]
+	for _, x := range xs[1:] {
+		e = PrecI(e, x)
+	}
+	return e
+}
+
+// AnyOf is n-ary set disjunction — the event list of original Chimera
+// and the disjunction of every surveyed system.
+func AnyOf(xs ...Expr) Expr { return DisjAll(xs...) }
+
+// NoneOf is the absence of every listed event over the observed window —
+// Snoop's NOT over the implicit interval (the rule's consumption window)
+// rather than an explicit (E1, E2) interval, which the calculus expresses
+// through the window instead of through operators. De Morgan guarantees
+// NoneOf(a, b) ≡ -(a , b) ≡ -a + -b.
+func NoneOf(xs ...Expr) Expr { return Neg(DisjAll(xs...)) }
+
+// Absent is Snoop's interval negation specialized to the paper's window
+// semantics: active when e has no occurrence in the observed window.
+func Absent(e Expr) Expr { return Neg(e) }
+
+// WithoutIntervening approximates Ode's "relative" / Snoop's aperiodic
+// shape "b after a with no x in between, per object": the pair a <= b on
+// one object, with the refutation that x slid in between expressed as
+// NOT (a <= x <= b). It is exact when each primitive occurs at most once
+// per object in the window (the common workflow case); with repeated
+// occurrences the calculus compares latest activations, as everywhere
+// else in the paper.
+func WithoutIntervening(a, x, b Expr) Expr {
+	return Conj(SequenceI(a, b), Neg(SequenceI(a, x, b)))
+}
+
+// FollowedByFirst is Ode's "relative(A, B)" head: B occurring after the
+// first occurrence of A. The calculus keeps only latest activations, so
+// the faithful rendering is "A then B" on latest stamps; combined with a
+// consuming rule (whose window resets at each consideration) the first
+// and latest A coincide, making the combinator exact — the same
+// window-instead-of-operator trade the paper makes for Snoop's A1/A2
+// intervals.
+func FollowedByFirst(a, b Expr) Expr { return Prec(a, b) }
+
+// GuardedBy is REFLEX's "E1 provided E2 has (not) happened": the
+// conjunction with an optional negation on the guard.
+func GuardedBy(e, guard Expr, positive bool) Expr {
+	if positive {
+		return Conj(e, guard)
+	}
+	return Conj(e, Neg(guard))
+}
+
+// SameObject lifts a list of primitive events into Samos's "same"
+// qualifier: all components on one object (instance conjunction).
+func SameObject(xs ...Expr) Expr {
+	if len(xs) == 0 {
+		panic("calculus: SameObject of no expressions")
+	}
+	e := xs[0]
+	for _, x := range xs[1:] {
+		e = ConjI(e, x)
+	}
+	return e
+}

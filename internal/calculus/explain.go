@@ -1,0 +1,161 @@
+package calculus
+
+import (
+	"fmt"
+	"strings"
+
+	"chimera/internal/clock"
+	"chimera/internal/types"
+)
+
+// Explain produces a human-readable account of a ts evaluation: every
+// subexpression annotated with its ts value and activation state, lifts
+// annotated with their quantifier and per-object breakdown. The shell's
+// `explain <rule>` command renders it so a rule author can see exactly
+// why a composite event is (not) active — the calculus counterpart of a
+// query plan.
+
+// ExplainNode is one node of the evaluation tree.
+type ExplainNode struct {
+	// Expr is the rendering of this subexpression.
+	Expr string
+	// Value is ts (or ots, inside a lift) at the probed instant.
+	Value TS
+	// Note carries operator-specific detail ("universal lift over 3
+	// objects", "sequence anchor ts(B)=t7", ...).
+	Note string
+	// Children are the operand evaluations (for lifts: one entry per
+	// object in the domain).
+	Children []ExplainNode
+}
+
+// Active reports the node's activation state.
+func (n ExplainNode) Active() bool { return n.Value.Active() }
+
+// String renders the tree with indentation.
+func (n ExplainNode) String() string {
+	var sb strings.Builder
+	n.render(&sb, 0)
+	return sb.String()
+}
+
+func (n ExplainNode) render(sb *strings.Builder, depth int) {
+	state := "inactive"
+	if n.Active() {
+		state = "ACTIVE"
+	}
+	fmt.Fprintf(sb, "%s%s  →  ts=%d (%s)", strings.Repeat("  ", depth), n.Expr, int64(n.Value), state)
+	if n.Note != "" {
+		fmt.Fprintf(sb, "  [%s]", n.Note)
+	}
+	sb.WriteString("\n")
+	for _, c := range n.Children {
+		c.render(sb, depth+1)
+	}
+}
+
+// Explain evaluates ts(e, t) and returns the annotated tree. It mirrors
+// Env.TS exactly; TestExplainMatchesTS checks the values coincide on
+// random expressions and histories.
+func (env *Env) Explain(e Expr, t clock.Time) ExplainNode {
+	if IsInstanceRooted(e) {
+		return env.explainLift(e, t)
+	}
+	switch n := e.(type) {
+	case Prim:
+		node := ExplainNode{Expr: e.String(), Value: env.TS(e, t)}
+		if last := env.Base.LastOf(n.T, env.Since, t); last != clock.Never {
+			node.Note = fmt.Sprintf("last occurrence at t%d", last)
+		} else {
+			node.Note = "no occurrence in window"
+		}
+		return node
+	case Not:
+		child := env.Explain(n.X, t)
+		return ExplainNode{Expr: e.String(), Value: -child.Value,
+			Note: "negation flips the component's ts", Children: []ExplainNode{child}}
+	case And:
+		l, r := env.Explain(n.L, t), env.Explain(n.R, t)
+		v := env.TS(e, t)
+		note := "both active → max of stamps"
+		if !v.Active() {
+			note = "needs both components active"
+		}
+		return ExplainNode{Expr: e.String(), Value: v, Note: note, Children: []ExplainNode{l, r}}
+	case Or:
+		l, r := env.Explain(n.L, t), env.Explain(n.R, t)
+		v := env.TS(e, t)
+		note := "at least one component active"
+		if !v.Active() {
+			note = "no component active"
+		}
+		return ExplainNode{Expr: e.String(), Value: v, Note: note, Children: []ExplainNode{l, r}}
+	case Seq:
+		r := env.Explain(n.R, t)
+		node := ExplainNode{Expr: e.String(), Value: env.TS(e, t)}
+		if !r.Active() {
+			node.Note = "second component inactive"
+			node.Children = []ExplainNode{r}
+			return node
+		}
+		l := env.Explain(n.L, r.Value.Time())
+		l.Note = strings.TrimSpace(l.Note + fmt.Sprintf(" (evaluated at the anchor t%d)", r.Value.Time()))
+		if node.Value.Active() {
+			node.Note = fmt.Sprintf("first active by the second's stamp t%d", r.Value.Time())
+		} else {
+			node.Note = fmt.Sprintf("first not active by the second's stamp t%d", r.Value.Time())
+		}
+		node.Children = []ExplainNode{l, r}
+		return node
+	}
+	panic("calculus: unknown expression node in Explain")
+}
+
+// explainLift explains a maximal instance-rooted subexpression: the
+// quantifier, the object domain, and one child per object.
+func (env *Env) explainLift(e Expr, t clock.Time) ExplainNode {
+	oids := env.domain(e, t)
+	universal := false
+	if n, ok := e.(Not); ok && n.Inst {
+		universal = true
+	}
+	quant := "existential lift (some object)"
+	if universal {
+		quant = "universal lift (no object may satisfy the body)"
+	}
+	node := ExplainNode{Expr: e.String(), Value: env.TS(e, t),
+		Note: fmt.Sprintf("%s over %d object(s)", quant, len(oids))}
+	for _, oid := range oids {
+		v := env.OTS(e, t, oid)
+		node.Children = append(node.Children, ExplainNode{
+			Expr:  fmt.Sprintf("ots for %s", oid),
+			Value: v,
+		})
+	}
+	return node
+}
+
+// ExplainTrigger renders the full Section 4.4 triggering verdict for an
+// expression over R = (since, now]: the R ≠ ∅ guard, the ∃t' probe, and
+// the ts tree at the decisive instant (the firing instant when
+// triggered, now otherwise).
+func (env *Env) ExplainTrigger(e Expr, now clock.Time) string {
+	var sb strings.Builder
+	arrivals := env.Base.Arrivals(env.Since, now)
+	fmt.Fprintf(&sb, "window R = (t%d, t%d]: %d occurrence(s)\n", env.Since, now, len(arrivals))
+	if len(arrivals) == 0 {
+		sb.WriteString("R is empty → not triggered (reactive-system guard)\n")
+		return sb.String()
+	}
+	ok, at := env.Triggered(e, now)
+	if ok {
+		fmt.Fprintf(&sb, "∃t' probe: ts positive first at t' = t%d → TRIGGERED\n", at)
+		sb.WriteString(env.Explain(e, at).String())
+	} else {
+		fmt.Fprintf(&sb, "∃t' probe: ts never positive at any of %d instants → not triggered\n", len(arrivals)+1)
+		sb.WriteString(env.Explain(e, now).String())
+	}
+	return sb.String()
+}
+
+var _ = types.OID(0)

@@ -1,0 +1,299 @@
+package calculus
+
+import (
+	"math/rand"
+	"testing"
+
+	"chimera/internal/clock"
+	"chimera/internal/types"
+)
+
+// checkLawOnHistories applies a law at every matching node of randomly
+// generated expressions and verifies the required equivalence of the two
+// sides on random histories, at every instant up to the horizon.
+func checkLawOnHistories(t *testing.T, law Law, trials int) {
+	t.Helper()
+	r := rand.New(rand.NewSource(42))
+	vocab := DefaultVocabulary()
+	opts := GenOptions{
+		Types:           vocab,
+		MaxDepth:        4,
+		AllowNegation:   !law.NegFree,
+		AllowInstance:   false, // laws are tested at both levels; set level here
+		AllowPrecedence: true,
+	}
+	matched := 0
+	for i := 0; i < trials; i++ {
+		e := GenExpr(r, opts)
+		rewritten := Rewrite(e, func(x Expr) Expr {
+			if y, ok := law.Apply(x); ok {
+				return y
+			}
+			return x
+		})
+		if Equal(e, rewritten) {
+			continue // law did not fire anywhere
+		}
+		matched++
+		c := clock.New()
+		base, now := GenHistory(r, c, HistoryOptions{Types: vocab, Objects: 4, Events: 12})
+		env := &Env{Base: base}
+		for at := clock.Time(1); at <= now; at++ {
+			a, b := env.TS(e, at), env.TS(rewritten, at)
+			switch law.Strength {
+			case LawExact:
+				if a != b {
+					t.Fatalf("law %s not value-exact at t=%d:\n  %s = %d\n  %s = %d",
+						law.Name, at, e, int64(a), rewritten, int64(b))
+				}
+			case LawActivation:
+				if a.Active() != b.Active() {
+					t.Fatalf("law %s not activation-preserving at t=%d:\n  %s = %d\n  %s = %d",
+						law.Name, at, e, int64(a), rewritten, int64(b))
+				}
+			}
+		}
+	}
+	if matched == 0 {
+		t.Fatalf("law %s never matched in %d trials; generator too narrow", law.Name, trials)
+	}
+}
+
+func TestLawsOnRandomHistories(t *testing.T) {
+	for _, law := range Laws() {
+		law := law
+		t.Run(law.Name, func(t *testing.T) {
+			checkLawOnHistories(t, law, 120)
+		})
+	}
+}
+
+// The instance-oriented variants obey the same laws object-wise: the
+// equivalences hold on ots(·, t, oid) for every object. (They do NOT in
+// general hold on the lifted set-level ts when the rewrite changes the
+// root operator of a maximal instance subexpression — the lift's
+// quantifier is selected by that root; see PushNegations and
+// TestLiftRootQuantifierBoundary.)
+func TestLawsInstanceLevel(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	vocab := DefaultVocabulary()
+	// Force fully instance-oriented expressions by generating in
+	// instance-only mode: wrap the generator output granularity by
+	// sampling set-level shapes and marking them instance via genExpr's
+	// instOnly path — easiest is to generate under an instance root.
+	for _, law := range Laws() {
+		law := law
+		t.Run(law.Name, func(t *testing.T) {
+			opts := GenOptions{
+				Types:           vocab,
+				MaxDepth:        3,
+				AllowNegation:   !law.NegFree,
+				AllowPrecedence: true,
+			}
+			matched := 0
+			for i := 0; i < 200 && matched < 25; i++ {
+				e := genExpr(r, opts, opts.MaxDepth, true) // instance-only subtree
+				rewritten := Rewrite(e, func(x Expr) Expr {
+					if y, ok := law.Apply(x); ok {
+						return y
+					}
+					return x
+				})
+				if Equal(e, rewritten) {
+					continue
+				}
+				matched++
+				c := clock.New()
+				base, now := GenHistory(r, c, HistoryOptions{Types: vocab, Objects: 3, Events: 10})
+				env := &Env{Base: base}
+				for at := clock.Time(1); at <= now; at += 2 {
+					for oid := types.OID(1); oid <= 3; oid++ {
+						a, b := env.OTS(e, at, oid), env.OTS(rewritten, at, oid)
+						if law.Strength == LawExact && a != b {
+							t.Fatalf("law %s not ots-exact at t=%d oid=%s:\n  %s = %d\n  %s = %d",
+								law.Name, at, oid, e, int64(a), rewritten, int64(b))
+						}
+						if a.Active() != b.Active() {
+							t.Fatalf("law %s not ots-activation-preserving at t=%d oid=%s:\n  %s vs %s",
+								law.Name, at, oid, e, rewritten)
+						}
+					}
+				}
+			}
+			if matched == 0 {
+				t.Skipf("law %s never matched at instance level", law.Name)
+			}
+		})
+	}
+}
+
+// The lift-root boundary itself: -=(A ,= B) (no object has either event)
+// differs at the set level from -=A += -=B (some object has neither),
+// even though the two sides are ots-equal for every object.
+func TestLiftRootQuantifierBoundary(t *testing.T) {
+	A, B := P(createStock), P(modStockQty)
+	universal := NegI(DisjI(A, B))
+	existential := ConjI(NegI(A), NegI(B))
+
+	// History: o1 was created, o2 only had an unrelated event. Some
+	// object (o2) has neither A nor B, but it is not the case that no
+	// object has either.
+	base := hist(t,
+		row{createStock, 1, 10},
+		row{modShowQty, 2, 20},
+	)
+	env := &Env{Base: base}
+	at := clock.Time(25)
+	for oid := types.OID(1); oid <= 2; oid++ {
+		if a, b := env.OTS(universal, at, oid), env.OTS(existential, at, oid); a != b {
+			t.Fatalf("ots should agree per object; oid=%s: %d vs %d", oid, int64(a), int64(b))
+		}
+	}
+	if env.Active(universal, at) {
+		t.Error("-=(A ,= B) should be inactive: o1 was created")
+	}
+	if !env.Active(existential, at) {
+		t.Error("-=A += -=B should be active: o2 has neither event")
+	}
+}
+
+// The documented boundary of the precedence factorings: with a negated
+// left operand, E1 < (E2 , E3) and (E1 < E2) , (E1 < E3) genuinely
+// disagree. This is the counterexample from DESIGN.md / laws.go and it
+// must stay a counterexample (if an implementation change made the two
+// sides agree, the NegFree restriction could be lifted).
+func TestPrecedenceFactoringNegationCounterexample(t *testing.T) {
+	// -A < (B , C) with A at t3, B at t2, C at t4.
+	a, bType, cType := createStock, modStockQty, modStockMin
+	base := hist(t,
+		row{bType, 1, 2},
+		row{a, 1, 3},
+		row{cType, 1, 4},
+	)
+	env := &Env{Base: base}
+	lhs := Prec(Neg(P(a)), Disj(P(bType), P(cType)))
+	rhs := Disj(Prec(Neg(P(a)), P(bType)), Prec(Neg(P(a)), P(cType)))
+	at := clock.Time(5)
+	l, r := env.TS(lhs, at), env.TS(rhs, at)
+	if l.Active() == r.Active() {
+		t.Fatalf("expected the negated-operand counterexample to distinguish the sides; both gave active=%v (lhs=%d rhs=%d)",
+			l.Active(), int64(l), int64(r))
+	}
+}
+
+// De Morgan is additionally checked in its closed form on exhaustive
+// small histories: ts(-(A , B)) == ts(-A + -B) and
+// ts(-(A + B)) == ts(-A , -B) at every instant.
+func TestDeMorganPointwise(t *testing.T) {
+	r := rand.New(rand.NewSource(99))
+	vocab := DefaultVocabulary()
+	A, B := P(vocab[0]), P(vocab[2])
+	for trial := 0; trial < 50; trial++ {
+		c := clock.New()
+		base, now := GenHistory(r, c, HistoryOptions{Types: vocab, Objects: 3, Events: 10})
+		env := &Env{Base: base}
+		for at := clock.Time(1); at <= now; at++ {
+			if x, y := env.TS(Neg(Disj(A, B)), at), env.TS(Conj(Neg(A), Neg(B)), at); x != y {
+				t.Fatalf("-(A,B)=%d but -A+-B=%d at t=%d", int64(x), int64(y), at)
+			}
+			if x, y := env.TS(Neg(Conj(A, B)), at), env.TS(Disj(Neg(A), Neg(B)), at); x != y {
+				t.Fatalf("-(A+B)=%d but -A,-B=%d at t=%d", int64(x), int64(y), at)
+			}
+		}
+	}
+}
+
+// PushNegations produces an equivalent expression (value-exact: it only
+// uses exact laws) with negations on primitives or precedences only.
+func TestNormalizeEquivalence(t *testing.T) {
+	r := rand.New(rand.NewSource(3))
+	vocab := DefaultVocabulary()
+	opts := GenOptions{Types: vocab, MaxDepth: 5, AllowNegation: true, AllowInstance: true, AllowPrecedence: true}
+	for i := 0; i < 200; i++ {
+		e := GenExpr(r, opts)
+		n := PushNegations(e)
+		if err := Valid(n); err != nil {
+			t.Fatalf("normal form invalid: %v (from %s)", err, e)
+		}
+		// Negations apply only to primitives or precedence nodes — except
+		// instance negations serving as lift roots, which PushNegations
+		// must preserve (their rewrite would change the lift quantifier).
+		var check func(Expr)
+		check = func(x Expr) {
+			switch v := x.(type) {
+			case Not:
+				switch v.X.(type) {
+				case Prim, Seq:
+				default:
+					// A set-level negation may also wrap a maximal
+					// instance-rooted subexpression: the lift root is
+					// opaque to cross-granularity rewriting.
+					if !v.Inst && !IsInstanceRooted(v.X) {
+						t.Fatalf("PushNegations left a negated %T in %s (from %s)", v.X, n, e)
+					}
+				}
+				check(v.X)
+			case And:
+				check(v.L)
+				check(v.R)
+			case Or:
+				check(v.L)
+				check(v.R)
+			case Seq:
+				check(v.L)
+				check(v.R)
+			}
+		}
+		check(n)
+
+		c := clock.New()
+		base, now := GenHistory(r, c, HistoryOptions{Types: vocab, Objects: 3, Events: 8})
+		env := &Env{Base: base}
+		for at := clock.Time(1); at <= now; at++ {
+			if a, b := env.TS(e, at), env.TS(n, at); a != b {
+				t.Fatalf("PushNegations changed ts at t=%d: %s=%d, %s=%d", at, e, int64(a), n, int64(b))
+			}
+		}
+	}
+}
+
+// Normalization preserves the optimizer-relevant classifications:
+// vacuous activation and the compiled filter's relevant-type set (the
+// ts semantics is identical, so the derived static properties must be
+// too — up to the conservative MatchAll fallbacks).
+func TestNormalizePreservesStaticProperties(t *testing.T) {
+	r := rand.New(rand.NewSource(13))
+	vocab := DefaultVocabulary()
+	opts := GenOptions{Types: vocab, MaxDepth: 5,
+		AllowNegation: true, AllowInstance: true, AllowPrecedence: true}
+	for i := 0; i < 200; i++ {
+		e := GenExpr(r, opts)
+		n := PushNegations(e)
+		if VacuouslyActive(e) != VacuouslyActive(n) {
+			t.Fatalf("normalization changed vacuous activation:\n  %s (%v)\n  %s (%v)",
+				e, VacuouslyActive(e), n, VacuouslyActive(n))
+		}
+		// Filter soundness must survive normalization: anything relevant
+		// per the normalized filter that fires in the original must also
+		// be matched by the original's filter (both are conservative, so
+		// compare through behaviour, not structure): reuse the soundness
+		// fuzz shape on the normalized expression.
+		f := Compile(n)
+		c := clock.New()
+		base, now := GenHistory(r, c, HistoryOptions{Types: vocab, Objects: 3, Events: 10})
+		env := &Env{Base: base}
+		ok, _ := env.Triggered(n, now)
+		if ok {
+			any := false
+			for _, occ := range base.Window(0, now) {
+				if f.Relevant(occ.Type) {
+					any = true
+					break
+				}
+			}
+			if !any {
+				t.Fatalf("normalized filter unsound for %s (from %s)", n, e)
+			}
+		}
+	}
+}

@@ -1,0 +1,30 @@
+package calculus
+
+// OpInfo describes one composition operator for the paper's Figure 1
+// (operator table, in decreasing priority order) and Figure 2 (the three
+// orthogonal design dimensions: boolean, temporal and granularity).
+type OpInfo struct {
+	// Name is the operator family: "negation", "conjunction",
+	// "precedence" or "disjunction".
+	Name string
+	// InstanceToken and SetToken are the concrete syntax of the two
+	// granularities.
+	InstanceToken string
+	SetToken      string
+	// Dimension is "boolean" or "temporal" (Figure 2).
+	Dimension string
+	// Priority is the Figure 1 rank; lower numbers bind tighter within a
+	// granularity (conjunction and precedence share a rank).
+	Priority int
+}
+
+// Operators returns Figure 1's table in the paper's order (decreasing
+// priority: negation, conjunction, precedence, disjunction).
+func Operators() []OpInfo {
+	return []OpInfo{
+		{Name: "negation", InstanceToken: "-=", SetToken: "-", Dimension: "boolean", Priority: 1},
+		{Name: "conjunction", InstanceToken: "+=", SetToken: "+", Dimension: "boolean", Priority: 2},
+		{Name: "precedence", InstanceToken: "<=", SetToken: "<", Dimension: "temporal", Priority: 2},
+		{Name: "disjunction", InstanceToken: ",=", SetToken: ",", Dimension: "boolean", Priority: 3},
+	}
+}

@@ -1,0 +1,125 @@
+package calculus
+
+import (
+	"math/rand"
+
+	"chimera/internal/clock"
+	"chimera/internal/event"
+	"chimera/internal/types"
+)
+
+// This file provides deterministic pseudo-random generators for event
+// expressions and event histories. The property-based tests
+// (testing/quick and hand-rolled loops) and the benchmark workloads use
+// them; they live in the library so every consumer samples the same
+// distribution.
+
+// GenOptions controls random expression generation.
+type GenOptions struct {
+	// Types is the primitive vocabulary to draw from; it must be non-empty.
+	Types []event.Type
+	// MaxDepth bounds the operator nesting depth.
+	MaxDepth int
+	// Full forces every branch to reach MaxDepth (complete trees), so a
+	// depth sweep actually sweeps depth; without it branches terminate
+	// early at random.
+	Full bool
+	// AllowNegation permits - and -= nodes.
+	AllowNegation bool
+	// AllowInstance permits instance-oriented operators.
+	AllowInstance bool
+	// AllowPrecedence permits < and <= nodes.
+	AllowPrecedence bool
+}
+
+// DefaultVocabulary is a small primitive-event vocabulary over the
+// paper's stock/show classes, handy for tests.
+func DefaultVocabulary() []event.Type {
+	return []event.Type{
+		event.Create("stock"),
+		event.Delete("stock"),
+		event.Modify("stock", "quantity"),
+		event.Modify("stock", "minquantity"),
+		event.Create("show"),
+		event.Modify("show", "quantity"),
+	}
+}
+
+// GenExpr draws a random well-formed expression. The result always
+// satisfies Valid.
+func GenExpr(r *rand.Rand, o GenOptions) Expr {
+	if len(o.Types) == 0 {
+		panic("calculus: GenExpr needs a non-empty vocabulary")
+	}
+	return genExpr(r, o, o.MaxDepth, false)
+}
+
+// genExpr generates a subtree; instOnly forces instance-oriented
+// granularity (required under instance operators).
+func genExpr(r *rand.Rand, o GenOptions, depth int, instOnly bool) Expr {
+	if depth <= 0 || (!o.Full && r.Intn(3) == 0) {
+		return Prim{T: o.Types[r.Intn(len(o.Types))]}
+	}
+	// Choose an operator. Weights keep binary operators dominant.
+	kinds := []int{opAnd, opAnd, opOr, opOr}
+	if o.AllowNegation {
+		kinds = append(kinds, opNot)
+	}
+	if o.AllowPrecedence {
+		kinds = append(kinds, opSeq)
+	}
+	kind := kinds[r.Intn(len(kinds))]
+	inst := instOnly
+	if !inst && o.AllowInstance && r.Intn(3) == 0 {
+		inst = true
+	}
+	childInst := instOnly || inst
+	switch kind {
+	case opNot:
+		return Not{Inst: inst, X: genExpr(r, o, depth-1, childInst)}
+	case opAnd:
+		return And{Inst: inst, L: genExpr(r, o, depth-1, childInst), R: genExpr(r, o, depth-1, childInst)}
+	case opOr:
+		return Or{Inst: inst, L: genExpr(r, o, depth-1, childInst), R: genExpr(r, o, depth-1, childInst)}
+	default:
+		return Seq{Inst: inst, L: genExpr(r, o, depth-1, childInst), R: genExpr(r, o, depth-1, childInst)}
+	}
+}
+
+const (
+	opNot = iota
+	opAnd
+	opOr
+	opSeq
+)
+
+// HistoryOptions controls random event-history generation.
+type HistoryOptions struct {
+	// Types is the primitive vocabulary occurrences are drawn from.
+	Types []event.Type
+	// Objects is the number of distinct OIDs in play.
+	Objects int
+	// Events is the number of occurrences to generate.
+	Events int
+}
+
+// GenHistory appends a random history to a fresh Event Base, driving the
+// supplied clock (one tick per occurrence), and returns the base together
+// with the final time.
+func GenHistory(r *rand.Rand, c *clock.Clock, o HistoryOptions) (*event.Base, clock.Time) {
+	if len(o.Types) == 0 || o.Objects <= 0 {
+		panic("calculus: GenHistory needs types and objects")
+	}
+	b := event.NewBase()
+	var last clock.Time
+	for i := 0; i < o.Events; i++ {
+		t := o.Types[r.Intn(len(o.Types))]
+		oid := types.OID(1 + r.Intn(o.Objects))
+		last = c.Tick()
+		if _, err := b.Append(t, oid, last); err != nil {
+			panic(err) // the clock is strictly monotone; Append cannot fail
+		}
+	}
+	// One extra tick so "now" lies strictly after the last arrival.
+	return b, c.Tick()
+}

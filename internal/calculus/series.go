@@ -1,0 +1,77 @@
+package calculus
+
+import (
+	"fmt"
+	"strings"
+
+	"chimera/internal/clock"
+)
+
+// Series is the sampled graph of a ts function over a time interval —
+// the curves of the paper's Figure 5, which proves De Morgan's rule
+// graphically by plotting ts(A), ts(-A), ts(B), ts(A,B), -ts(A,B) and
+// ts(-A + -B) over one event history.
+type Series struct {
+	Label  string
+	Times  []clock.Time
+	Values []TS
+}
+
+// SampleSeries evaluates ts(e, t) at every integer instant 1..horizon
+// over R = (since, horizon] and returns the labelled curve.
+func (env *Env) SampleSeries(label string, e Expr, horizon clock.Time) Series {
+	s := Series{Label: label}
+	for t := clock.Time(1); t <= horizon; t++ {
+		s.Times = append(s.Times, t)
+		s.Values = append(s.Values, env.TS(e, t))
+	}
+	return s
+}
+
+// String renders the curve as "label: v1 v2 v3 ...".
+func (s Series) String() string {
+	parts := make([]string, len(s.Values))
+	for i, v := range s.Values {
+		parts[i] = fmt.Sprintf("%d", int64(v))
+	}
+	return s.Label + ": " + strings.Join(parts, " ")
+}
+
+// Plot renders a set of curves as an ASCII chart, one row per curve, with
+// '+' marking instants where the expression is active and '.' where it is
+// not — enough to eyeball Figure 5's shape in terminal output.
+func Plot(series []Series) string {
+	var sb strings.Builder
+	width := 0
+	for _, s := range series {
+		if len(s.Label) > width {
+			width = len(s.Label)
+		}
+	}
+	for _, s := range series {
+		fmt.Fprintf(&sb, "%-*s |", width, s.Label)
+		for _, v := range s.Values {
+			if v.Active() {
+				sb.WriteString("+")
+			} else {
+				sb.WriteString(".")
+			}
+		}
+		sb.WriteString("|\n")
+	}
+	return sb.String()
+}
+
+// EqualSeries reports whether two curves agree pointwise (used by the
+// graphical De Morgan proof of Figure 5).
+func EqualSeries(a, b Series) bool {
+	if len(a.Values) != len(b.Values) {
+		return false
+	}
+	for i := range a.Values {
+		if a.Values[i] != b.Values[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,69 @@
+package clock
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestTickMonotone(t *testing.T) {
+	c := New()
+	if c.Now() != Never {
+		t.Fatal("fresh clock should read Never")
+	}
+	prev := Time(0)
+	for i := 0; i < 100; i++ {
+		now := c.Tick()
+		if now <= prev {
+			t.Fatalf("tick %d not monotone: %d after %d", i, now, prev)
+		}
+		prev = now
+	}
+	if c.Now() != prev {
+		t.Error("Now disagrees with the last tick")
+	}
+}
+
+func TestAdvanceTo(t *testing.T) {
+	c := New()
+	c.AdvanceTo(50)
+	if c.Now() != 50 {
+		t.Fatalf("Now = %d, want 50", c.Now())
+	}
+	c.AdvanceTo(10) // never backwards
+	if c.Now() != 50 {
+		t.Fatalf("AdvanceTo moved the clock backwards to %d", c.Now())
+	}
+	if c.Tick() != 51 {
+		t.Error("tick after advance should be 51")
+	}
+}
+
+func TestConcurrentTicksUnique(t *testing.T) {
+	c := New()
+	const goroutines, ticks = 8, 500
+	var mu sync.Mutex
+	seen := make(map[Time]bool, goroutines*ticks)
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			local := make([]Time, 0, ticks)
+			for i := 0; i < ticks; i++ {
+				local = append(local, c.Tick())
+			}
+			mu.Lock()
+			defer mu.Unlock()
+			for _, ts := range local {
+				if seen[ts] {
+					t.Errorf("duplicate time stamp %d", ts)
+				}
+				seen[ts] = true
+			}
+		}()
+	}
+	wg.Wait()
+	if len(seen) != goroutines*ticks {
+		t.Fatalf("expected %d distinct stamps, got %d", goroutines*ticks, len(seen))
+	}
+}

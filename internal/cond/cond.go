@@ -1,0 +1,417 @@
+// Package cond implements the condition part of Chimera rules: logical
+// formulas that query the database and the event base, producing the
+// variable bindings the action part consumes (Section 2 and Section 3.3
+// of the paper).
+//
+// A condition is a conjunction of atoms evaluated left to right over a
+// growing set of bindings, Datalog-style:
+//
+//	stock(S), occurred(create(stock), S), S.quantity > S.maxquantity
+//
+// The event formulas are:
+//
+//   - occurred(E, X): binds X to the objects affected by the
+//     instance-oriented event expression E within the observed window;
+//   - at(E, X, T): additionally binds T to every activation time stamp of
+//     E for X (Section 3.3's "occurrence time stamp" predicate);
+//   - holds(op(class), X): the legacy net-effect predicate kept for
+//     backward compatibility (footnote 2 notes the calculus subsumes it).
+package cond
+
+import (
+	"fmt"
+	"strings"
+
+	"chimera/internal/calculus"
+	"chimera/internal/clock"
+	"chimera/internal/event"
+	"chimera/internal/object"
+	"chimera/internal/types"
+)
+
+// Binding maps variable names to values. Object variables hold
+// types.Ref values; time variables hold types.TimeVal values.
+type Binding map[string]types.Value
+
+// clone copies a binding before extension.
+func (b Binding) clone() Binding {
+	c := make(Binding, len(b)+1)
+	for k, v := range b {
+		c[k] = v
+	}
+	return c
+}
+
+// Ctx is the evaluation context of a condition: the object store, the
+// event base, and the observed window (Since is the rule's last
+// consumption instant, At the consideration instant).
+type Ctx struct {
+	Store *object.Store
+	Base  *event.Base
+	Since clock.Time
+	At    clock.Time
+}
+
+func (c *Ctx) env() *calculus.Env {
+	return &calculus.Env{Base: c.Base, Since: c.Since, RestrictDomain: true}
+}
+
+// Term evaluates to a value under a binding.
+type Term interface {
+	fmt.Stringer
+	Eval(ctx *Ctx, env Binding) (types.Value, error)
+}
+
+// Const is a literal value.
+type Const struct{ V types.Value }
+
+// Eval returns the literal.
+func (t Const) Eval(*Ctx, Binding) (types.Value, error) { return t.V, nil }
+
+// String renders the literal.
+func (t Const) String() string { return t.V.String() }
+
+// Var references a bound variable directly (an object reference or a
+// time stamp).
+type Var struct{ Name string }
+
+// Eval looks the variable up.
+func (t Var) Eval(_ *Ctx, env Binding) (types.Value, error) {
+	v, ok := env[t.Name]
+	if !ok {
+		return types.Null, fmt.Errorf("cond: unbound variable %s", t.Name)
+	}
+	return v, nil
+}
+
+// String renders the variable name.
+func (t Var) String() string { return t.Name }
+
+// Attr reads an attribute of the object a variable is bound to
+// (S.quantity).
+type Attr struct {
+	Var  string
+	Attr string
+}
+
+// Eval dereferences the object and reads the attribute.
+func (t Attr) Eval(ctx *Ctx, env Binding) (types.Value, error) {
+	v, ok := env[t.Var]
+	if !ok {
+		return types.Null, fmt.Errorf("cond: unbound variable %s", t.Var)
+	}
+	if v.Kind() != types.KindOID {
+		return types.Null, fmt.Errorf("cond: %s is not an object variable", t.Var)
+	}
+	o, ok := ctx.Store.Get(v.AsOID())
+	if !ok {
+		return types.Null, fmt.Errorf("cond: %s is bound to deleted object %s", t.Var, v.AsOID())
+	}
+	return o.Get(t.Attr)
+}
+
+// String renders Var.Attr.
+func (t Attr) String() string { return t.Var + "." + t.Attr }
+
+// ArithOp is an arithmetic operator for Arith terms.
+type ArithOp byte
+
+// Arithmetic operators.
+const (
+	OpAdd ArithOp = '+'
+	OpSub ArithOp = '-'
+	OpMul ArithOp = '*'
+	OpDiv ArithOp = '/'
+)
+
+// Arith is a binary arithmetic term over numeric values.
+type Arith struct {
+	Op   ArithOp
+	L, R Term
+}
+
+// Eval computes the arithmetic result; integers stay integral unless
+// mixed with floats or divided.
+func (t Arith) Eval(ctx *Ctx, env Binding) (types.Value, error) {
+	l, err := t.L.Eval(ctx, env)
+	if err != nil {
+		return types.Null, err
+	}
+	r, err := t.R.Eval(ctx, env)
+	if err != nil {
+		return types.Null, err
+	}
+	if !l.IsNumeric() || !r.IsNumeric() {
+		return types.Null, fmt.Errorf("cond: arithmetic on non-numeric values %s, %s", l, r)
+	}
+	if l.Kind() == types.KindInt && r.Kind() == types.KindInt && t.Op != OpDiv {
+		a, b := l.AsInt(), r.AsInt()
+		switch t.Op {
+		case OpAdd:
+			return types.Int(a + b), nil
+		case OpSub:
+			return types.Int(a - b), nil
+		case OpMul:
+			return types.Int(a * b), nil
+		}
+	}
+	a, b := l.AsFloat(), r.AsFloat()
+	switch t.Op {
+	case OpAdd:
+		return types.Float(a + b), nil
+	case OpSub:
+		return types.Float(a - b), nil
+	case OpMul:
+		return types.Float(a * b), nil
+	case OpDiv:
+		if b == 0 {
+			return types.Null, fmt.Errorf("cond: division by zero")
+		}
+		return types.Float(a / b), nil
+	}
+	return types.Null, fmt.Errorf("cond: unknown arithmetic operator %q", t.Op)
+}
+
+// String renders the arithmetic expression.
+func (t Arith) String() string {
+	return fmt.Sprintf("(%s %c %s)", t.L, t.Op, t.R)
+}
+
+// Atom is one conjunct of a condition: it filters and extends bindings.
+type Atom interface {
+	fmt.Stringer
+	Eval(ctx *Ctx, in []Binding) ([]Binding, error)
+}
+
+// Class binds a variable over the live extension of a class
+// (stock(S)), or — if already bound — checks membership.
+type Class struct {
+	Class string
+	Var   string
+}
+
+// Eval enumerates or checks the class extension.
+func (a Class) Eval(ctx *Ctx, in []Binding) ([]Binding, error) {
+	var out []Binding
+	for _, env := range in {
+		if v, bound := env[a.Var]; bound {
+			if v.Kind() != types.KindOID {
+				return nil, fmt.Errorf("cond: %s is not an object variable", a.Var)
+			}
+			o, ok := ctx.Store.Get(v.AsOID())
+			if !ok {
+				continue
+			}
+			cls, found := ctx.Store.Schema().Class(a.Class)
+			if !found {
+				return nil, fmt.Errorf("cond: unknown class %q", a.Class)
+			}
+			if o.Class().IsA(cls) {
+				out = append(out, env)
+			}
+			continue
+		}
+		oids, err := ctx.Store.Select(a.Class)
+		if err != nil {
+			return nil, err
+		}
+		for _, oid := range oids {
+			ext := env.clone()
+			ext[a.Var] = types.Ref(oid)
+			out = append(out, ext)
+		}
+	}
+	return out, nil
+}
+
+// String renders class(Var).
+func (a Class) String() string { return fmt.Sprintf("%s(%s)", a.Class, a.Var) }
+
+// Occurred is the occurred(E, X) event formula: X ranges over the
+// objects affected by the instance-oriented expression E in the observed
+// window.
+type Occurred struct {
+	Event calculus.Expr
+	Var   string
+}
+
+// Eval binds or filters X by the affected-object set.
+func (a Occurred) Eval(ctx *Ctx, in []Binding) ([]Binding, error) {
+	if err := calculus.Valid(a.Event); err != nil {
+		return nil, err
+	}
+	affected := ctx.env().AffectedObjects(a.Event, ctx.At)
+	set := make(map[types.OID]bool, len(affected))
+	for _, oid := range affected {
+		set[oid] = true
+	}
+	var out []Binding
+	for _, env := range in {
+		if v, bound := env[a.Var]; bound {
+			if v.Kind() == types.KindOID && set[v.AsOID()] {
+				out = append(out, env)
+			}
+			continue
+		}
+		for _, oid := range affected {
+			ext := env.clone()
+			ext[a.Var] = types.Ref(oid)
+			out = append(out, ext)
+		}
+	}
+	return out, nil
+}
+
+// String renders occurred(E, X).
+func (a Occurred) String() string {
+	return fmt.Sprintf("occurred(%s, %s)", a.Event, a.Var)
+}
+
+// At is the at(E, X, T) event formula of Section 3.3: for each object X
+// affected by E it binds T to every instant at which an occurrence of E
+// arises for X within the observed window.
+type At struct {
+	Event   calculus.Expr
+	Var     string
+	TimeVar string
+}
+
+// Eval binds (X, T) pairs.
+func (a At) Eval(ctx *Ctx, in []Binding) ([]Binding, error) {
+	if err := calculus.Valid(a.Event); err != nil {
+		return nil, err
+	}
+	env0 := ctx.env()
+	var out []Binding
+	for _, env := range in {
+		candidates := env0.AffectedObjects(a.Event, ctx.At)
+		if v, bound := env[a.Var]; bound {
+			if v.Kind() != types.KindOID {
+				return nil, fmt.Errorf("cond: %s is not an object variable", a.Var)
+			}
+			candidates = []types.OID{v.AsOID()}
+		}
+		for _, oid := range candidates {
+			for _, ts := range env0.ActivationTimes(a.Event, ctx.At, oid) {
+				ext := env.clone()
+				ext[a.Var] = types.Ref(oid)
+				ext[a.TimeVar] = types.TimeVal(ts)
+				out = append(out, ext)
+			}
+		}
+	}
+	return out, nil
+}
+
+// String renders at(E, X, T).
+func (a At) String() string {
+	return fmt.Sprintf("at(%s, %s, %s)", a.Event, a.Var, a.TimeVar)
+}
+
+// CmpOp is a comparison operator.
+type CmpOp string
+
+// Comparison operators.
+const (
+	CmpEq CmpOp = "="
+	CmpNe CmpOp = "!="
+	CmpLt CmpOp = "<"
+	CmpLe CmpOp = "<="
+	CmpGt CmpOp = ">"
+	CmpGe CmpOp = ">="
+)
+
+// Compare filters bindings by comparing two terms.
+type Compare struct {
+	L  Term
+	Op CmpOp
+	R  Term
+}
+
+// Eval keeps the bindings satisfying the comparison. A binding whose
+// terms cannot be evaluated (e.g. an attribute of a meanwhile-deleted
+// object) is an error: conditions are expected to guard object variables
+// with a class atom.
+func (a Compare) Eval(ctx *Ctx, in []Binding) ([]Binding, error) {
+	var out []Binding
+	for _, env := range in {
+		l, err := a.L.Eval(ctx, env)
+		if err != nil {
+			return nil, err
+		}
+		r, err := a.R.Eval(ctx, env)
+		if err != nil {
+			return nil, err
+		}
+		ok, err := compare(l, a.Op, r)
+		if err != nil {
+			return nil, err
+		}
+		if ok {
+			out = append(out, env)
+		}
+	}
+	return out, nil
+}
+
+func compare(l types.Value, op CmpOp, r types.Value) (bool, error) {
+	switch op {
+	case CmpEq:
+		return l.Equal(r), nil
+	case CmpNe:
+		return !l.Equal(r), nil
+	}
+	c, err := l.Compare(r)
+	if err != nil {
+		return false, err
+	}
+	switch op {
+	case CmpLt:
+		return c < 0, nil
+	case CmpLe:
+		return c <= 0, nil
+	case CmpGt:
+		return c > 0, nil
+	case CmpGe:
+		return c >= 0, nil
+	}
+	return false, fmt.Errorf("cond: unknown comparison %q", op)
+}
+
+// String renders L op R.
+func (a Compare) String() string { return fmt.Sprintf("%s %s %s", a.L, a.Op, a.R) }
+
+// Formula is the condition: a conjunction of atoms.
+type Formula struct {
+	Atoms []Atom
+}
+
+// Eval runs the atoms left to right starting from the empty binding and
+// returns every satisfying binding; the condition succeeds if at least
+// one survives.
+func (f Formula) Eval(ctx *Ctx) ([]Binding, error) {
+	bindings := []Binding{{}}
+	for _, a := range f.Atoms {
+		var err error
+		bindings, err = a.Eval(ctx, bindings)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", a, err)
+		}
+		if len(bindings) == 0 {
+			return nil, nil
+		}
+	}
+	return bindings, nil
+}
+
+// String renders the comma-separated conjunction.
+func (f Formula) String() string {
+	parts := make([]string, len(f.Atoms))
+	for i, a := range f.Atoms {
+		parts[i] = a.String()
+	}
+	return strings.Join(parts, ", ")
+}
+
+// True is the empty condition (always satisfied, one empty binding).
+var True = Formula{}

@@ -1,0 +1,215 @@
+package cond
+
+import (
+	"testing"
+
+	"chimera/internal/calculus"
+	"chimera/internal/clock"
+	"chimera/internal/event"
+	"chimera/internal/object"
+	"chimera/internal/schema"
+	"chimera/internal/types"
+)
+
+// fixture builds a store with two stock objects and an event history:
+// o1 created (t1) and modified (t3), o2 created (t2), o2's quantity
+// modified twice (t4, t5).
+func fixture(t *testing.T) (*Ctx, types.OID, types.OID) {
+	t.Helper()
+	s := schema.New()
+	if _, err := s.Define("stock",
+		schema.Attribute{Name: "name", Kind: types.KindString},
+		schema.Attribute{Name: "quantity", Kind: types.KindInt},
+		schema.Attribute{Name: "maxquantity", Kind: types.KindInt},
+	); err != nil {
+		t.Fatal(err)
+	}
+	st := object.NewStore(s)
+	o1, err := st.Create("stock", map[string]types.Value{
+		"name": types.String_("bolts"), "quantity": types.Int(50), "maxquantity": types.Int(40)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	o2, err := st.Create("stock", map[string]types.Value{
+		"name": types.String_("nuts"), "quantity": types.Int(5), "maxquantity": types.Int(40)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := event.NewBase()
+	mustAppend := func(ty event.Type, oid types.OID, at clock.Time) {
+		if _, err := b.Append(ty, oid, at); err != nil {
+			t.Fatal(err)
+		}
+	}
+	mustAppend(event.Create("stock"), o1, 1)
+	mustAppend(event.Create("stock"), o2, 2)
+	mustAppend(event.Modify("stock", "quantity"), o1, 3)
+	mustAppend(event.Modify("stock", "quantity"), o2, 4)
+	mustAppend(event.Modify("stock", "quantity"), o2, 5)
+	return &Ctx{Store: st, Base: b, Since: clock.Never, At: 10}, o1, o2
+}
+
+func TestClassAtomBindsAndChecks(t *testing.T) {
+	ctx, o1, o2 := fixture(t)
+	out, err := Class{Class: "stock", Var: "S"}.Eval(ctx, []Binding{{}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 2 || out[0]["S"].AsOID() != o1 || out[1]["S"].AsOID() != o2 {
+		t.Fatalf("bindings = %v", out)
+	}
+	// Already bound: membership check.
+	out, err = Class{Class: "stock", Var: "S"}.Eval(ctx, []Binding{{"S": types.Ref(o1)}})
+	if err != nil || len(out) != 1 {
+		t.Fatalf("membership check failed: %v %v", out, err)
+	}
+	if _, err := (Class{Class: "ghost", Var: "S"}).Eval(ctx, []Binding{{}}); err == nil {
+		t.Fatal("unknown class accepted")
+	}
+}
+
+func TestOccurredBindsAffectedObjects(t *testing.T) {
+	ctx, o1, o2 := fixture(t)
+	// occurred(create += modify(quantity), S): both objects qualify.
+	e := calculus.ConjI(calculus.P(event.Create("stock")), calculus.P(event.Modify("stock", "quantity")))
+	out, err := Occurred{Event: e, Var: "S"}.Eval(ctx, []Binding{{}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 2 {
+		t.Fatalf("bindings = %v", out)
+	}
+	// With a consumption window starting after o1's events, only o2.
+	ctx2 := *ctx
+	ctx2.Since = 3
+	out, err = Occurred{Event: e, Var: "S"}.Eval(&ctx2, []Binding{{}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 0 {
+		// o2's create (t2) is also outside the window, so the instance
+		// conjunction is incomplete for o2 as well.
+		t.Fatalf("windowed bindings = %v, want none", out)
+	}
+	_ = o1
+	_ = o2
+}
+
+func TestOccurredFiltersBoundVariable(t *testing.T) {
+	ctx, o1, o2 := fixture(t)
+	e := calculus.P(event.Modify("stock", "quantity"))
+	in := []Binding{{"S": types.Ref(o1)}, {"S": types.Ref(o2)}}
+	out, err := Occurred{Event: e, Var: "S"}.Eval(ctx, in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 2 {
+		t.Fatalf("both objects were modified; bindings = %v", out)
+	}
+}
+
+// Section 3.3's at() example: create followed by two updates yields the
+// two update instants.
+func TestAtBindsTimestamps(t *testing.T) {
+	ctx, _, o2 := fixture(t)
+	e := calculus.PrecI(calculus.P(event.Create("stock")), calculus.P(event.Modify("stock", "quantity")))
+	out, err := At{Event: e, Var: "X", TimeVar: "T"}.Eval(ctx, []Binding{{}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// o1: one update instant (t3); o2: two (t4, t5).
+	var o2Times []clock.Time
+	for _, b := range out {
+		if b["X"].AsOID() == o2 {
+			o2Times = append(o2Times, b["T"].AsTime())
+		}
+	}
+	if len(out) != 3 || len(o2Times) != 2 || o2Times[0] != 4 || o2Times[1] != 5 {
+		t.Fatalf("at bindings = %v", out)
+	}
+}
+
+func TestCompareAndTerms(t *testing.T) {
+	ctx, o1, o2 := fixture(t)
+	in := []Binding{{"S": types.Ref(o1)}, {"S": types.Ref(o2)}}
+	// S.quantity > S.maxquantity keeps only o1 (50 > 40).
+	out, err := Compare{
+		L:  Attr{Var: "S", Attr: "quantity"},
+		Op: CmpGt,
+		R:  Attr{Var: "S", Attr: "maxquantity"},
+	}.Eval(ctx, in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 1 || out[0]["S"].AsOID() != o1 {
+		t.Fatalf("compare bindings = %v", out)
+	}
+	// Arithmetic: S.quantity - 10 > S.maxquantity drops both.
+	out, err = Compare{
+		L:  Arith{Op: OpSub, L: Attr{Var: "S", Attr: "quantity"}, R: Const{V: types.Int(20)}},
+		Op: CmpGt,
+		R:  Attr{Var: "S", Attr: "maxquantity"},
+	}.Eval(ctx, in)
+	if err != nil || len(out) != 0 {
+		t.Fatalf("arith compare = %v, %v", out, err)
+	}
+	// Errors.
+	if _, err := (Compare{L: Attr{Var: "Z", Attr: "quantity"}, Op: CmpGt, R: Const{V: types.Int(0)}}).Eval(ctx, in); err == nil {
+		t.Fatal("unbound variable accepted")
+	}
+	if _, err := (Compare{L: Attr{Var: "S", Attr: "name"}, Op: CmpGt, R: Const{V: types.Int(0)}}).Eval(ctx, in); err == nil {
+		t.Fatal("string/int comparison accepted")
+	}
+	if _, err := (Arith{Op: OpDiv, L: Const{V: types.Int(1)}, R: Const{V: types.Int(0)}}).Eval(ctx, Binding{}); err == nil {
+		t.Fatal("division by zero accepted")
+	}
+}
+
+func TestFormulaConjunction(t *testing.T) {
+	ctx, o1, _ := fixture(t)
+	f := Formula{Atoms: []Atom{
+		Class{Class: "stock", Var: "S"},
+		Occurred{Event: calculus.P(event.Create("stock")), Var: "S"},
+		Compare{L: Attr{Var: "S", Attr: "quantity"}, Op: CmpGt, R: Attr{Var: "S", Attr: "maxquantity"}},
+	}}
+	out, err := f.Eval(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 1 || out[0]["S"].AsOID() != o1 {
+		t.Fatalf("formula bindings = %v", out)
+	}
+	if got := f.String(); got != "stock(S), occurred(create(stock), S), S.quantity > S.maxquantity" {
+		t.Errorf("String = %q", got)
+	}
+	// Short circuit: an impossible atom first yields nil quickly.
+	f2 := Formula{Atoms: []Atom{
+		Compare{L: Const{V: types.Int(1)}, Op: CmpGt, R: Const{V: types.Int(2)}},
+		Class{Class: "ghost", Var: "S"}, // would error if reached
+	}}
+	out, err = f2.Eval(ctx)
+	if err != nil || out != nil {
+		t.Fatalf("short circuit failed: %v %v", out, err)
+	}
+	// The empty condition is true with one empty binding.
+	out, err = True.Eval(ctx)
+	if err != nil || len(out) != 1 {
+		t.Fatalf("True = %v %v", out, err)
+	}
+}
+
+func TestAttrOnDeletedObjectErrors(t *testing.T) {
+	ctx, o1, _ := fixture(t)
+	ctx.Store.Delete(o1)
+	_, err := Compare{
+		L: Attr{Var: "S", Attr: "quantity"}, Op: CmpGt, R: Const{V: types.Int(0)},
+	}.Eval(ctx, []Binding{{"S": types.Ref(o1)}})
+	if err == nil {
+		t.Fatal("attribute of deleted object accepted")
+	}
+	// But the class atom filters deleted objects silently.
+	out, err := Class{Class: "stock", Var: "S"}.Eval(ctx, []Binding{{"S": types.Ref(o1)}})
+	if err != nil || len(out) != 0 {
+		t.Fatalf("class atom on deleted object: %v %v", out, err)
+	}
+}

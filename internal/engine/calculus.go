@@ -1,0 +1,14 @@
+package engine
+
+import (
+	"chimera/internal/calculus"
+	"chimera/internal/event"
+	"chimera/internal/rules"
+)
+
+// calculusPrimitives returns the primitive event types a rule definition
+// mentions (indirection avoids importing calculus in two files for one
+// call each).
+func calculusPrimitives(def rules.Def) []event.Type {
+	return calculus.Primitives(def.Event)
+}

@@ -1,0 +1,514 @@
+// Package engine implements the Chimera execution machinery of Section 2
+// and Section 5: the Block Executor that runs non-interruptible execution
+// blocks (user transaction lines and rule actions), the Event Handler
+// hand-off that stores fresh occurrences into the Occurred-Events
+// structure and wakes the Trigger Support, and the rule-processing loop
+// that considers and executes triggered rules by priority with
+// immediate/deferred EC coupling and consuming/preserving event
+// consumption.
+package engine
+
+import (
+	"errors"
+	"fmt"
+
+	"chimera/internal/act"
+	"chimera/internal/clock"
+	"chimera/internal/cond"
+	"chimera/internal/event"
+	"chimera/internal/object"
+	"chimera/internal/rules"
+	"chimera/internal/schema"
+	"chimera/internal/types"
+)
+
+// ErrNoTransaction is returned by transactional operations outside a
+// transaction.
+var ErrNoTransaction = errors.New("engine: no active transaction")
+
+// ErrRuleLimit is returned when a rule cascade exceeds the configured
+// execution budget — the engine's guard against non-terminating rule
+// sets.
+var ErrRuleLimit = errors.New("engine: rule execution limit exceeded")
+
+// Body is the condition/action pair of a rule (the triggering state is
+// owned by the rules package).
+type Body struct {
+	Condition cond.Formula
+	Action    act.Action
+}
+
+// Options configures a database.
+type Options struct {
+	// Support configures the Trigger Support (V(E) filter on by default
+	// via DefaultOptions).
+	Support rules.Options
+	// MaxRuleExecutions bounds rule executions per transaction; 0 means
+	// the default of 10000.
+	MaxRuleExecutions int
+}
+
+// DefaultOptions enables the paper's static optimization and the formal
+// triggering semantics.
+func DefaultOptions() Options {
+	return Options{Support: rules.Options{UseFilter: true}}
+}
+
+// Stats aggregates engine-level counters for the benchmark harness.
+type Stats struct {
+	Transactions   int64
+	Blocks         int64
+	Events         int64
+	RuleExecutions int64
+	Considerations int64
+}
+
+// DB is a Chimera database: schema, object store, rule set, and the
+// machinery to run transactions against them.
+type DB struct {
+	clock   *clock.Clock
+	schema  *schema.Schema
+	store   *object.Store
+	support *rules.Support
+	bodies  map[string]Body
+	opts    Options
+	stats   Stats
+	tracer  Tracer
+	txn     *Txn
+}
+
+// New creates an empty database with the given options.
+func New(opts Options) *DB {
+	if opts.MaxRuleExecutions == 0 {
+		opts.MaxRuleExecutions = 10000
+	}
+	s := schema.New()
+	db := &DB{
+		clock:   clock.New(),
+		schema:  s,
+		store:   object.NewStore(s),
+		support: rules.NewSupport(nil, opts.Support),
+		bodies:  make(map[string]Body),
+		opts:    opts,
+	}
+	return db
+}
+
+// Schema exposes the class catalog for definition and lookup.
+func (db *DB) Schema() *schema.Schema { return db.schema }
+
+// Store exposes the object store (read-only use outside transactions).
+func (db *DB) Store() *object.Store { return db.store }
+
+// Clock exposes the logical clock.
+func (db *DB) Clock() *clock.Clock { return db.clock }
+
+// Support exposes the Trigger Support (for statistics and inspection).
+func (db *DB) Support() *rules.Support { return db.support }
+
+// Stats returns the engine counters.
+func (db *DB) Stats() Stats { return db.stats }
+
+// DefineClass registers a root class.
+func (db *DB) DefineClass(name string, attrs ...schema.Attribute) error {
+	_, err := db.schema.Define(name, attrs...)
+	return err
+}
+
+// DefineSubclass registers a class specializing parent.
+func (db *DB) DefineSubclass(name, parent string, attrs ...schema.Attribute) error {
+	_, err := db.schema.DefineSub(name, parent, attrs...)
+	return err
+}
+
+// DefineRule registers a trigger: its event expression and modes go to
+// the Trigger Support, its condition and action are kept for
+// consideration time. Rules may be defined at any time outside a
+// transaction.
+func (db *DB) DefineRule(def rules.Def, body Body) error {
+	if db.txn != nil {
+		return errors.New("engine: cannot define rules inside a transaction")
+	}
+	for _, t := range eventClasses(def) {
+		if _, ok := db.schema.Class(t); !ok {
+			return fmt.Errorf("engine: rule %q mentions unknown class %q", def.Name, t)
+		}
+	}
+	if err := db.support.Define(def); err != nil {
+		return err
+	}
+	db.bodies[def.Name] = body
+	return nil
+}
+
+func eventClasses(def rules.Def) []string {
+	seen := make(map[string]bool)
+	var out []string
+	if def.Event == nil {
+		return nil
+	}
+	for _, t := range defPrimitives(def) {
+		if t.Op == event.OpExternal {
+			continue // signal names are free-form, not schema classes
+		}
+		if !seen[t.Class] {
+			seen[t.Class] = true
+			out = append(out, t.Class)
+		}
+	}
+	return out
+}
+
+func defPrimitives(def rules.Def) []event.Type {
+	if def.Event == nil {
+		return nil
+	}
+	return calculusPrimitives(def)
+}
+
+// DropRule removes a rule.
+func (db *DB) DropRule(name string) error {
+	if err := db.support.Drop(name); err != nil {
+		return err
+	}
+	delete(db.bodies, name)
+	return nil
+}
+
+// Txn is an open transaction: a sequence of non-interruptible blocks
+// (transaction lines) followed by Commit or Rollback.
+type Txn struct {
+	db      *DB
+	base    *event.Base
+	mark    object.Mark
+	pending []event.Occurrence
+	execs   int
+	done    bool
+}
+
+// Begin opens a transaction. The Event Base starts empty (it is the log
+// of occurrences "since the beginning of the transaction") and every
+// rule's horizon resets to the transaction start.
+func (db *DB) Begin() (*Txn, error) {
+	if db.txn != nil {
+		return nil, errors.New("engine: transaction already open")
+	}
+	t := &Txn{
+		db:   db,
+		base: event.NewBase(),
+		mark: db.store.MarkUndo(),
+	}
+	db.support.Rebind(t.base)
+	db.support.BeginTransaction(db.clock.Now())
+	db.txn = t
+	db.stats.Transactions++
+	return t, nil
+}
+
+// log stamps and stores one occurrence (Event Handler duty).
+func (t *Txn) log(ty event.Type, oid types.OID) error {
+	occ, err := t.base.Append(ty, oid, t.db.clock.Tick())
+	if err != nil {
+		return err
+	}
+	t.pending = append(t.pending, occ)
+	t.db.stats.Events++
+	return nil
+}
+
+func (t *Txn) check() error {
+	if t == nil || t.done {
+		return ErrNoTransaction
+	}
+	if t.db.txn != t {
+		return ErrNoTransaction
+	}
+	return nil
+}
+
+// Create instantiates an object and logs create(class).
+func (t *Txn) Create(class string, vals map[string]types.Value) (types.OID, error) {
+	if err := t.check(); err != nil {
+		return types.NilOID, err
+	}
+	oid, err := t.db.store.Create(class, vals)
+	if err != nil {
+		return types.NilOID, err
+	}
+	return oid, t.log(event.Create(class), oid)
+}
+
+// Modify updates one attribute and logs modify(class.attr).
+func (t *Txn) Modify(oid types.OID, attr string, v types.Value) error {
+	if err := t.check(); err != nil {
+		return err
+	}
+	o, ok := t.db.store.Get(oid)
+	if !ok {
+		return fmt.Errorf("engine: no object %s", oid)
+	}
+	if err := t.db.store.Modify(oid, attr, v); err != nil {
+		return err
+	}
+	return t.log(event.Modify(o.Class().Name(), attr), oid)
+}
+
+// Delete removes an object and logs delete(class).
+func (t *Txn) Delete(oid types.OID) error {
+	if err := t.check(); err != nil {
+		return err
+	}
+	o, ok := t.db.store.Get(oid)
+	if !ok {
+		return fmt.Errorf("engine: no object %s", oid)
+	}
+	class := o.Class().Name()
+	if err := t.db.store.Delete(oid); err != nil {
+		return err
+	}
+	return t.log(event.Delete(class), oid)
+}
+
+// Specialize moves an object into a subclass and logs specialize(sub).
+func (t *Txn) Specialize(oid types.OID, sub string) error {
+	if err := t.check(); err != nil {
+		return err
+	}
+	if err := t.db.store.Specialize(oid, sub); err != nil {
+		return err
+	}
+	return t.log(event.T(event.OpSpecialize, sub), oid)
+}
+
+// Generalize moves an object into a superclass and logs
+// generalize(super).
+func (t *Txn) Generalize(oid types.OID, super string) error {
+	if err := t.check(); err != nil {
+		return err
+	}
+	if err := t.db.store.Generalize(oid, super); err != nil {
+		return err
+	}
+	return t.log(event.T(event.OpGeneralize, super), oid)
+}
+
+// Raise signals an external event (an extension beyond the paper,
+// mirroring HiPAC's external events): it logs an external(signal)
+// occurrence affecting no object. Rules listen with the same calculus —
+// "events external(backup) + -modify(stock.quantity)".
+func (t *Txn) Raise(signal string) error {
+	if err := t.check(); err != nil {
+		return err
+	}
+	if signal == "" {
+		return errors.New("engine: empty signal name")
+	}
+	return t.log(event.External(signal), types.NilOID)
+}
+
+// Select queries the live extension of a class and logs select(class)
+// occurrences for the returned objects.
+func (t *Txn) Select(class string) ([]types.OID, error) {
+	if err := t.check(); err != nil {
+		return nil, err
+	}
+	oids, err := t.db.store.Select(class)
+	if err != nil {
+		return nil, err
+	}
+	for _, oid := range oids {
+		if err := t.log(event.T(event.OpSelect, class), oid); err != nil {
+			return nil, err
+		}
+	}
+	return oids, nil
+}
+
+// Get reads an object without generating events.
+func (t *Txn) Get(oid types.OID) (*object.Object, bool) {
+	if err := t.check(); err != nil {
+		return nil, false
+	}
+	return t.db.store.Get(oid)
+}
+
+// Base exposes the transaction's Event Base (read-only use).
+func (t *Txn) Base() *event.Base { return t.base }
+
+// EndLine closes the current non-interruptible block (a user transaction
+// line): the Event Handler announces the block's occurrences, the
+// Trigger Support determines newly triggered rules, and the engine
+// considers and executes immediate rules until quiescence.
+func (t *Txn) EndLine() error {
+	if err := t.check(); err != nil {
+		return err
+	}
+	t.flushBlock()
+	return t.processRules(func(d rules.Def) bool { return d.Coupling == rules.Immediate })
+}
+
+// flushBlock announces the pending occurrences and runs the triggering
+// determination.
+func (t *Txn) flushBlock() {
+	t.db.stats.Blocks++
+	n := len(t.pending)
+	t.db.support.NotifyArrivals(t.pending)
+	t.pending = t.pending[:0]
+	fired := t.db.support.CheckTriggered(t.db.clock.Now())
+	if t.db.tracer != nil {
+		t.db.tracer.BlockEnd(n, fired)
+	}
+}
+
+// processRules considers and executes triggered rules passing the filter,
+// highest priority first, re-running the triggering determination after
+// every rule action (itself a non-interruptible block), until no rule in
+// scope is triggered.
+func (t *Txn) processRules(filter func(rules.Def) bool) error {
+	for {
+		name, ok := t.db.support.Pick(filter)
+		if !ok {
+			return nil
+		}
+		if err := t.runRule(name); err != nil {
+			return err
+		}
+	}
+}
+
+// runRule performs one consideration (and, if the condition holds, one
+// set-oriented execution) of a rule.
+func (t *Txn) runRule(name string) error {
+	t.execs++
+	if t.execs > t.db.opts.MaxRuleExecutions {
+		return fmt.Errorf("%w (%d executions; non-terminating rule set?)",
+			ErrRuleLimit, t.execs-1)
+	}
+	consideration, err := t.db.support.Consider(name, t.db.clock.Tick())
+	if err != nil {
+		return err
+	}
+	t.db.stats.Considerations++
+	body := t.db.bodies[name]
+	ctx := &cond.Ctx{
+		Store: t.db.store,
+		Base:  t.base,
+		Since: consideration.Since,
+		At:    consideration.At,
+	}
+	bindings, err := body.Condition.Eval(ctx)
+	if err != nil {
+		return fmt.Errorf("engine: rule %q condition: %w", name, err)
+	}
+	if t.db.tracer != nil {
+		t.db.tracer.Considered(name, consideration.Since, consideration.At, len(bindings))
+	}
+	if len(bindings) == 0 {
+		// Condition not satisfied: the rule was considered and is
+		// detriggered; nothing executes.
+		t.flushBlock()
+		return nil
+	}
+	t.db.stats.RuleExecutions++
+	if err := body.Action.Exec(ctx, (*txnMutator)(t), bindings); err != nil {
+		return fmt.Errorf("engine: rule %q action: %w", name, err)
+	}
+	if t.db.tracer != nil {
+		t.db.tracer.Executed(name)
+	}
+	// The action is a non-interruptible block; its occurrences are
+	// announced at its end.
+	t.flushBlock()
+	return nil
+}
+
+// txnMutator adapts Txn to act.Mutator.
+type txnMutator Txn
+
+func (m *txnMutator) Create(class string, vals map[string]types.Value) (types.OID, error) {
+	return (*Txn)(m).Create(class, vals)
+}
+func (m *txnMutator) Modify(oid types.OID, attr string, v types.Value) error {
+	return (*Txn)(m).Modify(oid, attr, v)
+}
+func (m *txnMutator) Delete(oid types.OID) error { return (*Txn)(m).Delete(oid) }
+func (m *txnMutator) Specialize(oid types.OID, sub string) error {
+	return (*Txn)(m).Specialize(oid, sub)
+}
+func (m *txnMutator) Generalize(oid types.OID, super string) error {
+	return (*Txn)(m).Generalize(oid, super)
+}
+
+// Commit ends the transaction: any open block is closed, immediate rules
+// run to quiescence, then the deferred rules suspended until commit are
+// processed (their actions may re-trigger immediate rules, which are
+// served first by the priority-ordered pick). On error the transaction
+// rolls back.
+func (t *Txn) Commit() error {
+	if err := t.check(); err != nil {
+		return err
+	}
+	if len(t.pending) > 0 {
+		if err := t.EndLine(); err != nil {
+			t.rollback()
+			return err
+		}
+	}
+	if err := t.processRules(func(d rules.Def) bool { return d.Coupling == rules.Immediate }); err != nil {
+		t.rollback()
+		return err
+	}
+	if err := t.processRules(nil); err != nil { // immediate + deferred
+		t.rollback()
+		return err
+	}
+	t.db.store.DiscardUndo()
+	t.done = true
+	t.db.txn = nil
+	if t.db.tracer != nil {
+		t.db.tracer.TransactionEnd(true)
+	}
+	return nil
+}
+
+// Rollback aborts the transaction, undoing every mutation it performed.
+func (t *Txn) Rollback() error {
+	if err := t.check(); err != nil {
+		return err
+	}
+	t.rollback()
+	return nil
+}
+
+func (t *Txn) rollback() {
+	t.db.store.RollbackTo(t.mark)
+	t.done = true
+	t.db.txn = nil
+	if t.db.tracer != nil {
+		t.db.tracer.TransactionEnd(false)
+	}
+}
+
+// Run executes fn inside a fresh transaction, ending the line after fn
+// returns and committing; any error rolls back.
+func (db *DB) Run(fn func(*Txn) error) error {
+	t, err := db.Begin()
+	if err != nil {
+		return err
+	}
+	if err := fn(t); err != nil {
+		if !t.done {
+			t.rollback()
+		}
+		return err
+	}
+	if t.done {
+		return nil
+	}
+	return t.Commit()
+}
+
+// RuleBody returns the condition/action pair of a defined rule (the
+// zero Body if the rule is unknown). Snapshotting uses it to re-render
+// rules to source.
+func (db *DB) RuleBody(name string) Body { return db.bodies[name] }

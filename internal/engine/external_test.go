@@ -1,0 +1,69 @@
+package engine
+
+import (
+	"testing"
+
+	"chimera/internal/act"
+	"chimera/internal/calculus"
+	"chimera/internal/cond"
+	"chimera/internal/event"
+	"chimera/internal/rules"
+	"chimera/internal/types"
+)
+
+// External events (extension): a deferred rule fires at commit when the
+// backup signal was raised and no stock was modified afterwards.
+func TestExternalEventRule(t *testing.T) {
+	db := stockDB(t)
+	fired := 0
+	err := db.DefineRule(
+		rules.Def{Name: "backupClean", Coupling: rules.Deferred,
+			Event: calculus.Conj(
+				calculus.P(event.External("backup")),
+				calculus.Neg(calculus.Prec(
+					calculus.P(event.External("backup")),
+					calculus.P(event.Modify("stock", "quantity")))))},
+		Body{Condition: cond.Formula{Atoms: []cond.Atom{probe{func() { fired++ }}}},
+			Action: act.Action{}},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Transaction 1: modify then raise — clean backup, rule fires.
+	if err := db.Run(func(tx *Txn) error {
+		oid, err := tx.Create("stock", map[string]types.Value{"quantity": types.Int(1)})
+		if err != nil {
+			return err
+		}
+		if err := tx.Modify(oid, "quantity", types.Int(2)); err != nil {
+			return err
+		}
+		return tx.Raise("backup")
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if fired != 1 {
+		t.Fatalf("fired = %d, want 1", fired)
+	}
+	// Raising an empty signal errors; raising outside a transaction errors.
+	tx, _ := db.Begin()
+	if err := tx.Raise(""); err == nil {
+		t.Error("empty signal accepted")
+	}
+	tx.Rollback()
+	if err := tx.Raise("x"); err == nil {
+		t.Error("raise on closed transaction accepted")
+	}
+}
+
+// External events parse in rule sources and are exempt from the
+// schema-class check.
+func TestExternalEventParsedRule(t *testing.T) {
+	db := stockDB(t)
+	err := db.DefineRule(
+		rules.Def{Name: "onPing", Event: calculus.P(event.External("ping"))},
+		Body{})
+	if err != nil {
+		t.Fatalf("external signal treated as schema class: %v", err)
+	}
+}

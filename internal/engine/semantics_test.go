@@ -1,0 +1,358 @@
+package engine
+
+import (
+	"fmt"
+	"testing"
+
+	"chimera/internal/act"
+	"chimera/internal/calculus"
+	"chimera/internal/clock"
+	"chimera/internal/cond"
+	"chimera/internal/event"
+	"chimera/internal/rules"
+	"chimera/internal/schema"
+	"chimera/internal/types"
+)
+
+// Event types are exact: creating a subclass instance emits
+// create(subclass), which does NOT trigger rules listening on
+// create(superclass) — events are typed by the operation's own class,
+// exactly as the paper's Figure 3 logs create(order) and
+// create(notFilledOrder) as distinct types.
+func TestEventTypesAreExactPerClass(t *testing.T) {
+	db := New(DefaultOptions())
+	if err := db.DefineClass("order",
+		schema.Attribute{Name: "n", Kind: types.KindInt}); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.DefineSubclass("bigOrder", "order"); err != nil {
+		t.Fatal(err)
+	}
+	superFired, subFired := 0, 0
+	db.DefineRule(rules.Def{Name: "onOrder", Event: calculus.P(event.Create("order"))},
+		Body{Condition: cond.Formula{Atoms: []cond.Atom{probe{func() { superFired++ }}}}})
+	db.DefineRule(rules.Def{Name: "onBig", Event: calculus.P(event.Create("bigOrder"))},
+		Body{Condition: cond.Formula{Atoms: []cond.Atom{probe{func() { subFired++ }}}}})
+
+	if err := db.Run(func(tx *Txn) error {
+		_, err := tx.Create("bigOrder", nil)
+		return err
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if superFired != 0 {
+		t.Error("create(bigOrder) triggered the create(order) rule")
+	}
+	if subFired != 1 {
+		t.Error("create(bigOrder) rule did not fire")
+	}
+	// But class atoms in conditions DO see the hierarchy: order(S) binds
+	// bigOrder instances.
+	bound := 0
+	db.DefineRule(rules.Def{Name: "countOrders", Event: calculus.P(event.Create("bigOrder"))},
+		Body{Condition: cond.Formula{Atoms: []cond.Atom{
+			cond.Class{Class: "order", Var: "S"},
+			probe{func() { bound++ }},
+		}}})
+	if err := db.Run(func(tx *Txn) error {
+		_, err := tx.Create("bigOrder", nil)
+		return err
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if bound != 1 {
+		t.Errorf("hierarchy-aware class atom did not run (bound=%d)", bound)
+	}
+}
+
+// Specialize/generalize emit their own event types and trigger rules.
+func TestHierarchyMigrationEvents(t *testing.T) {
+	db := New(DefaultOptions())
+	db.DefineClass("order", schema.Attribute{Name: "n", Kind: types.KindInt})
+	db.DefineSubclass("bigOrder", "order")
+	fired := 0
+	db.DefineRule(rules.Def{Name: "onPromote",
+		Event: calculus.P(event.T(event.OpSpecialize, "bigOrder"))},
+		Body{Condition: cond.Formula{Atoms: []cond.Atom{probe{func() { fired++ }}}}})
+	err := db.Run(func(tx *Txn) error {
+		oid, err := tx.Create("order", nil)
+		if err != nil {
+			return err
+		}
+		return tx.Specialize(oid, "bigOrder")
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fired != 1 {
+		t.Fatalf("specialize rule fired %d times", fired)
+	}
+}
+
+// Preserving consumption re-exposes earlier events at every
+// consideration: a preserving rule whose window always starts at the
+// transaction beginning re-binds objects it already processed (the
+// documented duplicate-processing behaviour of Section 2).
+func TestPreservingReBindsEarlierEvents(t *testing.T) {
+	db := New(DefaultOptions())
+	db.DefineClass("item", schema.Attribute{Name: "n", Kind: types.KindInt})
+	var seen []types.OID
+	db.DefineRule(rules.Def{Name: "p", Consumption: rules.Preserving,
+		Event: calculus.P(event.Create("item"))},
+		Body{Condition: cond.Formula{Atoms: []cond.Atom{
+			cond.Occurred{Event: calculus.P(event.Create("item")), Var: "X"},
+			recordVar{"X", &seen},
+		}}})
+	err := db.Run(func(tx *Txn) error {
+		if _, err := tx.Create("item", nil); err != nil {
+			return err
+		}
+		if err := tx.EndLine(); err != nil { // consideration 1: binds o1
+			return err
+		}
+		if _, err := tx.Create("item", nil); err != nil {
+			return err
+		}
+		return nil // commit: consideration 2 binds o1 AND o2
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(seen) != 3 {
+		t.Fatalf("preserving bindings = %v, want o1 then o1,o2", seen)
+	}
+	if seen[0] != 1 || seen[1] != 1 || seen[2] != 2 {
+		t.Fatalf("preserving bindings = %v", seen)
+	}
+
+	// The consuming twin binds each object exactly once.
+	db2 := New(DefaultOptions())
+	db2.DefineClass("item", schema.Attribute{Name: "n", Kind: types.KindInt})
+	var seen2 []types.OID
+	db2.DefineRule(rules.Def{Name: "c", Consumption: rules.Consuming,
+		Event: calculus.P(event.Create("item"))},
+		Body{Condition: cond.Formula{Atoms: []cond.Atom{
+			cond.Occurred{Event: calculus.P(event.Create("item")), Var: "X"},
+			recordVar{"X", &seen2},
+		}}})
+	db2.Run(func(tx *Txn) error {
+		if _, err := tx.Create("item", nil); err != nil {
+			return err
+		}
+		if err := tx.EndLine(); err != nil {
+			return err
+		}
+		_, err := tx.Create("item", nil)
+		return err
+	})
+	if len(seen2) != 2 || seen2[0] != 1 || seen2[1] != 2 {
+		t.Fatalf("consuming bindings = %v, want [o1 o2]", seen2)
+	}
+}
+
+// The engine's rule actions compose with the analysis-friendly
+// statements: a rule that both modifies and deletes in sequence runs the
+// statements in order over the same binding set.
+func TestActionStatementOrdering(t *testing.T) {
+	db := New(DefaultOptions())
+	db.DefineClass("item",
+		schema.Attribute{Name: "n", Kind: types.KindInt})
+	db.DefineClass("tomb",
+		schema.Attribute{Name: "n", Kind: types.KindInt})
+	err := db.DefineRule(
+		rules.Def{Name: "bury", Event: calculus.P(event.Create("item"))},
+		Body{
+			Condition: cond.Formula{Atoms: []cond.Atom{
+				cond.Class{Class: "item", Var: "S"},
+				cond.Occurred{Event: calculus.P(event.Create("item")), Var: "S"},
+			}},
+			Action: act.Action{Statements: []act.Statement{
+				// Copy n into a tombstone, then delete the item.
+				act.Create{Class: "tomb", Vals: map[string]cond.Term{
+					"n": cond.Attr{Var: "S", Attr: "n"}}},
+				act.Delete{Var: "S"},
+			}},
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Run(func(tx *Txn) error {
+		_, err := tx.Create("item", map[string]types.Value{"n": types.Int(7)})
+		return err
+	}); err != nil {
+		t.Fatal(err)
+	}
+	items, _ := db.Store().Select("item")
+	tombs, _ := db.Store().Select("tomb")
+	if len(items) != 0 || len(tombs) != 1 {
+		t.Fatalf("items=%v tombs=%v", items, tombs)
+	}
+	o, _ := db.Store().Get(tombs[0])
+	if o.MustGet("n").AsInt() != 7 {
+		t.Error("tombstone captured the wrong value")
+	}
+}
+
+// MatchAll rules (vacuous expressions) integrate with the engine: an
+// unrelated event in the same transaction triggers them; external
+// signals count as events for R ≠ ∅ too.
+func TestVacuousRuleWithExternalSignal(t *testing.T) {
+	db := New(DefaultOptions())
+	db.DefineClass("item", schema.Attribute{Name: "n", Kind: types.KindInt})
+	fired := 0
+	db.DefineRule(rules.Def{Name: "noItems", Coupling: rules.Deferred,
+		Event: calculus.Neg(calculus.P(event.Create("item")))},
+		Body{Condition: cond.Formula{Atoms: []cond.Atom{probe{func() { fired++ }}}}})
+	// A transaction whose only event is an external signal.
+	if err := db.Run(func(tx *Txn) error { return tx.Raise("ping") }); err != nil {
+		t.Fatal(err)
+	}
+	if fired != 1 {
+		t.Fatalf("fired = %d, want 1 (signal makes R non-empty)", fired)
+	}
+}
+
+// Txn.Generalize emits generalize(super) and undoes on rollback.
+func TestTxnGeneralize(t *testing.T) {
+	db := New(DefaultOptions())
+	db.DefineClass("order", schema.Attribute{Name: "n", Kind: types.KindInt})
+	db.DefineSubclass("bigOrder", "order")
+	fired := 0
+	db.DefineRule(rules.Def{Name: "onDemote",
+		Event: calculus.P(event.T(event.OpGeneralize, "order"))},
+		Body{Condition: cond.Formula{Atoms: []cond.Atom{probe{func() { fired++ }}}}})
+	err := db.Run(func(tx *Txn) error {
+		oid, err := tx.Create("bigOrder", nil)
+		if err != nil {
+			return err
+		}
+		if err := tx.Generalize(oid, "order"); err != nil {
+			return err
+		}
+		// Error paths on the same transaction.
+		if err := tx.Generalize(999, "order"); err == nil {
+			t.Error("generalize of missing object accepted")
+		}
+		if err := tx.Specialize(999, "bigOrder"); err == nil {
+			t.Error("specialize of missing object accepted")
+		}
+		if _, err := tx.Select("ghost"); err == nil {
+			t.Error("select of unknown class accepted")
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fired != 1 {
+		t.Fatalf("generalize rule fired %d times", fired)
+	}
+	if db.Clock().Now() == 0 {
+		t.Error("clock accessor broken")
+	}
+}
+
+// DB.Run propagates a commit-time rule error after rolling back, and a
+// Run whose callback commits explicitly does not double-commit.
+func TestRunCommitPaths(t *testing.T) {
+	db := New(DefaultOptions())
+	db.DefineClass("item", schema.Attribute{Name: "n", Kind: types.KindInt})
+	// Callback that commits itself.
+	err := db.Run(func(tx *Txn) error {
+		if _, err := tx.Create("item", nil); err != nil {
+			return err
+		}
+		return tx.Commit()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if db.Store().Len() != 1 {
+		t.Fatal("explicit commit inside Run lost the object")
+	}
+	// Callback that rolls back itself: Run returns nil, nothing persists.
+	if err := db.Run(func(tx *Txn) error {
+		if _, err := tx.Create("item", nil); err != nil {
+			return err
+		}
+		return tx.Rollback()
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if db.Store().Len() != 1 {
+		t.Fatal("rollback inside Run leaked state")
+	}
+}
+
+// The tracer observes the full lifecycle in order.
+func TestTracer(t *testing.T) {
+	db := New(DefaultOptions())
+	db.DefineClass("item", schema.Attribute{Name: "n", Kind: types.KindInt})
+	db.DefineRule(rules.Def{Name: "clamp", Target: "item",
+		Event: calculus.P(event.Create("item"))},
+		Body{
+			Condition: cond.Formula{Atoms: []cond.Atom{
+				cond.Class{Class: "item", Var: "S"},
+				cond.Compare{L: cond.Attr{Var: "S", Attr: "n"}, Op: cond.CmpGt,
+					R: cond.Const{V: types.Int(5)}},
+			}},
+			Action: act.Action{Statements: []act.Statement{
+				act.Modify{Class: "item", Attr: "n", Var: "S",
+					Value: cond.Const{V: types.Int(5)}},
+			}},
+		})
+	tr := &recordingTracer{}
+	db.SetTracer(tr)
+	if err := db.Run(func(tx *Txn) error {
+		_, err := tx.Create("item", map[string]types.Value{"n": types.Int(9)})
+		return err
+	}); err != nil {
+		t.Fatal(err)
+	}
+	joined := ""
+	for _, l := range tr.lines {
+		joined += l + "\n"
+	}
+	for _, want := range []string{"block:1:[clamp]", "consider:clamp:1", "execute:clamp", "end:true"} {
+		if !contains(tr.lines, want) {
+			t.Errorf("trace missing %q:\n%s", want, joined)
+		}
+	}
+	// Rollback path.
+	tx, _ := db.Begin()
+	tx.Rollback()
+	if !contains(tr.lines, "end:false") {
+		t.Error("rollback not traced")
+	}
+	// Removing the tracer stops the stream.
+	db.SetTracer(nil)
+	n := len(tr.lines)
+	db.Run(func(tx *Txn) error { _, err := tx.Create("item", nil); return err })
+	if len(tr.lines) != n {
+		t.Error("tracer still firing after removal")
+	}
+}
+
+type recordingTracer struct{ lines []string }
+
+func (r *recordingTracer) BlockEnd(events int, triggered []string) {
+	r.lines = append(r.lines, fmt.Sprintf("block:%d:%v", events, triggered))
+}
+func (r *recordingTracer) Considered(rule string, since, at clock.Time, bindings int) {
+	r.lines = append(r.lines, fmt.Sprintf("consider:%s:%d", rule, bindings))
+}
+func (r *recordingTracer) Executed(rule string) {
+	r.lines = append(r.lines, "execute:"+rule)
+}
+func (r *recordingTracer) TransactionEnd(committed bool) {
+	r.lines = append(r.lines, fmt.Sprintf("end:%v", committed))
+}
+
+func contains(lines []string, want string) bool {
+	for _, l := range lines {
+		if l == want {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,70 @@
+package engine
+
+import (
+	"fmt"
+	"io"
+
+	"chimera/internal/clock"
+)
+
+// Tracer observes the rule-processing loop: block boundaries,
+// triggerings, considerations and executions. A tracer makes the
+// Section 5 machinery visible — which non-interruptible block generated
+// which triggering, and what each consideration decided. All methods are
+// called synchronously from the engine; implementations must be fast and
+// must not call back into the database.
+type Tracer interface {
+	// BlockEnd fires when a non-interruptible block closes, with the
+	// number of occurrences it generated and the rules it newly
+	// triggered.
+	BlockEnd(events int, triggered []string)
+	// Considered fires at every rule consideration with the event-formula
+	// window and the number of satisfying bindings (the condition failed
+	// when bindings == 0).
+	Considered(rule string, since, at clock.Time, bindings int)
+	// Executed fires after a rule's action ran.
+	Executed(rule string)
+	// TransactionEnd fires at commit (committed=true) or rollback.
+	TransactionEnd(committed bool)
+}
+
+// SetTracer installs (or removes, with nil) the tracer.
+func (db *DB) SetTracer(tr Tracer) { db.tracer = tr }
+
+// WriterTracer renders trace events as text lines, one per event.
+type WriterTracer struct {
+	W io.Writer
+}
+
+// BlockEnd implements Tracer.
+func (t WriterTracer) BlockEnd(events int, triggered []string) {
+	if len(triggered) > 0 {
+		fmt.Fprintf(t.W, "trace: block end (%d events) triggered %v\n", events, triggered)
+		return
+	}
+	fmt.Fprintf(t.W, "trace: block end (%d events)\n", events)
+}
+
+// Considered implements Tracer.
+func (t WriterTracer) Considered(rule string, since, at clock.Time, bindings int) {
+	verdict := "condition holds"
+	if bindings == 0 {
+		verdict = "condition fails"
+	}
+	fmt.Fprintf(t.W, "trace: consider %s over (t%d, t%d]: %s (%d bindings)\n",
+		rule, since, at, verdict, bindings)
+}
+
+// Executed implements Tracer.
+func (t WriterTracer) Executed(rule string) {
+	fmt.Fprintf(t.W, "trace: execute %s\n", rule)
+}
+
+// TransactionEnd implements Tracer.
+func (t WriterTracer) TransactionEnd(committed bool) {
+	if committed {
+		fmt.Fprintln(t.W, "trace: commit")
+		return
+	}
+	fmt.Fprintln(t.W, "trace: rollback")
+}

@@ -1,0 +1,297 @@
+package event
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+
+	"chimera/internal/clock"
+	"chimera/internal/types"
+)
+
+// Base is the Event Base: the append-only log of all event occurrences
+// since the beginning of the transaction, organized as the
+// Occurred-Events tree of Section 5. The leaves of the tree are the
+// per-type occurrence lists; each leaf keeps the time stamp of the most
+// recent occurrence of its type, and a sparse per-object index supports
+// the instance-oriented operators.
+//
+// Time stamps appended to a Base must be strictly increasing (the engine
+// stamps every occurrence with its own clock tick), which is what makes
+// every lookup a binary search. Base is safe for concurrent readers with
+// one writer guarded externally; the engine serializes writes per
+// transaction, and the internal mutex makes casual concurrent use safe.
+type Base struct {
+	mu     sync.RWMutex
+	log    []Occurrence
+	leaves map[Type]*leaf
+	oids   []types.OID         // distinct OIDs in arrival order of first event
+	oidSet map[types.OID]int   // OID -> index of first arrival in log
+	byOID  map[types.OID][]int // OID -> indices into log
+	nextID EID
+}
+
+// leaf is one leaf of the Occurred-Events tree: all occurrences of one
+// event type, plus the per-object sparse lists.
+type leaf struct {
+	all    []int // indices into Base.log, ascending by time stamp
+	byOID  map[types.OID][]int
+	latest clock.Time
+}
+
+// NewBase returns an empty Event Base.
+func NewBase() *Base {
+	return &Base{
+		leaves: make(map[Type]*leaf),
+		oidSet: make(map[types.OID]int),
+		byOID:  make(map[types.OID][]int),
+	}
+}
+
+// Append records a new event occurrence and returns it. The time stamp
+// must exceed every time stamp already in the base.
+func (b *Base) Append(t Type, oid types.OID, at clock.Time) (Occurrence, error) {
+	if err := t.Valid(); err != nil {
+		return Occurrence{}, err
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if n := len(b.log); n > 0 && b.log[n-1].Timestamp >= at {
+		return Occurrence{}, fmt.Errorf(
+			"event: non-monotone time stamp t%d after t%d", at, b.log[n-1].Timestamp)
+	}
+	b.nextID++
+	occ := Occurrence{EID: b.nextID, Type: t, OID: oid, Timestamp: at}
+	idx := len(b.log)
+	b.log = append(b.log, occ)
+
+	lf := b.leaves[t]
+	if lf == nil {
+		lf = &leaf{byOID: make(map[types.OID][]int)}
+		b.leaves[t] = lf
+	}
+	lf.all = append(lf.all, idx)
+	lf.latest = at
+	lf.byOID[oid] = append(lf.byOID[oid], idx)
+
+	if _, seen := b.oidSet[oid]; !seen {
+		b.oidSet[oid] = idx
+		b.oids = append(b.oids, oid)
+	}
+	b.byOID[oid] = append(b.byOID[oid], idx)
+	return occ, nil
+}
+
+// Len returns the number of occurrences logged so far.
+func (b *Base) Len() int {
+	b.mu.RLock()
+	defer b.mu.RUnlock()
+	return len(b.log)
+}
+
+// All returns a copy of the whole log in arrival order.
+func (b *Base) All() []Occurrence {
+	b.mu.RLock()
+	defer b.mu.RUnlock()
+	out := make([]Occurrence, len(b.log))
+	copy(out, b.log)
+	return out
+}
+
+// Latest returns the time stamp of the most recent occurrence of type t,
+// or clock.Never if t never occurred. This is the leaf's cached value the
+// paper's implementation section calls out.
+func (b *Base) Latest(t Type) clock.Time {
+	b.mu.RLock()
+	defer b.mu.RUnlock()
+	if lf := b.leaves[t]; lf != nil {
+		return lf.latest
+	}
+	return clock.Never
+}
+
+// last returns the greatest time stamp among occurrences at indices idxs
+// that lies in the half-open window (since, upTo], or clock.Never.
+func (b *Base) last(idxs []int, since, upTo clock.Time) clock.Time {
+	// idxs is ascending by time stamp; find the last index with ts <= upTo.
+	i := sort.Search(len(idxs), func(k int) bool {
+		return b.log[idxs[k]].Timestamp > upTo
+	})
+	if i == 0 {
+		return clock.Never
+	}
+	ts := b.log[idxs[i-1]].Timestamp
+	if ts <= since {
+		return clock.Never
+	}
+	return ts
+}
+
+// LastOf returns the time stamp of the most recent occurrence of type t
+// in the window (since, upTo], or clock.Never if there is none. This is
+// the primitive lookup behind ts(E, t) over R = (since, now].
+func (b *Base) LastOf(t Type, since, upTo clock.Time) clock.Time {
+	b.mu.RLock()
+	defer b.mu.RUnlock()
+	lf := b.leaves[t]
+	if lf == nil {
+		return clock.Never
+	}
+	return b.last(lf.all, since, upTo)
+}
+
+// LastOfObj is LastOf restricted to occurrences affecting oid; it backs
+// ots(E, t, oid).
+func (b *Base) LastOfObj(t Type, oid types.OID, since, upTo clock.Time) clock.Time {
+	b.mu.RLock()
+	defer b.mu.RUnlock()
+	lf := b.leaves[t]
+	if lf == nil {
+		return clock.Never
+	}
+	return b.last(lf.byOID[oid], since, upTo)
+}
+
+// OccurrencesOf returns all occurrences of type t in the window
+// (since, upTo], in time order. The at() event formula uses it to produce
+// every activation time stamp of a composite expression.
+func (b *Base) OccurrencesOf(t Type, since, upTo clock.Time) []Occurrence {
+	b.mu.RLock()
+	defer b.mu.RUnlock()
+	lf := b.leaves[t]
+	if lf == nil {
+		return nil
+	}
+	return b.window(lf.all, since, upTo)
+}
+
+// OccurrencesOfObj returns the occurrences of type t on object oid in the
+// window (since, upTo].
+func (b *Base) OccurrencesOfObj(t Type, oid types.OID, since, upTo clock.Time) []Occurrence {
+	b.mu.RLock()
+	defer b.mu.RUnlock()
+	lf := b.leaves[t]
+	if lf == nil {
+		return nil
+	}
+	return b.window(lf.byOID[oid], since, upTo)
+}
+
+func (b *Base) window(idxs []int, since, upTo clock.Time) []Occurrence {
+	lo := sort.Search(len(idxs), func(k int) bool {
+		return b.log[idxs[k]].Timestamp > since
+	})
+	hi := sort.Search(len(idxs), func(k int) bool {
+		return b.log[idxs[k]].Timestamp > upTo
+	})
+	if lo >= hi {
+		return nil
+	}
+	out := make([]Occurrence, 0, hi-lo)
+	for _, i := range idxs[lo:hi] {
+		out = append(out, b.log[i])
+	}
+	return out
+}
+
+// Window returns every occurrence (of any type) in (since, upTo], in time
+// order: the set R of the triggering predicate.
+func (b *Base) Window(since, upTo clock.Time) []Occurrence {
+	b.mu.RLock()
+	defer b.mu.RUnlock()
+	lo := sort.Search(len(b.log), func(k int) bool { return b.log[k].Timestamp > since })
+	hi := sort.Search(len(b.log), func(k int) bool { return b.log[k].Timestamp > upTo })
+	if lo >= hi {
+		return nil
+	}
+	out := make([]Occurrence, hi-lo)
+	copy(out, b.log[lo:hi])
+	return out
+}
+
+// Arrivals returns the time stamps of every occurrence in (since, upTo],
+// ascending. These are the probe points of the ∃t' triggering check.
+func (b *Base) Arrivals(since, upTo clock.Time) []clock.Time {
+	occs := b.Window(since, upTo)
+	out := make([]clock.Time, len(occs))
+	for i, o := range occs {
+		out[i] = o.Timestamp
+	}
+	return out
+}
+
+// Empty reports whether the window (since, upTo] holds no occurrence
+// (the R = ∅ test of the triggering predicate).
+func (b *Base) Empty(since, upTo clock.Time) bool {
+	b.mu.RLock()
+	defer b.mu.RUnlock()
+	lo := sort.Search(len(b.log), func(k int) bool { return b.log[k].Timestamp > since })
+	return lo >= len(b.log) || b.log[lo].Timestamp > upTo
+}
+
+// OIDs returns the distinct objects affected by any occurrence in
+// (since, upTo], in order of first appearance. This is the object domain
+// of the instance-oriented lifts ("oid ∈ R").
+func (b *Base) OIDs(since, upTo clock.Time) []types.OID {
+	b.mu.RLock()
+	defer b.mu.RUnlock()
+	var out []types.OID
+	for _, oid := range b.oids {
+		idxs := b.byOID[oid]
+		// Any occurrence on this object inside the window?
+		lo := sort.Search(len(idxs), func(k int) bool {
+			return b.log[idxs[k]].Timestamp > since
+		})
+		if lo < len(idxs) && b.log[idxs[lo]].Timestamp <= upTo {
+			out = append(out, oid)
+		}
+	}
+	return out
+}
+
+// OIDsOfTypes returns the distinct objects affected by occurrences of any
+// of the given types in (since, upTo], in ascending OID order. The
+// occurred() event formula and the instance lifts use it to restrict the
+// object domain to the types an expression mentions. It iterates the
+// per-object lists of each type's leaf — O(objects touched · log) rather
+// than a scan of every occurrence.
+func (b *Base) OIDsOfTypes(ts []Type, since, upTo clock.Time) []types.OID {
+	b.mu.RLock()
+	defer b.mu.RUnlock()
+	seen := make(map[types.OID]bool)
+	var out []types.OID
+	for _, t := range ts {
+		lf := b.leaves[t]
+		if lf == nil {
+			continue
+		}
+		for oid, idxs := range lf.byOID {
+			if seen[oid] {
+				continue
+			}
+			// Any occurrence of this type on this object in the window?
+			lo := sort.Search(len(idxs), func(k int) bool {
+				return b.log[idxs[k]].Timestamp > since
+			})
+			if lo < len(idxs) && b.log[idxs[lo]].Timestamp <= upTo {
+				seen[oid] = true
+				out = append(out, oid)
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// String renders the base as the table of Figure 3.
+func (b *Base) String() string {
+	b.mu.RLock()
+	defer b.mu.RUnlock()
+	var sb strings.Builder
+	sb.WriteString("EID | event-type | OID | timestamp\n")
+	for _, o := range b.log {
+		fmt.Fprintf(&sb, "%s\n", o)
+	}
+	return sb.String()
+}

@@ -1,0 +1,229 @@
+package event
+
+import (
+	"strings"
+	"testing"
+
+	"chimera/internal/clock"
+	"chimera/internal/types"
+)
+
+// figure3 builds the exact Event Base of the paper's Figure 3:
+//
+//	e1 create(stock)            o1 t1
+//	e2 create(stock)            o2 t2
+//	e3 create(order)            o3 t3
+//	e4 create(notFilledOrder)   o3 t4
+//	e5 modify(stock.quantity)   o1 t5
+//	e6 modify(stock.quantity)   o2 t6
+//	e7 delete(stock)            o1 t7
+func figure3(t *testing.T) *Base {
+	t.Helper()
+	b := NewBase()
+	rows := []struct {
+		ty  Type
+		oid types.OID
+	}{
+		{Create("stock"), 1},
+		{Create("stock"), 2},
+		{Create("order"), 3},
+		{Create("notFilledOrder"), 3},
+		{Modify("stock", "quantity"), 1},
+		{Modify("stock", "quantity"), 2},
+		{Delete("stock"), 1},
+	}
+	for i, r := range rows {
+		occ, err := b.Append(r.ty, r.oid, clock.Time(i+1))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if occ.EID != EID(i+1) {
+			t.Fatalf("EID = %v, want e%d", occ.EID, i+1)
+		}
+	}
+	return b
+}
+
+func TestFigure3EventBase(t *testing.T) {
+	b := figure3(t)
+	if b.Len() != 7 {
+		t.Fatalf("Len = %d, want 7", b.Len())
+	}
+	s := b.String()
+	for _, want := range []string{
+		"e1 | create(stock) | o1 | t1",
+		"e4 | create(notFilledOrder) | o3 | t4",
+		"e7 | delete(stock) | o1 | t7",
+	} {
+		if !strings.Contains(s, want) {
+			t.Errorf("Figure 3 table missing row %q in:\n%s", want, s)
+		}
+	}
+}
+
+// Figure 4's accessor matches on the Figure 3 base.
+func TestFigure4Accessors(t *testing.T) {
+	b := figure3(t)
+	all := b.All()
+	e1, e3, e6, e7 := all[0], all[2], all[5], all[6]
+
+	if TypeOf(e1) != Create("stock") {
+		t.Errorf("type(e1) = %v", TypeOf(e1))
+	}
+	if Obj(e3) != 3 {
+		t.Errorf("obj(e3) = %v, want o3", Obj(e3))
+	}
+	if Obj(e6) != 2 {
+		t.Errorf("obj(e6) = %v, want o2", Obj(e6))
+	}
+	if TypeOf(e6) != Modify("stock", "quantity") {
+		t.Errorf("type(e6) = %v", TypeOf(e6))
+	}
+	if TypeOf(e7) != Delete("stock") {
+		t.Errorf("type(e7) = %v", TypeOf(e7))
+	}
+	if Timestamp(e3) != 3 || Timestamp(e6) != 6 || Timestamp(e7) != 7 {
+		t.Error("timestamps do not match Figure 3")
+	}
+	if EventOnClass(e1) != "stock" || EventOnClass(e3) != "order" {
+		t.Error("event-on-class mismatch")
+	}
+}
+
+func TestAppendRejectsNonMonotone(t *testing.T) {
+	b := NewBase()
+	if _, err := b.Append(Create("stock"), 1, 5); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.Append(Create("stock"), 2, 5); err == nil {
+		t.Fatal("equal time stamp accepted")
+	}
+	if _, err := b.Append(Create("stock"), 2, 4); err == nil {
+		t.Fatal("decreasing time stamp accepted")
+	}
+}
+
+func TestAppendRejectsInvalidType(t *testing.T) {
+	b := NewBase()
+	if _, err := b.Append(Type{Op: OpModify, Class: "stock"}, 1, 1); err == nil {
+		t.Fatal("modify without attribute accepted")
+	}
+}
+
+func TestLastOfWindows(t *testing.T) {
+	b := figure3(t)
+	cs := Create("stock")
+	if got := b.LastOf(cs, clock.Never, 7); got != 2 {
+		t.Errorf("LastOf over all = %d, want 2", got)
+	}
+	if got := b.LastOf(cs, clock.Never, 1); got != 1 {
+		t.Errorf("LastOf upTo=1 = %d, want 1", got)
+	}
+	if got := b.LastOf(cs, 2, 7); got != clock.Never {
+		t.Errorf("LastOf since=2 = %d, want Never", got)
+	}
+	if got := b.LastOf(Create("missing"), clock.Never, 7); got != clock.Never {
+		t.Error("LastOf of unknown type should be Never")
+	}
+	mq := Modify("stock", "quantity")
+	if got := b.LastOfObj(mq, 1, clock.Never, 7); got != 5 {
+		t.Errorf("LastOfObj(o1) = %d, want 5", got)
+	}
+	if got := b.LastOfObj(mq, 3, clock.Never, 7); got != clock.Never {
+		t.Error("LastOfObj(o3) should be Never")
+	}
+}
+
+func TestLatestLeafCache(t *testing.T) {
+	b := figure3(t)
+	if b.Latest(Create("stock")) != 2 {
+		t.Error("leaf cache wrong for create(stock)")
+	}
+	if b.Latest(Delete("stock")) != 7 {
+		t.Error("leaf cache wrong for delete(stock)")
+	}
+	if b.Latest(Create("nothing")) != clock.Never {
+		t.Error("leaf cache for unknown type should be Never")
+	}
+}
+
+func TestWindowAndArrivals(t *testing.T) {
+	b := figure3(t)
+	w := b.Window(2, 5)
+	if len(w) != 3 || w[0].EID != 3 || w[2].EID != 5 {
+		t.Fatalf("Window(2,5] = %v", w)
+	}
+	ar := b.Arrivals(2, 5)
+	if len(ar) != 3 || ar[0] != 3 || ar[2] != 5 {
+		t.Fatalf("Arrivals = %v", ar)
+	}
+	if !b.Empty(7, 10) {
+		t.Error("window after the last event should be empty")
+	}
+	if b.Empty(6, 7) {
+		t.Error("window (6,7] holds e7")
+	}
+}
+
+func TestOIDs(t *testing.T) {
+	b := figure3(t)
+	oids := b.OIDs(clock.Never, 7)
+	if len(oids) != 3 || oids[0] != 1 || oids[1] != 2 || oids[2] != 3 {
+		t.Fatalf("OIDs = %v", oids)
+	}
+	// Window (4,7]: only o1 and o2 are touched.
+	oids = b.OIDs(4, 7)
+	if len(oids) != 2 || oids[0] != 1 || oids[1] != 2 {
+		t.Fatalf("OIDs(4,7] = %v", oids)
+	}
+	// Typed domain.
+	oids = b.OIDsOfTypes([]Type{Create("order"), Create("notFilledOrder")}, clock.Never, 7)
+	if len(oids) != 1 || oids[0] != 3 {
+		t.Fatalf("OIDsOfTypes = %v", oids)
+	}
+}
+
+func TestOccurrencesOf(t *testing.T) {
+	b := figure3(t)
+	mq := Modify("stock", "quantity")
+	occs := b.OccurrencesOf(mq, clock.Never, 7)
+	if len(occs) != 2 || occs[0].OID != 1 || occs[1].OID != 2 {
+		t.Fatalf("OccurrencesOf = %v", occs)
+	}
+	occs = b.OccurrencesOfObj(mq, 2, clock.Never, 7)
+	if len(occs) != 1 || occs[0].EID != 6 {
+		t.Fatalf("OccurrencesOfObj = %v", occs)
+	}
+	if occs := b.OccurrencesOf(mq, 6, 7); len(occs) != 0 {
+		t.Fatalf("window (6,7] should hold no modify, got %v", occs)
+	}
+}
+
+func TestTypeParseAndString(t *testing.T) {
+	cases := []struct {
+		ty   Type
+		want string
+	}{
+		{Create("stock"), "create(stock)"},
+		{Modify("stock", "quantity"), "modify(stock.quantity)"},
+		{T(OpGeneralize, "order"), "generalize(order)"},
+		{T(OpSelect, "show"), "select(show)"},
+	}
+	for _, c := range cases {
+		if got := c.ty.String(); got != c.want {
+			t.Errorf("String = %q, want %q", got, c.want)
+		}
+	}
+	for _, name := range []string{"create", "delete", "modify", "generalize", "specialize", "select"} {
+		op, err := ParseOp(name)
+		if err != nil {
+			t.Errorf("ParseOp(%q): %v", name, err)
+		}
+		if op.String() != name {
+			t.Errorf("round trip %q -> %q", name, op)
+		}
+	}
+	if _, err := ParseOp("explode"); err == nil {
+		t.Error("ParseOp accepted an unknown operation")
+	}
+}

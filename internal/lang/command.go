@@ -1,0 +1,367 @@
+package lang
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"chimera/internal/types"
+)
+
+// Command is one interactive chimerash input: a transaction-line
+// operation, a transaction control verb, a definition, or an inspection
+// request.
+type Command interface{ isCommand() }
+
+// CmdBegin opens a transaction.
+type CmdBegin struct{}
+
+// CmdCommit commits the open transaction.
+type CmdCommit struct{}
+
+// CmdRollback aborts the open transaction.
+type CmdRollback struct{}
+
+// CmdCreate creates an object: create stock(name = "bolts", quantity = 5).
+type CmdCreate struct {
+	Class string
+	Vals  map[string]types.Value
+}
+
+// CmdModify updates an attribute: modify o3.quantity = 7.
+type CmdModify struct {
+	OID   types.OID
+	Attr  string
+	Value types.Value
+}
+
+// CmdDelete deletes an object: delete o3.
+type CmdDelete struct{ OID types.OID }
+
+// CmdSpecialize moves an object into a subclass: specialize o3, bigOrder.
+type CmdSpecialize struct {
+	OID types.OID
+	To  string
+}
+
+// CmdGeneralize moves an object into a superclass: generalize o3, order.
+type CmdGeneralize struct {
+	OID types.OID
+	To  string
+}
+
+// CmdSelect queries a class extension (and generates select events):
+// select stock [where quantity > 5]. The optional predicate is a
+// condition formula over the implicit variable bound to each object.
+type CmdSelect struct {
+	Class string
+	// Where is the optional filter; its atoms reference the implicit
+	// object variable named by Var.
+	Where []condAtomHolder
+	Var   string
+}
+
+// condAtomHolder defers the cond import to the parser file.
+type condAtomHolder = condAtom
+
+// CmdShow inspects state: show rules | show objects | show events | show o3.
+type CmdShow struct {
+	What string
+	OID  types.OID
+}
+
+// CmdDefineRule defines a rule from a full define...end block.
+type CmdDefineRule struct{ Rule Rule }
+
+// CmdDefineClass defines a class.
+type CmdDefineClass struct{ Class ClassDef }
+
+// CmdDropRule removes a rule: drop rule checkStockQty.
+type CmdDropRule struct{ Name string }
+
+// CmdRaise signals an external event: raise backup.
+type CmdRaise struct{ Signal string }
+
+// isWord matches an interactive verb, which lexes as a plain identifier.
+func isWord(t Token, w string) bool {
+	return (t.Kind == TokIdent || t.Kind == TokKeyword) && t.Text == w
+}
+
+func (CmdBegin) isCommand()       {}
+func (CmdCommit) isCommand()      {}
+func (CmdRollback) isCommand()    {}
+func (CmdCreate) isCommand()      {}
+func (CmdModify) isCommand()      {}
+func (CmdDelete) isCommand()      {}
+func (CmdSpecialize) isCommand()  {}
+func (CmdGeneralize) isCommand()  {}
+func (CmdSelect) isCommand()      {}
+func (CmdShow) isCommand()        {}
+func (CmdDefineRule) isCommand()  {}
+func (CmdDefineClass) isCommand() {}
+func (CmdDropRule) isCommand()    {}
+func (CmdRaise) isCommand()       {}
+
+// ParseCommand parses one interactive input line (a define...end block
+// may span multiple lines; the REPL accumulates until "end").
+func ParseCommand(src string) (Command, error) {
+	p, err := newParser(src)
+	if err != nil {
+		return nil, err
+	}
+	t := p.peek()
+	switch {
+	case isWord(t, "begin"):
+		p.next()
+		return finish(p, CmdBegin{})
+	case isWord(t, "commit"):
+		p.next()
+		return finish(p, CmdCommit{})
+	case isWord(t, "rollback"):
+		p.next()
+		return finish(p, CmdRollback{})
+	case t.Is("define"):
+		p.next()
+		r, err := p.parseRule()
+		if err != nil {
+			return nil, err
+		}
+		return finish(p, CmdDefineRule{Rule: r})
+	case t.Is("class"):
+		p.next()
+		c, err := p.parseClass()
+		if err != nil {
+			return nil, err
+		}
+		return finish(p, CmdDefineClass{Class: c})
+	case isWord(t, "raise"):
+		p.next()
+		n, err := p.expectName()
+		if err != nil {
+			return nil, err
+		}
+		return finish(p, CmdRaise{Signal: n.Text})
+	case isWord(t, "drop"):
+		p.next()
+		// "rule" is not a keyword; accept either "drop rule name" or
+		// "drop name".
+		n, err := p.expect(TokIdent)
+		if err != nil {
+			return nil, err
+		}
+		name := n.Text
+		if name == "rule" {
+			n, err = p.expect(TokIdent)
+			if err != nil {
+				return nil, err
+			}
+			name = n.Text
+		}
+		return finish(p, CmdDropRule{Name: name})
+	case t.Is("create"):
+		p.next()
+		cls, err := p.expect(TokIdent)
+		if err != nil {
+			return nil, err
+		}
+		vals := make(map[string]types.Value)
+		if p.peek().Kind == TokLParen {
+			p.next()
+			for p.peek().Kind != TokRParen {
+				name, err := p.expectName()
+				if err != nil {
+					return nil, err
+				}
+				if _, err := p.expect(TokEq); err != nil {
+					return nil, err
+				}
+				v, err := p.parseLiteral()
+				if err != nil {
+					return nil, err
+				}
+				vals[name.Text] = v
+				if p.peek().Kind == TokComma {
+					p.next()
+				}
+			}
+			p.next() // )
+		}
+		return finish(p, CmdCreate{Class: cls.Text, Vals: vals})
+	case t.Is("modify"):
+		p.next()
+		oid, err := p.parseOID()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(TokDot); err != nil {
+			return nil, err
+		}
+		attr, err := p.expectName()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(TokEq); err != nil {
+			return nil, err
+		}
+		v, err := p.parseLiteral()
+		if err != nil {
+			return nil, err
+		}
+		return finish(p, CmdModify{OID: oid, Attr: attr.Text, Value: v})
+	case t.Is("delete"):
+		p.next()
+		oid, err := p.parseOID()
+		if err != nil {
+			return nil, err
+		}
+		return finish(p, CmdDelete{OID: oid})
+	case t.Is("specialize"), t.Is("generalize"):
+		p.next()
+		oid, err := p.parseOID()
+		if err != nil {
+			return nil, err
+		}
+		if p.peek().Kind == TokComma {
+			p.next()
+		}
+		cls, err := p.expect(TokIdent)
+		if err != nil {
+			return nil, err
+		}
+		if t.Is("specialize") {
+			return finish(p, CmdSpecialize{OID: oid, To: cls.Text})
+		}
+		return finish(p, CmdGeneralize{OID: oid, To: cls.Text})
+	case t.Is("select"):
+		p.next()
+		cls, err := p.expect(TokIdent)
+		if err != nil {
+			return nil, err
+		}
+		cmd := CmdSelect{Class: cls.Text, Var: "X"}
+		if isWord(p.peek(), "where") {
+			p.next()
+			atoms, err := p.parseWhere(cmd.Var)
+			if err != nil {
+				return nil, err
+			}
+			cmd.Where = atoms
+		}
+		return finish(p, cmd)
+	case isWord(t, "show"):
+		p.next()
+		w := p.next()
+		switch {
+		case w.Kind == TokIdent && isOIDText(w.Text):
+			oid, err := parseOIDText(w.Text)
+			if err != nil {
+				return nil, err
+			}
+			return finish(p, CmdShow{What: "object", OID: oid})
+		case w.Kind == TokIdent || w.Kind == TokKeyword:
+			return finish(p, CmdShow{What: w.Text})
+		default:
+			return nil, p.errf(w, "show what? (rules, objects, events, stats, o<N>)")
+		}
+	}
+	return nil, p.errf(t, "unknown command %s", t)
+}
+
+func finish(p *parser, c Command) (Command, error) {
+	if p.peek().Kind == TokSemi {
+		p.next()
+	}
+	if !p.atEOF() {
+		return nil, p.errf(p.peek(), "unexpected %s after command", p.peek())
+	}
+	return c, nil
+}
+
+// parseOID accepts o<N> or a bare integer.
+func (p *parser) parseOID() (types.OID, error) {
+	t := p.next()
+	switch t.Kind {
+	case TokInt:
+		n, err := strconv.ParseInt(t.Text, 10, 64)
+		if err != nil {
+			return 0, p.errf(t, "bad OID %q", t.Text)
+		}
+		return types.OID(n), nil
+	case TokIdent:
+		if isOIDText(t.Text) {
+			return parseOIDText(t.Text)
+		}
+	}
+	return 0, p.errf(t, "expected an object id (o3), got %s", t)
+}
+
+func isOIDText(s string) bool {
+	if len(s) < 2 || s[0] != 'o' {
+		return false
+	}
+	for _, c := range s[1:] {
+		if c < '0' || c > '9' {
+			return false
+		}
+	}
+	return true
+}
+
+func parseOIDText(s string) (types.OID, error) {
+	n, err := strconv.ParseInt(strings.TrimPrefix(s, "o"), 10, 64)
+	if err != nil {
+		return 0, fmt.Errorf("lang: bad object id %q", s)
+	}
+	return types.OID(n), nil
+}
+
+// parseLiteral parses a literal value for interactive commands.
+func (p *parser) parseLiteral() (types.Value, error) {
+	t := p.next()
+	switch t.Kind {
+	case TokInt:
+		n, err := strconv.ParseInt(t.Text, 10, 64)
+		if err != nil {
+			return types.Null, p.errf(t, "bad integer %q", t.Text)
+		}
+		return types.Int(n), nil
+	case TokFloat:
+		f, err := strconv.ParseFloat(t.Text, 64)
+		if err != nil {
+			return types.Null, p.errf(t, "bad float %q", t.Text)
+		}
+		return types.Float(f), nil
+	case TokMinus:
+		v, err := p.parseLiteral()
+		if err != nil {
+			return types.Null, err
+		}
+		switch v.Kind() {
+		case types.KindInt:
+			return types.Int(-v.AsInt()), nil
+		case types.KindFloat:
+			return types.Float(-v.AsFloat()), nil
+		}
+		return types.Null, p.errf(t, "cannot negate %s", v)
+	case TokString:
+		return types.String_(t.Text), nil
+	case TokKeyword:
+		switch t.Text {
+		case "true":
+			return types.Bool(true), nil
+		case "false":
+			return types.Bool(false), nil
+		case "null":
+			return types.Null, nil
+		}
+	case TokIdent:
+		if isOIDText(t.Text) {
+			oid, err := parseOIDText(t.Text)
+			if err != nil {
+				return types.Null, err
+			}
+			return types.Ref(oid), nil
+		}
+	}
+	return types.Null, p.errf(t, "expected a literal value, got %s", t)
+}

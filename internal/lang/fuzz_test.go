@@ -1,0 +1,78 @@
+package lang
+
+import (
+	"testing"
+
+	"chimera/internal/calculus"
+)
+
+// Native fuzz targets (run as unit tests on their seed corpora; extend
+// with `go test -fuzz=FuzzParseExpr ./internal/lang`). Property: parsing
+// never panics, and anything that parses renders and re-parses to the
+// same structure.
+
+func FuzzParseExpr(f *testing.F) {
+	for _, seed := range []string{
+		"create(stock)",
+		"create(stock) , modify(stock.quantity) + -delete(stock)",
+		"create(stock) += modify(stock.quantity) ,= delete(stock)",
+		"-=(create(a) += create(b)) , (create(c) < create(d))",
+		"((create(a)))",
+		"-(-create(a))",
+		"external(ping) + -create(a)",
+		"create(", "a + b", ", ,", "+=", "modify(x.y.z)", "",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		e, err := ParseExpr(src, "")
+		if err != nil {
+			return
+		}
+		rendered := e.String()
+		back, err := ParseExpr(rendered, "")
+		if err != nil {
+			t.Fatalf("rendering %q of %q does not re-parse: %v", rendered, src, err)
+		}
+		if !calculus.Equal(e, back) {
+			t.Fatalf("round trip changed structure: %q -> %q", src, rendered)
+		}
+	})
+}
+
+func FuzzParseRule(f *testing.F) {
+	for _, seed := range []string{
+		"define r for stock events create end",
+		"define deferred preserving r priority 3 events create(a) , delete(b) condition occurred(create(a), X), X.n > 1 action delete(X) end",
+		"define r events external(x) end",
+		"define r for stock events create condition at(create <= modify(q), X, T), T > 5 action create(log, when = T) end",
+		"define", "define r", "class x(a: integer)",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		r, err := ParseRule(src)
+		if err != nil {
+			return
+		}
+		if r.Def.Name == "" {
+			t.Fatalf("accepted rule without a name: %q", src)
+		}
+		if err := r.Def.Validate(); err != nil {
+			t.Fatalf("parsed rule fails validation: %v (%q)", err, src)
+		}
+	})
+}
+
+func FuzzParseCommand(f *testing.F) {
+	for _, seed := range []string{
+		"begin", "commit", `create stock(name = "x", n = 1)`,
+		"modify o3.quantity = 7", "delete o3", "show rules", "raise ping",
+		"select stock where quantity > 5", "drop rule r",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		ParseCommand(src) // must not panic
+	})
+}

@@ -1,0 +1,266 @@
+// Package lang implements the concrete syntax of the extended Chimera
+// rule language: event expressions with the Figure 1 operators, rule
+// definitions in the paper's style
+//
+//	define immediate checkStockQty for stock
+//	events create
+//	condition stock(S), occurred(create, S), S.quantity > S.maxquantity
+//	action modify(stock.quantity, S, S.maxquantity)
+//	end
+//
+// class definitions, and the interactive commands the chimerash REPL
+// executes as transaction lines.
+package lang
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+// TokKind classifies tokens.
+type TokKind int
+
+// Token kinds.
+const (
+	TokEOF TokKind = iota
+	TokIdent
+	TokKeyword
+	TokInt
+	TokFloat
+	TokString
+	TokLParen // (
+	TokRParen // )
+	TokDot    // .
+	TokColon  // :
+	TokSemi   // ;
+	TokComma  // ,
+	TokCommaEq
+	TokPlus    // +
+	TokPlusEq  // +=
+	TokMinus   // -
+	TokMinusEq // -=
+	TokLt      // <
+	TokLe      // <=
+	TokGt      // >
+	TokGe      // >=
+	TokEq      // =
+	TokNe      // !=
+	TokStar    // *
+	TokSlash   // /
+)
+
+var kindNames = map[TokKind]string{
+	TokEOF: "end of input", TokIdent: "identifier", TokKeyword: "keyword",
+	TokInt: "integer", TokFloat: "float", TokString: "string",
+	TokLParen: "'('", TokRParen: "')'", TokDot: "'.'", TokColon: "':'",
+	TokSemi: "';'", TokComma: "','", TokCommaEq: "',='",
+	TokPlus: "'+'", TokPlusEq: "'+='", TokMinus: "'-'", TokMinusEq: "'-='",
+	TokLt: "'<'", TokLe: "'<='", TokGt: "'>'", TokGe: "'>='",
+	TokEq: "'='", TokNe: "'!='", TokStar: "'*'", TokSlash: "'/'",
+}
+
+// String names the kind for error messages.
+func (k TokKind) String() string {
+	if n, ok := kindNames[k]; ok {
+		return n
+	}
+	return fmt.Sprintf("token(%d)", int(k))
+}
+
+// keywords of the rule language. Event operation names are keywords too:
+// they start event types in expressions and statements.
+var keywords = map[string]bool{
+	"define": true, "immediate": true, "deferred": true,
+	"consuming": true, "preserving": true, "for": true, "priority": true,
+	"events": true, "condition": true, "action": true, "end": true,
+	"class": true, "extends": true,
+	"create": true, "delete": true, "modify": true,
+	"generalize": true, "specialize": true, "select": true, "external": true,
+	"occurred": true, "at": true, "holds": true,
+	"true": true, "false": true, "null": true,
+}
+
+// The interactive verbs begin/commit/rollback/show/drop are NOT keywords:
+// they are recognized by text at the start of a command, so the same
+// words remain usable as class and attribute names (the paper's examples
+// use a class named "show").
+
+// Token is one lexeme with its source position.
+type Token struct {
+	Kind TokKind
+	Text string
+	Line int
+	Col  int
+}
+
+// Is reports whether the token is the given keyword.
+func (t Token) Is(kw string) bool { return t.Kind == TokKeyword && t.Text == kw }
+
+// String renders the token for error messages.
+func (t Token) String() string {
+	switch t.Kind {
+	case TokEOF:
+		return "end of input"
+	case TokIdent, TokKeyword, TokInt, TokFloat:
+		return fmt.Sprintf("%q", t.Text)
+	case TokString:
+		return fmt.Sprintf("string %q", t.Text)
+	}
+	return t.Kind.String()
+}
+
+// Lex tokenizes src. Comments run from "--" to end of line.
+func Lex(src string) ([]Token, error) {
+	var toks []Token
+	line, col := 1, 1
+	i := 0
+	n := len(src)
+	advance := func(k int) {
+		for j := 0; j < k; j++ {
+			if src[i+j] == '\n' {
+				line++
+				col = 1
+			} else {
+				col++
+			}
+		}
+		i += k
+	}
+	emit := func(kind TokKind, text string, l, c int) {
+		toks = append(toks, Token{Kind: kind, Text: text, Line: l, Col: c})
+	}
+	for i < n {
+		c := src[i]
+		switch {
+		case c == ' ' || c == '\t' || c == '\r' || c == '\n':
+			advance(1)
+		case c == '-' && i+1 < n && src[i+1] == '-':
+			for i < n && src[i] != '\n' {
+				advance(1)
+			}
+		case c == '"':
+			l, cl := line, col
+			j := i + 1
+			var sb strings.Builder
+			for {
+				if j >= n {
+					return nil, fmt.Errorf("lang: %d:%d: unterminated string", l, cl)
+				}
+				if src[j] == '\\' && j+1 < n {
+					sb.WriteByte(src[j+1])
+					j += 2
+					continue
+				}
+				if src[j] == '"' {
+					break
+				}
+				sb.WriteByte(src[j])
+				j++
+			}
+			advance(j + 1 - i)
+			emit(TokString, sb.String(), l, cl)
+		case unicode.IsDigit(rune(c)):
+			l, cl := line, col
+			j := i
+			isFloat := false
+			for j < n && (isDigit(src[j]) || (src[j] == '.' && j+1 < n && isDigit(src[j+1]) && !isFloat)) {
+				if src[j] == '.' {
+					isFloat = true
+				}
+				j++
+			}
+			text := src[i:j]
+			advance(j - i)
+			if isFloat {
+				emit(TokFloat, text, l, cl)
+			} else {
+				emit(TokInt, text, l, cl)
+			}
+		case isIdentStart(c):
+			l, cl := line, col
+			j := i
+			for j < n && isIdentPart(src[j]) {
+				j++
+			}
+			text := src[i:j]
+			advance(j - i)
+			if keywords[text] {
+				emit(TokKeyword, text, l, cl)
+			} else {
+				emit(TokIdent, text, l, cl)
+			}
+		default:
+			l, cl := line, col
+			two := ""
+			if i+1 < n {
+				two = src[i : i+2]
+			}
+			switch two {
+			case "+=":
+				advance(2)
+				emit(TokPlusEq, two, l, cl)
+				continue
+			case "-=":
+				advance(2)
+				emit(TokMinusEq, two, l, cl)
+				continue
+			case ",=":
+				advance(2)
+				emit(TokCommaEq, two, l, cl)
+				continue
+			case "<=":
+				advance(2)
+				emit(TokLe, two, l, cl)
+				continue
+			case ">=":
+				advance(2)
+				emit(TokGe, two, l, cl)
+				continue
+			case "!=":
+				advance(2)
+				emit(TokNe, two, l, cl)
+				continue
+			}
+			var kind TokKind
+			switch c {
+			case '(':
+				kind = TokLParen
+			case ')':
+				kind = TokRParen
+			case '.':
+				kind = TokDot
+			case ':':
+				kind = TokColon
+			case ';':
+				kind = TokSemi
+			case ',':
+				kind = TokComma
+			case '+':
+				kind = TokPlus
+			case '-':
+				kind = TokMinus
+			case '<':
+				kind = TokLt
+			case '>':
+				kind = TokGt
+			case '=':
+				kind = TokEq
+			case '*':
+				kind = TokStar
+			case '/':
+				kind = TokSlash
+			default:
+				return nil, fmt.Errorf("lang: %d:%d: unexpected character %q", line, col, c)
+			}
+			advance(1)
+			emit(kind, string(c), l, cl)
+		}
+	}
+	toks = append(toks, Token{Kind: TokEOF, Line: line, Col: col})
+	return toks, nil
+}
+
+func isDigit(c byte) bool      { return c >= '0' && c <= '9' }
+func isIdentStart(c byte) bool { return c == '_' || unicode.IsLetter(rune(c)) }
+func isIdentPart(c byte) bool  { return c == '_' || unicode.IsLetter(rune(c)) || isDigit(c) }

@@ -1,0 +1,854 @@
+package lang
+
+import (
+	"fmt"
+	"strconv"
+
+	"chimera/internal/act"
+	"chimera/internal/calculus"
+	"chimera/internal/cond"
+	"chimera/internal/event"
+	"chimera/internal/rules"
+	"chimera/internal/types"
+)
+
+// parser walks a token stream.
+type parser struct {
+	toks []Token
+	pos  int
+	// target is the class a targeted rule is scoped to; bare event
+	// operation names resolve against it.
+	target string
+}
+
+func newParser(src string) (*parser, error) {
+	toks, err := Lex(src)
+	if err != nil {
+		return nil, err
+	}
+	return &parser{toks: toks}, nil
+}
+
+func (p *parser) peek() Token { return p.toks[p.pos] }
+func (p *parser) peek2() Token {
+	if p.pos+1 < len(p.toks) {
+		return p.toks[p.pos+1]
+	}
+	return p.toks[len(p.toks)-1]
+}
+func (p *parser) next() Token {
+	t := p.toks[p.pos]
+	if p.pos < len(p.toks)-1 {
+		p.pos++
+	}
+	return t
+}
+
+func (p *parser) errf(t Token, format string, args ...any) error {
+	return fmt.Errorf("lang: %d:%d: %s", t.Line, t.Col, fmt.Sprintf(format, args...))
+}
+
+func (p *parser) expect(k TokKind) (Token, error) {
+	t := p.peek()
+	if t.Kind != k {
+		return t, p.errf(t, "expected %s, got %s", k, t)
+	}
+	return p.next(), nil
+}
+
+func (p *parser) expectKeyword(kw string) (Token, error) {
+	t := p.peek()
+	if !t.Is(kw) {
+		return t, p.errf(t, "expected %q, got %s", kw, t)
+	}
+	return p.next(), nil
+}
+
+func (p *parser) atEOF() bool { return p.peek().Kind == TokEOF }
+
+// expectName accepts an identifier or a keyword in positions where the
+// grammar is unambiguous (attribute names, so that words like "at" or
+// "select" remain usable as schema names).
+func (p *parser) expectName() (Token, error) {
+	t := p.peek()
+	if t.Kind != TokIdent && t.Kind != TokKeyword {
+		return t, p.errf(t, "expected a name, got %s", t)
+	}
+	return p.next(), nil
+}
+
+// --- Event expressions ------------------------------------------------
+
+// Binding powers implementing Figure 1 (see calculus.Operators): set
+// disjunction 10, set conjunction/precedence 20, set negation 30,
+// instance disjunction 40, instance conjunction/precedence 50, instance
+// negation 60.
+func infixPower(k TokKind) (int, bool) {
+	switch k {
+	case TokComma:
+		return 10, true
+	case TokPlus, TokLt:
+		return 20, true
+	case TokCommaEq:
+		return 40, true
+	case TokPlusEq, TokLe:
+		return 50, true
+	}
+	return 0, false
+}
+
+var eventOps = map[string]event.Op{
+	"create": event.OpCreate, "delete": event.OpDelete, "modify": event.OpModify,
+	"generalize": event.OpGeneralize, "specialize": event.OpSpecialize,
+	"select": event.OpSelect, "external": event.OpExternal,
+}
+
+// parseEvent parses an event expression with the Pratt scheme; minBP
+// bounds the infix operators consumed (pass 0 for a full expression, 11
+// to stop at top-level set disjunction commas).
+func (p *parser) parseEvent(minBP int) (calculus.Expr, error) {
+	var left calculus.Expr
+	t := p.peek()
+	switch t.Kind {
+	case TokMinus:
+		p.next()
+		x, err := p.parseEvent(31)
+		if err != nil {
+			return nil, err
+		}
+		left = calculus.Neg(x)
+	case TokMinusEq:
+		p.next()
+		x, err := p.parseEvent(61)
+		if err != nil {
+			return nil, err
+		}
+		left = calculus.NegI(x)
+	case TokLParen:
+		p.next()
+		x, err := p.parseEvent(0)
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(TokRParen); err != nil {
+			return nil, err
+		}
+		left = x
+	case TokKeyword:
+		prim, err := p.parsePrimEvent()
+		if err != nil {
+			return nil, err
+		}
+		left = prim
+	default:
+		return nil, p.errf(t, "expected an event expression, got %s", t)
+	}
+	for {
+		bp, ok := infixPower(p.peek().Kind)
+		if !ok || bp < minBP {
+			return left, nil
+		}
+		op := p.next()
+		right, err := p.parseEvent(bp + 1)
+		if err != nil {
+			return nil, err
+		}
+		switch op.Kind {
+		case TokComma:
+			left = calculus.Disj(left, right)
+		case TokCommaEq:
+			left = calculus.DisjI(left, right)
+		case TokPlus:
+			left = calculus.Conj(left, right)
+		case TokPlusEq:
+			left = calculus.ConjI(left, right)
+		case TokLt:
+			left = calculus.Prec(left, right)
+		case TokLe:
+			left = calculus.PrecI(left, right)
+		}
+	}
+}
+
+// parsePrimEvent parses a primitive event type: an operation keyword
+// optionally followed by (class), (class.attr), or — in a targeted rule
+// — (attr) for modify. A bare operation resolves against the target
+// class.
+func (p *parser) parsePrimEvent() (calculus.Expr, error) {
+	t := p.next()
+	op, ok := eventOps[t.Text]
+	if !ok {
+		return nil, p.errf(t, "%q is not an event operation", t.Text)
+	}
+	if p.peek().Kind != TokLParen {
+		// Bare operation: targeted rules resolve it to the target class.
+		if p.target == "" {
+			return nil, p.errf(t, "event %q needs a class (no rule target in scope)", t.Text)
+		}
+		if op == event.OpModify {
+			return nil, p.errf(t, "modify needs an attribute: modify(attr) or modify(class.attr)")
+		}
+		if op == event.OpExternal {
+			return nil, p.errf(t, "external needs a signal name: external(name)")
+		}
+		return calculus.P(event.T(op, p.target)), nil
+	}
+	p.next() // (
+	first, err := p.expect(TokIdent)
+	if err != nil {
+		return nil, err
+	}
+	var class, attr string
+	if p.peek().Kind == TokDot {
+		p.next()
+		a, err := p.expectName()
+		if err != nil {
+			return nil, err
+		}
+		class, attr = first.Text, a.Text
+	} else if op == event.OpModify {
+		// modify with a single identifier: in a targeted rule it is the
+		// attribute; otherwise it is ambiguous.
+		if p.target == "" {
+			return nil, p.errf(first, "modify(%s) is ambiguous outside a targeted rule; write modify(class.attr)", first.Text)
+		}
+		class, attr = p.target, first.Text
+	} else {
+		class = first.Text
+	}
+	if _, err := p.expect(TokRParen); err != nil {
+		return nil, err
+	}
+	ty := event.Type{Op: op, Class: class, Attr: attr}
+	if err := ty.Valid(); err != nil {
+		return nil, p.errf(t, "%v", err)
+	}
+	return calculus.P(ty), nil
+}
+
+// ParseExpr parses a standalone event expression. target may be empty;
+// when set, bare operation names resolve against it.
+func ParseExpr(src, target string) (calculus.Expr, error) {
+	p, err := newParser(src)
+	if err != nil {
+		return nil, err
+	}
+	p.target = target
+	e, err := p.parseEvent(0)
+	if err != nil {
+		return nil, err
+	}
+	if !p.atEOF() {
+		return nil, p.errf(p.peek(), "unexpected %s after event expression", p.peek())
+	}
+	if err := calculus.Valid(e); err != nil {
+		return nil, err
+	}
+	return e, nil
+}
+
+// --- Conditions -------------------------------------------------------
+
+// parseCondition parses a comma-separated atom conjunction, stopping at
+// the keywords that end the section.
+func (p *parser) parseCondition() (cond.Formula, error) {
+	var f cond.Formula
+	for {
+		a, err := p.parseAtom()
+		if err != nil {
+			return f, err
+		}
+		f.Atoms = append(f.Atoms, a)
+		if p.peek().Kind == TokComma {
+			p.next()
+			continue
+		}
+		return f, nil
+	}
+}
+
+func (p *parser) parseAtom() (cond.Atom, error) {
+	t := p.peek()
+	switch {
+	case t.Is("occurred"):
+		p.next()
+		exprs, idents, err := p.parseEventFormulaArgs()
+		if err != nil {
+			return nil, err
+		}
+		if len(exprs) == 0 || len(idents) != 1 {
+			return nil, p.errf(t, "occurred takes event expressions and one variable")
+		}
+		return cond.Occurred{Event: foldInstanceDisj(exprs), Var: idents[0]}, nil
+	case t.Is("at"):
+		p.next()
+		exprs, idents, err := p.parseEventFormulaArgs()
+		if err != nil {
+			return nil, err
+		}
+		if len(exprs) == 0 || len(idents) != 2 {
+			return nil, p.errf(t, "at takes event expressions, a variable and a time variable")
+		}
+		return cond.At{Event: foldInstanceDisj(exprs), Var: idents[0], TimeVar: idents[1]}, nil
+	case t.Is("holds"):
+		p.next()
+		exprs, idents, err := p.parseEventFormulaArgs()
+		if err != nil {
+			return nil, err
+		}
+		if len(exprs) != 1 || len(idents) != 1 {
+			return nil, p.errf(t, "holds takes one primitive event type and one variable")
+		}
+		prim, ok := exprs[0].(calculus.Prim)
+		if !ok {
+			return nil, p.errf(t, "holds takes a primitive event type")
+		}
+		return cond.Holds{Event: prim.T, Var: idents[0]}, nil
+	case t.Kind == TokIdent && p.peek2().Kind == TokLParen:
+		// class(Var)
+		p.next()
+		p.next() // (
+		v, err := p.expect(TokIdent)
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(TokRParen); err != nil {
+			return nil, err
+		}
+		return cond.Class{Class: t.Text, Var: v.Text}, nil
+	default:
+		l, err := p.parseTerm()
+		if err != nil {
+			return nil, err
+		}
+		opTok := p.next()
+		var op cond.CmpOp
+		switch opTok.Kind {
+		case TokEq:
+			op = cond.CmpEq
+		case TokNe:
+			op = cond.CmpNe
+		case TokLt:
+			op = cond.CmpLt
+		case TokLe:
+			op = cond.CmpLe
+		case TokGt:
+			op = cond.CmpGt
+		case TokGe:
+			op = cond.CmpGe
+		default:
+			return nil, p.errf(opTok, "expected a comparison operator, got %s", opTok)
+		}
+		r, err := p.parseTerm()
+		if err != nil {
+			return nil, err
+		}
+		return cond.Compare{L: l, Op: op, R: r}, nil
+	}
+}
+
+// parseEventFormulaArgs parses the parenthesized argument list of
+// occurred/at/holds: a mix of event expressions and trailing variable
+// identifiers separated by commas.
+func (p *parser) parseEventFormulaArgs() ([]calculus.Expr, []string, error) {
+	if _, err := p.expect(TokLParen); err != nil {
+		return nil, nil, err
+	}
+	var exprs []calculus.Expr
+	var idents []string
+	for {
+		if p.peek().Kind == TokIdent {
+			idents = append(idents, p.next().Text)
+		} else {
+			if len(idents) > 0 {
+				return nil, nil, p.errf(p.peek(), "event expressions must precede the variables")
+			}
+			e, err := p.parseEvent(11) // stop at top-level set commas
+			if err != nil {
+				return nil, nil, err
+			}
+			exprs = append(exprs, e)
+		}
+		switch p.peek().Kind {
+		case TokComma:
+			p.next()
+		case TokRParen:
+			p.next()
+			return exprs, idents, nil
+		default:
+			return nil, nil, p.errf(p.peek(), "expected ',' or ')' in event formula, got %s", p.peek())
+		}
+	}
+}
+
+// foldInstanceDisj combines the comma-separated event expressions of an
+// event formula into one instance-oriented disjunction (original
+// Chimera's occurred(create, modify(attr), X) binds objects affected by
+// either type).
+func foldInstanceDisj(exprs []calculus.Expr) calculus.Expr {
+	e := exprs[0]
+	for _, x := range exprs[1:] {
+		e = calculus.DisjI(e, x)
+	}
+	return e
+}
+
+// --- Terms ------------------------------------------------------------
+
+func (p *parser) parseTerm() (cond.Term, error) {
+	l, err := p.parseFactor()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		switch p.peek().Kind {
+		case TokPlus:
+			p.next()
+			r, err := p.parseFactor()
+			if err != nil {
+				return nil, err
+			}
+			l = cond.Arith{Op: cond.OpAdd, L: l, R: r}
+		case TokMinus:
+			p.next()
+			r, err := p.parseFactor()
+			if err != nil {
+				return nil, err
+			}
+			l = cond.Arith{Op: cond.OpSub, L: l, R: r}
+		default:
+			return l, nil
+		}
+	}
+}
+
+func (p *parser) parseFactor() (cond.Term, error) {
+	l, err := p.parseUnary()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		switch p.peek().Kind {
+		case TokStar:
+			p.next()
+			r, err := p.parseUnary()
+			if err != nil {
+				return nil, err
+			}
+			l = cond.Arith{Op: cond.OpMul, L: l, R: r}
+		case TokSlash:
+			p.next()
+			r, err := p.parseUnary()
+			if err != nil {
+				return nil, err
+			}
+			l = cond.Arith{Op: cond.OpDiv, L: l, R: r}
+		default:
+			return l, nil
+		}
+	}
+}
+
+func (p *parser) parseUnary() (cond.Term, error) {
+	t := p.peek()
+	switch t.Kind {
+	case TokMinus:
+		p.next()
+		x, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		return cond.Arith{Op: cond.OpSub, L: cond.Const{V: types.Int(0)}, R: x}, nil
+	case TokInt:
+		p.next()
+		v, err := strconv.ParseInt(t.Text, 10, 64)
+		if err != nil {
+			return nil, p.errf(t, "bad integer %q", t.Text)
+		}
+		return cond.Const{V: types.Int(v)}, nil
+	case TokFloat:
+		p.next()
+		v, err := strconv.ParseFloat(t.Text, 64)
+		if err != nil {
+			return nil, p.errf(t, "bad float %q", t.Text)
+		}
+		return cond.Const{V: types.Float(v)}, nil
+	case TokString:
+		p.next()
+		return cond.Const{V: types.String_(t.Text)}, nil
+	case TokKeyword:
+		switch t.Text {
+		case "true":
+			p.next()
+			return cond.Const{V: types.Bool(true)}, nil
+		case "false":
+			p.next()
+			return cond.Const{V: types.Bool(false)}, nil
+		case "null":
+			p.next()
+			return cond.Const{V: types.Null}, nil
+		}
+		return nil, p.errf(t, "unexpected %s in term", t)
+	case TokIdent:
+		p.next()
+		if p.peek().Kind == TokDot {
+			p.next()
+			a, err := p.expectName()
+			if err != nil {
+				return nil, err
+			}
+			return cond.Attr{Var: t.Text, Attr: a.Text}, nil
+		}
+		return cond.Var{Name: t.Text}, nil
+	case TokLParen:
+		p.next()
+		x, err := p.parseTerm()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(TokRParen); err != nil {
+			return nil, err
+		}
+		return x, nil
+	}
+	return nil, p.errf(t, "unexpected %s in term", t)
+}
+
+// --- Actions ----------------------------------------------------------
+
+func (p *parser) parseAction() (act.Action, error) {
+	var a act.Action
+	for {
+		s, err := p.parseStatement()
+		if err != nil {
+			return a, err
+		}
+		a.Statements = append(a.Statements, s)
+		if k := p.peek().Kind; k == TokSemi || k == TokComma {
+			p.next()
+			continue
+		}
+		return a, nil
+	}
+}
+
+func (p *parser) parseStatement() (act.Statement, error) {
+	t := p.next()
+	if t.Kind != TokKeyword {
+		return nil, p.errf(t, "expected an action statement, got %s", t)
+	}
+	switch t.Text {
+	case "modify":
+		if _, err := p.expect(TokLParen); err != nil {
+			return nil, err
+		}
+		first, err := p.expect(TokIdent)
+		if err != nil {
+			return nil, err
+		}
+		class, attr := p.target, first.Text
+		if p.peek().Kind == TokDot {
+			p.next()
+			a, err := p.expectName()
+			if err != nil {
+				return nil, err
+			}
+			class, attr = first.Text, a.Text
+		} else if class == "" {
+			return nil, p.errf(first, "modify(%s, ...) is ambiguous outside a targeted rule", first.Text)
+		}
+		if _, err := p.expect(TokComma); err != nil {
+			return nil, err
+		}
+		v, err := p.expect(TokIdent)
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(TokComma); err != nil {
+			return nil, err
+		}
+		val, err := p.parseTerm()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(TokRParen); err != nil {
+			return nil, err
+		}
+		return act.Modify{Class: class, Attr: attr, Var: v.Text, Value: val}, nil
+	case "create":
+		if _, err := p.expect(TokLParen); err != nil {
+			return nil, err
+		}
+		cls, err := p.expect(TokIdent)
+		if err != nil {
+			return nil, err
+		}
+		vals := make(map[string]cond.Term)
+		for p.peek().Kind == TokComma {
+			p.next()
+			name, err := p.expectName()
+			if err != nil {
+				return nil, err
+			}
+			if _, err := p.expect(TokEq); err != nil {
+				return nil, err
+			}
+			v, err := p.parseTerm()
+			if err != nil {
+				return nil, err
+			}
+			vals[name.Text] = v
+		}
+		if _, err := p.expect(TokRParen); err != nil {
+			return nil, err
+		}
+		return act.Create{Class: cls.Text, Vals: vals}, nil
+	case "delete":
+		if _, err := p.expect(TokLParen); err != nil {
+			return nil, err
+		}
+		v, err := p.expect(TokIdent)
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(TokRParen); err != nil {
+			return nil, err
+		}
+		return act.Delete{Var: v.Text}, nil
+	case "specialize", "generalize":
+		if _, err := p.expect(TokLParen); err != nil {
+			return nil, err
+		}
+		v, err := p.expect(TokIdent)
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(TokComma); err != nil {
+			return nil, err
+		}
+		cls, err := p.expect(TokIdent)
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(TokRParen); err != nil {
+			return nil, err
+		}
+		if t.Text == "specialize" {
+			return act.Specialize{Var: v.Text, To: cls.Text}, nil
+		}
+		return act.Generalize{Var: v.Text, To: cls.Text}, nil
+	}
+	return nil, p.errf(t, "unknown action statement %q", t.Text)
+}
+
+// --- Rule definitions -------------------------------------------------
+
+// Rule is a parsed rule: the triggering definition plus condition and
+// action.
+type Rule struct {
+	Def       rules.Def
+	Condition cond.Formula
+	Action    act.Action
+}
+
+// parseRule parses one "define ... end" block; the leading "define" has
+// been consumed.
+func (p *parser) parseRule() (Rule, error) {
+	var r Rule
+	r.Def.Coupling = rules.Immediate
+	r.Def.Consumption = rules.Consuming
+	for {
+		t := p.peek()
+		switch {
+		case t.Is("immediate"):
+			p.next()
+		case t.Is("deferred"):
+			p.next()
+			r.Def.Coupling = rules.Deferred
+		case t.Is("consuming"):
+			p.next()
+		case t.Is("preserving"):
+			p.next()
+			r.Def.Consumption = rules.Preserving
+		default:
+			goto name
+		}
+	}
+name:
+	nameTok, err := p.expect(TokIdent)
+	if err != nil {
+		return r, err
+	}
+	r.Def.Name = nameTok.Text
+	if p.peek().Is("for") {
+		p.next()
+		cls, err := p.expect(TokIdent)
+		if err != nil {
+			return r, err
+		}
+		r.Def.Target = cls.Text
+	}
+	if p.peek().Is("priority") {
+		p.next()
+		n, err := p.expect(TokInt)
+		if err != nil {
+			return r, err
+		}
+		prio, err := strconv.Atoi(n.Text)
+		if err != nil {
+			return r, p.errf(n, "bad priority %q", n.Text)
+		}
+		r.Def.Priority = prio
+	}
+	if _, err := p.expectKeyword("events"); err != nil {
+		return r, err
+	}
+	p.target = r.Def.Target
+	evt, err := p.parseEvent(0)
+	if err != nil {
+		return r, err
+	}
+	r.Def.Event = evt
+	if p.peek().Is("condition") {
+		p.next()
+		f, err := p.parseCondition()
+		if err != nil {
+			return r, err
+		}
+		r.Condition = f
+	}
+	if p.peek().Is("action") {
+		p.next()
+		a, err := p.parseAction()
+		if err != nil {
+			return r, err
+		}
+		r.Action = a
+	}
+	if _, err := p.expectKeyword("end"); err != nil {
+		return r, err
+	}
+	p.target = ""
+	if err := r.Def.Validate(); err != nil {
+		return r, err
+	}
+	return r, nil
+}
+
+// ParseRule parses a single rule definition.
+func ParseRule(src string) (Rule, error) {
+	p, err := newParser(src)
+	if err != nil {
+		return Rule{}, err
+	}
+	if _, err := p.expectKeyword("define"); err != nil {
+		return Rule{}, err
+	}
+	r, err := p.parseRule()
+	if err != nil {
+		return Rule{}, err
+	}
+	if !p.atEOF() {
+		return Rule{}, p.errf(p.peek(), "unexpected %s after rule definition", p.peek())
+	}
+	return r, nil
+}
+
+// --- Class definitions and programs ------------------------------------
+
+// ClassDef is a parsed class definition:
+//
+//	class stock extends item (name: string, quantity: integer)
+type ClassDef struct {
+	Name    string
+	Extends string
+	Attrs   []AttrDef
+}
+
+// AttrDef is one attribute declaration.
+type AttrDef struct {
+	Name string
+	Kind types.Kind
+}
+
+// parseClass parses a class definition; the leading "class" keyword has
+// been consumed.
+func (p *parser) parseClass() (ClassDef, error) {
+	var c ClassDef
+	name, err := p.expect(TokIdent)
+	if err != nil {
+		return c, err
+	}
+	c.Name = name.Text
+	if p.peek().Is("extends") {
+		p.next()
+		sup, err := p.expect(TokIdent)
+		if err != nil {
+			return c, err
+		}
+		c.Extends = sup.Text
+	}
+	if _, err := p.expect(TokLParen); err != nil {
+		return c, err
+	}
+	for p.peek().Kind != TokRParen {
+		a, err := p.expectName()
+		if err != nil {
+			return c, err
+		}
+		if _, err := p.expect(TokColon); err != nil {
+			return c, err
+		}
+		ty, err := p.expect(TokIdent)
+		if err != nil {
+			return c, err
+		}
+		kind, err := types.ParseKind(ty.Text)
+		if err != nil {
+			return c, p.errf(ty, "%v", err)
+		}
+		c.Attrs = append(c.Attrs, AttrDef{Name: a.Text, Kind: kind})
+		if p.peek().Kind == TokComma {
+			p.next()
+		}
+	}
+	p.next() // )
+	return c, nil
+}
+
+// Program is a parsed schema + rule script.
+type Program struct {
+	Classes []ClassDef
+	Rules   []Rule
+}
+
+// ParseProgram parses a script of class and rule definitions.
+func ParseProgram(src string) (Program, error) {
+	p, err := newParser(src)
+	if err != nil {
+		return Program{}, err
+	}
+	var prog Program
+	for !p.atEOF() {
+		t := p.peek()
+		switch {
+		case t.Is("class"):
+			p.next()
+			c, err := p.parseClass()
+			if err != nil {
+				return prog, err
+			}
+			prog.Classes = append(prog.Classes, c)
+		case t.Is("define"):
+			p.next()
+			r, err := p.parseRule()
+			if err != nil {
+				return prog, err
+			}
+			prog.Rules = append(prog.Rules, r)
+		default:
+			return prog, p.errf(t, "expected 'class' or 'define', got %s", t)
+		}
+	}
+	return prog, nil
+}

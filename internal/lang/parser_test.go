@@ -1,0 +1,427 @@
+package lang
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"chimera/internal/act"
+	"chimera/internal/calculus"
+	"chimera/internal/cond"
+	"chimera/internal/event"
+	"chimera/internal/rules"
+	"chimera/internal/types"
+)
+
+func mustExpr(t *testing.T, src, target string) calculus.Expr {
+	t.Helper()
+	e, err := ParseExpr(src, target)
+	if err != nil {
+		t.Fatalf("ParseExpr(%q): %v", src, err)
+	}
+	return e
+}
+
+func TestParseExprBasics(t *testing.T) {
+	A := calculus.P(event.Create("stock"))
+	B := calculus.P(event.Modify("stock", "quantity"))
+	C := calculus.P(event.Delete("stock"))
+	cases := []struct {
+		src  string
+		want calculus.Expr
+	}{
+		{"create(stock)", A},
+		{"create(stock) , modify(stock.quantity)", calculus.Disj(A, B)},
+		{"create(stock) + modify(stock.quantity)", calculus.Conj(A, B)},
+		{"create(stock) < modify(stock.quantity)", calculus.Prec(A, B)},
+		{"-create(stock)", calculus.Neg(A)},
+		{"-=create(stock)", calculus.NegI(A)},
+		{"create(stock) += modify(stock.quantity)", calculus.ConjI(A, B)},
+		{"create(stock) ,= modify(stock.quantity)", calculus.DisjI(A, B)},
+		{"create(stock) <= modify(stock.quantity)", calculus.PrecI(A, B)},
+		// Priorities: conjunction binds tighter than disjunction.
+		{"create(stock) , modify(stock.quantity) + delete(stock)",
+			calculus.Disj(A, calculus.Conj(B, C))},
+		// Parentheses override.
+		{"(create(stock) , modify(stock.quantity)) + delete(stock)",
+			calculus.Conj(calculus.Disj(A, B), C)},
+		// Negation binds tighter than conjunction.
+		{"-create(stock) + delete(stock)", calculus.Conj(calculus.Neg(A), C)},
+		{"-(create(stock) + delete(stock))", calculus.Neg(calculus.Conj(A, C))},
+		// Instance operators bind tighter than set operators.
+		{"create(stock) += modify(stock.quantity) , delete(stock)",
+			calculus.Disj(calculus.ConjI(A, B), C)},
+		// Left associativity.
+		{"create(stock) + modify(stock.quantity) + delete(stock)",
+			calculus.Conj(calculus.Conj(A, B), C)},
+	}
+	for _, c := range cases {
+		got := mustExpr(t, c.src, "")
+		if !calculus.Equal(got, c.want) {
+			t.Errorf("ParseExpr(%q) = %s, want %s", c.src, got, c.want)
+		}
+	}
+}
+
+func TestParseExprTargeted(t *testing.T) {
+	got := mustExpr(t, "create", "stock")
+	if !calculus.Equal(got, calculus.P(event.Create("stock"))) {
+		t.Errorf("targeted bare create = %s", got)
+	}
+	got = mustExpr(t, "modify(quantity)", "stock")
+	if !calculus.Equal(got, calculus.P(event.Modify("stock", "quantity"))) {
+		t.Errorf("targeted modify(attr) = %s", got)
+	}
+}
+
+func TestParseExprErrors(t *testing.T) {
+	bad := []string{
+		"",
+		"create",                      // no target
+		"modify(quantity)",            // ambiguous outside target
+		"create(stock) +",             // dangling operator
+		"create(stock) create(stock)", // missing operator
+		"(create(stock)",              // unbalanced
+		"frobnicate(stock)",           // unknown op keyword (ident)
+		"create(stock) += (create(stock) , delete(stock))", // instance over set
+		"modify(stock)",          // modify without attr
+		"create(stock.quantity)", // create with attr
+	}
+	for _, src := range bad {
+		if _, err := ParseExpr(src, ""); err == nil {
+			t.Errorf("ParseExpr(%q) accepted", src)
+		}
+	}
+}
+
+// Round trip: parsing the String rendering of a random expression yields
+// a structurally identical expression.
+func TestParseStringRoundTrip(t *testing.T) {
+	r := rand.New(rand.NewSource(8))
+	opts := calculus.GenOptions{
+		Types:           calculus.DefaultVocabulary(),
+		MaxDepth:        6,
+		AllowNegation:   true,
+		AllowInstance:   true,
+		AllowPrecedence: true,
+	}
+	for i := 0; i < 500; i++ {
+		e := calculus.GenExpr(r, opts)
+		back, err := ParseExpr(e.String(), "")
+		if err != nil {
+			t.Fatalf("round trip parse of %q: %v", e.String(), err)
+		}
+		if !calculus.Equal(e, back) {
+			t.Fatalf("round trip mismatch:\n  in  %s\n  out %s", e, back)
+		}
+	}
+}
+
+// The paper's Section 2 example rule parses into the expected pieces.
+func TestParseCheckStockQty(t *testing.T) {
+	src := `
+define immediate checkStockQty for stock
+events create
+condition stock(S), occurred(create, S), S.quantity > S.maxquantity
+action modify(stock.quantity, S, S.maxquantity)
+end`
+	r, err := ParseRule(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Def.Name != "checkStockQty" || r.Def.Target != "stock" {
+		t.Errorf("def = %+v", r.Def)
+	}
+	if r.Def.Coupling != rules.Immediate || r.Def.Consumption != rules.Consuming {
+		t.Errorf("modes = %v %v", r.Def.Coupling, r.Def.Consumption)
+	}
+	if !calculus.Equal(r.Def.Event, calculus.P(event.Create("stock"))) {
+		t.Errorf("event = %s", r.Def.Event)
+	}
+	if len(r.Condition.Atoms) != 3 {
+		t.Fatalf("condition = %s", r.Condition)
+	}
+	if _, ok := r.Condition.Atoms[0].(cond.Class); !ok {
+		t.Errorf("atom 0 = %T", r.Condition.Atoms[0])
+	}
+	occ, ok := r.Condition.Atoms[1].(cond.Occurred)
+	if !ok || occ.Var != "S" {
+		t.Errorf("atom 1 = %v", r.Condition.Atoms[1])
+	}
+	cmp, ok := r.Condition.Atoms[2].(cond.Compare)
+	if !ok || cmp.Op != cond.CmpGt {
+		t.Errorf("atom 2 = %v", r.Condition.Atoms[2])
+	}
+	if len(r.Action.Statements) != 1 {
+		t.Fatalf("action = %s", r.Action)
+	}
+	mod, ok := r.Action.Statements[0].(act.Modify)
+	if !ok || mod.Class != "stock" || mod.Attr != "quantity" || mod.Var != "S" {
+		t.Errorf("statement = %v", r.Action.Statements[0])
+	}
+}
+
+func TestParseRuleModesAndPriority(t *testing.T) {
+	src := `
+define deferred preserving audit priority 3
+events create(stock) , delete(stock)
+condition occurred(create(stock), delete(stock), X)
+action delete(X)
+end`
+	r, err := ParseRule(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Def.Coupling != rules.Deferred || r.Def.Consumption != rules.Preserving || r.Def.Priority != 3 {
+		t.Errorf("def = %+v", r.Def)
+	}
+	occ := r.Condition.Atoms[0].(cond.Occurred)
+	// Comma-separated event args fold into an instance disjunction.
+	want := calculus.DisjI(calculus.P(event.Create("stock")), calculus.P(event.Delete("stock")))
+	if !calculus.Equal(occ.Event, want) {
+		t.Errorf("occurred event = %s, want %s", occ.Event, want)
+	}
+}
+
+func TestParseRuleCompositeEventAndAt(t *testing.T) {
+	src := `
+define watch for stock
+events (create < modify(quantity)) + -delete
+condition at(create <= modify(quantity), X, T), T > 5
+action create(log, when = T)
+end`
+	r, err := ParseRule(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantEvt := calculus.Conj(
+		calculus.Prec(calculus.P(event.Create("stock")), calculus.P(event.Modify("stock", "quantity"))),
+		calculus.Neg(calculus.P(event.Delete("stock"))),
+	)
+	if !calculus.Equal(r.Def.Event, wantEvt) {
+		t.Errorf("event = %s, want %s", r.Def.Event, wantEvt)
+	}
+	at, ok := r.Condition.Atoms[0].(cond.At)
+	if !ok || at.Var != "X" || at.TimeVar != "T" {
+		t.Fatalf("at atom = %v", r.Condition.Atoms[0])
+	}
+	cr, ok := r.Action.Statements[0].(act.Create)
+	if !ok || cr.Class != "log" {
+		t.Fatalf("create stmt = %v", r.Action.Statements[0])
+	}
+	if _, ok := cr.Vals["when"].(cond.Var); !ok {
+		t.Errorf("create vals = %v", cr.Vals)
+	}
+}
+
+func TestParseRuleHolds(t *testing.T) {
+	src := `
+define net for stock
+events create
+condition holds(create(stock), X)
+action delete(X)
+end`
+	r, err := ParseRule(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, ok := r.Condition.Atoms[0].(cond.Holds)
+	if !ok || h.Event != event.Create("stock") || h.Var != "X" {
+		t.Fatalf("holds atom = %v", r.Condition.Atoms[0])
+	}
+}
+
+func TestParseRuleErrors(t *testing.T) {
+	bad := []string{
+		"define end",                                               // no name/events
+		"define r events create end",                               // bare create without target
+		"define r for stock events create",                         // missing end
+		"define r for stock events create(show) end",               // target mismatch
+		"define r for stock events create condition action end",    // empty condition
+		"define r for stock events create action explode(X) end",   // unknown statement
+		"define r for stock events create condition stock(S), end", // trailing comma
+	}
+	for _, src := range bad {
+		if _, err := ParseRule(src); err == nil {
+			t.Errorf("ParseRule(%q) accepted", src)
+		}
+	}
+}
+
+func TestParseClassAndProgram(t *testing.T) {
+	src := `
+-- the paper's running schema
+class stock(name: string, quantity: integer, maxquantity: integer)
+class order(item: string)
+class notFilledOrder extends order (missing: integer)
+
+define checkStockQty for stock
+events create
+condition stock(S), occurred(create, S), S.quantity > S.maxquantity
+action modify(stock.quantity, S, S.maxquantity)
+end`
+	prog, err := ParseProgram(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(prog.Classes) != 3 || len(prog.Rules) != 1 {
+		t.Fatalf("program = %d classes, %d rules", len(prog.Classes), len(prog.Rules))
+	}
+	nfo := prog.Classes[2]
+	if nfo.Name != "notFilledOrder" || nfo.Extends != "order" ||
+		len(nfo.Attrs) != 1 || nfo.Attrs[0].Kind != types.KindInt {
+		t.Errorf("class = %+v", nfo)
+	}
+	if prog.Classes[0].Attrs[0].Kind != types.KindString {
+		t.Errorf("stock.name kind = %v", prog.Classes[0].Attrs[0].Kind)
+	}
+}
+
+func TestParseCommands(t *testing.T) {
+	cases := []struct {
+		src  string
+		want string // coarse shape check via type switch below
+	}{
+		{"begin", "begin"},
+		{"commit", "commit"},
+		{"rollback", "rollback"},
+		{`create stock(name = "bolts", quantity = 5)`, "create"},
+		{"modify o3.quantity = 7", "modify"},
+		{"delete o3", "delete"},
+		{"specialize o3, notFilledOrder", "specialize"},
+		{"generalize o3 order", "generalize"},
+		{"select stock", "select"},
+		{"show rules", "show"},
+		{"show o4", "show"},
+		{"drop rule checkStockQty", "drop"},
+	}
+	for _, c := range cases {
+		cmd, err := ParseCommand(c.src)
+		if err != nil {
+			t.Errorf("ParseCommand(%q): %v", c.src, err)
+			continue
+		}
+		var got string
+		switch v := cmd.(type) {
+		case CmdBegin:
+			got = "begin"
+		case CmdCommit:
+			got = "commit"
+		case CmdRollback:
+			got = "rollback"
+		case CmdCreate:
+			got = "create"
+			if v.Class != "stock" || !v.Vals["quantity"].Equal(types.Int(5)) ||
+				v.Vals["name"].AsString() != "bolts" {
+				t.Errorf("CmdCreate = %+v", v)
+			}
+		case CmdModify:
+			got = "modify"
+			if v.OID != 3 || v.Attr != "quantity" || !v.Value.Equal(types.Int(7)) {
+				t.Errorf("CmdModify = %+v", v)
+			}
+		case CmdDelete:
+			got = "delete"
+			if v.OID != 3 {
+				t.Errorf("CmdDelete = %+v", v)
+			}
+		case CmdSpecialize:
+			got = "specialize"
+		case CmdGeneralize:
+			got = "generalize"
+		case CmdSelect:
+			got = "select"
+		case CmdShow:
+			got = "show"
+			if strings.HasPrefix(c.src, "show o") && v.OID != 4 {
+				t.Errorf("CmdShow = %+v", v)
+			}
+		case CmdDropRule:
+			got = "drop"
+			if v.Name != "checkStockQty" {
+				t.Errorf("CmdDropRule = %+v", v)
+			}
+		}
+		if got != c.want {
+			t.Errorf("ParseCommand(%q) = %T", c.src, cmd)
+		}
+	}
+}
+
+func TestParseCommandRuleBlock(t *testing.T) {
+	src := `define r for stock events create condition stock(S) action delete(S) end`
+	cmd, err := ParseCommand(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dr, ok := cmd.(CmdDefineRule)
+	if !ok || dr.Rule.Def.Name != "r" {
+		t.Fatalf("cmd = %+v", cmd)
+	}
+}
+
+func TestParseCommandErrors(t *testing.T) {
+	bad := []string{
+		"",
+		"explode",
+		"create",                // missing class
+		"modify o3.quantity",    // missing value
+		"modify 3quantity = 7",  // bad target
+		"delete X",              // not an OID
+		"show",                  // missing argument
+		"begin extra",           // trailing tokens
+		`create stock(name = )`, // missing literal
+	}
+	for _, src := range bad {
+		if _, err := ParseCommand(src); err == nil {
+			t.Errorf("ParseCommand(%q) accepted", src)
+		}
+	}
+}
+
+func TestLexerBasics(t *testing.T) {
+	toks, err := Lex(`a ,= b += c -= <= >= != -- comment
+"str\"x" 3.5 42`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	kinds := []TokKind{TokIdent, TokCommaEq, TokIdent, TokPlusEq, TokIdent,
+		TokMinusEq, TokLe, TokGe, TokNe, TokString, TokFloat, TokInt, TokEOF}
+	if len(toks) != len(kinds) {
+		t.Fatalf("toks = %v", toks)
+	}
+	for i, k := range kinds {
+		if toks[i].Kind != k {
+			t.Errorf("tok %d = %v, want %v", i, toks[i].Kind, k)
+		}
+	}
+	if toks[9].Text != `str"x` {
+		t.Errorf("string literal = %q", toks[9].Text)
+	}
+	if _, err := Lex(`"unterminated`); err == nil {
+		t.Error("unterminated string accepted")
+	}
+	if _, err := Lex("a # b"); err == nil {
+		t.Error("bad character accepted")
+	}
+}
+
+func TestParseExternalEvents(t *testing.T) {
+	e := mustExpr(t, "external(backup) + -modify(stock.quantity)", "")
+	want := calculus.Conj(
+		calculus.P(event.External("backup")),
+		calculus.Neg(calculus.P(event.Modify("stock", "quantity"))))
+	if !calculus.Equal(e, want) {
+		t.Fatalf("parsed %s", e)
+	}
+	if _, err := ParseExpr("external", "stock"); err == nil {
+		t.Error("bare external accepted")
+	}
+	cmd, err := ParseCommand("raise backup")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r, ok := cmd.(CmdRaise); !ok || r.Signal != "backup" {
+		t.Fatalf("cmd = %#v", cmd)
+	}
+}

@@ -1,0 +1,71 @@
+package lang
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+// The parser must never panic, whatever bytes arrive. Errors are the
+// only acceptable failure mode.
+
+func noPanic(t *testing.T, label, src string) {
+	t.Helper()
+	defer func() {
+		if r := recover(); r != nil {
+			t.Fatalf("%s panicked on %q: %v", label, src, r)
+		}
+	}()
+	ParseExpr(src, "stock")
+	ParseRule(src)
+	ParseProgram(src)
+	ParseCommand(src)
+}
+
+func TestParserNeverPanicsOnRandomBytes(t *testing.T) {
+	r := rand.New(rand.NewSource(99))
+	for i := 0; i < 2000; i++ {
+		n := 1 + r.Intn(60)
+		b := make([]byte, n)
+		for j := range b {
+			b[j] = byte(r.Intn(128))
+		}
+		noPanic(t, "random bytes", string(b))
+	}
+}
+
+// Token soup from the language's own vocabulary hits deeper parser
+// states than raw bytes.
+func TestParserNeverPanicsOnTokenSoup(t *testing.T) {
+	words := []string{
+		"define", "end", "events", "condition", "action", "for", "class",
+		"create", "delete", "modify", "occurred", "at", "holds", "select",
+		"external", "priority", "immediate", "deferred", "preserving",
+		"stock", "S", "T", "o1", "42", "3.5", `"x"`,
+		"(", ")", ",", ",=", "+", "+=", "-", "-=", "<", "<=", ">", ">=",
+		"=", "!=", ".", ";", ":", "*", "/",
+	}
+	r := rand.New(rand.NewSource(7))
+	for i := 0; i < 3000; i++ {
+		n := 1 + r.Intn(25)
+		parts := make([]string, n)
+		for j := range parts {
+			parts[j] = words[r.Intn(len(words))]
+		}
+		noPanic(t, "token soup", strings.Join(parts, " "))
+	}
+}
+
+// Truncations of a valid program must error gracefully, never panic.
+func TestParserNeverPanicsOnTruncations(t *testing.T) {
+	src := `
+class stock(name: string, quantity: integer, maxquantity: integer)
+define immediate checkStockQty for stock priority 2
+events (create < modify(quantity)) + -delete
+condition stock(S), occurred(create, S), S.quantity > S.maxquantity + 1
+action modify(stock.quantity, S, S.maxquantity); delete(S)
+end`
+	for i := 0; i <= len(src); i++ {
+		noPanic(t, "truncation", src[:i])
+	}
+}

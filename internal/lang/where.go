@@ -1,0 +1,68 @@
+package lang
+
+import (
+	"chimera/internal/cond"
+)
+
+// condAtom aliases the condition atom type for CmdSelect's Where field.
+type condAtom = cond.Atom
+
+// parseWhere parses the predicate of "select <class> where ...": a
+// comma-separated conjunction of comparisons whose bare attribute names
+// (quantity > 5) resolve against the implicit object variable.
+func (p *parser) parseWhere(objVar string) ([]cond.Atom, error) {
+	var atoms []cond.Atom
+	for {
+		a, err := p.parseWhereAtom(objVar)
+		if err != nil {
+			return nil, err
+		}
+		atoms = append(atoms, a)
+		if p.peek().Kind == TokComma {
+			p.next()
+			continue
+		}
+		return atoms, nil
+	}
+}
+
+func (p *parser) parseWhereAtom(objVar string) (cond.Atom, error) {
+	l, err := p.parseWhereTerm(objVar)
+	if err != nil {
+		return nil, err
+	}
+	opTok := p.next()
+	var op cond.CmpOp
+	switch opTok.Kind {
+	case TokEq:
+		op = cond.CmpEq
+	case TokNe:
+		op = cond.CmpNe
+	case TokLt:
+		op = cond.CmpLt
+	case TokLe:
+		op = cond.CmpLe
+	case TokGt:
+		op = cond.CmpGt
+	case TokGe:
+		op = cond.CmpGe
+	default:
+		return nil, p.errf(opTok, "expected a comparison in where clause, got %s", opTok)
+	}
+	r, err := p.parseWhereTerm(objVar)
+	if err != nil {
+		return nil, err
+	}
+	return cond.Compare{L: l, Op: op, R: r}, nil
+}
+
+// parseWhereTerm is parseTerm with one twist: a bare identifier denotes
+// an attribute of the implicit object variable rather than a variable.
+func (p *parser) parseWhereTerm(objVar string) (cond.Term, error) {
+	t := p.peek()
+	if t.Kind == TokIdent && p.peek2().Kind != TokDot {
+		p.next()
+		return cond.Attr{Var: objVar, Attr: t.Text}, nil
+	}
+	return p.parseTerm()
+}

@@ -1,0 +1,334 @@
+// Package object implements the Chimera object store: identity-bearing
+// objects with typed attributes, created, modified, deleted and moved
+// along the class hierarchy by the data-manipulation operations that
+// generate Chimera's primitive events.
+//
+// The store is purely a state container: it performs no event logging and
+// no rule processing. The engine package wraps every mutation, stamps it
+// with the logical clock and appends the corresponding occurrence to the
+// Event Base. The store keeps an undo log so the engine can roll a
+// transaction back.
+package object
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"chimera/internal/schema"
+	"chimera/internal/types"
+)
+
+// Object is one stored instance: an OID, its current class, and its
+// attribute values.
+type Object struct {
+	oid   types.OID
+	class *schema.Class
+	attrs map[string]types.Value
+}
+
+// OID returns the object's identity.
+func (o *Object) OID() types.OID { return o.oid }
+
+// Class returns the object's current class.
+func (o *Object) Class() *schema.Class { return o.class }
+
+// Get returns the value of an attribute (types.Null if never set; an
+// error if the class has no such attribute).
+func (o *Object) Get(attr string) (types.Value, error) {
+	if _, ok := o.class.Attr(attr); !ok {
+		return types.Null, fmt.Errorf("object: class %q has no attribute %q", o.class.Name(), attr)
+	}
+	return o.attrs[attr], nil
+}
+
+// MustGet is Get for callers that already validated the attribute.
+func (o *Object) MustGet(attr string) types.Value { return o.attrs[attr] }
+
+// Snapshot returns a copy of the attribute values.
+func (o *Object) Snapshot() map[string]types.Value {
+	m := make(map[string]types.Value, len(o.attrs))
+	for k, v := range o.attrs {
+		m[k] = v
+	}
+	return m
+}
+
+// String renders the object as class(oid){attr: value, ...} with sorted
+// attributes.
+func (o *Object) String() string {
+	keys := make([]string, 0, len(o.attrs))
+	for k := range o.attrs {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	s := fmt.Sprintf("%s(%s){", o.class.Name(), o.oid)
+	for i, k := range keys {
+		if i > 0 {
+			s += ", "
+		}
+		s += fmt.Sprintf("%s: %s", k, o.attrs[k])
+	}
+	return s + "}"
+}
+
+// undoEntry reverses one mutation.
+type undoEntry func(s *Store)
+
+// Mark is a position in the undo log; rolling back to a Mark undoes every
+// mutation performed after it.
+type Mark int
+
+// Store holds all live objects of a database.
+type Store struct {
+	mu      sync.RWMutex
+	schema  *schema.Schema
+	objects map[types.OID]*Object
+	byClass map[string]map[types.OID]*Object
+	nextOID types.OID
+	undo    []undoEntry
+}
+
+// NewStore returns an empty store over the given schema.
+func NewStore(s *schema.Schema) *Store {
+	return &Store{
+		schema:  s,
+		objects: make(map[types.OID]*Object),
+		byClass: make(map[string]map[types.OID]*Object),
+	}
+}
+
+// Schema returns the catalog the store was built over.
+func (s *Store) Schema() *schema.Schema { return s.schema }
+
+// Len returns the number of live objects.
+func (s *Store) Len() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.objects)
+}
+
+// Create instantiates a new object of the named class with the given
+// initial attribute values and returns its OID.
+func (s *Store) Create(class string, vals map[string]types.Value) (types.OID, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	c, ok := s.schema.Class(class)
+	if !ok {
+		return types.NilOID, fmt.Errorf("object: unknown class %q", class)
+	}
+	if err := schema.Validate(c, vals); err != nil {
+		return types.NilOID, err
+	}
+	s.nextOID++
+	oid := s.nextOID
+	attrs := make(map[string]types.Value, len(vals))
+	for k, v := range vals {
+		attrs[k] = v
+	}
+	o := &Object{oid: oid, class: c, attrs: attrs}
+	s.objects[oid] = o
+	s.classSet(c.Name())[oid] = o
+	s.undo = append(s.undo, func(st *Store) {
+		delete(st.objects, oid)
+		delete(st.classSet(c.Name()), oid)
+		st.nextOID-- // creation is always the newest OID at undo time
+	})
+	return oid, nil
+}
+
+// Modify sets one attribute of one object.
+func (s *Store) Modify(oid types.OID, attr string, v types.Value) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	o, ok := s.objects[oid]
+	if !ok {
+		return fmt.Errorf("object: no object %s", oid)
+	}
+	k, ok := o.class.Attr(attr)
+	if !ok {
+		return fmt.Errorf("object: class %q has no attribute %q", o.class.Name(), attr)
+	}
+	if !v.AssignableTo(k) {
+		return fmt.Errorf("object: attribute %s.%s is %s, got %s", o.class.Name(), attr, k, v.Kind())
+	}
+	old, hadOld := o.attrs[attr]
+	o.attrs[attr] = v
+	s.undo = append(s.undo, func(*Store) {
+		if hadOld {
+			o.attrs[attr] = old
+		} else {
+			delete(o.attrs, attr)
+		}
+	})
+	return nil
+}
+
+// Delete removes an object from the store.
+func (s *Store) Delete(oid types.OID) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	o, ok := s.objects[oid]
+	if !ok {
+		return fmt.Errorf("object: no object %s", oid)
+	}
+	delete(s.objects, oid)
+	delete(s.classSet(o.class.Name()), oid)
+	s.undo = append(s.undo, func(st *Store) {
+		st.objects[oid] = o
+		st.classSet(o.class.Name())[oid] = o
+	})
+	return nil
+}
+
+// Specialize moves an object down the hierarchy into sub, which must be a
+// subclass of the object's current class. Attributes are preserved.
+func (s *Store) Specialize(oid types.OID, sub string) error {
+	return s.migrate(oid, sub, true)
+}
+
+// Generalize moves an object up the hierarchy into super, which must be a
+// superclass of the object's current class. Attributes not present in the
+// superclass are dropped.
+func (s *Store) Generalize(oid types.OID, super string) error {
+	return s.migrate(oid, super, false)
+}
+
+func (s *Store) migrate(oid types.OID, to string, down bool) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	o, ok := s.objects[oid]
+	if !ok {
+		return fmt.Errorf("object: no object %s", oid)
+	}
+	target, ok := s.schema.Class(to)
+	if !ok {
+		return fmt.Errorf("object: unknown class %q", to)
+	}
+	if down {
+		if !target.IsA(o.class) {
+			return fmt.Errorf("object: %q is not a subclass of %q", to, o.class.Name())
+		}
+	} else {
+		if !o.class.IsA(target) {
+			return fmt.Errorf("object: %q is not a superclass of %q", to, o.class.Name())
+		}
+	}
+	oldClass, oldAttrs := o.class, o.attrs
+	delete(s.classSet(oldClass.Name()), oid)
+	if !down {
+		// Generalizing drops attributes the superclass lacks.
+		trimmed := make(map[string]types.Value, len(oldAttrs))
+		for k, v := range oldAttrs {
+			if _, ok := target.Attr(k); ok {
+				trimmed[k] = v
+			}
+		}
+		o.attrs = trimmed
+	}
+	o.class = target
+	s.classSet(target.Name())[oid] = o
+	s.undo = append(s.undo, func(st *Store) {
+		delete(st.classSet(target.Name()), oid)
+		o.class = oldClass
+		o.attrs = oldAttrs
+		st.classSet(oldClass.Name())[oid] = o
+	})
+	return nil
+}
+
+// Restore reinstates an object with a fixed OID — used by snapshot
+// loading only. It fails if the OID is already live; the allocator is
+// advanced past the restored OID so later creations stay unique.
+func (s *Store) Restore(oid types.OID, class string, vals map[string]types.Value) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if oid == types.NilOID {
+		return fmt.Errorf("object: cannot restore the nil OID")
+	}
+	if _, dup := s.objects[oid]; dup {
+		return fmt.Errorf("object: OID %s already live", oid)
+	}
+	c, ok := s.schema.Class(class)
+	if !ok {
+		return fmt.Errorf("object: unknown class %q", class)
+	}
+	if err := schema.Validate(c, vals); err != nil {
+		return err
+	}
+	attrs := make(map[string]types.Value, len(vals))
+	for k, v := range vals {
+		attrs[k] = v
+	}
+	o := &Object{oid: oid, class: c, attrs: attrs}
+	s.objects[oid] = o
+	s.classSet(class)[oid] = o
+	if oid > s.nextOID {
+		s.nextOID = oid
+	}
+	return nil
+}
+
+// Get returns the live object with the given OID.
+func (s *Store) Get(oid types.OID) (*Object, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	o, ok := s.objects[oid]
+	return o, ok
+}
+
+// Select returns the OIDs of all live objects whose class is (or
+// specializes) the named class, in ascending OID order — Chimera's
+// set-oriented select. The caller may further filter with a predicate.
+func (s *Store) Select(class string) ([]types.OID, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	target, ok := s.schema.Class(class)
+	if !ok {
+		return nil, fmt.Errorf("object: unknown class %q", class)
+	}
+	var out []types.OID
+	for oid, o := range s.objects {
+		if o.class.IsA(target) {
+			out = append(out, oid)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out, nil
+}
+
+func (s *Store) classSet(name string) map[types.OID]*Object {
+	set := s.byClass[name]
+	if set == nil {
+		set = make(map[types.OID]*Object)
+		s.byClass[name] = set
+	}
+	return set
+}
+
+// MarkUndo returns the current undo position. The engine takes a mark at
+// the start of a transaction and rolls back to it on abort.
+func (s *Store) MarkUndo() Mark {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return Mark(len(s.undo))
+}
+
+// RollbackTo undoes every mutation performed after the mark, newest
+// first.
+func (s *Store) RollbackTo(m Mark) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for i := len(s.undo) - 1; i >= int(m); i-- {
+		s.undo[i](s)
+	}
+	s.undo = s.undo[:m]
+}
+
+// DiscardUndo forgets the undo log up to the current point (after a
+// successful commit the history is no longer needed).
+func (s *Store) DiscardUndo() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.undo = nil
+}

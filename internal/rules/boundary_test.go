@@ -1,0 +1,21 @@
+package rules
+
+import (
+	"testing"
+
+	"chimera/internal/calculus"
+)
+
+// The boundary-only ablation still fires when the expression is active
+// at the check instant itself (positive control for B6).
+func TestBoundaryOnlyPositiveControl(t *testing.T) {
+	s, b, c := newSupport(t, Options{UseFilter: true, BoundaryOnly: true})
+	e := calculus.Conj(calculus.P(createStock), calculus.Neg(calculus.P(modStockQty)))
+	s.Define(Def{Name: "r", Event: e})
+	log(t, s, b, c, createStock, 1) // only A arrives
+	fired := s.CheckTriggered(c.Now())
+	if len(fired) != 1 {
+		st, _ := s.Rule("r")
+		t.Fatalf("fired=%v state=%+v now=%d", fired, st, c.Now())
+	}
+}

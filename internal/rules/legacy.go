@@ -1,0 +1,134 @@
+package rules
+
+import (
+	"fmt"
+	"sync"
+
+	"chimera/internal/calculus"
+	"chimera/internal/clock"
+	"chimera/internal/event"
+)
+
+// LegacySupport reproduces the original Chimera triggering machinery the
+// paper extends: each rule's event part is a plain disjunction of
+// primitive event types ("create, delete, modify(quantity)"), so
+// triggering is a constant-time lookup from the arrived event type to the
+// rules listening for it — no ts evaluation at all.
+//
+// It serves as the baseline of experiment B4: the calculus-based Support
+// run on disjunction-only rule sets must stay in the same cost regime as
+// this special-purpose implementation.
+type LegacySupport struct {
+	mu      sync.Mutex
+	byType  map[event.Type][]*legacyRule
+	rules   map[string]*legacyRule
+	pending []string
+}
+
+type legacyRule struct {
+	name      string
+	triggered bool
+}
+
+// NewLegacySupport builds an empty legacy support.
+func NewLegacySupport() *LegacySupport {
+	return &LegacySupport{
+		byType: make(map[event.Type][]*legacyRule),
+		rules:  make(map[string]*legacyRule),
+	}
+}
+
+// Define registers a rule listening on a disjunction of primitive types.
+// The expression is validated to be disjunction-only (the original
+// Chimera event language).
+func (s *LegacySupport) Define(name string, e calculus.Expr) error {
+	types, err := DisjunctionTypes(e)
+	if err != nil {
+		return fmt.Errorf("rules: legacy rule %q: %w", name, err)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, dup := s.rules[name]; dup {
+		return fmt.Errorf("rules: legacy rule %q already defined", name)
+	}
+	r := &legacyRule{name: name}
+	s.rules[name] = r
+	for _, t := range types {
+		s.byType[t] = append(s.byType[t], r)
+	}
+	return nil
+}
+
+// DisjunctionTypes flattens a disjunction-of-primitives expression into
+// its event types; any other operator is rejected.
+func DisjunctionTypes(e calculus.Expr) ([]event.Type, error) {
+	switch n := e.(type) {
+	case calculus.Prim:
+		return []event.Type{n.T}, nil
+	case calculus.Or:
+		if n.Inst {
+			return nil, fmt.Errorf("instance-oriented disjunction is not legacy Chimera")
+		}
+		l, err := DisjunctionTypes(n.L)
+		if err != nil {
+			return nil, err
+		}
+		r, err := DisjunctionTypes(n.R)
+		if err != nil {
+			return nil, err
+		}
+		return append(l, r...), nil
+	default:
+		return nil, fmt.Errorf("operator %T exceeds the original Chimera event language", e)
+	}
+}
+
+// NotifyArrivals triggers every rule listening on an arrived type.
+func (s *LegacySupport) NotifyArrivals(occs []event.Occurrence) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, occ := range occs {
+		for _, r := range s.byType[occ.Type] {
+			if !r.triggered {
+				r.triggered = true
+				s.pending = append(s.pending, r.name)
+			}
+		}
+	}
+}
+
+// CheckTriggered returns (and clears) the rules newly triggered since the
+// last check. The now parameter exists for interface symmetry with
+// Support.
+func (s *LegacySupport) CheckTriggered(clock.Time) []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := s.pending
+	s.pending = nil
+	return out
+}
+
+// Consider detriggers a rule.
+func (s *LegacySupport) Consider(name string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	r, ok := s.rules[name]
+	if !ok {
+		return fmt.Errorf("rules: no legacy rule %q", name)
+	}
+	r.triggered = false
+	return nil
+}
+
+// TriggeredCount returns how many rules are currently triggered.
+func (s *LegacySupport) TriggeredCount() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	n := 0
+	for _, r := range s.rules {
+		if r.triggered {
+			n++
+		}
+	}
+	return n
+}

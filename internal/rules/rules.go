@@ -1,0 +1,497 @@
+// Package rules implements Chimera's rule-side machinery: rule
+// definitions (triggering event expression, EC coupling mode, event
+// consumption mode, priority, optional class target), the Rule Table of
+// Section 5 (hash access plus a priority queue), and the Trigger Support
+// that maintains each rule's internal state — last consideration, last
+// consumption, triggered flag — and decides triggering with the event
+// calculus.
+//
+// The Trigger Support comes in three configurations used by the
+// benchmark harness:
+//
+//   - the optimized support of Section 5.1, which consults the compiled
+//     V(E) filter and recomputes ts only for rules a new arrival is
+//     relevant to;
+//   - the naive support, which recomputes ts for every non-triggered rule
+//     at every block boundary;
+//   - a boundary-only ablation that evaluates ts at the check instant
+//     instead of probing every arrival (the paper's implementation
+//     sketch, weaker than the formal ∃t' semantics).
+//
+// A LegacySupport reproduces original Chimera (disjunctions of primitive
+// event types, constant-time type lookup) for the comparison baseline.
+package rules
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"chimera/internal/calculus"
+	"chimera/internal/clock"
+	"chimera/internal/event"
+)
+
+// Coupling is the Event-Condition coupling mode of Section 2.
+type Coupling int
+
+const (
+	// Immediate rules are considered as soon as possible after the end of
+	// the non-interruptible block that triggered them.
+	Immediate Coupling = iota
+	// Deferred rules are suspended until the commit command.
+	Deferred
+)
+
+// String returns the Chimera keyword for the coupling mode.
+func (c Coupling) String() string {
+	if c == Deferred {
+		return "deferred"
+	}
+	return "immediate"
+}
+
+// Consumption is the event-consumption mode of Section 2.
+type Consumption int
+
+const (
+	// Consuming rules expose to event formulas only occurrences more
+	// recent than the rule's last consideration.
+	Consuming Consumption = iota
+	// Preserving rules expose every occurrence since the beginning of the
+	// transaction.
+	Preserving
+)
+
+// String returns the Chimera keyword for the consumption mode.
+func (c Consumption) String() string {
+	if c == Preserving {
+		return "preserving"
+	}
+	return "consuming"
+}
+
+// Def is a rule definition as far as triggering is concerned. Conditions
+// and actions live in the engine; the Trigger Support only needs the
+// event expression and the modes.
+type Def struct {
+	Name string
+	// Target optionally scopes the rule to one class: every primitive
+	// event type in Event must then be on that class.
+	Target string
+	// Event is the triggering event expression.
+	Event calculus.Expr
+	// Coupling selects immediate or deferred consideration.
+	Coupling Coupling
+	// Consumption selects the event-formula window.
+	Consumption Consumption
+	// Priority orders triggered rules; smaller numbers are served first,
+	// ties resolve by name for determinism.
+	Priority int
+}
+
+// Validate checks the definition.
+func (d Def) Validate() error {
+	if d.Name == "" {
+		return fmt.Errorf("rules: rule without a name")
+	}
+	if d.Event == nil {
+		return fmt.Errorf("rules: rule %q has no event expression", d.Name)
+	}
+	if err := calculus.Valid(d.Event); err != nil {
+		return fmt.Errorf("rules: rule %q: %w", d.Name, err)
+	}
+	if d.Target != "" {
+		for _, t := range calculus.Primitives(d.Event) {
+			if t.Class != d.Target {
+				return fmt.Errorf("rules: rule %q is targeted to %q but mentions %v",
+					d.Name, d.Target, t)
+			}
+		}
+	}
+	return nil
+}
+
+// State is the Trigger Support's per-rule record: exactly the fields the
+// paper's Section 5 enumerates, plus the compiled V(E) filter and the
+// incremental probe mark.
+type State struct {
+	Def               Def
+	Filter            *calculus.Filter
+	LastConsideration clock.Time
+	Triggered         bool
+	TriggeredAt       clock.Time
+
+	// lastProbe is the newest instant already examined by the ∃t' probe;
+	// earlier instants can never yield a new outcome.
+	lastProbe clock.Time
+	// pending is set when an arrival relevant per the filter has been
+	// seen since the last probe.
+	pending bool
+	// monotone marks negation-free expressions, whose activation never
+	// reverts as time grows: once ts(E, t') turns positive it stays
+	// positive at every later probe, so the ∃t' quantifier collapses to a
+	// single ts evaluation at the check instant. (Negation introduces the
+	// only downward sign transitions; conjunction, disjunction and
+	// precedence over negation-free operands are all monotone in the
+	// growing prefix of R.)
+	monotone bool
+}
+
+// FilterMode selects how the V(E) filter is consulted.
+type FilterMode int
+
+const (
+	// FilterRelevant is the sign-aware filter: an arrival is relevant
+	// only when its type carries a Δ+ or Δ± variation (a pure Δ− arrival
+	// cannot raise ts, so a non-triggered rule skips it).
+	FilterRelevant FilterMode = iota
+	// FilterMentioned is the paper's literal "match V(E)" condition: any
+	// arrival whose type appears in V(E), regardless of sign, forces a
+	// recomputation. Kept as the B7 ablation.
+	FilterMentioned
+)
+
+// Options configures a Support.
+type Options struct {
+	// UseFilter enables the V(E) static optimization; when false every
+	// block boundary recomputes ts for every non-triggered rule.
+	UseFilter bool
+	// FilterMode selects the sign-aware or the mention-only filter
+	// (meaningful only with UseFilter).
+	FilterMode FilterMode
+	// BoundaryOnly replaces the formal ∃t' probe with a single ts
+	// evaluation at the check instant (the ablation of experiment B6).
+	BoundaryOnly bool
+}
+
+// Stats counts the work the Trigger Support performed; the benchmark
+// harness reads them to report the effect of the static optimization.
+type Stats struct {
+	// Checks counts CheckTriggered calls (block boundaries).
+	Checks int64
+	// RulesExamined counts per-rule triggering examinations.
+	RulesExamined int64
+	// RulesSkipped counts rules skipped thanks to the V(E) filter.
+	RulesSkipped int64
+	// TsEvaluations counts full ts(E, t') evaluations.
+	TsEvaluations int64
+	// Triggerings counts transitions into the triggered state.
+	Triggerings int64
+}
+
+// Support is the Trigger Support plus Rule Table.
+type Support struct {
+	mu    sync.Mutex
+	base  *event.Base
+	opts  Options
+	rules map[string]*State
+	// order holds rule names sorted by (priority, name); it is the
+	// priority queue of the paper's Rule Table.
+	order    []string
+	txnStart clock.Time
+	stats    Stats
+	// byType is the inverted listening index: for each primitive event
+	// type, the rules whose V(E) filter an arrival of that type matches.
+	// matchAll holds the rules with vacuously active expressions, which
+	// listen to every arrival. Together they make NotifyArrivals
+	// O(arrivals × listeners hit) instead of O(arrivals × rules).
+	byType   map[event.Type][]*State
+	matchAll []*State
+}
+
+// NewSupport builds a Trigger Support over an Event Base.
+func NewSupport(base *event.Base, opts Options) *Support {
+	return &Support{
+		base:   base,
+		opts:   opts,
+		rules:  make(map[string]*State),
+		byType: make(map[event.Type][]*State),
+	}
+}
+
+// Define registers a rule. The rule starts non-triggered with its
+// consideration horizon at the current transaction start.
+func (s *Support) Define(d Def) error {
+	if err := d.Validate(); err != nil {
+		return err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, dup := s.rules[d.Name]; dup {
+		return fmt.Errorf("rules: rule %q already defined", d.Name)
+	}
+	st := &State{
+		Def:               d,
+		Filter:            calculus.Compile(d.Event),
+		LastConsideration: s.txnStart,
+		lastProbe:         s.txnStart,
+		monotone:          !calculus.ContainsNegation(d.Event),
+	}
+	s.rules[d.Name] = st
+	s.order = append(s.order, d.Name)
+	s.index(st)
+	s.sortQueue()
+	return nil
+}
+
+// index registers the rule in the inverted listening index.
+func (s *Support) index(st *State) {
+	if st.Filter.MatchAll {
+		s.matchAll = append(s.matchAll, st)
+		return
+	}
+	listen := st.Filter.RelevantTypes()
+	if s.opts.FilterMode == FilterMentioned {
+		listen = st.Filter.MentionedTypes()
+	}
+	for _, t := range listen {
+		s.byType[t] = append(s.byType[t], st)
+	}
+}
+
+func (s *Support) unindex(st *State) {
+	drop := func(list []*State) []*State {
+		for i, x := range list {
+			if x == st {
+				return append(list[:i], list[i+1:]...)
+			}
+		}
+		return list
+	}
+	s.matchAll = drop(s.matchAll)
+	for t, list := range s.byType {
+		s.byType[t] = drop(list)
+	}
+}
+
+// Drop removes a rule.
+func (s *Support) Drop(name string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st, ok := s.rules[name]
+	if !ok {
+		return fmt.Errorf("rules: no rule %q", name)
+	}
+	delete(s.rules, name)
+	s.unindex(st)
+	for i, n := range s.order {
+		if n == name {
+			s.order = append(s.order[:i], s.order[i+1:]...)
+			break
+		}
+	}
+	return nil
+}
+
+func (s *Support) sortQueue() {
+	sort.Slice(s.order, func(i, j int) bool {
+		a, b := s.rules[s.order[i]], s.rules[s.order[j]]
+		if a.Def.Priority != b.Def.Priority {
+			return a.Def.Priority < b.Def.Priority
+		}
+		return a.Def.Name < b.Def.Name
+	})
+}
+
+// Rule returns a copy of the rule's state.
+func (s *Support) Rule(name string) (State, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st, ok := s.rules[name]
+	if !ok {
+		return State{}, false
+	}
+	return *st, true
+}
+
+// Rules returns the rule names in priority order.
+func (s *Support) Rules() []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]string(nil), s.order...)
+}
+
+// Stats returns a snapshot of the work counters.
+func (s *Support) Stats() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.stats
+}
+
+// ResetStats zeroes the work counters.
+func (s *Support) ResetStats() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.stats = Stats{}
+}
+
+// BeginTransaction resets every rule's horizon to the new transaction's
+// start instant (the Event Base is per-transaction; the engine supplies a
+// fresh one via Rebind).
+func (s *Support) BeginTransaction(start clock.Time) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.txnStart = start
+	for _, st := range s.rules {
+		st.LastConsideration = start
+		st.lastProbe = start
+		st.Triggered = false
+		st.TriggeredAt = clock.Never
+		st.pending = false
+	}
+}
+
+// Rebind points the support at a new Event Base (a new transaction's
+// log).
+func (s *Support) Rebind(base *event.Base) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.base = base
+}
+
+// TxnStart returns the current transaction's start instant.
+func (s *Support) TxnStart() clock.Time {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.txnStart
+}
+
+// NotifyArrivals tells the support about freshly logged occurrences; with
+// the filter enabled it marks the rules those arrivals are relevant to.
+// This is the Event Handler → Trigger Support hand-off of Section 5.
+func (s *Support) NotifyArrivals(occs []event.Occurrence) {
+	if len(occs) == 0 {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if !s.opts.UseFilter {
+		return
+	}
+	for _, st := range s.matchAll {
+		if !st.Triggered {
+			st.pending = true
+		}
+	}
+	for _, occ := range occs {
+		for _, st := range s.byType[occ.Type] {
+			if !st.pending && !st.Triggered {
+				st.pending = true
+			}
+		}
+	}
+}
+
+// CheckTriggered runs the triggering determination at a block boundary:
+// for every non-triggered rule (skipping, under the optimization, rules
+// with no relevant arrival) it decides T(r, now) and flips the triggered
+// flag. It returns the names of newly triggered rules in priority order.
+func (s *Support) CheckTriggered(now clock.Time) []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.stats.Checks++
+	var fired []string
+	for _, name := range s.order {
+		st := s.rules[name]
+		if st.Triggered {
+			continue
+		}
+		s.stats.RulesExamined++
+		if s.opts.UseFilter && !st.pending {
+			s.stats.RulesSkipped++
+			continue
+		}
+		env := &calculus.Env{Base: s.base, Since: st.LastConsideration, RestrictDomain: true}
+		var ok bool
+		var at clock.Time
+		switch {
+		case s.opts.BoundaryOnly:
+			s.stats.TsEvaluations++
+			if !s.base.Empty(st.LastConsideration, now) && env.TS(st.Def.Event, now).Active() {
+				ok, at = true, now
+			}
+		case st.monotone:
+			// Negation-free: activation is monotone in the probe instant,
+			// so evaluating at now decides ∃t' exactly, in one evaluation.
+			// A positive ts of a negation-free expression also implies R
+			// holds occurrences, so the R ≠ ∅ guard is subsumed.
+			s.stats.TsEvaluations++
+			if v := env.TS(st.Def.Event, now); v.Active() {
+				ok, at = true, v.Time()
+			}
+		default:
+			probeFrom := st.lastProbe
+			arr := s.base.Arrivals(probeFrom, now)
+			s.stats.TsEvaluations += int64(len(arr)) + 1
+			ok, at = env.TriggeredAfter(st.Def.Event, probeFrom, now)
+		}
+		st.lastProbe = now
+		st.pending = false
+		if ok {
+			st.Triggered = true
+			st.TriggeredAt = at
+			s.stats.Triggerings++
+			fired = append(fired, name)
+		}
+	}
+	return fired
+}
+
+// Triggered returns the currently triggered rules in priority order,
+// optionally restricted to one coupling mode.
+func (s *Support) Triggered(filter func(Def) bool) []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var out []string
+	for _, name := range s.order {
+		st := s.rules[name]
+		if st.Triggered && (filter == nil || filter(st.Def)) {
+			out = append(out, name)
+		}
+	}
+	return out
+}
+
+// Pick returns the highest-priority triggered rule passing the filter.
+func (s *Support) Pick(filter func(Def) bool) (string, bool) {
+	if names := s.Triggered(filter); len(names) > 0 {
+		return names[0], true
+	}
+	return "", false
+}
+
+// Consideration is what the engine needs to evaluate a considered rule's
+// condition: the event-formula window and the consideration instant.
+type Consideration struct {
+	Rule Def
+	// Since is the exclusive lower bound of the window event formulas
+	// observe (last consideration for consuming rules, transaction start
+	// for preserving ones).
+	Since clock.Time
+	// At is the consideration instant.
+	At clock.Time
+}
+
+// Consider detriggers the rule and returns the event-formula window. The
+// rule can be triggered again only by occurrences newer than this
+// consideration (Section 2).
+func (s *Support) Consider(name string, now clock.Time) (Consideration, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st, ok := s.rules[name]
+	if !ok {
+		return Consideration{}, fmt.Errorf("rules: no rule %q", name)
+	}
+	since := st.LastConsideration
+	if st.Def.Consumption == Preserving {
+		since = s.txnStart
+	}
+	c := Consideration{Rule: st.Def, Since: since, At: now}
+	st.Triggered = false
+	st.TriggeredAt = clock.Never
+	st.LastConsideration = now
+	st.lastProbe = now
+	st.pending = false
+	return c, nil
+}

@@ -1,0 +1,363 @@
+package rules
+
+import (
+	"math/rand"
+	"testing"
+
+	"chimera/internal/calculus"
+	"chimera/internal/clock"
+	"chimera/internal/event"
+	"chimera/internal/types"
+)
+
+var (
+	createStock = event.Create("stock")
+	modStockQty = event.Modify("stock", "quantity")
+	modShowQty  = event.Modify("show", "quantity")
+)
+
+func newSupport(t *testing.T, opts Options) (*Support, *event.Base, *clock.Clock) {
+	t.Helper()
+	b := event.NewBase()
+	c := clock.New()
+	s := NewSupport(b, opts)
+	s.BeginTransaction(c.Now())
+	return s, b, c
+}
+
+func log(t *testing.T, s *Support, b *event.Base, c *clock.Clock, ty event.Type, oid types.OID) event.Occurrence {
+	t.Helper()
+	occ, err := b.Append(ty, oid, c.Tick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.NotifyArrivals([]event.Occurrence{occ})
+	return occ
+}
+
+func TestDefineValidation(t *testing.T) {
+	s, _, _ := newSupport(t, Options{UseFilter: true})
+	if err := s.Define(Def{Name: "", Event: calculus.P(createStock)}); err == nil {
+		t.Error("unnamed rule accepted")
+	}
+	if err := s.Define(Def{Name: "r"}); err == nil {
+		t.Error("rule without event accepted")
+	}
+	if err := s.Define(Def{Name: "r", Event: calculus.NegI(calculus.Disj(calculus.P(createStock), calculus.P(modStockQty)))}); err == nil {
+		t.Error("invalid expression accepted")
+	}
+	if err := s.Define(Def{Name: "r", Target: "show", Event: calculus.P(createStock)}); err == nil {
+		t.Error("target mismatch accepted")
+	}
+	if err := s.Define(Def{Name: "r", Target: "stock",
+		Event: calculus.Conj(calculus.P(createStock), calculus.P(modStockQty))}); err != nil {
+		t.Errorf("targeted rule rejected: %v", err)
+	}
+	if err := s.Define(Def{Name: "r", Event: calculus.P(createStock)}); err == nil {
+		t.Error("duplicate name accepted")
+	}
+}
+
+func TestBasicTriggerDetriggerCycle(t *testing.T) {
+	s, b, c := newSupport(t, Options{UseFilter: true})
+	if err := s.Define(Def{Name: "onCreate", Event: calculus.P(createStock)}); err != nil {
+		t.Fatal(err)
+	}
+
+	// No events: nothing triggers.
+	if fired := s.CheckTriggered(c.Now()); len(fired) != 0 {
+		t.Fatalf("fired %v with empty base", fired)
+	}
+
+	occ := log(t, s, b, c, createStock, 1)
+	fired := s.CheckTriggered(c.Now())
+	if len(fired) != 1 || fired[0] != "onCreate" {
+		t.Fatalf("fired = %v", fired)
+	}
+	st, _ := s.Rule("onCreate")
+	if !st.Triggered || st.TriggeredAt != occ.Timestamp {
+		t.Fatalf("state = %+v", st)
+	}
+
+	// Triggered rules are not re-examined.
+	log(t, s, b, c, createStock, 2)
+	if fired := s.CheckTriggered(c.Now()); len(fired) != 0 {
+		t.Fatal("already-triggered rule fired again")
+	}
+
+	// Consideration detriggers; old events cannot re-trigger.
+	cons, err := s.Consider("onCreate", c.Tick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cons.Since != 0 {
+		t.Errorf("consuming window since = %d, want 0 (previous consideration)", cons.Since)
+	}
+	if fired := s.CheckTriggered(c.Now()); len(fired) != 0 {
+		t.Fatal("consumed events re-triggered the rule")
+	}
+
+	// A fresh event triggers again.
+	log(t, s, b, c, createStock, 3)
+	if fired := s.CheckTriggered(c.Now()); len(fired) != 1 {
+		t.Fatal("fresh event did not re-trigger")
+	}
+}
+
+func TestPriorityOrder(t *testing.T) {
+	s, b, c := newSupport(t, Options{UseFilter: true})
+	s.Define(Def{Name: "zeta", Priority: 1, Event: calculus.P(createStock)})
+	s.Define(Def{Name: "alpha", Priority: 2, Event: calculus.P(createStock)})
+	s.Define(Def{Name: "beta", Priority: 1, Event: calculus.P(createStock)})
+	log(t, s, b, c, createStock, 1)
+	fired := s.CheckTriggered(c.Now())
+	want := []string{"beta", "zeta", "alpha"} // priority, then name
+	if len(fired) != 3 {
+		t.Fatalf("fired = %v", fired)
+	}
+	for i := range want {
+		if fired[i] != want[i] {
+			t.Fatalf("fired = %v, want %v", fired, want)
+		}
+	}
+	if name, ok := s.Pick(nil); !ok || name != "beta" {
+		t.Fatalf("Pick = %q", name)
+	}
+	// Coupling filter.
+	if _, ok := s.Pick(func(d Def) bool { return d.Coupling == Deferred }); ok {
+		t.Error("Pick found a deferred rule among immediate ones")
+	}
+}
+
+func TestPreservingConsumptionWindow(t *testing.T) {
+	s, b, c := newSupport(t, Options{UseFilter: true})
+	s.Define(Def{Name: "p", Consumption: Preserving, Event: calculus.P(createStock)})
+	log(t, s, b, c, createStock, 1)
+	s.CheckTriggered(c.Now())
+	first, _ := s.Consider("p", c.Tick())
+	if first.Since != 0 {
+		t.Fatalf("first consideration window since = %d", first.Since)
+	}
+	log(t, s, b, c, createStock, 2)
+	s.CheckTriggered(c.Now())
+	second, _ := s.Consider("p", c.Tick())
+	// Preserving: the window still starts at the transaction start.
+	if second.Since != 0 {
+		t.Fatalf("preserving window since = %d, want 0", second.Since)
+	}
+
+	// A consuming rule would instead observe only the suffix.
+	s.Define(Def{Name: "q", Consumption: Consuming, Event: calculus.P(createStock)})
+	log(t, s, b, c, createStock, 3)
+	s.CheckTriggered(c.Now())
+	s.Consider("q", c.Tick())
+	log(t, s, b, c, createStock, 4)
+	s.CheckTriggered(c.Now())
+	cons, _ := s.Consider("q", c.Tick())
+	if cons.Since == 0 {
+		t.Fatal("consuming window should start at the previous consideration")
+	}
+}
+
+func TestFilterSkipsIrrelevantRules(t *testing.T) {
+	s, b, c := newSupport(t, Options{UseFilter: true})
+	s.Define(Def{Name: "stockRule", Event: calculus.P(createStock)})
+	s.Define(Def{Name: "showRule", Event: calculus.P(modShowQty)})
+	log(t, s, b, c, createStock, 1)
+	s.ResetStats()
+	fired := s.CheckTriggered(c.Now())
+	if len(fired) != 1 || fired[0] != "stockRule" {
+		t.Fatalf("fired = %v", fired)
+	}
+	st := s.Stats()
+	if st.RulesSkipped != 1 {
+		t.Errorf("RulesSkipped = %d, want 1 (showRule)", st.RulesSkipped)
+	}
+	// Naive support examines both.
+	n, nb, nc := newSupport(t, Options{})
+	n.Define(Def{Name: "stockRule", Event: calculus.P(createStock)})
+	n.Define(Def{Name: "showRule", Event: calculus.P(modShowQty)})
+	occ, _ := nb.Append(createStock, 1, nc.Tick())
+	n.NotifyArrivals([]event.Occurrence{occ})
+	n.ResetStats()
+	n.CheckTriggered(nc.Now())
+	if got := n.Stats(); got.RulesSkipped != 0 || got.TsEvaluations == 0 {
+		t.Errorf("naive stats = %+v", got)
+	}
+}
+
+// The pure Δ− skip: a rule on A + -B is not recomputed when only B
+// arrives, and that is semantically safe (it could only have gone
+// inactive).
+func TestFilterSkipsPureNegativeArrival(t *testing.T) {
+	s, b, c := newSupport(t, Options{UseFilter: true})
+	e := calculus.Conj(calculus.P(createStock), calculus.Neg(calculus.P(modStockQty)))
+	s.Define(Def{Name: "r", Event: e})
+	log(t, s, b, c, modStockQty, 1) // pure Δ− arrival
+	s.ResetStats()
+	if fired := s.CheckTriggered(c.Now()); len(fired) != 0 {
+		t.Fatal("rule fired on a pure Δ− arrival")
+	}
+	if st := s.Stats(); st.RulesSkipped != 1 {
+		t.Errorf("RulesSkipped = %d, want 1", st.RulesSkipped)
+	}
+	// Then A arrives: the rule must NOT fire (B is already in R at an
+	// earlier instant... B arrived before A, so at probe t_A the negation
+	// is inactive).
+	log(t, s, b, c, createStock, 2)
+	if fired := s.CheckTriggered(c.Now()); len(fired) != 0 {
+		t.Fatal("rule fired although -B is inactive at every probe")
+	}
+}
+
+// The ∃t' probe vs the boundary-only ablation: A then B inside one block.
+func TestBoundaryOnlyMissesTransient(t *testing.T) {
+	e := calculus.Conj(calculus.P(createStock), calculus.Neg(calculus.P(modStockQty)))
+
+	full, fb, fc := newSupport(t, Options{UseFilter: true})
+	full.Define(Def{Name: "r", Event: e})
+	log(t, full, fb, fc, createStock, 1)
+	log(t, full, fb, fc, modStockQty, 1)
+	if fired := full.CheckTriggered(fc.Now()); len(fired) != 1 {
+		t.Fatal("formal semantics should catch the transient activation")
+	}
+
+	bound, bb, bc := newSupport(t, Options{UseFilter: true, BoundaryOnly: true})
+	bound.Define(Def{Name: "r", Event: e})
+	log(t, bound, bb, bc, createStock, 1)
+	log(t, bound, bb, bc, modStockQty, 1)
+	if fired := bound.CheckTriggered(bc.Now()); len(fired) != 0 {
+		t.Fatal("boundary-only ablation unexpectedly caught the transient")
+	}
+}
+
+// Optimized and naive supports agree on which rules trigger, on random
+// workloads — the filter is a pure optimization.
+func TestOptimizedMatchesNaive(t *testing.T) {
+	r := rand.New(rand.NewSource(31))
+	vocab := calculus.DefaultVocabulary()
+	for trial := 0; trial < 60; trial++ {
+		opts := calculus.GenOptions{Types: vocab, MaxDepth: 3,
+			AllowNegation: true, AllowInstance: true, AllowPrecedence: true}
+		defs := make([]Def, 5)
+		for i := range defs {
+			defs[i] = Def{Name: string(rune('a' + i)), Event: calculus.GenExpr(r, opts), Priority: i}
+		}
+		run := func(o Options) [][]string {
+			b := event.NewBase()
+			c := clock.New()
+			s := NewSupport(b, o)
+			s.BeginTransaction(c.Now())
+			for _, d := range defs {
+				if err := s.Define(d); err != nil {
+					t.Fatal(err)
+				}
+			}
+			var rounds [][]string
+			for block := 0; block < 5; block++ {
+				n := 1 + r.Intn(3)
+				var occs []event.Occurrence
+				for i := 0; i < n; i++ {
+					occ, err := b.Append(vocab[r.Intn(len(vocab))], types.OID(1+r.Intn(3)), c.Tick())
+					if err != nil {
+						t.Fatal(err)
+					}
+					occs = append(occs, occ)
+				}
+				s.NotifyArrivals(occs)
+				rounds = append(rounds, s.CheckTriggered(c.Now()))
+				// Occasionally consider the head of the queue.
+				if name, ok := s.Pick(nil); ok && r.Intn(2) == 0 {
+					s.Consider(name, c.Tick())
+				}
+			}
+			return rounds
+		}
+		seed := r.Int63()
+		r = rand.New(rand.NewSource(seed))
+		naive := run(Options{})
+		r = rand.New(rand.NewSource(seed))
+		opt := run(Options{UseFilter: true})
+		for i := range naive {
+			if len(naive[i]) != len(opt[i]) {
+				t.Fatalf("trial %d round %d: naive fired %v, optimized fired %v",
+					trial, i, naive[i], opt[i])
+			}
+			for j := range naive[i] {
+				if naive[i][j] != opt[i][j] {
+					t.Fatalf("trial %d round %d: naive %v vs optimized %v", trial, i, naive[i], opt[i])
+				}
+			}
+		}
+	}
+}
+
+func TestBeginTransactionResets(t *testing.T) {
+	s, b, c := newSupport(t, Options{UseFilter: true})
+	s.Define(Def{Name: "r", Event: calculus.P(createStock)})
+	log(t, s, b, c, createStock, 1)
+	s.CheckTriggered(c.Now())
+	if st, _ := s.Rule("r"); !st.Triggered {
+		t.Fatal("not triggered")
+	}
+	// New transaction: fresh base, reset states.
+	nb := event.NewBase()
+	s.Rebind(nb)
+	s.BeginTransaction(c.Now())
+	if st, _ := s.Rule("r"); st.Triggered {
+		t.Fatal("triggered flag survived transaction boundary")
+	}
+	if fired := s.CheckTriggered(c.Tick()); len(fired) != 0 {
+		t.Fatal("rule fired with no events in the new transaction")
+	}
+}
+
+func TestDrop(t *testing.T) {
+	s, _, _ := newSupport(t, Options{UseFilter: true})
+	s.Define(Def{Name: "r", Event: calculus.P(createStock)})
+	if err := s.Drop("r"); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Drop("r"); err == nil {
+		t.Fatal("double drop accepted")
+	}
+	if got := s.Rules(); len(got) != 0 {
+		t.Fatalf("Rules = %v", got)
+	}
+}
+
+func TestLegacySupport(t *testing.T) {
+	s := NewLegacySupport()
+	e := calculus.DisjAll(calculus.P(createStock), calculus.P(modStockQty))
+	if err := s.Define("r", e); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Define("r", e); err == nil {
+		t.Error("duplicate legacy rule accepted")
+	}
+	if err := s.Define("bad", calculus.Conj(calculus.P(createStock), calculus.P(modStockQty))); err == nil {
+		t.Error("conjunction accepted as legacy")
+	}
+	s.NotifyArrivals([]event.Occurrence{{Type: modStockQty, OID: 1, Timestamp: 1}})
+	fired := s.CheckTriggered(0)
+	if len(fired) != 1 || fired[0] != "r" {
+		t.Fatalf("fired = %v", fired)
+	}
+	if s.TriggeredCount() != 1 {
+		t.Fatal("TriggeredCount != 1")
+	}
+	if err := s.Consider("r"); err != nil {
+		t.Fatal(err)
+	}
+	if s.TriggeredCount() != 0 {
+		t.Fatal("consider did not detrigger")
+	}
+	// Second arrival retriggers.
+	s.NotifyArrivals([]event.Occurrence{{Type: createStock, OID: 2, Timestamp: 2}})
+	if fired := s.CheckTriggered(0); len(fired) != 1 {
+		t.Fatal("legacy rule did not re-trigger")
+	}
+	if err := s.Consider("ghost"); err == nil {
+		t.Error("consider of unknown rule accepted")
+	}
+}

@@ -1,0 +1,340 @@
+// Package shell implements the interactive session logic behind the
+// chimerash command: parsing one command at a time, maintaining the open
+// transaction, and rendering inspection output. It lives outside the
+// main package so the whole REPL surface is unit-testable.
+package shell
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"chimera"
+	"chimera/internal/calculus"
+	"chimera/internal/cond"
+	"chimera/internal/lang"
+)
+
+// Execute additionally understands two session verbs outside the lang
+// grammar: "save <path>" snapshots the database and "load <path>"
+// replaces it with a restored one (both refuse inside a transaction).
+
+// Shell is one interactive session over a database.
+type Shell struct {
+	db  *chimera.DB
+	txn *chimera.Txn
+	out io.Writer
+}
+
+// New builds a session writing its output to out.
+func New(db *chimera.DB, out io.Writer) *Shell {
+	return &Shell{db: db, out: out}
+}
+
+// DB exposes the underlying database.
+func (s *Shell) DB() *chimera.DB { return s.db }
+
+// InTransaction reports whether a transaction is open.
+func (s *Shell) InTransaction() bool { return s.txn != nil }
+
+// Close rolls back any open transaction (used on session exit).
+func (s *Shell) Close() {
+	if s.txn != nil {
+		s.txn.Rollback()
+		s.txn = nil
+	}
+}
+
+// NeedsMore reports whether the accumulated input opens a define block
+// that has not seen its "end" yet — the REPL keeps reading lines until
+// the block closes.
+func NeedsMore(src string) bool {
+	toks, err := lang.Lex(src)
+	if err != nil {
+		return false // let the parser report it
+	}
+	depth := 0
+	for _, t := range toks {
+		if t.Is("define") {
+			depth++
+		}
+		if t.Is("end") {
+			depth--
+		}
+	}
+	return depth > 0
+}
+
+// Help renders the command summary.
+func (s *Shell) Help() {
+	fmt.Fprint(s.out, `commands:
+  class <name> [extends <super>] (attr: type, ...)   define a class
+  define ... end                                     define a rule (paper syntax)
+  drop rule <name>                                   remove a rule
+  begin | commit | rollback                          transaction control
+  create <class>(attr = literal, ...)                create an object
+  modify o<N>.<attr> = literal                       update an attribute
+  delete o<N>                                        delete an object
+  specialize o<N>, <class> / generalize o<N>, <class>
+  select <class> [where attr > 5, ...]               query (generates select events)
+  raise <signal>                                     signal an external event
+  show objects | rules | events | stats | analysis | o<N>   inspect state
+  explain <rule>                                     why is the rule (not) triggered?
+  save <file> / load <file>                          snapshot / restore
+  quit
+Each data command outside begin/commit runs as its own transaction.
+`)
+}
+
+// Execute parses and runs one command (a complete define block counts as
+// one command).
+func (s *Shell) Execute(src string) error {
+	if fields := strings.Fields(src); len(fields) == 2 && fields[0] == "explain" {
+		return s.explain(fields[1])
+	}
+	if fields := strings.Fields(src); len(fields) == 2 &&
+		(fields[0] == "save" || fields[0] == "load") {
+		if s.txn != nil {
+			return fmt.Errorf("%s requires no open transaction", fields[0])
+		}
+		if fields[0] == "save" {
+			if err := chimera.Save(s.db, fields[1]); err != nil {
+				return err
+			}
+			fmt.Fprintf(s.out, "saved to %s\n", fields[1])
+			return nil
+		}
+		db, err := chimera.Restore(fields[1])
+		if err != nil {
+			return err
+		}
+		s.db = db
+		fmt.Fprintf(s.out, "loaded %s\n", fields[1])
+		return nil
+	}
+	cmd, err := lang.ParseCommand(src)
+	if err != nil {
+		return err
+	}
+	switch c := cmd.(type) {
+	case lang.CmdBegin:
+		if s.txn != nil {
+			return fmt.Errorf("transaction already open")
+		}
+		t, err := s.db.Begin()
+		if err != nil {
+			return err
+		}
+		s.txn = t
+		return nil
+	case lang.CmdCommit:
+		if s.txn == nil {
+			return fmt.Errorf("no open transaction")
+		}
+		err := s.txn.Commit()
+		s.txn = nil
+		if err == nil {
+			fmt.Fprintln(s.out, "committed")
+		}
+		return err
+	case lang.CmdRollback:
+		if s.txn == nil {
+			return fmt.Errorf("no open transaction")
+		}
+		err := s.txn.Rollback()
+		s.txn = nil
+		if err == nil {
+			fmt.Fprintln(s.out, "rolled back")
+		}
+		return err
+	case lang.CmdDefineClass:
+		attrs := classAttrs(c.Class)
+		if c.Class.Extends != "" {
+			return s.db.DefineSubclass(c.Class.Name, c.Class.Extends, attrs...)
+		}
+		return s.db.DefineClass(c.Class.Name, attrs...)
+	case lang.CmdDefineRule:
+		return s.db.DefineRule(c.Rule.Def, chimera.Body{
+			Condition: c.Rule.Condition, Action: c.Rule.Action})
+	case lang.CmdDropRule:
+		return s.db.DropRule(c.Name)
+	case lang.CmdShow:
+		return s.show(c)
+	default:
+		return s.inTxn(func(t *chimera.Txn) error { return s.data(t, cmd) })
+	}
+}
+
+// inTxn runs fn inside the open transaction (as one line) or, with no
+// open transaction, inside a fresh single-line transaction.
+func (s *Shell) inTxn(fn func(*chimera.Txn) error) error {
+	if s.txn != nil {
+		if err := fn(s.txn); err != nil {
+			return err
+		}
+		return s.txn.EndLine()
+	}
+	return s.db.Run(fn)
+}
+
+func (s *Shell) data(t *chimera.Txn, cmd lang.Command) error {
+	switch c := cmd.(type) {
+	case lang.CmdCreate:
+		oid, err := t.Create(c.Class, c.Vals)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(s.out, "created %s\n", oid)
+		return nil
+	case lang.CmdModify:
+		return t.Modify(c.OID, c.Attr, c.Value)
+	case lang.CmdDelete:
+		return t.Delete(c.OID)
+	case lang.CmdSpecialize:
+		return t.Specialize(c.OID, c.To)
+	case lang.CmdGeneralize:
+		return t.Generalize(c.OID, c.To)
+	case lang.CmdRaise:
+		if err := t.Raise(c.Signal); err != nil {
+			return err
+		}
+		fmt.Fprintf(s.out, "raised %s\n", c.Signal)
+		return nil
+	case lang.CmdSelect:
+		oids, err := t.Select(c.Class)
+		if err != nil {
+			return err
+		}
+		if len(c.Where) > 0 {
+			// Filter through the condition machinery: seed one binding
+			// per object and run the predicate atoms.
+			ctx := &cond.Ctx{Store: s.db.Store(), Base: t.Base(), At: s.db.Clock().Now()}
+			var bindings []cond.Binding
+			for _, oid := range oids {
+				bindings = append(bindings, cond.Binding{c.Var: chimera.Ref(oid)})
+			}
+			for _, a := range c.Where {
+				if bindings, err = a.Eval(ctx, bindings); err != nil {
+					return err
+				}
+			}
+			oids = oids[:0]
+			for _, b := range bindings {
+				oids = append(oids, b[c.Var].AsOID())
+			}
+		}
+		for _, oid := range oids {
+			if o, ok := t.Get(oid); ok {
+				fmt.Fprintln(s.out, o)
+			}
+		}
+		return nil
+	}
+	return fmt.Errorf("unhandled command %T", cmd)
+}
+
+func (s *Shell) show(c lang.CmdShow) error {
+	switch c.What {
+	case "object":
+		o, ok := s.db.Store().Get(c.OID)
+		if !ok {
+			return fmt.Errorf("no object %s", c.OID)
+		}
+		fmt.Fprintln(s.out, o)
+	case "objects":
+		for _, class := range s.db.Schema().Names() {
+			oids, err := s.db.Store().Select(class)
+			if err != nil {
+				return err
+			}
+			for _, oid := range oids {
+				if o, ok := s.db.Store().Get(oid); ok && o.Class().Name() == class {
+					fmt.Fprintln(s.out, o)
+				}
+			}
+		}
+	case "rules":
+		for _, name := range s.db.Support().Rules() {
+			st, _ := s.db.Support().Rule(name)
+			triggered := ""
+			if st.Triggered {
+				triggered = " TRIGGERED"
+			}
+			filter := st.Filter.Set().String()
+			if st.Filter.MatchAll {
+				filter = "match-all"
+			}
+			fmt.Fprintf(s.out, "%s [%s, %s, priority %d]%s\n  events %s\n  V(E) = %s\n",
+				name, st.Def.Coupling, st.Def.Consumption, st.Def.Priority,
+				triggered, st.Def.Event, filter)
+		}
+	case "events":
+		if s.txn == nil {
+			return fmt.Errorf("event base is per-transaction; open one with begin")
+		}
+		fmt.Fprint(s.out, s.txn.Base().String())
+	case "analysis":
+		fmt.Fprint(s.out, chimera.Analyze(s.db))
+	case "stats":
+		st := s.db.Stats()
+		ts := s.db.Support().Stats()
+		fmt.Fprintf(s.out, "transactions %d, blocks %d, events %d, considerations %d, rule executions %d\n",
+			st.Transactions, st.Blocks, st.Events, st.Considerations, st.RuleExecutions)
+		fmt.Fprintf(s.out, "trigger support: checks %d, examined %d, skipped %d, ts evaluations %d, triggerings %d\n",
+			ts.Checks, ts.RulesExamined, ts.RulesSkipped, ts.TsEvaluations, ts.Triggerings)
+	default:
+		return fmt.Errorf("show what? (rules, objects, events, stats, analysis, o<N>)")
+	}
+	return nil
+}
+
+// explain renders the triggering verdict of one rule against the open
+// transaction's Event Base: the R ≠ ∅ guard, the ∃t' probe, and the
+// per-subexpression ts tree at the decisive instant.
+func (s *Shell) explain(rule string) error {
+	if s.txn == nil {
+		return fmt.Errorf("explain needs an open transaction (the Event Base is per-transaction)")
+	}
+	st, ok := s.db.Support().Rule(rule)
+	if !ok {
+		return fmt.Errorf("no rule %q", rule)
+	}
+	env := &calculus.Env{Base: s.txn.Base(), Since: st.LastConsideration, RestrictDomain: true}
+	fmt.Fprintf(s.out, "rule %s\nevents %s\n", rule, st.Def.Event)
+	fmt.Fprint(s.out, env.ExplainTrigger(st.Def.Event, s.db.Clock().Now()))
+	return nil
+}
+
+func classAttrs(c lang.ClassDef) []chimera.SchemaAttribute {
+	out := make([]chimera.SchemaAttribute, len(c.Attrs))
+	for i, a := range c.Attrs {
+		out[i] = chimera.Attr(a.Name, a.Kind)
+	}
+	return out
+}
+
+// RunScript feeds a multi-line script through the session, accumulating
+// define blocks, and stops at the first error.
+func (s *Shell) RunScript(src string) error {
+	var block strings.Builder
+	for _, line := range strings.Split(src, "\n") {
+		line = strings.TrimSpace(line)
+		if block.Len() == 0 && (line == "" || strings.HasPrefix(line, "--")) {
+			continue
+		}
+		block.WriteString(line)
+		block.WriteString("\n")
+		if NeedsMore(block.String()) {
+			continue
+		}
+		cmd := block.String()
+		block.Reset()
+		if err := s.Execute(cmd); err != nil {
+			return err
+		}
+	}
+	if block.Len() > 0 {
+		return fmt.Errorf("shell: unterminated define block")
+	}
+	return nil
+}

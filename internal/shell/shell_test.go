@@ -1,0 +1,368 @@
+package shell
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"chimera"
+)
+
+func newShell(t *testing.T) (*Shell, *bytes.Buffer) {
+	t.Helper()
+	var buf bytes.Buffer
+	return New(chimera.Open(), &buf), &buf
+}
+
+const setup = `
+class stock(name: string, quantity: integer, maxquantity: integer)
+
+define checkStockQty for stock
+events create
+condition stock(S), occurred(create, S), S.quantity > S.maxquantity
+action modify(stock.quantity, S, S.maxquantity)
+end
+`
+
+func TestScriptEndToEnd(t *testing.T) {
+	sh, out := newShell(t)
+	script := setup + `
+begin
+create stock(name = "bolts", quantity = 99, maxquantity = 40)
+show objects
+commit
+show stats
+`
+	if err := sh.RunScript(script); err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	for _, want := range []string{
+		"created o1",
+		`quantity: 40`, // clamped by the rule before "show objects" ran
+		"committed",
+		"rule executions 1",
+	} {
+		if !strings.Contains(got, want) {
+			t.Errorf("output missing %q:\n%s", want, got)
+		}
+	}
+}
+
+func TestAutoCommitOutsideTransaction(t *testing.T) {
+	sh, _ := newShell(t)
+	if err := sh.RunScript(setup); err != nil {
+		t.Fatal(err)
+	}
+	// A bare data command runs in its own transaction.
+	if err := sh.Execute(`create stock(name = "x", quantity = 90, maxquantity = 10)`); err != nil {
+		t.Fatal(err)
+	}
+	if sh.InTransaction() {
+		t.Fatal("auto-commit left a transaction open")
+	}
+	oids, _ := sh.DB().Store().Select("stock")
+	if len(oids) != 1 {
+		t.Fatalf("objects = %v", oids)
+	}
+	o, _ := sh.DB().Store().Get(oids[0])
+	if o.MustGet("quantity").AsInt() != 10 {
+		t.Error("rule did not run in the auto transaction")
+	}
+}
+
+func TestRollbackDiscards(t *testing.T) {
+	sh, _ := newShell(t)
+	if err := sh.RunScript(setup + `
+begin
+create stock(name = "y", quantity = 5, maxquantity = 10)
+rollback
+`); err != nil {
+		t.Fatal(err)
+	}
+	if sh.DB().Store().Len() != 0 {
+		t.Fatal("rollback kept objects")
+	}
+}
+
+func TestModifyDeleteSelect(t *testing.T) {
+	sh, out := newShell(t)
+	if err := sh.RunScript(setup + `
+begin
+create stock(name = "a", quantity = 1, maxquantity = 10)
+create stock(name = "b", quantity = 2, maxquantity = 10)
+modify o1.quantity = 7
+select stock
+delete o2
+commit
+`); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "quantity: 7") {
+		t.Errorf("select output missing modified value:\n%s", out.String())
+	}
+	if sh.DB().Store().Len() != 1 {
+		t.Fatal("delete did not apply")
+	}
+}
+
+func TestShowRulesAndEvents(t *testing.T) {
+	sh, out := newShell(t)
+	if err := sh.RunScript(setup); err != nil {
+		t.Fatal(err)
+	}
+	if err := sh.Execute("show rules"); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "checkStockQty [immediate, consuming, priority 0]") {
+		t.Errorf("show rules output:\n%s", out.String())
+	}
+	if !strings.Contains(out.String(), "V(E)") {
+		t.Error("show rules must print the compiled variation set")
+	}
+	// show events requires a transaction.
+	if err := sh.Execute("show events"); err == nil {
+		t.Error("show events outside a transaction accepted")
+	}
+	out.Reset()
+	if err := sh.RunScript("begin\ncreate stock(quantity = 1, maxquantity = 5)\nshow events\nrollback"); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "create(stock)") {
+		t.Errorf("show events output:\n%s", out.String())
+	}
+}
+
+func TestShowObject(t *testing.T) {
+	sh, out := newShell(t)
+	sh.RunScript(setup)
+	sh.Execute(`create stock(name = "z", quantity = 3, maxquantity = 5)`)
+	out.Reset()
+	if err := sh.Execute("show o1"); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), `name: "z"`) {
+		t.Errorf("show o1 output:\n%s", out.String())
+	}
+	if err := sh.Execute("show o99"); err == nil {
+		t.Error("show of missing object accepted")
+	}
+}
+
+func TestDropRule(t *testing.T) {
+	sh, _ := newShell(t)
+	sh.RunScript(setup)
+	if err := sh.Execute("drop rule checkStockQty"); err != nil {
+		t.Fatal(err)
+	}
+	if err := sh.Execute(`create stock(quantity = 99, maxquantity = 1)`); err != nil {
+		t.Fatal(err)
+	}
+	o, _ := sh.DB().Store().Get(1)
+	if o.MustGet("quantity").AsInt() != 99 {
+		t.Error("dropped rule still ran")
+	}
+	if err := sh.Execute("drop rule checkStockQty"); err == nil {
+		t.Error("double drop accepted")
+	}
+}
+
+func TestShellErrors(t *testing.T) {
+	sh, _ := newShell(t)
+	sh.RunScript(setup)
+	cases := []string{
+		"commit",                  // no transaction
+		"rollback",                // no transaction
+		"begin extra",             // trailing garbage
+		"create ghost",            // unknown class
+		"modify o9.x = 1",         // missing object
+		"show nonsense",           // unknown inspection
+		"frobnicate",              // unknown command
+		"class stock(a: integer)", // duplicate class
+	}
+	for _, src := range cases {
+		if err := sh.Execute(src); err == nil {
+			t.Errorf("Execute(%q) accepted", src)
+		}
+	}
+	// begin twice.
+	if err := sh.Execute("begin"); err != nil {
+		t.Fatal(err)
+	}
+	if err := sh.Execute("begin"); err == nil {
+		t.Error("nested begin accepted")
+	}
+	sh.Close()
+	if sh.InTransaction() {
+		t.Error("Close left the transaction open")
+	}
+}
+
+func TestNeedsMore(t *testing.T) {
+	if !NeedsMore("define r for stock\nevents create\n") {
+		t.Error("open define block not detected")
+	}
+	if NeedsMore("define r for stock events create end") {
+		t.Error("closed block reported open")
+	}
+	if NeedsMore("create stock(quantity = 1)") {
+		t.Error("plain command reported open")
+	}
+}
+
+func TestUnterminatedScript(t *testing.T) {
+	sh, _ := newShell(t)
+	err := sh.RunScript("class stock(a: integer)\ndefine r for stock\nevents create\n")
+	if err == nil || !strings.Contains(err.Error(), "unterminated") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestSaveLoadCommands(t *testing.T) {
+	sh, out := newShell(t)
+	sh.RunScript(setup)
+	sh.Execute(`create stock(name = "k", quantity = 3, maxquantity = 5)`)
+	path := t.TempDir() + "/snap.json"
+	if err := sh.Execute("save " + path); err != nil {
+		t.Fatal(err)
+	}
+	// Mutate, then load the snapshot back: the mutation is gone.
+	sh.Execute("delete o1")
+	if sh.DB().Store().Len() != 0 {
+		t.Fatal("delete did not apply")
+	}
+	if err := sh.Execute("load " + path); err != nil {
+		t.Fatal(err)
+	}
+	if sh.DB().Store().Len() != 1 {
+		t.Fatal("load did not restore the object")
+	}
+	// The restored rule set still runs.
+	out.Reset()
+	if err := sh.Execute("show rules"); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "checkStockQty") {
+		t.Error("restored database lost the rule")
+	}
+	// Guard rails.
+	sh.Execute("begin")
+	if err := sh.Execute("save " + path); err == nil {
+		t.Error("save inside a transaction accepted")
+	}
+	sh.Execute("rollback")
+	if err := sh.Execute("load /nonexistent/x.json"); err == nil {
+		t.Error("load of missing file accepted")
+	}
+}
+
+func TestShowAnalysis(t *testing.T) {
+	sh, out := newShell(t)
+	sh.RunScript(setup)
+	if err := sh.Execute("show analysis"); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "terminates (acyclic triggering graph)") {
+		t.Errorf("analysis output:\n%s", out.String())
+	}
+	// A self-feeding rule flips the verdict.
+	if err := sh.Execute(`define loop for stock
+events create
+condition occurred(create, S)
+action create(stock, quantity = 1)
+end`); err != nil {
+		t.Fatal(err)
+	}
+	out.Reset()
+	sh.Execute("show analysis")
+	if !strings.Contains(out.String(), "POTENTIALLY NON-TERMINATING") {
+		t.Errorf("analysis output:\n%s", out.String())
+	}
+}
+
+func TestSelectWhere(t *testing.T) {
+	sh, out := newShell(t)
+	sh.RunScript(setup)
+	sh.RunScript(`
+begin
+create stock(name = "a", quantity = 5, maxquantity = 10)
+create stock(name = "b", quantity = 20, maxquantity = 30)
+create stock(name = "c", quantity = 30, maxquantity = 30)
+commit`)
+	out.Reset()
+	if err := sh.Execute("select stock where quantity > 5, quantity < maxquantity"); err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	if !strings.Contains(got, `name: "b"`) {
+		t.Errorf("where clause missed b:\n%s", got)
+	}
+	if strings.Contains(got, `name: "a"`) || strings.Contains(got, `name: "c"`) {
+		t.Errorf("where clause leaked rows:\n%s", got)
+	}
+	// Bad predicates error.
+	if err := sh.Execute("select stock where ghost > 5"); err == nil {
+		t.Error("unknown attribute in where accepted")
+	}
+	if err := sh.Execute("select stock where quantity >"); err == nil {
+		t.Error("dangling comparison accepted")
+	}
+}
+
+func TestExplainCommand(t *testing.T) {
+	sh, out := newShell(t)
+	sh.RunScript(setup)
+	if err := sh.Execute("explain checkStockQty"); err == nil {
+		t.Error("explain outside a transaction accepted")
+	}
+	sh.Execute("begin")
+	sh.Execute(`create stock(name = "e", quantity = 99, maxquantity = 5)`)
+	out.Reset()
+	if err := sh.Execute("explain checkStockQty"); err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	// The rule was already considered at the end of the create line, so
+	// its window is empty again.
+	if !strings.Contains(got, "rule checkStockQty") || !strings.Contains(got, "window R") {
+		t.Errorf("explain output:\n%s", got)
+	}
+	if err := sh.Execute("explain ghost"); err == nil {
+		t.Error("explain of unknown rule accepted")
+	}
+	sh.Execute("rollback")
+}
+
+// Golden sessions: scripted inputs under testdata/ must produce exactly
+// the recorded output.
+func TestGoldenSessions(t *testing.T) {
+	sessions, err := filepath.Glob("testdata/*.session")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sessions) < 3 {
+		t.Fatalf("golden corpus missing (found %d sessions)", len(sessions))
+	}
+	for _, session := range sessions {
+		session := session
+		t.Run(filepath.Base(session), func(t *testing.T) {
+			script, err := os.ReadFile(session)
+			if err != nil {
+				t.Fatal(err)
+			}
+			golden, err := os.ReadFile(strings.TrimSuffix(session, ".session") + ".golden")
+			if err != nil {
+				t.Fatal(err)
+			}
+			sh, out := newShell(t)
+			if err := sh.RunScript(string(script)); err != nil {
+				t.Fatalf("session error: %v\noutput so far:\n%s", err, out.String())
+			}
+			if got := out.String(); got != string(golden) {
+				t.Errorf("golden mismatch:\n--- got\n%s--- want\n%s", got, golden)
+			}
+		})
+	}
+}

@@ -1,0 +1,102 @@
+package spec
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// Every spec file under testdata/ must parse and pass.
+func TestConformanceSpecs(t *testing.T) {
+	files, err := filepath.Glob("testdata/*.spec")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(files) < 5 {
+		t.Fatalf("expected the conformance corpus, found %d files", len(files))
+	}
+	for _, f := range files {
+		f := f
+		t.Run(filepath.Base(f), func(t *testing.T) {
+			sc, err := ParseFile(f)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(sc.Directives) == 0 {
+				t.Fatal("spec has no assertions")
+			}
+			fails, err := sc.Run()
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, fl := range fails {
+				t.Errorf("%s:%d: %s", f, fl.Line, fl.Msg)
+			}
+		})
+	}
+}
+
+func writeSpec(t *testing.T, body string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "x.spec")
+	if err := os.WriteFile(path, []byte(body), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestSpecParserErrors(t *testing.T) {
+	bad := []string{
+		"frobnicate 1",                               // unknown directive
+		"history create(stock)",                      // missing @
+		"history create(stock)@1",                    // missing :oid
+		"history create(stock)@x:o1",                 // bad instant
+		"history create(stock) , delete(stock)@1:o1", // not primitive
+		"ts create(stock) = 5",                       // missing @t
+		"ts create(stock) @5 = yes",                  // non-integer want
+		"active create(stock) @5 = maybe",            // non-bool want
+		"trigger create(stock) = none",               // missing now=
+		"trigger create(stock) now=5 = fired@x",      // bad fired instant
+		"times create(stock) @5 = t1",                // missing obj=
+		"ts create( @5 = 1",                          // bad expression
+		"active create(stock) @5",                    // missing =
+	}
+	for _, body := range bad {
+		if _, err := ParseFile(writeSpec(t, body)); err == nil {
+			t.Errorf("ParseFile accepted %q", body)
+		}
+	}
+}
+
+func TestSpecFailureReporting(t *testing.T) {
+	path := writeSpec(t, `
+history create(stock)@10:o1
+ts create(stock) @10 = 99
+active create(stock) @10 = false
+trigger create(stock) now=10 = fired@3
+affected create(stock) @10 = o7
+times create(stock) obj=o1 @10 = t4
+`)
+	sc, err := ParseFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fails, err := sc.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fails) != 5 {
+		t.Fatalf("expected 5 failures, got %d: %v", len(fails), fails)
+	}
+}
+
+func TestSpecNonMonotoneHistory(t *testing.T) {
+	path := writeSpec(t, "history create(stock)@10:o1 create(stock)@5:o2\nts create(stock) @10 = 10")
+	sc, err := ParseFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sc.Run(); err == nil {
+		t.Fatal("non-monotone history accepted")
+	}
+}
