@@ -1,0 +1,26 @@
+GO ?= go
+
+.PHONY: build test race vet bench verify
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# The -race run covers the concurrent Trigger Support stress test
+# (TestSupportConcurrentAccess) and the sharded/incremental differential
+# suites; it is part of the tier-1 verification.
+race:
+	$(GO) test -race ./...
+
+vet:
+	$(GO) vet ./...
+
+# Full measured-experiment sweep (B1..B8); BENCH_trigger.json holds the
+# machine-readable B8 results.
+bench:
+	$(GO) run ./cmd/chimera-bench
+	$(GO) run ./cmd/chimera-bench -json BENCH_trigger.json >/dev/null
+
+verify: build test race vet

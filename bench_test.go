@@ -196,6 +196,49 @@ func BenchmarkExistsProbe(b *testing.B) {
 	}
 }
 
+// B8 — trigger determination through the sequential reference support
+// vs the sharded + incremental configuration.
+func BenchmarkShardedSupport(b *testing.B) {
+	vocab := workload.Vocabulary(32)
+	r := rand.New(rand.NewSource(41))
+	defs := make([]rules.Def, 1000)
+	for i := range defs {
+		defs[i] = rules.Def{
+			Name: fmt.Sprintf("r%05d", i),
+			Event: calculus.Conj(
+				calculus.P(vocab[r.Intn(len(vocab))]),
+				calculus.Neg(calculus.P(vocab[r.Intn(len(vocab))]))),
+			Priority: i,
+		}
+	}
+	for _, mode := range []struct {
+		name string
+		opts rules.Options
+	}{
+		{"sequential", rules.Options{UseFilter: true}},
+		{"incremental", rules.Options{UseFilter: true, Incremental: true}},
+		{"sharded-4", rules.Options{UseFilter: true, Incremental: true, Workers: 4}},
+	} {
+		b.Run(mode.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				c := clock.New()
+				base := event.NewBase()
+				s := rules.NewSupport(base, mode.opts)
+				s.BeginTransaction(c.Now())
+				for _, d := range defs {
+					if err := s.Define(d); err != nil {
+						b.Fatal(err)
+					}
+				}
+				stream := workload.Stream(rand.New(rand.NewSource(42)), c, base, workload.StreamOptions{
+					Blocks: 20, EventsPerBlock: 12, Objects: 16, Vocab: vocab,
+				})
+				workload.Drive(s, c, stream, true)
+			}
+		})
+	}
+}
+
 // Figure 5 regeneration cost (the six sampled ts curves).
 func BenchmarkFigure5Series(b *testing.B) {
 	for i := 0; i < b.N; i++ {

@@ -1,14 +1,16 @@
 // Command chimera-bench runs the measured experiments of EXPERIMENTS.md
-// (B1..B6) and prints their tables. Each experiment exercises a
+// (B1..B8) and prints their tables. Each experiment exercises a
 // performance claim Section 5 of the paper makes qualitatively.
 //
 // Usage:
 //
-//	chimera-bench              # run everything
-//	chimera-bench -exp B1      # run one experiment
+//	chimera-bench                          # run everything
+//	chimera-bench -exp B1                  # run one experiment
+//	chimera-bench -exp B8 -json out.json   # machine-readable B8 results
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -17,8 +19,9 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "", "experiment id (B1..B7); empty runs all")
+	exp := flag.String("exp", "", "experiment id (B1..B8); empty runs all")
 	format := flag.String("format", "table", "output format: table or csv")
+	jsonOut := flag.String("json", "", "write machine-readable B8 results to this file (implies -exp B8)")
 	flag.Parse()
 
 	render := func(t bench.Table) string {
@@ -26,6 +29,20 @@ func main() {
 			return "# " + t.ID + " — " + t.Title + "\n" + t.CSV()
 		}
 		return t.String()
+	}
+	if *jsonOut != "" {
+		results := bench.B8Results()
+		data, err := json.MarshalIndent(results, "", "  ")
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "chimera-bench: %v\n", err)
+			os.Exit(1)
+		}
+		if err := os.WriteFile(*jsonOut, append(data, '\n'), 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "chimera-bench: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Println(render(bench.B8FromResults(results)))
+		return
 	}
 	if *exp == "" {
 		for _, t := range bench.All() {
@@ -35,7 +52,7 @@ func main() {
 	}
 	t, ok := bench.ByID(*exp)
 	if !ok {
-		fmt.Fprintf(os.Stderr, "chimera-bench: unknown experiment %q (B1..B7)\n", *exp)
+		fmt.Fprintf(os.Stderr, "chimera-bench: unknown experiment %q (B1..B8)\n", *exp)
 		os.Exit(1)
 	}
 	fmt.Println(render(t))

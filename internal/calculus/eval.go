@@ -52,6 +52,14 @@ type Env struct {
 	// evaluation cheaper on wide transactions; TestLiftDomainRestriction
 	// checks the sign-equivalence property.
 	RestrictDomain bool
+
+	// Scratch buffers recycled across evaluations, so that the hot probe
+	// loops of the Trigger Support allocate nothing in steady state. They
+	// make an Env stateful: one Env must not be shared between goroutines
+	// (the sharded Trigger Support keeps one per worker). The zero value
+	// is ready to use — buffers grow on first need and are then reused.
+	oidBuf  []types.OID
+	timeBuf []clock.Time
 }
 
 // TS evaluates the set-oriented ts(e, t) over R = (env.Since, t].
@@ -144,10 +152,23 @@ func (env *Env) OTS(e Expr, t clock.Time, oid types.OID) TS {
 // the unsafe shapes (e.g. -=(-=A), or A ,= -=B) the full object domain
 // of R is used.
 func (env *Env) domain(e Expr, t clock.Time) []types.OID {
-	if env.RestrictDomain && restrictionSafe(e) {
-		return env.Base.OIDsOfTypes(Primitives(e), env.Since, t)
+	return env.domainCached(e, nil, restrictionSafe(e), t)
+}
+
+// domainCached is domain with the expression's primitive types and
+// restriction safety precomputed (nil prims means "compute on demand").
+// The result aliases env.oidBuf: it is valid until the next domain call
+// on this Env and must not be retained.
+func (env *Env) domainCached(e Expr, prims []event.Type, safe bool, t clock.Time) []types.OID {
+	if env.RestrictDomain && safe {
+		if prims == nil {
+			prims = Primitives(e)
+		}
+		env.oidBuf = env.Base.AppendOIDsOfTypes(env.oidBuf[:0], prims, env.Since, t)
+	} else {
+		env.oidBuf = env.Base.AppendOIDs(env.oidBuf[:0], env.Since, t)
 	}
-	return env.Base.OIDs(env.Since, t)
+	return env.oidBuf
 }
 
 // restrictionSafe reports whether dropping untouched objects from the
@@ -176,7 +197,14 @@ func restrictionSafe(e Expr) bool {
 //
 // See DESIGN.md §5.1 for why the prose of Section 3.2 forces this pairing.
 func (env *Env) lift(e Expr, t clock.Time) TS {
-	oids := env.domain(e, t)
+	return env.liftCached(e, nil, restrictionSafe(e), t)
+}
+
+// liftCached is lift with the domain parameters precomputed; the
+// incremental sweep calls it with the per-node cache so repeated probes
+// do not re-derive the primitive set.
+func (env *Env) liftCached(e Expr, prims []event.Type, safe bool, t clock.Time) TS {
+	oids := env.domainCached(e, prims, safe, t)
 	if n, ok := e.(Not); ok && n.Inst {
 		if len(oids) == 0 {
 			return TS(t)
@@ -231,7 +259,8 @@ func (env *Env) TriggeredAfter(e Expr, afterProbe, now clock.Time) (bool, clock.
 	if lo < env.Since {
 		lo = env.Since
 	}
-	for _, t := range env.Base.Arrivals(lo, now) {
+	env.timeBuf = env.Base.AppendArrivals(env.timeBuf[:0], lo, now)
+	for _, t := range env.timeBuf {
 		if env.TS(e, t).Active() {
 			return true, t
 		}
@@ -265,7 +294,8 @@ func (env *Env) AffectedObjects(e Expr, t clock.Time) []types.OID {
 // as activation time stamp).
 func (env *Env) ActivationTimes(e Expr, t clock.Time, oid types.OID) []clock.Time {
 	var out []clock.Time
-	for _, at := range env.Base.Arrivals(env.Since, t) {
+	env.timeBuf = env.Base.AppendArrivals(env.timeBuf[:0], env.Since, t)
+	for _, at := range env.timeBuf {
 		if env.OTS(e, at, oid) == TS(at) {
 			out = append(out, at)
 		}

@@ -1,0 +1,137 @@
+package calculus
+
+import (
+	"math/rand"
+	"testing"
+
+	"chimera/internal/clock"
+	"chimera/internal/event"
+)
+
+// The incremental sweep must report exactly what the recursive reference
+// probe reports: same fired/not-fired outcome, same earliest activation
+// instant, across incremental checkpoints that advance the probe horizon
+// the way CheckTriggered does.
+func TestSweeperMatchesReference(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	vocab := DefaultVocabulary()
+	for _, restrict := range []bool{true, false} {
+		for trial := 0; trial < 250; trial++ {
+			e := GenExpr(r, GenOptions{Types: vocab, MaxDepth: 4,
+				AllowNegation: true, AllowInstance: true, AllowPrecedence: true})
+			c := clock.New()
+			base, final := GenHistory(r, c, HistoryOptions{Types: vocab, Objects: 3, Events: 12})
+			arr := base.Arrivals(clock.Never, final)
+
+			// The window sometimes starts mid-history, as after a
+			// consideration: arrivals at or before since are invisible.
+			since := clock.Time(0)
+			if len(arr) > 0 && r.Intn(2) == 0 {
+				since = arr[r.Intn(len(arr))]
+			}
+
+			// Checkpoints: a random increasing subsequence of the arrival
+			// instants past since, always ending strictly after the last
+			// arrival.
+			var checks []clock.Time
+			for _, a := range arr {
+				if a > since && r.Intn(3) == 0 {
+					checks = append(checks, a)
+				}
+			}
+			checks = append(checks, final)
+
+			refEnv := &Env{Base: base, Since: since, RestrictDomain: restrict}
+			swEnv := &Env{Base: base, Since: since, RestrictDomain: restrict}
+			sw := NewSweeper(e, since, restrict)
+			lastProbe := since
+			for _, now := range checks {
+				refOK, refAt := refEnv.TriggeredAfter(e, lastProbe, now)
+				res := sw.Advance(swEnv, now)
+				if res.Fired != refOK || (refOK && res.At != refAt) {
+					t.Fatalf("restrict=%v trial %d: expr %v since=%d now=%d: sweep (%v, %d) vs reference (%v, %d)",
+						restrict, trial, e, since, now, res.Fired, res.At, refOK, refAt)
+				}
+				lastProbe = now
+				if refOK {
+					break
+				}
+			}
+		}
+	}
+}
+
+// Probe instants carrying only unmentioned arrivals are settled from the
+// cached sign, without a ts evaluation.
+func TestSweeperSkipsUnmentioned(t *testing.T) {
+	a := event.Create("stock")
+	b := event.Modify("stock", "quantity")
+	noise := event.Create("show")
+	e := Conj(P(a), Neg(P(b))) // non-monotone, no instance lifts
+
+	base := event.NewBase()
+	c := clock.New()
+	for i := 0; i < 8; i++ {
+		if _, err := base.Append(noise, 1, c.Tick()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	now := c.Tick()
+
+	env := &Env{Base: base, Since: 0, RestrictDomain: true}
+	sw := NewSweeper(e, 0, true)
+	res := sw.Advance(env, now)
+	if res.Fired {
+		t.Fatal("fired without any mentioned arrival")
+	}
+	if res.Skipped != 8 {
+		t.Errorf("Skipped = %d, want 8 (every noise arrival)", res.Skipped)
+	}
+	// Only the boundary probe should have evaluated.
+	if res.Evals != 1 {
+		t.Errorf("Evals = %d, want 1 (boundary probe)", res.Evals)
+	}
+
+	// A mentioned arrival is evaluated and fires.
+	if _, err := base.Append(a, 1, c.Tick()); err != nil {
+		t.Fatal(err)
+	}
+	now2 := c.Tick()
+	res = sw.Advance(env, now2)
+	if !res.Fired {
+		t.Fatal("mentioned arrival did not fire")
+	}
+}
+
+// An instance lift over the full object domain is sensitive to every
+// arrival: the sweep must not skip unmentioned types there.
+func TestSweeperFullDomainLiftIsSensitive(t *testing.T) {
+	a := event.Create("stock")
+	noise := event.Create("show")
+	// -=(-=A) is restriction-unsafe: its lift ranges over the full domain.
+	e := NegI(NegI(P(a)))
+	if restrictionSafe(e) {
+		t.Fatal("test premise: -=(-=A) should be restriction-unsafe")
+	}
+
+	base := event.NewBase()
+	c := clock.New()
+	if _, err := base.Append(noise, 7, c.Tick()); err != nil {
+		t.Fatal(err)
+	}
+	now := c.Tick()
+
+	for _, restrict := range []bool{true, false} {
+		env := &Env{Base: base, Since: 0, RestrictDomain: restrict}
+		sw := NewSweeper(e, 0, restrict)
+		res := sw.Advance(env, now)
+		refOK, refAt := (&Env{Base: base, Since: 0, RestrictDomain: restrict}).Triggered(e, now)
+		if res.Fired != refOK || (refOK && res.At != refAt) {
+			t.Fatalf("restrict=%v: sweep (%v, %d) vs reference (%v, %d)",
+				restrict, res.Fired, res.At, refOK, refAt)
+		}
+		if res.Skipped != 0 {
+			t.Errorf("restrict=%v: sensitive expression skipped %d probes", restrict, res.Skipped)
+		}
+	}
+}

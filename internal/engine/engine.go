@@ -49,9 +49,15 @@ type Options struct {
 }
 
 // DefaultOptions enables the paper's static optimization and the formal
-// triggering semantics.
+// triggering semantics, plus the incremental ∃t' sweep and the
+// GOMAXPROCS-sharded triggering determination (both semantically
+// transparent; see DESIGN.md §7).
 func DefaultOptions() Options {
-	return Options{Support: rules.Options{UseFilter: true}}
+	return Options{Support: rules.Options{
+		UseFilter:   true,
+		Incremental: true,
+		Workers:     rules.DefaultWorkers(),
+	}}
 }
 
 // Stats aggregates engine-level counters for the benchmark harness.

@@ -19,9 +19,19 @@ import (
 //
 // Time stamps appended to a Base must be strictly increasing (the engine
 // stamps every occurrence with its own clock tick), which is what makes
-// every lookup a binary search. Base is safe for concurrent readers with
-// one writer guarded externally; the engine serializes writes per
-// transaction, and the internal mutex makes casual concurrent use safe.
+// every lookup a binary search.
+//
+// # Concurrency
+//
+// Base is explicitly safe for any number of concurrent readers: every
+// read path takes the internal RWMutex in shared mode and never hands
+// out internal slices (results are copied, or appended into a buffer the
+// caller owns). The sharded Trigger Support relies on this — its worker
+// goroutines read one Base concurrently during a triggering
+// determination. Appends take the mutex exclusively; the engine
+// additionally serializes writers per transaction (one open transaction
+// owns the Base), so readers racing one writer observe either the
+// pre-append or the post-append log, never a torn state.
 type Base struct {
 	mu     sync.RWMutex
 	log    []Occurrence
@@ -195,30 +205,73 @@ func (b *Base) window(idxs []int, since, upTo clock.Time) []Occurrence {
 	return out
 }
 
+// logBounds returns the [lo, hi) index range of the log covering the
+// window (since, upTo]. Callers must hold the mutex.
+func (b *Base) logBounds(since, upTo clock.Time) (int, int) {
+	lo := sort.Search(len(b.log), func(k int) bool { return b.log[k].Timestamp > since })
+	hi := sort.Search(len(b.log), func(k int) bool { return b.log[k].Timestamp > upTo })
+	return lo, hi
+}
+
 // Window returns every occurrence (of any type) in (since, upTo], in time
 // order: the set R of the triggering predicate.
 func (b *Base) Window(since, upTo clock.Time) []Occurrence {
+	return b.AppendWindow(nil, since, upTo)
+}
+
+// AppendWindow appends the occurrences of (since, upTo] to dst and
+// returns the extended slice. Passing a recycled dst[:0] makes the hot
+// probe loops of the Trigger Support allocation-free in steady state.
+func (b *Base) AppendWindow(dst []Occurrence, since, upTo clock.Time) []Occurrence {
 	b.mu.RLock()
 	defer b.mu.RUnlock()
-	lo := sort.Search(len(b.log), func(k int) bool { return b.log[k].Timestamp > since })
-	hi := sort.Search(len(b.log), func(k int) bool { return b.log[k].Timestamp > upTo })
-	if lo >= hi {
-		return nil
+	lo, hi := b.logBounds(since, upTo)
+	if lo < hi {
+		dst = append(dst, b.log[lo:hi]...)
 	}
-	out := make([]Occurrence, hi-lo)
-	copy(out, b.log[lo:hi])
-	return out
+	return dst
+}
+
+// WindowView returns the occurrences of (since, upTo] as a read-only
+// view aliasing the internal log. The log is append-only and existing
+// entries are never modified, so the view stays valid and immutable even
+// across later appends; callers must not write through it. The
+// incremental sweep uses it to walk R without copying.
+func (b *Base) WindowView(since, upTo clock.Time) []Occurrence {
+	b.mu.RLock()
+	defer b.mu.RUnlock()
+	lo, hi := b.logBounds(since, upTo)
+	return b.log[lo:hi]
 }
 
 // Arrivals returns the time stamps of every occurrence in (since, upTo],
 // ascending. These are the probe points of the ∃t' triggering check.
 func (b *Base) Arrivals(since, upTo clock.Time) []clock.Time {
-	occs := b.Window(since, upTo)
-	out := make([]clock.Time, len(occs))
-	for i, o := range occs {
-		out[i] = o.Timestamp
+	return b.AppendArrivals(nil, since, upTo)
+}
+
+// AppendArrivals appends the time stamps of (since, upTo] to dst and
+// returns the extended slice (the buffer-reusing variant of Arrivals).
+func (b *Base) AppendArrivals(dst []clock.Time, since, upTo clock.Time) []clock.Time {
+	b.mu.RLock()
+	defer b.mu.RUnlock()
+	lo, hi := b.logBounds(since, upTo)
+	for _, o := range b.log[lo:hi] {
+		dst = append(dst, o.Timestamp)
 	}
-	return out
+	return dst
+}
+
+// CountArrivals returns the number of occurrences in (since, upTo]
+// without materializing them.
+func (b *Base) CountArrivals(since, upTo clock.Time) int {
+	b.mu.RLock()
+	defer b.mu.RUnlock()
+	lo, hi := b.logBounds(since, upTo)
+	if lo >= hi {
+		return 0
+	}
+	return hi - lo
 }
 
 // Empty reports whether the window (since, upTo] holds no occurrence
@@ -234,9 +287,15 @@ func (b *Base) Empty(since, upTo clock.Time) bool {
 // (since, upTo], in order of first appearance. This is the object domain
 // of the instance-oriented lifts ("oid ∈ R").
 func (b *Base) OIDs(since, upTo clock.Time) []types.OID {
+	return b.AppendOIDs(nil, since, upTo)
+}
+
+// AppendOIDs appends the distinct objects of (since, upTo] to dst, in
+// order of first appearance, and returns the extended slice (the
+// buffer-reusing variant of OIDs).
+func (b *Base) AppendOIDs(dst []types.OID, since, upTo clock.Time) []types.OID {
 	b.mu.RLock()
 	defer b.mu.RUnlock()
-	var out []types.OID
 	for _, oid := range b.oids {
 		idxs := b.byOID[oid]
 		// Any occurrence on this object inside the window?
@@ -244,10 +303,10 @@ func (b *Base) OIDs(since, upTo clock.Time) []types.OID {
 			return b.log[idxs[k]].Timestamp > since
 		})
 		if lo < len(idxs) && b.log[idxs[lo]].Timestamp <= upTo {
-			out = append(out, oid)
+			dst = append(dst, oid)
 		}
 	}
-	return out
+	return dst
 }
 
 // OIDsOfTypes returns the distinct objects affected by occurrences of any
@@ -257,31 +316,43 @@ func (b *Base) OIDs(since, upTo clock.Time) []types.OID {
 // per-object lists of each type's leaf — O(objects touched · log) rather
 // than a scan of every occurrence.
 func (b *Base) OIDsOfTypes(ts []Type, since, upTo clock.Time) []types.OID {
+	return b.AppendOIDsOfTypes(nil, ts, since, upTo)
+}
+
+// AppendOIDsOfTypes appends the distinct objects touched by the given
+// types in (since, upTo] to dst, ascending, and returns the extended
+// slice. It dedupes by sorting the appended tail in place instead of
+// with a set, so a recycled dst[:0] makes the call allocation-free.
+func (b *Base) AppendOIDsOfTypes(dst []types.OID, ts []Type, since, upTo clock.Time) []types.OID {
 	b.mu.RLock()
 	defer b.mu.RUnlock()
-	seen := make(map[types.OID]bool)
-	var out []types.OID
+	start := len(dst)
 	for _, t := range ts {
 		lf := b.leaves[t]
 		if lf == nil {
 			continue
 		}
 		for oid, idxs := range lf.byOID {
-			if seen[oid] {
-				continue
-			}
 			// Any occurrence of this type on this object in the window?
 			lo := sort.Search(len(idxs), func(k int) bool {
 				return b.log[idxs[k]].Timestamp > since
 			})
 			if lo < len(idxs) && b.log[idxs[lo]].Timestamp <= upTo {
-				seen[oid] = true
-				out = append(out, oid)
+				dst = append(dst, oid)
 			}
 		}
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
-	return out
+	tail := dst[start:]
+	sort.Slice(tail, func(i, j int) bool { return tail[i] < tail[j] })
+	// Compact duplicates (the same object touched through several types).
+	w := start
+	for r := start; r < len(dst); r++ {
+		if r == start || dst[r] != dst[r-1] {
+			dst[w] = dst[r]
+			w++
+		}
+	}
+	return dst[:w]
 }
 
 // String renders the base as the table of Figure 3.

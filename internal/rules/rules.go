@@ -6,7 +6,7 @@
 // consumption, triggered flag — and decides triggering with the event
 // calculus.
 //
-// The Trigger Support comes in three configurations used by the
+// The Trigger Support comes in several configurations used by the
 // benchmark harness:
 //
 //   - the optimized support of Section 5.1, which consults the compiled
@@ -16,14 +16,33 @@
 //     at every block boundary;
 //   - a boundary-only ablation that evaluates ts at the check instant
 //     instead of probing every arrival (the paper's implementation
-//     sketch, weaker than the formal ∃t' semantics).
+//     sketch, weaker than the formal ∃t' semantics);
+//   - the incremental sweep (Options.Incremental), which replaces the
+//     per-arrival recursive ts probe with calculus.Sweeper — one walk of
+//     the arrivals with per-subexpression cursor state;
+//   - the sharded determination (Options.Workers > 1), which partitions
+//     the pending rules across worker goroutines and merges the fired
+//     names back into priority order deterministically.
 //
 // A LegacySupport reproduces original Chimera (disjunctions of primitive
 // event types, constant-time type lookup) for the comparison baseline.
+//
+// # Concurrency
+//
+// Support is safe for concurrent use. State-changing operations
+// (Define, Drop, NotifyArrivals, CheckTriggered, Consider,
+// BeginTransaction, Rebind, ResetStats) take the mutex exclusively;
+// read-only operations (Rule, Rules, Triggered, Pick, Stats, TxnStart)
+// take it shared, so inspection never serializes against other readers.
+// Inside a sharded CheckTriggered the worker goroutines share nothing
+// but the Event Base, which is explicitly safe for concurrent reads;
+// each worker owns a disjoint slice of per-rule States and a private
+// scratch Env. See DESIGN.md §7 for the lock hierarchy.
 package rules
 
 import (
 	"fmt"
+	"runtime"
 	"sort"
 	"sync"
 
@@ -115,8 +134,15 @@ func (d Def) Validate() error {
 // State is the Trigger Support's per-rule record: exactly the fields the
 // paper's Section 5 enumerates, plus the compiled V(E) filter and the
 // incremental probe mark.
+//
+// The copies returned by Support.Rule share the Filter pointer with the
+// live support: a Filter is immutable after calculus.Compile, so the
+// aliasing is read-only by construction. All mutable per-rule sweep
+// state is unexported and stripped from exported copies.
 type State struct {
-	Def               Def
+	Def Def
+	// Filter is the compiled V(E) filter. It is immutable once built —
+	// treat the pointer as a shared read-only view.
 	Filter            *calculus.Filter
 	LastConsideration clock.Time
 	Triggered         bool
@@ -136,6 +162,10 @@ type State struct {
 	// precedence over negation-free operands are all monotone in the
 	// growing prefix of R.)
 	monotone bool
+	// sweeper is the incremental ∃t' evaluator for this rule's current
+	// consideration window (Options.Incremental); nil until the first
+	// probe and discarded whenever the window restarts.
+	sweeper *calculus.Sweeper
 }
 
 // FilterMode selects how the V(E) filter is consulted.
@@ -163,7 +193,30 @@ type Options struct {
 	// BoundaryOnly replaces the formal ∃t' probe with a single ts
 	// evaluation at the check instant (the ablation of experiment B6).
 	BoundaryOnly bool
+	// Incremental replaces the per-arrival recursive ts probe with the
+	// incremental sweep of calculus.Sweeper: one walk of the arrivals
+	// maintaining per-subexpression cursors, skipping probe instants no
+	// mentioned type arrived at. Semantically transparent — the
+	// differential tests pin it to the recursive reference probe.
+	Incremental bool
+	// Workers selects the CheckTriggered execution mode: 0 or 1 run the
+	// determination sequentially on the calling goroutine (the reference
+	// configuration), and n > 1 partitions the pending rules across n
+	// worker goroutines. Fired names are merged back into priority order
+	// deterministically, so every value produces identical results.
+	// Batches smaller than ShardMinRules stay sequential regardless —
+	// goroutine fan-out costs more than it saves there. DefaultWorkers
+	// returns the GOMAXPROCS-bounded value production configurations use.
+	Workers int
 }
+
+// ShardMinRules is the smallest pending-rule batch CheckTriggered will
+// fan out across workers; smaller batches run in-line on the caller.
+const ShardMinRules = 32
+
+// DefaultWorkers returns the worker count a production configuration
+// should use: the scheduler's processor budget.
+func DefaultWorkers() int { return runtime.GOMAXPROCS(0) }
 
 // Stats counts the work the Trigger Support performed; the benchmark
 // harness reads them to report the effect of the static optimization.
@@ -176,19 +229,36 @@ type Stats struct {
 	RulesSkipped int64
 	// TsEvaluations counts full ts(E, t') evaluations.
 	TsEvaluations int64
+	// SweepSkipped counts probe instants the incremental sweep settled
+	// from cached sign state without a ts evaluation (its saving over the
+	// per-arrival recursive probe).
+	SweepSkipped int64
 	// Triggerings counts transitions into the triggered state.
 	Triggerings int64
 }
 
+// add accumulates a per-shard partial into the receiver.
+func (s *Stats) add(o Stats) {
+	s.Checks += o.Checks
+	s.RulesExamined += o.RulesExamined
+	s.RulesSkipped += o.RulesSkipped
+	s.TsEvaluations += o.TsEvaluations
+	s.SweepSkipped += o.SweepSkipped
+	s.Triggerings += o.Triggerings
+}
+
 // Support is the Trigger Support plus Rule Table.
 type Support struct {
-	mu    sync.Mutex
+	mu    sync.RWMutex
 	base  *event.Base
 	opts  Options
 	rules map[string]*State
 	// order holds rule names sorted by (priority, name); it is the
-	// priority queue of the paper's Rule Table.
+	// priority queue of the paper's Rule Table. ordered mirrors it with
+	// resolved *State pointers so the hot check path iterates without
+	// per-name map lookups.
 	order    []string
+	ordered  []*State
 	txnStart clock.Time
 	stats    Stats
 	// byType is the inverted listening index: for each primitive event
@@ -198,6 +268,11 @@ type Support struct {
 	// O(arrivals × listeners hit) instead of O(arrivals × rules).
 	byType   map[event.Type][]*State
 	matchAll []*State
+	// checkBuf and envs are CheckTriggered scratch, recycled across
+	// checks: the pending-rule batch, and one calculus.Env (with its
+	// allocation-free buffers) per worker shard.
+	checkBuf []*State
+	envs     []*calculus.Env
 }
 
 // NewSupport builds a Trigger Support over an Event Base.
@@ -261,7 +336,13 @@ func (s *Support) unindex(st *State) {
 	}
 	s.matchAll = drop(s.matchAll)
 	for t, list := range s.byType {
-		s.byType[t] = drop(list)
+		if nl := drop(list); len(nl) == 0 {
+			// Delete emptied keys so rule churn over many types does not
+			// grow the index unboundedly in long-lived sessions.
+			delete(s.byType, t)
+		} else {
+			s.byType[t] = nl
+		}
 	}
 }
 
@@ -278,6 +359,7 @@ func (s *Support) Drop(name string) error {
 	for i, n := range s.order {
 		if n == name {
 			s.order = append(s.order[:i], s.order[i+1:]...)
+			s.ordered = append(s.ordered[:i], s.ordered[i+1:]...)
 			break
 		}
 	}
@@ -292,30 +374,38 @@ func (s *Support) sortQueue() {
 		}
 		return a.Def.Name < b.Def.Name
 	})
+	s.ordered = s.ordered[:0]
+	for _, name := range s.order {
+		s.ordered = append(s.ordered, s.rules[name])
+	}
 }
 
-// Rule returns a copy of the rule's state.
+// Rule returns a copy of the rule's state. The copy shares the
+// immutable Filter pointer with the live support (see State) but strips
+// the unexported mutable sweep state.
 func (s *Support) Rule(name string) (State, bool) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	st, ok := s.rules[name]
 	if !ok {
 		return State{}, false
 	}
-	return *st, true
+	cp := *st
+	cp.sweeper = nil
+	return cp, true
 }
 
 // Rules returns the rule names in priority order.
 func (s *Support) Rules() []string {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	return append([]string(nil), s.order...)
 }
 
 // Stats returns a snapshot of the work counters.
 func (s *Support) Stats() Stats {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	return s.stats
 }
 
@@ -339,21 +429,25 @@ func (s *Support) BeginTransaction(start clock.Time) {
 		st.Triggered = false
 		st.TriggeredAt = clock.Never
 		st.pending = false
+		st.sweeper = nil
 	}
 }
 
 // Rebind points the support at a new Event Base (a new transaction's
-// log).
+// log). Sweepers hold cursors into the old base, so they are discarded.
 func (s *Support) Rebind(base *event.Base) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.base = base
+	for _, st := range s.rules {
+		st.sweeper = nil
+	}
 }
 
 // TxnStart returns the current transaction's start instant.
 func (s *Support) TxnStart() clock.Time {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	return s.txnStart
 }
 
@@ -383,17 +477,76 @@ func (s *Support) NotifyArrivals(occs []event.Occurrence) {
 	}
 }
 
+// checkOne runs the triggering determination for one rule. It mutates
+// only st and stats — both owned exclusively by the calling shard — and
+// reads the Event Base, which is safe to share across workers. env is
+// the shard's private scratch evaluator.
+func (s *Support) checkOne(st *State, env *calculus.Env, now clock.Time, stats *Stats) {
+	env.Base = s.base
+	env.Since = st.LastConsideration
+	env.RestrictDomain = true
+	var ok bool
+	var at clock.Time
+	switch {
+	case s.opts.BoundaryOnly:
+		stats.TsEvaluations++
+		if !s.base.Empty(st.LastConsideration, now) && env.TS(st.Def.Event, now).Active() {
+			ok, at = true, now
+		}
+	case st.monotone:
+		// Negation-free: activation is monotone in the probe instant,
+		// so evaluating at now decides ∃t' exactly, in one evaluation.
+		// A positive ts of a negation-free expression also implies R
+		// holds occurrences, so the R ≠ ∅ guard is subsumed.
+		stats.TsEvaluations++
+		if v := env.TS(st.Def.Event, now); v.Active() {
+			ok, at = true, v.Time()
+		}
+	case s.opts.Incremental:
+		if st.sweeper == nil {
+			st.sweeper = calculus.NewSweeper(st.Def.Event, st.LastConsideration, true)
+		} else if st.sweeper.Since() != st.LastConsideration {
+			// The window restarted (a consideration); rewind the compiled
+			// sweeper in place instead of re-allocating it.
+			st.sweeper.Reset(st.LastConsideration)
+		}
+		res := st.sweeper.Advance(env, now)
+		stats.TsEvaluations += res.Evals
+		stats.SweepSkipped += res.Skipped
+		ok, at = res.Fired, res.At
+	default:
+		probeFrom := st.lastProbe
+		stats.TsEvaluations += int64(s.base.CountArrivals(probeFrom, now)) + 1
+		ok, at = env.TriggeredAfter(st.Def.Event, probeFrom, now)
+	}
+	st.lastProbe = now
+	st.pending = false
+	if ok {
+		st.Triggered = true
+		st.TriggeredAt = at
+		stats.Triggerings++
+	}
+}
+
 // CheckTriggered runs the triggering determination at a block boundary:
 // for every non-triggered rule (skipping, under the optimization, rules
 // with no relevant arrival) it decides T(r, now) and flips the triggered
 // flag. It returns the names of newly triggered rules in priority order.
+//
+// With Options.Workers > 1 the examined rules are partitioned into
+// contiguous shards checked by worker goroutines. Per-rule outcomes are
+// independent (each worker owns a disjoint set of States plus a private
+// Env, and the Event Base is read-only for the duration), so the only
+// cross-shard effects are the Stats partials, summed after the join, and
+// the fired names, collected from the priority-ordered batch after the
+// join — the result is bit-identical to the sequential run.
 func (s *Support) CheckTriggered(now clock.Time) []string {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.stats.Checks++
-	var fired []string
-	for _, name := range s.order {
-		st := s.rules[name]
+	// Collect the rules to examine, preserving priority order.
+	batch := s.checkBuf[:0]
+	for _, st := range s.ordered {
 		if st.Triggered {
 			continue
 		}
@@ -402,37 +555,46 @@ func (s *Support) CheckTriggered(now clock.Time) []string {
 			s.stats.RulesSkipped++
 			continue
 		}
-		env := &calculus.Env{Base: s.base, Since: st.LastConsideration, RestrictDomain: true}
-		var ok bool
-		var at clock.Time
-		switch {
-		case s.opts.BoundaryOnly:
-			s.stats.TsEvaluations++
-			if !s.base.Empty(st.LastConsideration, now) && env.TS(st.Def.Event, now).Active() {
-				ok, at = true, now
-			}
-		case st.monotone:
-			// Negation-free: activation is monotone in the probe instant,
-			// so evaluating at now decides ∃t' exactly, in one evaluation.
-			// A positive ts of a negation-free expression also implies R
-			// holds occurrences, so the R ≠ ∅ guard is subsumed.
-			s.stats.TsEvaluations++
-			if v := env.TS(st.Def.Event, now); v.Active() {
-				ok, at = true, v.Time()
-			}
-		default:
-			probeFrom := st.lastProbe
-			arr := s.base.Arrivals(probeFrom, now)
-			s.stats.TsEvaluations += int64(len(arr)) + 1
-			ok, at = env.TriggeredAfter(st.Def.Event, probeFrom, now)
+		batch = append(batch, st)
+	}
+	s.checkBuf = batch
+	workers := s.opts.Workers
+	if workers > len(batch) {
+		workers = len(batch)
+	}
+	if workers < 2 || len(batch) < ShardMinRules {
+		workers = 1
+	}
+	for len(s.envs) < workers {
+		s.envs = append(s.envs, &calculus.Env{})
+	}
+	if workers == 1 {
+		for _, st := range batch {
+			s.checkOne(st, s.envs[0], now, &s.stats)
 		}
-		st.lastProbe = now
-		st.pending = false
-		if ok {
-			st.Triggered = true
-			st.TriggeredAt = at
-			s.stats.Triggerings++
-			fired = append(fired, name)
+	} else {
+		partials := make([]Stats, workers)
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			lo := w * len(batch) / workers
+			hi := (w + 1) * len(batch) / workers
+			wg.Add(1)
+			go func(shard []*State, env *calculus.Env, out *Stats) {
+				defer wg.Done()
+				for _, st := range shard {
+					s.checkOne(st, env, now, out)
+				}
+			}(batch[lo:hi], s.envs[w], &partials[w])
+		}
+		wg.Wait()
+		for w := range partials {
+			s.stats.add(partials[w])
+		}
+	}
+	var fired []string
+	for _, st := range batch {
+		if st.Triggered {
+			fired = append(fired, st.Def.Name)
 		}
 	}
 	return fired
@@ -441,13 +603,12 @@ func (s *Support) CheckTriggered(now clock.Time) []string {
 // Triggered returns the currently triggered rules in priority order,
 // optionally restricted to one coupling mode.
 func (s *Support) Triggered(filter func(Def) bool) []string {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	var out []string
-	for _, name := range s.order {
-		st := s.rules[name]
+	for _, st := range s.ordered {
 		if st.Triggered && (filter == nil || filter(st.Def)) {
-			out = append(out, name)
+			out = append(out, st.Def.Name)
 		}
 	}
 	return out
@@ -493,5 +654,7 @@ func (s *Support) Consider(name string, now clock.Time) (Consideration, error) {
 	st.LastConsideration = now
 	st.lastProbe = now
 	st.pending = false
+	// st.sweeper is kept: the next check notices the window restart via
+	// Sweeper.Since and rewinds it in place.
 	return c, nil
 }

@@ -142,6 +142,7 @@ type RunResult struct {
 	TsEvaluations int64
 	RulesExamined int64
 	RulesSkipped  int64
+	SweepSkipped  int64
 }
 
 // Drive replays pre-generated blocks through a Support: notify, check,
@@ -165,5 +166,6 @@ func Drive(s *rules.Support, c *clock.Clock, blocks []Block, consider bool) RunR
 		TsEvaluations: st.TsEvaluations,
 		RulesExamined: st.RulesExamined,
 		RulesSkipped:  st.RulesSkipped,
+		SweepSkipped:  st.SweepSkipped,
 	}
 }
