@@ -17,10 +17,11 @@ race:
 vet:
 	$(GO) vet ./...
 
-# Full measured-experiment sweep (B1..B8); BENCH_trigger.json holds the
-# machine-readable B8 results.
+# Full measured-experiment sweep (B1..B9); BENCH_trigger.json holds the
+# machine-readable B8 results, BENCH_eb.json the B9 Event Base soak.
 bench:
 	$(GO) run ./cmd/chimera-bench
-	$(GO) run ./cmd/chimera-bench -json BENCH_trigger.json >/dev/null
+	$(GO) run ./cmd/chimera-bench -exp B8 -json BENCH_trigger.json >/dev/null
+	$(GO) run ./cmd/chimera-bench -exp B9 -json BENCH_eb.json >/dev/null
 
 verify: build test race vet

@@ -167,6 +167,11 @@ func Attr(name string, kind Kind) SchemaAttribute {
 	return SchemaAttribute{Name: name, Kind: kind}
 }
 
+// DefaultOptions is the paper's default configuration (V(E)-filtered
+// Trigger Support, formal ∃t' triggering, sharded determination,
+// low-watermark compaction of the Event Base).
+func DefaultOptions() Options { return engine.DefaultOptions() }
+
 // Open creates an empty database with the paper's default configuration
 // (V(E)-filtered Trigger Support, formal ∃t' triggering).
 func Open() *DB { return engine.New(engine.DefaultOptions()) }
@@ -251,6 +256,12 @@ func Save(db *DB, path string) error { return storage.SaveFile(db, path) }
 // Restore reconstructs a database from a snapshot file written by Save.
 func Restore(path string) (*DB, error) {
 	return storage.LoadFile(path, engine.DefaultOptions())
+}
+
+// RestoreWith is Restore with an explicit configuration for the rebuilt
+// database.
+func RestoreWith(path string, opts Options) (*DB, error) {
+	return storage.LoadFile(path, opts)
 }
 
 // Derived combinators: related-work idioms (Ode/HiPAC/Snoop/Samos/

@@ -1,5 +1,5 @@
 // Command chimera-bench runs the measured experiments of EXPERIMENTS.md
-// (B1..B8) and prints their tables. Each experiment exercises a
+// (B1..B9) and prints their tables. Each experiment exercises a
 // performance claim Section 5 of the paper makes qualitatively.
 //
 // Usage:
@@ -7,6 +7,8 @@
 //	chimera-bench                          # run everything
 //	chimera-bench -exp B1                  # run one experiment
 //	chimera-bench -exp B8 -json out.json   # machine-readable B8 results
+//	chimera-bench -exp B9 -json eb.json    # machine-readable B9 soak
+//	chimera-bench -exp B9 -cpuprofile cpu.pprof -memprofile mem.pprof
 package main
 
 import (
@@ -14,15 +16,51 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
+	"strings"
 
 	"chimera/internal/bench"
 )
 
 func main() {
-	exp := flag.String("exp", "", "experiment id (B1..B8); empty runs all")
+	exp := flag.String("exp", "", "experiment id (B1..B9); empty runs all")
 	format := flag.String("format", "table", "output format: table or csv")
-	jsonOut := flag.String("json", "", "write machine-readable B8 results to this file (implies -exp B8)")
+	jsonOut := flag.String("json", "", "write machine-readable results to this file (-exp B8 or B9; defaults to B8)")
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
+	memProfile := flag.String("memprofile", "", "write a heap profile at exit to this file")
 	flag.Parse()
+
+	fail := func(err error) {
+		fmt.Fprintf(os.Stderr, "chimera-bench: %v\n", err)
+		os.Exit(1)
+	}
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fail(err)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fail(err)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memProfile != "" {
+		// Written after the run (deferred) so the profile reflects what the
+		// experiments leave live, not startup state.
+		f, err := os.Create(*memProfile)
+		if err != nil {
+			fail(err)
+		}
+		defer f.Close()
+		defer func() {
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintf(os.Stderr, "chimera-bench: %v\n", err)
+			}
+		}()
+	}
 
 	render := func(t bench.Table) string {
 		if *format == "csv" {
@@ -31,17 +69,28 @@ func main() {
 		return t.String()
 	}
 	if *jsonOut != "" {
-		results := bench.B8Results()
-		data, err := json.MarshalIndent(results, "", "  ")
+		var data []byte
+		var table bench.Table
+		var err error
+		switch strings.ToUpper(*exp) {
+		case "", "B8":
+			results := bench.B8Results()
+			data, err = json.MarshalIndent(results, "", "  ")
+			table = bench.B8FromResults(results)
+		case "B9":
+			results := bench.B9Results()
+			data, err = json.MarshalIndent(results, "", "  ")
+			table = bench.B9FromResults(results)
+		default:
+			fail(fmt.Errorf("-json supports experiments B8 and B9, not %q", *exp))
+		}
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "chimera-bench: %v\n", err)
-			os.Exit(1)
+			fail(err)
 		}
 		if err := os.WriteFile(*jsonOut, append(data, '\n'), 0o644); err != nil {
-			fmt.Fprintf(os.Stderr, "chimera-bench: %v\n", err)
-			os.Exit(1)
+			fail(err)
 		}
-		fmt.Println(render(bench.B8FromResults(results)))
+		fmt.Println(render(table))
 		return
 	}
 	if *exp == "" {
@@ -52,8 +101,7 @@ func main() {
 	}
 	t, ok := bench.ByID(*exp)
 	if !ok {
-		fmt.Fprintf(os.Stderr, "chimera-bench: unknown experiment %q (B1..B8)\n", *exp)
-		os.Exit(1)
+		fail(fmt.Errorf("unknown experiment %q (B1..B9)", *exp))
 	}
 	fmt.Println(render(t))
 }

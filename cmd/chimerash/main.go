@@ -52,7 +52,7 @@ func main() {
 		interactive = false
 	}
 
-	db := chimera.Open()
+	db := chimera.OpenWith(shell.InteractiveOptions())
 	if *trace {
 		db.SetTracer(engine.WriterTracer{W: os.Stderr})
 	}

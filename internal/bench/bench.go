@@ -8,6 +8,8 @@ package bench
 import (
 	"fmt"
 	"math/rand"
+	"runtime"
+	"sort"
 	"strings"
 	"time"
 
@@ -735,9 +737,190 @@ func B8FromResults(rs []B8Result) Table {
 // B8 compares the sequential and sharded supports.
 func B8() Table { return B8FromResults(B8Results()) }
 
+// ---------------------------------------------------------------------
+// B9 — long-transaction soak: generational Event Base under consumption
+// low-watermark compaction.
+
+// B9Result carries one rule-mix soak; the JSON tags feed BENCH_eb.json.
+type B9Result struct {
+	Mix           string `json:"mix"`
+	Rules         int    `json:"rules"`
+	Blocks        int    `json:"blocks"`
+	Appended      int    `json:"events_appended"`
+	LiveQuarter   int    `json:"live_quarter"`
+	LiveEnd       int    `json:"live_end"`
+	LivePeak      int    `json:"live_peak"`
+	RetiredOccs   int    `json:"retired_occurrences"`
+	RetiredSegs   int    `json:"retired_segments"`
+	HeapQuarterKB uint64 `json:"heap_quarter_kb"`
+	HeapEndKB     uint64 `json:"heap_end_kb"`
+	AppendP50Ns   int64  `json:"append_p50_ns"`
+	AppendP99Ns   int64  `json:"append_p99_ns"`
+	CheckP50Ns    int64  `json:"check_p50_ns"`
+	CheckP99Ns    int64  `json:"check_p99_ns"`
+	Bounded       bool   `json:"bounded_live_window"`
+}
+
+func pctNs(sorted []int64, p float64) int64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	return sorted[int(p*float64(len(sorted)-1))]
+}
+
+func heapKB() uint64 {
+	runtime.GC()
+	var m runtime.MemStats
+	runtime.ReadMemStats(&m)
+	return m.HeapAlloc / 1024
+}
+
+// RunB9 soaks one long transaction: blocks × eventsPerBlock arrivals
+// against nRules two-type disjunction rules, compacting to the
+// consumption low-watermark after every block — the engine's flushBlock
+// discipline, driven inline so appends and trigger checks can be timed
+// individually. The mix selects the preserving share: "consuming" (0%),
+// "mixed" (10%), "preserving" (100%).
+//
+// The rules are disjunctions deliberately: a rule is considered (and its
+// window reopened) only when it fires, so the watermark chases the
+// stream only if every consuming rule keeps firing. A narrow vocabulary
+// and two-type disjunctions make every rule hot in nearly every block.
+// A rule that goes permanently dormant — e.g. A + -B after a B lands in
+// its open window — pins the watermark at its last consideration
+// forever; that regime is the preserving rows' job to show.
+func RunB9(mix string, nRules, blocks, eventsPerBlock int) B9Result {
+	var preservingShare float64
+	switch mix {
+	case "consuming":
+		preservingShare = 0
+	case "mixed":
+		preservingShare = 0.1
+	case "preserving":
+		preservingShare = 1
+	default:
+		panic("unknown B9 mix " + mix)
+	}
+	vocab := workload.Vocabulary(8)
+	r := rand.New(rand.NewSource(51))
+	c := clock.New()
+	b := event.NewBase()
+	s := rules.NewSupport(b, rules.Options{UseFilter: true, Incremental: true})
+	s.BeginTransaction(c.Now())
+	for i := 0; i < nRules; i++ {
+		cons := rules.Consuming
+		if float64(i) < preservingShare*float64(nRules) {
+			cons = rules.Preserving
+		}
+		ai := r.Intn(len(vocab))
+		bi := (ai + 1 + r.Intn(len(vocab)-1)) % len(vocab) // distinct second type
+		d := rules.Def{
+			Name:        fmt.Sprintf("r%04d", i),
+			Event:       calculus.Disj(calculus.P(vocab[ai]), calculus.P(vocab[bi])),
+			Consumption: cons,
+			Priority:    i,
+		}
+		if err := s.Define(d); err != nil {
+			panic(err)
+		}
+	}
+	appendNs := make([]int64, 0, blocks*eventsPerBlock)
+	checkNs := make([]int64, 0, blocks)
+	occs := make([]event.Occurrence, 0, eventsPerBlock)
+	res := B9Result{Mix: mix, Rules: nRules, Blocks: blocks}
+	for block := 0; block < blocks; block++ {
+		occs = occs[:0]
+		for i := 0; i < eventsPerBlock; i++ {
+			ty := vocab[r.Intn(len(vocab))]
+			oid := types.OID(1 + r.Intn(16))
+			at := c.Tick()
+			t0 := time.Now()
+			occ, err := b.Append(ty, oid, at)
+			appendNs = append(appendNs, time.Since(t0).Nanoseconds())
+			if err != nil {
+				panic(err)
+			}
+			occs = append(occs, occ)
+		}
+		s.NotifyArrivals(occs)
+		t0 := time.Now()
+		fired := s.CheckTriggered(c.Now())
+		checkNs = append(checkNs, time.Since(t0).Nanoseconds())
+		for _, name := range fired {
+			if _, err := s.Consider(name, c.Tick()); err != nil {
+				panic(err)
+			}
+		}
+		b.CompactBelow(s.Watermark())
+		if live := b.Len(); live > res.LivePeak {
+			res.LivePeak = live
+		}
+		if block == blocks/4 {
+			res.LiveQuarter = b.Len()
+			res.HeapQuarterKB = heapKB()
+		}
+	}
+	res.Appended = b.Appended()
+	res.LiveEnd = b.Len()
+	res.RetiredOccs = b.Retired()
+	res.RetiredSegs = b.RetiredSegments()
+	res.HeapEndKB = heapKB()
+	sortNs := func(ns []int64) {
+		sort.Slice(ns, func(i, j int) bool { return ns[i] < ns[j] })
+	}
+	sortNs(appendNs)
+	sortNs(checkNs)
+	res.AppendP50Ns = pctNs(appendNs, 0.50)
+	res.AppendP99Ns = pctNs(appendNs, 0.99)
+	res.CheckP50Ns = pctNs(checkNs, 0.50)
+	res.CheckP99Ns = pctNs(checkNs, 0.99)
+	// Bounded: the live window plateaued well below the appended total —
+	// steady-state memory tracks the rule horizon, not transaction length.
+	res.Bounded = res.RetiredOccs > 0 && res.LivePeak*4 <= res.Appended
+	return res
+}
+
+// B9Results runs the soak for the three rule mixes.
+func B9Results() []B9Result {
+	var out []B9Result
+	for _, mix := range []string{"consuming", "mixed", "preserving"} {
+		out = append(out, RunB9(mix, 100, 3000, 8))
+	}
+	return out
+}
+
+// B9FromResults renders the table for a precomputed soak, so the -json
+// emission path does not run the experiment twice.
+func B9FromResults(rs []B9Result) Table {
+	t := Table{
+		ID:     "B9",
+		Title:  "long-transaction soak: segmented Event Base + low-watermark compaction",
+		Header: []string{"mix", "appended", "live ¼", "live end", "live peak", "retired", "segs", "heap ¼ KB", "heap end KB", "append p50/p99 ns", "check p50/p99 µs", "bounded"},
+	}
+	for _, r := range rs {
+		t.Rows = append(t.Rows, []string{
+			r.Mix, fmt.Sprint(r.Appended),
+			fmt.Sprint(r.LiveQuarter), fmt.Sprint(r.LiveEnd), fmt.Sprint(r.LivePeak),
+			fmt.Sprint(r.RetiredOccs), fmt.Sprint(r.RetiredSegs),
+			fmt.Sprint(r.HeapQuarterKB), fmt.Sprint(r.HeapEndKB),
+			fmt.Sprintf("%d/%d", r.AppendP50Ns, r.AppendP99Ns),
+			fmt.Sprintf("%.1f/%.1f", float64(r.CheckP50Ns)/1e3, float64(r.CheckP99Ns)/1e3),
+			fmt.Sprint(r.Bounded),
+		})
+	}
+	t.Notes = append(t.Notes,
+		"all-consuming: every rule's window reopens at its last consideration, the watermark chases the newest block, and whole segments retire — the live window plateaus at the rule horizon regardless of transaction length",
+		"a single preserving rule pins the watermark at the transaction start (its window is the whole transaction), so 'mixed' retires nothing — the linear growth is the semantics' price, not a leak",
+		"append is amortized O(1) into the tail segment; p99 absorbs the occasional segment seal")
+	return t
+}
+
+// B9 runs the soak and renders its table.
+func B9() Table { return B9FromResults(B9Results()) }
+
 // All runs every experiment.
 func All() []Table {
-	return []Table{B1(), B2(), B3(), B4(), B5(), B6(), B7(), B8()}
+	return []Table{B1(), B2(), B3(), B4(), B5(), B6(), B7(), B8(), B9()}
 }
 
 // ByID runs one experiment.
@@ -759,6 +942,8 @@ func ByID(id string) (Table, bool) {
 		return B7(), true
 	case "B8":
 		return B8(), true
+	case "B9":
+		return B9(), true
 	}
 	return Table{}, false
 }

@@ -193,40 +193,51 @@ func (sw *Sweeper) Advance(env *Env, now clock.Time) SweepResult {
 	if now <= sw.probed {
 		return res
 	}
-	win := env.Base.WindowView(sw.probed, now)
-	for i := range win {
-		occ := &win[i]
-		sw.seen++
-		// Advance the primitive cursors; a hit means the type is
-		// mentioned and the signs must be recomputed.
-		mentioned := false
-		for _, pn := range sw.prims {
-			if pn.t == occ.Type {
-				pn.last = occ.Timestamp
-				mentioned = true
-			}
+	// Walk the window chunk by chunk: each ChunkView aliases one segment
+	// of the Event Base, so the sweep stays allocation-free across
+	// segment boundaries, and because sw.probed never trails the rule's
+	// window start (which in turn never trails the compaction watermark)
+	// the walk is never rebased onto retired data.
+	for {
+		win := env.Base.ChunkView(sw.probed, now)
+		if len(win) == 0 {
+			break
 		}
-		if !mentioned {
-			for _, t := range sw.liftTypes {
-				if t == occ.Type {
+		for i := range win {
+			occ := &win[i]
+			sw.seen++
+			// Advance the primitive cursors; a hit means the type is
+			// mentioned and the signs must be recomputed.
+			mentioned := false
+			for _, pn := range sw.prims {
+				if pn.t == occ.Type {
+					pn.last = occ.Timestamp
 					mentioned = true
-					break
 				}
 			}
+			if !mentioned {
+				for _, t := range sw.liftTypes {
+					if t == occ.Type {
+						mentioned = true
+						break
+					}
+				}
+			}
+			if sw.sensitive || mentioned {
+				sw.evalAll(env, occ.Timestamp, false)
+				res.Evals++
+			} else {
+				// Sign unchanged: no mentioned arrival, no full-domain lift.
+				res.Skipped++
+			}
+			if sw.active {
+				// sw.seen > 0 by construction: R is non-empty here.
+				sw.probed = occ.Timestamp
+				res.Fired, res.At = true, occ.Timestamp
+				return res
+			}
 		}
-		if sw.sensitive || mentioned {
-			sw.evalAll(env, occ.Timestamp, false)
-			res.Evals++
-		} else {
-			// Sign unchanged: no mentioned arrival, no full-domain lift.
-			res.Skipped++
-		}
-		if sw.active {
-			// sw.seen > 0 by construction: R is non-empty here.
-			sw.probed = occ.Timestamp
-			res.Fired, res.At = true, occ.Timestamp
-			return res
-		}
+		sw.probed = win[len(win)-1].Timestamp
 	}
 	sw.probed = now
 	// Boundary probe, mirroring the reference's final ts(E, now). The

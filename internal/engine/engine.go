@@ -46,6 +46,14 @@ type Options struct {
 	// MaxRuleExecutions bounds rule executions per transaction; 0 means
 	// the default of 10000.
 	MaxRuleExecutions int
+	// DisableCompaction keeps every occurrence of a transaction in the
+	// Event Base instead of retiring segments below the consumption
+	// low-watermark at block boundaries. Compaction is semantically
+	// transparent (it only drops occurrences no defined rule's window can
+	// reach); disabling it trades bounded memory for a complete log —
+	// useful for the differential reference and for ad-hoc inspection of
+	// Txn.Base over windows older than every rule's horizon.
+	DisableCompaction bool
 }
 
 // DefaultOptions enables the paper's static optimization and the formal
@@ -338,7 +346,10 @@ func (t *Txn) Get(oid types.OID) (*object.Object, bool) {
 	return t.db.store.Get(oid)
 }
 
-// Base exposes the transaction's Event Base (read-only use).
+// Base exposes the transaction's Event Base (read-only use). Unless
+// Options.DisableCompaction is set, windows reaching below every rule's
+// horizon (the consumption low-watermark) may observe only the live
+// remainder of the log — compaction retires segments no rule can see.
 func (t *Txn) Base() *event.Base { return t.base }
 
 // EndLine closes the current non-interruptible block (a user transaction
@@ -354,13 +365,21 @@ func (t *Txn) EndLine() error {
 }
 
 // flushBlock announces the pending occurrences and runs the triggering
-// determination.
+// determination, then retires Event Base segments below the consumption
+// low-watermark. The block boundary is the one point where compaction is
+// safe: no consideration window is in flight (runRule finishes reading
+// its window — condition and action — before flushing the action's
+// block), so every occurrence at or below the watermark is unreachable
+// by any future read. See DESIGN.md §8.
 func (t *Txn) flushBlock() {
 	t.db.stats.Blocks++
 	n := len(t.pending)
 	t.db.support.NotifyArrivals(t.pending)
 	t.pending = t.pending[:0]
 	fired := t.db.support.CheckTriggered(t.db.clock.Now())
+	if !t.db.opts.DisableCompaction {
+		t.base.CompactBelow(t.db.support.Watermark())
+	}
 	if t.db.tracer != nil {
 		t.db.tracer.BlockEnd(n, fired)
 	}

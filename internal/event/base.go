@@ -10,6 +10,14 @@ import (
 	"chimera/internal/types"
 )
 
+// DefaultSegmentSize is the number of occurrences one segment of the
+// Event Base holds. 256 keeps a segment (with its segment-local indexes)
+// comfortably inside a few cache lines' worth of slice headers while
+// making appends amortized O(1) — a full segment is sealed and a fresh
+// one opened, so no append ever reallocates or copies previously logged
+// occurrences.
+const DefaultSegmentSize = 256
+
 // Base is the Event Base: the append-only log of all event occurrences
 // since the beginning of the transaction, organized as the
 // Occurred-Events tree of Section 5. The leaves of the tree are the
@@ -21,121 +29,319 @@ import (
 // stamps every occurrence with its own clock tick), which is what makes
 // every lookup a binary search.
 //
+// # Generational storage
+//
+// The log is a chain of fixed-size segments. A segment is append-only
+// while it is the tail and immutable once sealed; the per-type leaf
+// lists and per-object sparse indexes are segment-local, so an
+// occurrence's entire footprint — the row and every index entry pointing
+// at it — lives inside one segment. Section 5 defines R, the portion of
+// the base relevant for triggering, as the events more recent than a
+// rule's last consideration (consuming mode) or the transaction start
+// (preserving mode); once every defined rule's window has moved past a
+// segment, CompactBelow retires the whole segment in O(1), and with it
+// every index entry, keeping memory and index-scan cost proportional to
+// the live window instead of the transaction lifetime. Retired
+// occurrences are unreachable through the window API (their time stamps
+// lie at or below Floor); lookups never consult them.
+//
 // # Concurrency
 //
 // Base is explicitly safe for any number of concurrent readers: every
-// read path takes the internal RWMutex in shared mode and never hands
-// out internal slices (results are copied, or appended into a buffer the
-// caller owns). The sharded Trigger Support relies on this — its worker
-// goroutines read one Base concurrently during a triggering
-// determination. Appends take the mutex exclusively; the engine
-// additionally serializes writers per transaction (one open transaction
-// owns the Base), so readers racing one writer observe either the
-// pre-append or the post-append log, never a torn state.
+// read path takes the internal RWMutex in shared mode and either copies
+// results or appends into a buffer the caller owns. The exceptions,
+// WindowView and ChunkView, return slices aliasing a segment's
+// occurrence array — safe because sealed segments are immutable and the
+// tail segment is append-only: existing entries are never moved or
+// overwritten, and compaction only unlinks whole segments from the
+// chain, never relocating live data, so a previously returned view stays
+// valid (the garbage collector keeps its segment alive) even across
+// appends and compactions. Appends and CompactBelow take the mutex
+// exclusively; the engine additionally serializes writers per
+// transaction (one open transaction owns the Base), so readers racing a
+// writer observe either the pre-append or the post-append log, never a
+// torn state.
 type Base struct {
-	mu     sync.RWMutex
-	log    []Occurrence
-	leaves map[Type]*leaf
-	oids   []types.OID         // distinct OIDs in arrival order of first event
-	oidSet map[types.OID]int   // OID -> index of first arrival in log
-	byOID  map[types.OID][]int // OID -> indices into log
-	nextID EID
+	mu      sync.RWMutex
+	segSize int
+	segs    []*segment // live segments, ascending by time stamp
+	latest  map[Type]clock.Time
+	// oidRank orders distinct OIDs by first arrival across the whole
+	// transaction (retired occurrences included), so OIDs/AppendOIDs keep
+	// their documented order across compactions. It grows with distinct
+	// objects, not with occurrences.
+	oidRank map[types.OID]int
+	nextID  EID
+	lastTS  clock.Time // newest time stamp ever appended
+	live    int        // occurrences currently retained
+	// Compaction bookkeeping: the retirement floor (highest retired time
+	// stamp — every live occurrence is strictly above it) and counters.
+	floor       clock.Time
+	retired     int
+	retiredSegs int
 }
 
-// leaf is one leaf of the Occurred-Events tree: all occurrences of one
-// event type, plus the per-object sparse lists.
-type leaf struct {
-	all    []int // indices into Base.log, ascending by time stamp
-	byOID  map[types.OID][]int
-	latest clock.Time
+// segment is one generation of the log: up to segSize occurrences in
+// time-stamp order plus the segment-local slice of every index — the
+// per-type leaves (with their per-object sparse lists) and the
+// per-object occurrence lists. Index entries are int32 offsets into
+// occs; a segment and all its indexes retire together.
+type segment struct {
+	occs   []Occurrence
+	leaves map[Type]*segLeaf
+	byOID  map[types.OID][]int32
 }
 
-// NewBase returns an empty Event Base.
-func NewBase() *Base {
+// segLeaf is one segment's slice of a leaf of the Occurred-Events tree:
+// the occurrences of one event type within the segment, plus the
+// per-object sparse lists.
+type segLeaf struct {
+	all   []int32
+	byOID map[types.OID][]int32
+}
+
+func (sg *segment) minTS() clock.Time { return sg.occs[0].Timestamp }
+func (sg *segment) maxTS() clock.Time { return sg.occs[len(sg.occs)-1].Timestamp }
+
+// search returns the first position in idxs whose occurrence has a time
+// stamp exceeding t (idxs ascend by time stamp).
+func (sg *segment) search(idxs []int32, t clock.Time) int {
+	return sort.Search(len(idxs), func(k int) bool {
+		return sg.occs[idxs[k]].Timestamp > t
+	})
+}
+
+// bounds returns the [lo, hi) range of occs covering (since, upTo].
+func (sg *segment) bounds(since, upTo clock.Time) (int, int) {
+	lo := sort.Search(len(sg.occs), func(k int) bool { return sg.occs[k].Timestamp > since })
+	hi := sort.Search(len(sg.occs), func(k int) bool { return sg.occs[k].Timestamp > upTo })
+	return lo, hi
+}
+
+// NewBase returns an empty Event Base with the default segment size.
+func NewBase() *Base { return NewBaseSize(DefaultSegmentSize) }
+
+// NewBaseSize returns an empty Event Base whose segments hold segSize
+// occurrences. Small sizes exercise segment boundaries in tests; a size
+// larger than any workload degenerates to the flat single-array layout
+// (useful as an uncompacted differential reference).
+func NewBaseSize(segSize int) *Base {
+	if segSize < 1 {
+		segSize = DefaultSegmentSize
+	}
 	return &Base{
-		leaves: make(map[Type]*leaf),
-		oidSet: make(map[types.OID]int),
-		byOID:  make(map[types.OID][]int),
+		segSize: segSize,
+		latest:  make(map[Type]clock.Time),
+		oidRank: make(map[types.OID]int),
 	}
 }
 
 // Append records a new event occurrence and returns it. The time stamp
-// must exceed every time stamp already in the base.
+// must exceed every time stamp already appended (including retired ones).
 func (b *Base) Append(t Type, oid types.OID, at clock.Time) (Occurrence, error) {
 	if err := t.Valid(); err != nil {
 		return Occurrence{}, err
 	}
 	b.mu.Lock()
 	defer b.mu.Unlock()
-	if n := len(b.log); n > 0 && b.log[n-1].Timestamp >= at {
+	if b.nextID > 0 && at <= b.lastTS {
 		return Occurrence{}, fmt.Errorf(
-			"event: non-monotone time stamp t%d after t%d", at, b.log[n-1].Timestamp)
+			"event: non-monotone time stamp t%d after t%d", at, b.lastTS)
 	}
 	b.nextID++
 	occ := Occurrence{EID: b.nextID, Type: t, OID: oid, Timestamp: at}
-	idx := len(b.log)
-	b.log = append(b.log, occ)
 
-	lf := b.leaves[t]
+	var sg *segment
+	if n := len(b.segs); n > 0 && len(b.segs[n-1].occs) < b.segSize {
+		sg = b.segs[n-1]
+	} else {
+		sg = &segment{
+			occs:   make([]Occurrence, 0, b.segSize),
+			leaves: make(map[Type]*segLeaf),
+			byOID:  make(map[types.OID][]int32),
+		}
+		b.segs = append(b.segs, sg)
+	}
+	idx := int32(len(sg.occs))
+	sg.occs = append(sg.occs, occ)
+
+	lf := sg.leaves[t]
 	if lf == nil {
-		lf = &leaf{byOID: make(map[types.OID][]int)}
-		b.leaves[t] = lf
+		lf = &segLeaf{byOID: make(map[types.OID][]int32)}
+		sg.leaves[t] = lf
 	}
 	lf.all = append(lf.all, idx)
-	lf.latest = at
 	lf.byOID[oid] = append(lf.byOID[oid], idx)
+	sg.byOID[oid] = append(sg.byOID[oid], idx)
 
-	if _, seen := b.oidSet[oid]; !seen {
-		b.oidSet[oid] = idx
-		b.oids = append(b.oids, oid)
+	if _, seen := b.oidRank[oid]; !seen {
+		b.oidRank[oid] = len(b.oidRank)
 	}
-	b.byOID[oid] = append(b.byOID[oid], idx)
+	b.latest[t] = at
+	b.lastTS = at
+	b.live++
 	return occ, nil
 }
 
-// Len returns the number of occurrences logged so far.
+// CompactBelow retires every segment whose newest occurrence is at or
+// below the watermark — the minimum over all defined rules of their
+// relevant-window start (rules.Support exports it). Retirement unlinks
+// whole segments, dropping their occurrences and every segment-local
+// index in O(segments retired); live data is never moved, so previously
+// returned views stay valid. It returns the number of occurrences
+// retired.
+//
+// Callers must guarantee no window reaching at or below the watermark is
+// still being evaluated: the engine compacts only at block boundaries,
+// after every in-flight consideration window has been fully read (see
+// DESIGN.md §8).
+func (b *Base) CompactBelow(watermark clock.Time) int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	cut := 0
+	n := 0
+	for cut < len(b.segs) && b.segs[cut].maxTS() <= watermark {
+		n += len(b.segs[cut].occs)
+		b.floor = b.segs[cut].maxTS()
+		cut++
+	}
+	if cut == 0 {
+		return 0
+	}
+	// Shift the chain down and nil the tail so the GC can reclaim the
+	// retired segments as soon as no view aliases them.
+	m := copy(b.segs, b.segs[cut:])
+	for k := m; k < len(b.segs); k++ {
+		b.segs[k] = nil
+	}
+	b.segs = b.segs[:m]
+	b.live -= n
+	b.retired += n
+	b.retiredSegs += cut
+	return n
+}
+
+// Floor returns the retirement floor: the highest retired time stamp.
+// Every retained occurrence is strictly above it; windows reaching at or
+// below it observe only the live remainder. Floor is clock.Never while
+// nothing has been retired.
+func (b *Base) Floor() clock.Time {
+	b.mu.RLock()
+	defer b.mu.RUnlock()
+	return b.floor
+}
+
+// Len returns the number of occurrences currently retained (appended and
+// not yet retired by compaction).
 func (b *Base) Len() int {
 	b.mu.RLock()
 	defer b.mu.RUnlock()
-	return len(b.log)
+	return b.live
 }
 
-// All returns a copy of the whole log in arrival order.
+// Appended returns the total number of occurrences ever appended,
+// including retired ones.
+func (b *Base) Appended() int {
+	b.mu.RLock()
+	defer b.mu.RUnlock()
+	return b.live + b.retired
+}
+
+// Retired returns the number of occurrences retired by compaction.
+func (b *Base) Retired() int {
+	b.mu.RLock()
+	defer b.mu.RUnlock()
+	return b.retired
+}
+
+// Segments returns the number of live segments; RetiredSegments the
+// number retired so far. The pair bounds the base's storage footprint:
+// live memory is Segments × segment size regardless of how many
+// occurrences the transaction has logged.
+func (b *Base) Segments() int {
+	b.mu.RLock()
+	defer b.mu.RUnlock()
+	return len(b.segs)
+}
+
+// RetiredSegments returns the number of segments retired by compaction.
+func (b *Base) RetiredSegments() int {
+	b.mu.RLock()
+	defer b.mu.RUnlock()
+	return b.retiredSegs
+}
+
+// All returns a copy of the retained log in arrival order.
 func (b *Base) All() []Occurrence {
 	b.mu.RLock()
 	defer b.mu.RUnlock()
-	out := make([]Occurrence, len(b.log))
-	copy(out, b.log)
+	out := make([]Occurrence, 0, b.live)
+	for _, sg := range b.segs {
+		out = append(out, sg.occs...)
+	}
 	return out
 }
 
 // Latest returns the time stamp of the most recent occurrence of type t,
 // or clock.Never if t never occurred. This is the leaf's cached value the
-// paper's implementation section calls out.
+// paper's implementation section calls out; it survives compaction (the
+// most recent occurrence of a type is a fact about the whole
+// transaction, not about the live window).
 func (b *Base) Latest(t Type) clock.Time {
 	b.mu.RLock()
 	defer b.mu.RUnlock()
-	if lf := b.leaves[t]; lf != nil {
-		return lf.latest
+	if ts, ok := b.latest[t]; ok {
+		return ts
 	}
 	return clock.Never
 }
 
-// last returns the greatest time stamp among occurrences at indices idxs
-// that lies in the half-open window (since, upTo], or clock.Never.
-func (b *Base) last(idxs []int, since, upTo clock.Time) clock.Time {
-	// idxs is ascending by time stamp; find the last index with ts <= upTo.
-	i := sort.Search(len(idxs), func(k int) bool {
-		return b.log[idxs[k]].Timestamp > upTo
-	})
+// lastIn returns the greatest time stamp among the segment occurrences
+// at idxs lying in (since, upTo], or clock.Never.
+func lastIn(sg *segment, idxs []int32, since, upTo clock.Time) clock.Time {
+	i := sg.search(idxs, upTo)
 	if i == 0 {
 		return clock.Never
 	}
-	ts := b.log[idxs[i-1]].Timestamp
+	ts := sg.occs[idxs[i-1]].Timestamp
 	if ts <= since {
 		return clock.Never
 	}
 	return ts
+}
+
+// lastOf walks segments newest-first and returns the most recent
+// occurrence time stamp of (since, upTo] among the index lists selected
+// by pick, or clock.Never. pick returns nil when a segment holds no
+// matching entries. Callers hold the mutex.
+func (b *Base) lastOf(pick func(*segment) []int32, since, upTo clock.Time) clock.Time {
+	if since >= upTo {
+		return clock.Never
+	}
+	for i := len(b.segs) - 1; i >= 0; i-- {
+		sg := b.segs[i]
+		if sg.minTS() > upTo {
+			continue
+		}
+		if sg.maxTS() <= since {
+			break
+		}
+		if idxs := pick(sg); len(idxs) > 0 {
+			k := sg.search(idxs, upTo)
+			if k > 0 {
+				// The newest entry ≤ upTo decides: if it clears since it is
+				// the answer; otherwise every older entry is smaller still.
+				if ts := sg.occs[idxs[k-1]].Timestamp; ts > since {
+					return ts
+				}
+				return clock.Never
+			}
+		}
+		if sg.minTS() <= since {
+			break // older segments lie entirely at or below since
+		}
+	}
+	return clock.Never
 }
 
 // LastOf returns the time stamp of the most recent occurrence of type t
@@ -144,11 +350,12 @@ func (b *Base) last(idxs []int, since, upTo clock.Time) clock.Time {
 func (b *Base) LastOf(t Type, since, upTo clock.Time) clock.Time {
 	b.mu.RLock()
 	defer b.mu.RUnlock()
-	lf := b.leaves[t]
-	if lf == nil {
-		return clock.Never
-	}
-	return b.last(lf.all, since, upTo)
+	return b.lastOf(func(sg *segment) []int32 {
+		if lf := sg.leaves[t]; lf != nil {
+			return lf.all
+		}
+		return nil
+	}, since, upTo)
 }
 
 // LastOfObj is LastOf restricted to occurrences affecting oid; it backs
@@ -156,11 +363,36 @@ func (b *Base) LastOf(t Type, since, upTo clock.Time) clock.Time {
 func (b *Base) LastOfObj(t Type, oid types.OID, since, upTo clock.Time) clock.Time {
 	b.mu.RLock()
 	defer b.mu.RUnlock()
-	lf := b.leaves[t]
-	if lf == nil {
-		return clock.Never
+	return b.lastOf(func(sg *segment) []int32 {
+		if lf := sg.leaves[t]; lf != nil {
+			return lf.byOID[oid]
+		}
+		return nil
+	}, since, upTo)
+}
+
+// appendMatches appends to dst the occurrences of (since, upTo] among
+// each segment's pick-selected index list, ascending. Callers hold the
+// mutex.
+func (b *Base) appendMatches(dst []Occurrence, pick func(*segment) []int32, since, upTo clock.Time) []Occurrence {
+	if since >= upTo {
+		return dst
 	}
-	return b.last(lf.byOID[oid], since, upTo)
+	for _, sg := range b.segs {
+		if sg.maxTS() <= since {
+			continue
+		}
+		if sg.minTS() > upTo {
+			break
+		}
+		idxs := pick(sg)
+		lo := sg.search(idxs, since)
+		hi := sg.search(idxs, upTo)
+		for _, i := range idxs[lo:hi] {
+			dst = append(dst, sg.occs[i])
+		}
+	}
+	return dst
 }
 
 // OccurrencesOf returns all occurrences of type t in the window
@@ -169,11 +401,12 @@ func (b *Base) LastOfObj(t Type, oid types.OID, since, upTo clock.Time) clock.Ti
 func (b *Base) OccurrencesOf(t Type, since, upTo clock.Time) []Occurrence {
 	b.mu.RLock()
 	defer b.mu.RUnlock()
-	lf := b.leaves[t]
-	if lf == nil {
+	return b.appendMatches(nil, func(sg *segment) []int32 {
+		if lf := sg.leaves[t]; lf != nil {
+			return lf.all
+		}
 		return nil
-	}
-	return b.window(lf.all, since, upTo)
+	}, since, upTo)
 }
 
 // OccurrencesOfObj returns the occurrences of type t on object oid in the
@@ -181,36 +414,33 @@ func (b *Base) OccurrencesOf(t Type, since, upTo clock.Time) []Occurrence {
 func (b *Base) OccurrencesOfObj(t Type, oid types.OID, since, upTo clock.Time) []Occurrence {
 	b.mu.RLock()
 	defer b.mu.RUnlock()
-	lf := b.leaves[t]
-	if lf == nil {
+	return b.appendMatches(nil, func(sg *segment) []int32 {
+		if lf := sg.leaves[t]; lf != nil {
+			return lf.byOID[oid]
+		}
 		return nil
-	}
-	return b.window(lf.byOID[oid], since, upTo)
+	}, since, upTo)
 }
 
-func (b *Base) window(idxs []int, since, upTo clock.Time) []Occurrence {
-	lo := sort.Search(len(idxs), func(k int) bool {
-		return b.log[idxs[k]].Timestamp > since
-	})
-	hi := sort.Search(len(idxs), func(k int) bool {
-		return b.log[idxs[k]].Timestamp > upTo
-	})
-	if lo >= hi {
-		return nil
+// forRanges calls fn for each live segment range occs[lo:hi] covering
+// (since, upTo], in ascending time order. fn returning false stops the
+// walk. Callers hold the mutex.
+func (b *Base) forRanges(since, upTo clock.Time, fn func(sg *segment, lo, hi int) bool) {
+	if since >= upTo {
+		return
 	}
-	out := make([]Occurrence, 0, hi-lo)
-	for _, i := range idxs[lo:hi] {
-		out = append(out, b.log[i])
+	for _, sg := range b.segs {
+		if sg.maxTS() <= since {
+			continue
+		}
+		if sg.minTS() > upTo {
+			break
+		}
+		lo, hi := sg.bounds(since, upTo)
+		if lo < hi && !fn(sg, lo, hi) {
+			return
+		}
 	}
-	return out
-}
-
-// logBounds returns the [lo, hi) index range of the log covering the
-// window (since, upTo]. Callers must hold the mutex.
-func (b *Base) logBounds(since, upTo clock.Time) (int, int) {
-	lo := sort.Search(len(b.log), func(k int) bool { return b.log[k].Timestamp > since })
-	hi := sort.Search(len(b.log), func(k int) bool { return b.log[k].Timestamp > upTo })
-	return lo, hi
 }
 
 // Window returns every occurrence (of any type) in (since, upTo], in time
@@ -225,23 +455,60 @@ func (b *Base) Window(since, upTo clock.Time) []Occurrence {
 func (b *Base) AppendWindow(dst []Occurrence, since, upTo clock.Time) []Occurrence {
 	b.mu.RLock()
 	defer b.mu.RUnlock()
-	lo, hi := b.logBounds(since, upTo)
-	if lo < hi {
-		dst = append(dst, b.log[lo:hi]...)
-	}
+	b.forRanges(since, upTo, func(sg *segment, lo, hi int) bool {
+		dst = append(dst, sg.occs[lo:hi]...)
+		return true
+	})
 	return dst
 }
 
 // WindowView returns the occurrences of (since, upTo] as a read-only
-// view aliasing the internal log. The log is append-only and existing
-// entries are never modified, so the view stays valid and immutable even
-// across later appends; callers must not write through it. The
-// incremental sweep uses it to walk R without copying.
+// view. When the window lies inside one segment the view aliases that
+// segment's occurrence array — valid and immutable across later appends
+// and compactions (segments are never mutated or moved, only unlinked);
+// callers must not write through it. When the window spans a segment
+// boundary (or reaches into the retired region, whose live remainder may
+// start mid-chain) the method falls back to an allocated copy. Callers
+// needing guaranteed-zero-allocation iteration walk the window with
+// ChunkView instead.
 func (b *Base) WindowView(since, upTo clock.Time) []Occurrence {
 	b.mu.RLock()
 	defer b.mu.RUnlock()
-	lo, hi := b.logBounds(since, upTo)
-	return b.log[lo:hi]
+	var view []Occurrence
+	single := true
+	b.forRanges(since, upTo, func(sg *segment, lo, hi int) bool {
+		if view == nil {
+			view = sg.occs[lo:hi]
+			return true
+		}
+		if single {
+			// Second range: abandon aliasing, start a copy.
+			view = append(append(make([]Occurrence, 0, len(view)+(hi-lo)), view...), sg.occs[lo:hi]...)
+			single = false
+			return true
+		}
+		view = append(view, sg.occs[lo:hi]...)
+		return true
+	})
+	return view
+}
+
+// ChunkView returns the earliest occurrences of (since, upTo] that are
+// contiguous in one segment, as a read-only alias of that segment's
+// array (never a copy), or nil when the window holds none. Iterating a
+// window chunk by chunk — advancing since to the last returned
+// occurrence's time stamp — is the allocation-free walk the incremental
+// sweep uses; each chunk stays valid across appends and compactions for
+// the same reason WindowView's aliased case does.
+func (b *Base) ChunkView(since, upTo clock.Time) []Occurrence {
+	b.mu.RLock()
+	defer b.mu.RUnlock()
+	var view []Occurrence
+	b.forRanges(since, upTo, func(sg *segment, lo, hi int) bool {
+		view = sg.occs[lo:hi]
+		return false
+	})
+	return view
 }
 
 // Arrivals returns the time stamps of every occurrence in (since, upTo],
@@ -255,10 +522,12 @@ func (b *Base) Arrivals(since, upTo clock.Time) []clock.Time {
 func (b *Base) AppendArrivals(dst []clock.Time, since, upTo clock.Time) []clock.Time {
 	b.mu.RLock()
 	defer b.mu.RUnlock()
-	lo, hi := b.logBounds(since, upTo)
-	for _, o := range b.log[lo:hi] {
-		dst = append(dst, o.Timestamp)
-	}
+	b.forRanges(since, upTo, func(sg *segment, lo, hi int) bool {
+		for _, o := range sg.occs[lo:hi] {
+			dst = append(dst, o.Timestamp)
+		}
+		return true
+	})
 	return dst
 }
 
@@ -267,11 +536,12 @@ func (b *Base) AppendArrivals(dst []clock.Time, since, upTo clock.Time) []clock.
 func (b *Base) CountArrivals(since, upTo clock.Time) int {
 	b.mu.RLock()
 	defer b.mu.RUnlock()
-	lo, hi := b.logBounds(since, upTo)
-	if lo >= hi {
-		return 0
-	}
-	return hi - lo
+	n := 0
+	b.forRanges(since, upTo, func(sg *segment, lo, hi int) bool {
+		n += hi - lo
+		return true
+	})
+	return n
 }
 
 // Empty reports whether the window (since, upTo] holds no occurrence
@@ -279,42 +549,74 @@ func (b *Base) CountArrivals(since, upTo clock.Time) int {
 func (b *Base) Empty(since, upTo clock.Time) bool {
 	b.mu.RLock()
 	defer b.mu.RUnlock()
-	lo := sort.Search(len(b.log), func(k int) bool { return b.log[k].Timestamp > since })
-	return lo >= len(b.log) || b.log[lo].Timestamp > upTo
+	empty := true
+	b.forRanges(since, upTo, func(sg *segment, lo, hi int) bool {
+		empty = false
+		return false
+	})
+	return empty
 }
 
 // OIDs returns the distinct objects affected by any occurrence in
-// (since, upTo], in order of first appearance. This is the object domain
-// of the instance-oriented lifts ("oid ∈ R").
+// (since, upTo], in order of first appearance in the transaction. This
+// is the object domain of the instance-oriented lifts ("oid ∈ R").
 func (b *Base) OIDs(since, upTo clock.Time) []types.OID {
 	return b.AppendOIDs(nil, since, upTo)
 }
 
 // AppendOIDs appends the distinct objects of (since, upTo] to dst, in
 // order of first appearance, and returns the extended slice (the
-// buffer-reusing variant of OIDs).
+// buffer-reusing variant of OIDs). Candidates are gathered from each
+// overlapping segment's per-object index and ordered by the global
+// first-arrival rank, so the order is stable across segment boundaries
+// and compactions.
 func (b *Base) AppendOIDs(dst []types.OID, since, upTo clock.Time) []types.OID {
 	b.mu.RLock()
 	defer b.mu.RUnlock()
-	for _, oid := range b.oids {
-		idxs := b.byOID[oid]
-		// Any occurrence on this object inside the window?
-		lo := sort.Search(len(idxs), func(k int) bool {
-			return b.log[idxs[k]].Timestamp > since
-		})
-		if lo < len(idxs) && b.log[idxs[lo]].Timestamp <= upTo {
-			dst = append(dst, oid)
+	if since >= upTo {
+		return dst
+	}
+	start := len(dst)
+	for _, sg := range b.segs {
+		if sg.maxTS() <= since {
+			continue
+		}
+		if sg.minTS() > upTo {
+			break
+		}
+		for oid, idxs := range sg.byOID {
+			lo := sg.search(idxs, since)
+			if lo < len(idxs) && sg.occs[idxs[lo]].Timestamp <= upTo {
+				dst = append(dst, oid)
+			}
 		}
 	}
-	return dst
+	return b.rankDedup(dst, start)
+}
+
+// rankDedup sorts dst[start:] by global first-arrival rank and compacts
+// duplicates (the same object surfacing from several segments) in place.
+func (b *Base) rankDedup(dst []types.OID, start int) []types.OID {
+	tail := dst[start:]
+	sort.Slice(tail, func(i, j int) bool {
+		return b.oidRank[tail[i]] < b.oidRank[tail[j]]
+	})
+	w := start
+	for r := start; r < len(dst); r++ {
+		if r == start || dst[r] != dst[r-1] {
+			dst[w] = dst[r]
+			w++
+		}
+	}
+	return dst[:w]
 }
 
 // OIDsOfTypes returns the distinct objects affected by occurrences of any
 // of the given types in (since, upTo], in ascending OID order. The
 // occurred() event formula and the instance lifts use it to restrict the
 // object domain to the types an expression mentions. It iterates the
-// per-object lists of each type's leaf — O(objects touched · log) rather
-// than a scan of every occurrence.
+// per-object lists of each type's segment leaves — O(objects touched ·
+// log) within the live window rather than a scan of every occurrence.
 func (b *Base) OIDsOfTypes(ts []Type, since, upTo clock.Time) []types.OID {
 	return b.AppendOIDsOfTypes(nil, ts, since, upTo)
 }
@@ -326,25 +628,35 @@ func (b *Base) OIDsOfTypes(ts []Type, since, upTo clock.Time) []types.OID {
 func (b *Base) AppendOIDsOfTypes(dst []types.OID, ts []Type, since, upTo clock.Time) []types.OID {
 	b.mu.RLock()
 	defer b.mu.RUnlock()
+	if since >= upTo {
+		return dst
+	}
 	start := len(dst)
-	for _, t := range ts {
-		lf := b.leaves[t]
-		if lf == nil {
+	for _, sg := range b.segs {
+		if sg.maxTS() <= since {
 			continue
 		}
-		for oid, idxs := range lf.byOID {
-			// Any occurrence of this type on this object in the window?
-			lo := sort.Search(len(idxs), func(k int) bool {
-				return b.log[idxs[k]].Timestamp > since
-			})
-			if lo < len(idxs) && b.log[idxs[lo]].Timestamp <= upTo {
-				dst = append(dst, oid)
+		if sg.minTS() > upTo {
+			break
+		}
+		for _, t := range ts {
+			lf := sg.leaves[t]
+			if lf == nil {
+				continue
+			}
+			for oid, idxs := range lf.byOID {
+				// Any occurrence of this type on this object in the window?
+				lo := sg.search(idxs, since)
+				if lo < len(idxs) && sg.occs[idxs[lo]].Timestamp <= upTo {
+					dst = append(dst, oid)
+				}
 			}
 		}
 	}
 	tail := dst[start:]
 	sort.Slice(tail, func(i, j int) bool { return tail[i] < tail[j] })
-	// Compact duplicates (the same object touched through several types).
+	// Compact duplicates (the same object touched through several types
+	// or surfacing from several segments).
 	w := start
 	for r := start; r < len(dst); r++ {
 		if r == start || dst[r] != dst[r-1] {
@@ -355,14 +667,19 @@ func (b *Base) AppendOIDsOfTypes(dst []types.OID, ts []Type, since, upTo clock.T
 	return dst[:w]
 }
 
-// String renders the base as the table of Figure 3.
+// String renders the retained base as the table of Figure 3.
 func (b *Base) String() string {
 	b.mu.RLock()
 	defer b.mu.RUnlock()
 	var sb strings.Builder
 	sb.WriteString("EID | event-type | OID | timestamp\n")
-	for _, o := range b.log {
-		fmt.Fprintf(&sb, "%s\n", o)
+	for _, sg := range b.segs {
+		for _, o := range sg.occs {
+			fmt.Fprintf(&sb, "%s\n", o)
+		}
+	}
+	if b.retired > 0 {
+		fmt.Fprintf(&sb, "(%d earlier occurrences retired through t%d)\n", b.retired, b.floor)
 	}
 	return sb.String()
 }

@@ -1,0 +1,378 @@
+package event
+
+import (
+	"math/rand"
+	"reflect"
+	"sync"
+	"testing"
+
+	"chimera/internal/clock"
+	"chimera/internal/types"
+)
+
+// fillPair appends an identical random history to a tiny-segment base
+// and a flat reference base (segments larger than the history), so every
+// query can be checked differentially across segment boundaries.
+func fillPair(t *testing.T, r *rand.Rand, segSize, n int) (seg, ref *Base, vocab []Type) {
+	t.Helper()
+	vocab = []Type{
+		Create("stock"), Delete("stock"), Modify("stock", "quantity"),
+		Create("order"), Modify("order", "total"),
+	}
+	seg = NewBaseSize(segSize)
+	ref = NewBaseSize(n + 1)
+	ts := clock.Time(0)
+	for i := 0; i < n; i++ {
+		ts += clock.Time(1 + r.Intn(3)) // gaps exercise between-arrival windows
+		ty := vocab[r.Intn(len(vocab))]
+		oid := types.OID(1 + r.Intn(6))
+		if _, err := seg.Append(ty, oid, ts); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := ref.Append(ty, oid, ts); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return seg, ref, vocab
+}
+
+// TestSegmentedLookupsMatchFlat pins every window lookup of the
+// segmented base to a flat single-segment reference over random windows,
+// including windows aligned exactly on segment boundaries.
+func TestSegmentedLookupsMatchFlat(t *testing.T) {
+	r := rand.New(rand.NewSource(77))
+	seg, ref, vocab := fillPair(t, r, 4, 120)
+	if seg.Segments() < 10 {
+		t.Fatalf("want many segments, got %d", seg.Segments())
+	}
+	last := seg.All()[seg.Len()-1].Timestamp
+	windows := [][2]clock.Time{
+		{clock.Never, last}, {clock.Never, clock.Never}, {last, last + 5},
+	}
+	for i := 0; i < 300; i++ {
+		a := clock.Time(r.Intn(int(last) + 3))
+		b := clock.Time(r.Intn(int(last) + 3))
+		windows = append(windows, [2]clock.Time{a, b})
+	}
+	for _, w := range windows {
+		since, upTo := w[0], w[1]
+		for _, ty := range vocab {
+			if g, want := seg.LastOf(ty, since, upTo), ref.LastOf(ty, since, upTo); g != want {
+				t.Fatalf("LastOf(%v, %d, %d) = %d, want %d", ty, since, upTo, g, want)
+			}
+			for oid := types.OID(1); oid <= 6; oid++ {
+				if g, want := seg.LastOfObj(ty, oid, since, upTo), ref.LastOfObj(ty, oid, since, upTo); g != want {
+					t.Fatalf("LastOfObj(%v, o%d, %d, %d) = %d, want %d", ty, oid, since, upTo, g, want)
+				}
+			}
+			if g, want := seg.OccurrencesOf(ty, since, upTo), ref.OccurrencesOf(ty, since, upTo); !reflect.DeepEqual(g, want) {
+				t.Fatalf("OccurrencesOf(%v, %d, %d) = %v, want %v", ty, since, upTo, g, want)
+			}
+		}
+		if g, want := seg.Window(since, upTo), ref.Window(since, upTo); !reflect.DeepEqual(g, want) {
+			t.Fatalf("Window(%d, %d) mismatch", since, upTo)
+		}
+		if g, want := seg.WindowView(since, upTo), ref.WindowView(since, upTo); !occEqual(g, want) {
+			t.Fatalf("WindowView(%d, %d) mismatch", since, upTo)
+		}
+		if g, want := seg.Arrivals(since, upTo), ref.Arrivals(since, upTo); !reflect.DeepEqual(g, want) {
+			t.Fatalf("Arrivals(%d, %d) mismatch", since, upTo)
+		}
+		if g, want := seg.CountArrivals(since, upTo), ref.CountArrivals(since, upTo); g != want {
+			t.Fatalf("CountArrivals(%d, %d) = %d, want %d", since, upTo, g, want)
+		}
+		if g, want := seg.Empty(since, upTo), ref.Empty(since, upTo); g != want {
+			t.Fatalf("Empty(%d, %d) = %v, want %v", since, upTo, g, want)
+		}
+		if g, want := seg.OIDs(since, upTo), ref.OIDs(since, upTo); !reflect.DeepEqual(g, want) {
+			t.Fatalf("OIDs(%d, %d) = %v, want %v", since, upTo, g, want)
+		}
+		if g, want := seg.OIDsOfTypes(vocab[:3], since, upTo), ref.OIDsOfTypes(vocab[:3], since, upTo); !reflect.DeepEqual(g, want) {
+			t.Fatalf("OIDsOfTypes(%d, %d) = %v, want %v", since, upTo, g, want)
+		}
+		// Walking chunk by chunk reconstructs the window exactly.
+		var chunks []Occurrence
+		lo := since
+		for {
+			c := seg.ChunkView(lo, upTo)
+			if len(c) == 0 {
+				break
+			}
+			chunks = append(chunks, c...)
+			lo = c[len(c)-1].Timestamp
+		}
+		if want := ref.Window(since, upTo); !occEqual(chunks, want) {
+			t.Fatalf("ChunkView walk (%d, %d) mismatch", since, upTo)
+		}
+	}
+}
+
+func occEqual(a, b []Occurrence) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// TestWindowBoundaryCases covers the degenerate windows: since == upTo,
+// types with no occurrences (empty leaves), windows entirely before or
+// after the log, and OID dedup across types and segments in
+// AppendOIDsOfTypes.
+func TestWindowBoundaryCases(t *testing.T) {
+	b := NewBaseSize(2) // every second append seals a segment
+	cs, co := Create("stock"), Create("order")
+	mq := Modify("stock", "quantity")
+	// o1 touched by cs (t1) and mq (t4); o2 by cs (t2); o1 again by cs (t3):
+	// the same object through two types, spread over segments.
+	for _, row := range []struct {
+		ty  Type
+		oid types.OID
+		at  clock.Time
+	}{
+		{cs, 1, 1}, {cs, 2, 2}, {cs, 1, 3}, {mq, 1, 4}, {co, 3, 5},
+	} {
+		if _, err := b.Append(row.ty, row.oid, row.at); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// since == upTo: the half-open window (t, t] is empty by definition.
+	for _, at := range []clock.Time{clock.Never, 1, 3, 5, 9} {
+		if got := b.Window(at, at); got != nil {
+			t.Errorf("Window(%d, %d] = %v, want empty", at, at, got)
+		}
+		if !b.Empty(at, at) {
+			t.Errorf("Empty(%d, %d] = false", at, at)
+		}
+		if got := b.LastOf(cs, at, at); got != clock.Never {
+			t.Errorf("LastOf over (%d, %d] = %d", at, at, got)
+		}
+		if got := b.OIDs(at, at); got != nil {
+			t.Errorf("OIDs(%d, %d] = %v", at, at, got)
+		}
+		if got := b.CountArrivals(at, at); got != 0 {
+			t.Errorf("CountArrivals(%d, %d] = %d", at, at, got)
+		}
+	}
+
+	// Empty leaves: a type that never occurred, and a type present in the
+	// base but absent from the probed object.
+	if got := b.LastOf(Delete("stock"), clock.Never, 9); got != clock.Never {
+		t.Errorf("LastOf of never-occurred type = %d", got)
+	}
+	if got := b.LastOfObj(co, 1, clock.Never, 9); got != clock.Never {
+		t.Errorf("LastOfObj of foreign object = %d", got)
+	}
+	if got := b.OccurrencesOf(Delete("stock"), clock.Never, 9); got != nil {
+		t.Errorf("OccurrencesOf of never-occurred type = %v", got)
+	}
+	if got := b.OIDsOfTypes([]Type{Delete("stock")}, clock.Never, 9); got != nil {
+		t.Errorf("OIDsOfTypes of never-occurred type = %v", got)
+	}
+
+	// Windows entirely before the first / after the last occurrence.
+	for _, w := range [][2]clock.Time{{clock.Never, 0}, {5, 9}, {7, 12}} {
+		if got := b.Window(w[0], w[1]); w[0] >= 5 && got != nil {
+			t.Errorf("Window(%d, %d] = %v, want empty", w[0], w[1], got)
+		}
+		if got := b.LastOf(cs, w[0], w[1]); got != clock.Never {
+			t.Errorf("LastOf over (%d, %d] = %d", w[0], w[1], got)
+		}
+	}
+	if !b.Empty(clock.Never, 0) || !b.Empty(5, 99) {
+		t.Error("windows beyond the log should be empty")
+	}
+
+	// OID dedup: o1 is touched through cs and mq, in different segments;
+	// it must appear exactly once, ascending.
+	got := b.OIDsOfTypes([]Type{cs, mq, co}, clock.Never, 9)
+	want := []types.OID{1, 2, 3}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("OIDsOfTypes dedup = %v, want %v", got, want)
+	}
+	// Buffer-reuse variant keeps the prefix intact.
+	buf := []types.OID{99}
+	buf = b.AppendOIDsOfTypes(buf, []Type{cs, mq}, clock.Never, 9)
+	if !reflect.DeepEqual(buf, []types.OID{99, 1, 2}) {
+		t.Errorf("AppendOIDsOfTypes with prefix = %v", buf)
+	}
+}
+
+// TestCompactBelow checks segment retirement: counters, the floor, the
+// live remainder, and that queries above the floor are unaffected.
+func TestCompactBelow(t *testing.T) {
+	r := rand.New(rand.NewSource(9))
+	seg, ref, vocab := fillPair(t, r, 4, 100)
+	last := ref.All()[ref.Len()-1].Timestamp
+	wm := last / 2
+
+	n := seg.CompactBelow(wm)
+	if n == 0 {
+		t.Fatal("nothing retired")
+	}
+	if seg.Retired() != n || seg.Appended() != 100 || seg.Len() != 100-n {
+		t.Fatalf("counters: retired=%d appended=%d len=%d (n=%d)",
+			seg.Retired(), seg.Appended(), seg.Len(), n)
+	}
+	floor := seg.Floor()
+	if floor == clock.Never || floor > wm {
+		t.Fatalf("floor %d not in (0, %d]", floor, wm)
+	}
+	if seg.RetiredSegments() == 0 {
+		t.Fatal("no segments retired")
+	}
+	// Every retained occurrence is strictly above the floor.
+	for _, o := range seg.All() {
+		if o.Timestamp <= floor {
+			t.Fatalf("retained occurrence at t%d ≤ floor t%d", o.Timestamp, floor)
+		}
+	}
+	// Windows above the floor are bit-identical to the uncompacted base.
+	for i := 0; i < 200; i++ {
+		since := floor + clock.Time(r.Intn(int(last-floor)+1))
+		upTo := since + clock.Time(r.Intn(int(last-since)+2))
+		if g, w := seg.Window(since, upTo), ref.Window(since, upTo); !reflect.DeepEqual(g, w) {
+			t.Fatalf("post-compaction Window(%d, %d) mismatch", since, upTo)
+		}
+		for _, ty := range vocab {
+			if g, w := seg.LastOf(ty, since, upTo), ref.LastOf(ty, since, upTo); g != w {
+				t.Fatalf("post-compaction LastOf(%v, %d, %d) = %d, want %d", ty, since, upTo, g, w)
+			}
+		}
+		if g, w := seg.OIDs(since, upTo), ref.OIDs(since, upTo); !reflect.DeepEqual(g, w) {
+			t.Fatalf("post-compaction OIDs(%d, %d) mismatch: %v vs %v", since, upTo, g, w)
+		}
+	}
+	// The leaf cache (Latest) survives compaction.
+	for _, ty := range vocab {
+		if g, w := seg.Latest(ty), ref.Latest(ty); g != w {
+			t.Fatalf("Latest(%v) = %d, want %d", ty, g, w)
+		}
+	}
+	// Idempotent at the same watermark.
+	if again := seg.CompactBelow(wm); again != 0 {
+		t.Fatalf("second CompactBelow retired %d more", again)
+	}
+	// Retiring everything still leaves appends monotone and EIDs dense.
+	seg.CompactBelow(last)
+	if seg.Len() != 0 {
+		t.Fatalf("Len after full retirement = %d", seg.Len())
+	}
+	if _, err := seg.Append(vocab[0], 1, last); err == nil {
+		t.Fatal("non-monotone append accepted after full retirement")
+	}
+	occ, err := seg.Append(vocab[0], 1, last+1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if occ.EID != EID(101) {
+		t.Fatalf("EID after retirement = %d, want 101", occ.EID)
+	}
+}
+
+// TestViewsSurviveCompaction pins the aliasing contract: a view taken
+// before compaction keeps its contents after the segments it aliases are
+// retired (compaction unlinks segments, never moves live data).
+func TestViewsSurviveCompaction(t *testing.T) {
+	b := NewBaseSize(3)
+	for i := 1; i <= 12; i++ {
+		if _, err := b.Append(Create("stock"), types.OID(i%4+1), clock.Time(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	view := b.WindowView(clock.Never, 3) // one whole segment: aliased
+	chunk := b.ChunkView(3, 9)           // first chunk of a wider window
+	wantView := append([]Occurrence(nil), view...)
+	wantChunk := append([]Occurrence(nil), chunk...)
+
+	if n := b.CompactBelow(9); n != 9 {
+		t.Fatalf("retired %d, want 9", n)
+	}
+	if !occEqual(view, wantView) || !occEqual(chunk, wantChunk) {
+		t.Fatal("views changed under compaction")
+	}
+	// And appends past the views leave them intact too.
+	for i := 13; i <= 24; i++ {
+		if _, err := b.Append(Create("stock"), 1, clock.Time(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !occEqual(view, wantView) || !occEqual(chunk, wantChunk) {
+		t.Fatal("views changed under later appends")
+	}
+}
+
+// TestConcurrentReadersWithCompaction stress-tests the reader paths
+// against a live appender and compactor under -race: readers walk
+// windows, chunk views and index lookups while segments are appended and
+// retired.
+func TestConcurrentReadersWithCompaction(t *testing.T) {
+	b := NewBaseSize(8)
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+
+	// Appender: the single writer, as in the engine.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		ty := []Type{Create("c"), Modify("c", "a"), Delete("c")}
+		for i := 1; i <= 4000; i++ {
+			if _, err := b.Append(ty[i%3], types.OID(i%7+1), clock.Time(i)); err != nil {
+				panic(err)
+			}
+			if i%64 == 0 {
+				// Retire everything older than a trailing window.
+				b.CompactBelow(clock.Time(i - 200))
+			}
+		}
+		close(stop)
+	}()
+
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			r := rand.New(rand.NewSource(seed))
+			ty := []Type{Create("c"), Modify("c", "a"), Delete("c")}
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				floor := b.Floor()
+				since := floor + clock.Time(r.Intn(100))
+				upTo := since + clock.Time(r.Intn(150))
+				// Chunk walks must stay ascending and inside the window even
+				// while the compactor races past (the engine never lets the
+				// watermark overtake a live window; here we only require the
+				// walk to never yield torn or out-of-order data).
+				prev := since
+				lo := since
+				for {
+					c := b.ChunkView(lo, upTo)
+					if len(c) == 0 {
+						break
+					}
+					for _, o := range c {
+						if o.Timestamp <= prev || o.Timestamp > upTo {
+							panic("chunk walk out of window order")
+						}
+						prev = o.Timestamp
+					}
+					lo = c[len(c)-1].Timestamp
+				}
+				b.LastOf(ty[r.Intn(3)], since, upTo)
+				b.OIDs(since, upTo)
+				b.OIDsOfTypes(ty[:2], since, upTo)
+				b.Window(since, upTo)
+			}
+		}(int64(w))
+	}
+	wg.Wait()
+}

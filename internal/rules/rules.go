@@ -260,7 +260,12 @@ type Support struct {
 	order    []string
 	ordered  []*State
 	txnStart clock.Time
-	stats    Stats
+	// preserving counts the defined preserving-mode rules. Any preserving
+	// rule pins the consumption low-watermark at the transaction start
+	// (its event-formula window always reaches back to TxnStart), so
+	// Watermark short-circuits on the counter.
+	preserving int
+	stats      Stats
 	// byType is the inverted listening index: for each primitive event
 	// type, the rules whose V(E) filter an arrival of that type matches.
 	// matchAll holds the rules with vacuously active expressions, which
@@ -305,9 +310,41 @@ func (s *Support) Define(d Def) error {
 	}
 	s.rules[d.Name] = st
 	s.order = append(s.order, d.Name)
+	if d.Consumption == Preserving {
+		s.preserving++
+	}
 	s.index(st)
 	s.sortQueue()
 	return nil
+}
+
+// Watermark returns the consumption low-watermark: the minimum over all
+// defined rules of the (exclusive) start of the window the rule can
+// still observe — the last consideration for consuming rules, the
+// transaction start for preserving ones (whose event formulas always
+// reach back to TxnStart). Every occurrence at or below the watermark is
+// invisible to every rule, so the Event Base may retire it; the engine
+// feeds the value to event.Base.CompactBelow at block boundaries.
+//
+// The watermark is recomputed from live rule state on every call, so
+// Define (a new rule starts its window at the transaction start, pulling
+// the watermark back down) and Drop (removing the pinning rule releases
+// it immediately) are reflected with nothing to invalidate. With no
+// rules defined it conservatively returns the transaction start, keeping
+// the whole log available to ad-hoc window queries.
+func (s *Support) Watermark() clock.Time {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if s.preserving > 0 || len(s.ordered) == 0 {
+		return s.txnStart
+	}
+	wm := s.ordered[0].LastConsideration
+	for _, st := range s.ordered[1:] {
+		if st.LastConsideration < wm {
+			wm = st.LastConsideration
+		}
+	}
+	return wm
 }
 
 // index registers the rule in the inverted listening index.
@@ -355,6 +392,12 @@ func (s *Support) Drop(name string) error {
 		return fmt.Errorf("rules: no rule %q", name)
 	}
 	delete(s.rules, name)
+	if st.Def.Consumption == Preserving {
+		// Recompute the watermark input immediately: dropping the last
+		// preserving rule must unpin compaction without waiting for any
+		// further rule activity.
+		s.preserving--
+	}
 	s.unindex(st)
 	for i, n := range s.order {
 		if n == name {

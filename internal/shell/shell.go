@@ -26,6 +26,16 @@ type Shell struct {
 	out io.Writer
 }
 
+// InteractiveOptions is the configuration interactive sessions should
+// run with: the defaults, minus Event Base compaction — `show events`
+// is an inspection tool and must display the complete in-transaction
+// log, not just the window live rules can still observe.
+func InteractiveOptions() chimera.Options {
+	opts := chimera.DefaultOptions()
+	opts.DisableCompaction = true
+	return opts
+}
+
 // New builds a session writing its output to out.
 func New(db *chimera.DB, out io.Writer) *Shell {
 	return &Shell{db: db, out: out}
@@ -104,7 +114,7 @@ func (s *Shell) Execute(src string) error {
 			fmt.Fprintf(s.out, "saved to %s\n", fields[1])
 			return nil
 		}
-		db, err := chimera.Restore(fields[1])
+		db, err := chimera.RestoreWith(fields[1], InteractiveOptions())
 		if err != nil {
 			return err
 		}

@@ -13,7 +13,7 @@ import (
 func newShell(t *testing.T) (*Shell, *bytes.Buffer) {
 	t.Helper()
 	var buf bytes.Buffer
-	return New(chimera.Open(), &buf), &buf
+	return New(chimera.OpenWith(InteractiveOptions()), &buf), &buf
 }
 
 const setup = `
