@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet bench verify
+.PHONY: build test race vet bench cover fuzz verify verify-full
 
 build:
 	$(GO) build ./...
@@ -9,19 +9,40 @@ test:
 	$(GO) test ./...
 
 # The -race run covers the concurrent Trigger Support stress test
-# (TestSupportConcurrentAccess) and the sharded/incremental differential
-# suites; it is part of the tier-1 verification.
+# (TestSupportConcurrentAccess), the sharded/incremental differential
+# suites, and the internal/metrics linearizability tests; it is part of
+# the tier-1 verification.
 race:
 	$(GO) test -race ./...
 
 vet:
 	$(GO) vet ./...
 
-# Full measured-experiment sweep (B1..B9); BENCH_trigger.json holds the
-# machine-readable B8 results, BENCH_eb.json the B9 Event Base soak.
+# Full measured-experiment sweep (B1..B10); BENCH_trigger.json holds the
+# machine-readable B8 results, BENCH_eb.json the B9 Event Base soak, and
+# BENCH_obs.json the B10 observability-overhead run.
 bench:
 	$(GO) run ./cmd/chimera-bench
 	$(GO) run ./cmd/chimera-bench -exp B8 -json BENCH_trigger.json >/dev/null
 	$(GO) run ./cmd/chimera-bench -exp B9 -json BENCH_eb.json >/dev/null
+	$(GO) run ./cmd/chimera-bench -metrics >/dev/null
+
+# Coverage gate: total statement coverage must not fall below the
+# recorded baseline (76.6% when the gate was introduced; the floor
+# leaves ~1.5 points of slack for platform-dependent branches).
+COVER_BASELINE ?= 75.0
+cover:
+	$(GO) test -count=1 -coverprofile=coverage.out ./...
+	@total=$$($(GO) tool cover -func=coverage.out | tail -1 | grep -o '[0-9.]*%' | tr -d '%'); \
+	awk -v t=$$total -v b=$(COVER_BASELINE) 'BEGIN { \
+	  if (t+0 < b+0) { printf "FAIL: coverage %.1f%% below baseline %.1f%%\n", t, b; exit 1 } \
+	  printf "coverage %.1f%% (baseline %.1f%%)\n", t, b }'
+
+# 20-second fuzz smoke: random command scripts through a fully
+# instrumented engine, asserting no panic and balanced lifecycle spans.
+fuzz:
+	$(GO) test ./internal/engine/ -run '^$$' -fuzz FuzzEngineBlock -fuzztime 20s
 
 verify: build test race vet
+
+verify-full: verify cover fuzz

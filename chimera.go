@@ -49,6 +49,7 @@ import (
 	"chimera/internal/engine"
 	"chimera/internal/event"
 	"chimera/internal/lang"
+	"chimera/internal/metrics"
 	"chimera/internal/rules"
 	"chimera/internal/schema"
 	"chimera/internal/storage"
@@ -158,6 +159,28 @@ var (
 	DeleteOf = event.Delete
 	ModifyOf = event.Modify
 )
+
+// Observability. Set Options.Metrics to a fresh registry to instrument
+// a database; DB.Snapshot reads everything back, and a Tracer observes
+// the rule-processing lifecycle as structured spans. Both are proven
+// inert: enabled vs disabled runs are differentially tested to produce
+// identical triggerings and final states (DESIGN.md §9).
+type (
+	// MetricsRegistry is a named collection of atomic instruments.
+	MetricsRegistry = metrics.Registry
+	// MetricsSnapshot is a point-in-time copy of every instrument.
+	MetricsSnapshot = metrics.Snapshot
+	// Tracer observes the rule-processing loop as lifecycle spans.
+	Tracer = engine.Tracer
+	// NopTracer is an embeddable all-no-op Tracer.
+	NopTracer = engine.NopTracer
+	// WriterTracer renders trace spans as text lines.
+	WriterTracer = engine.WriterTracer
+)
+
+// NewMetricsRegistry returns an empty metrics registry for
+// Options.Metrics.
+func NewMetricsRegistry() *MetricsRegistry { return metrics.NewRegistry() }
 
 // SchemaAttribute declares one typed attribute of a class.
 type SchemaAttribute = schema.Attribute

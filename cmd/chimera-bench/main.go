@@ -1,5 +1,5 @@
 // Command chimera-bench runs the measured experiments of EXPERIMENTS.md
-// (B1..B9) and prints their tables. Each experiment exercises a
+// (B1..B10) and prints their tables. Each experiment exercises a
 // performance claim Section 5 of the paper makes qualitatively.
 //
 // Usage:
@@ -8,6 +8,7 @@
 //	chimera-bench -exp B1                  # run one experiment
 //	chimera-bench -exp B8 -json out.json   # machine-readable B8 results
 //	chimera-bench -exp B9 -json eb.json    # machine-readable B9 soak
+//	chimera-bench -metrics                 # B10 overhead run -> BENCH_obs.json
 //	chimera-bench -exp B9 -cpuprofile cpu.pprof -memprofile mem.pprof
 package main
 
@@ -24,9 +25,10 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "", "experiment id (B1..B9); empty runs all")
+	exp := flag.String("exp", "", "experiment id (B1..B10); empty runs all")
 	format := flag.String("format", "table", "output format: table or csv")
-	jsonOut := flag.String("json", "", "write machine-readable results to this file (-exp B8 or B9; defaults to B8)")
+	jsonOut := flag.String("json", "", "write machine-readable results to this file (-exp B8, B9 or B10; defaults to B8)")
+	metricsRun := flag.Bool("metrics", false, "run the B10 observability-overhead experiment and write BENCH_obs.json")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
 	memProfile := flag.String("memprofile", "", "write a heap profile at exit to this file")
 	flag.Parse()
@@ -68,6 +70,13 @@ func main() {
 		}
 		return t.String()
 	}
+	if *metricsRun {
+		// -metrics is shorthand for -exp B10 -json BENCH_obs.json.
+		*exp = "B10"
+		if *jsonOut == "" {
+			*jsonOut = "BENCH_obs.json"
+		}
+	}
 	if *jsonOut != "" {
 		var data []byte
 		var table bench.Table
@@ -81,8 +90,12 @@ func main() {
 			results := bench.B9Results()
 			data, err = json.MarshalIndent(results, "", "  ")
 			table = bench.B9FromResults(results)
+		case "B10":
+			results := bench.B10Results()
+			data, err = json.MarshalIndent(results, "", "  ")
+			table = bench.B10FromResults(results)
 		default:
-			fail(fmt.Errorf("-json supports experiments B8 and B9, not %q", *exp))
+			fail(fmt.Errorf("-json supports experiments B8, B9 and B10, not %q", *exp))
 		}
 		if err != nil {
 			fail(err)
@@ -101,7 +114,7 @@ func main() {
 	}
 	t, ok := bench.ByID(*exp)
 	if !ok {
-		fail(fmt.Errorf("unknown experiment %q (B1..B9)", *exp))
+		fail(fmt.Errorf("unknown experiment %q (B1..B10)", *exp))
 	}
 	fmt.Println(render(t))
 }

@@ -40,7 +40,33 @@ package calculus
 import (
 	"chimera/internal/clock"
 	"chimera/internal/event"
+	"chimera/internal/metrics"
 )
+
+// SweepMetrics is the sweep's instrument set: probes (full-tree
+// evaluations), cached-sign hits (arrivals settled without one) and
+// Advance calls. One set is shared by every Sweeper of a Trigger
+// Support — the counters are atomic, so the sharded determination's
+// workers report into them concurrently. All nil (the zero value /
+// a nil pointer) is the disabled configuration.
+type SweepMetrics struct {
+	Advances  *metrics.Counter
+	Probes    *metrics.Counter
+	CacheHits *metrics.Counter
+}
+
+// NewSweepMetrics resolves the sweep instruments from a registry; a nil
+// registry yields nil (disabled) instruments.
+func NewSweepMetrics(r *metrics.Registry) *SweepMetrics {
+	if r == nil {
+		return nil
+	}
+	return &SweepMetrics{
+		Advances:  r.Counter("chimera_sweep_advances_total"),
+		Probes:    r.Counter("chimera_sweep_probes_total"),
+		CacheHits: r.Counter("chimera_sweep_cache_hits_total"),
+	}
+}
 
 type sweepOp uint8
 
@@ -111,6 +137,7 @@ type Sweeper struct {
 	seen      int64      // occurrences swept (the R ≠ ∅ guard)
 	sensitive bool       // some lift ranges over the full object domain
 	active    bool       // root sign at the most recent probe
+	m         *SweepMetrics
 }
 
 // NewSweeper compiles e for the window starting (exclusively) at since.
@@ -183,12 +210,27 @@ func (sw *Sweeper) build(e Expr, restrictDomain bool) *sweepNode {
 	panic("calculus: unknown expression node in Sweeper build")
 }
 
+// SetMetrics installs the sweep instruments (nil disables reporting).
+// The sweeper itself is single-goroutine state; the shared instrument
+// set is atomic, so sweepers of different shards may share one.
+func (sw *Sweeper) SetMetrics(m *SweepMetrics) { sw.m = m }
+
 // Advance sweeps the arrivals in (probed, now], returning the earliest
 // probe instant at which ts(E, t') is active, exactly as
 // Env.TriggeredAfter(e, probed, now) would report it. env supplies the
 // Event Base, window and scratch buffers; env.Since must equal the
 // sweeper's window start and env.RestrictDomain the compile-time flag.
 func (sw *Sweeper) Advance(env *Env, now clock.Time) SweepResult {
+	res := sw.advance(env, now)
+	if sw.m != nil {
+		sw.m.Advances.Inc()
+		sw.m.Probes.Add(res.Evals)
+		sw.m.CacheHits.Add(res.Skipped)
+	}
+	return res
+}
+
+func (sw *Sweeper) advance(env *Env, now clock.Time) SweepResult {
 	var res SweepResult
 	if now <= sw.probed {
 		return res

@@ -16,6 +16,7 @@ import (
 	"chimera/internal/clock"
 	"chimera/internal/cond"
 	"chimera/internal/event"
+	"chimera/internal/metrics"
 	"chimera/internal/object"
 	"chimera/internal/rules"
 	"chimera/internal/schema"
@@ -54,6 +55,19 @@ type Options struct {
 	// useful for the differential reference and for ad-hoc inspection of
 	// Txn.Base over windows older than every rule's horizon.
 	DisableCompaction bool
+	// SegmentSize overrides the Event Base segment size (occurrences per
+	// generation); 0 uses event.DefaultSegmentSize. Small sizes exercise
+	// segment boundaries and compaction in tests; production
+	// configurations should leave the default.
+	SegmentSize int
+	// Metrics, when non-nil, is the registry the engine and every layer
+	// under it (Event Base, Trigger Support, incremental sweep) report
+	// into; read it back with DB.Snapshot. nil (the default) disables
+	// instrumentation entirely: every report site reduces to one
+	// branch-predictable nil check with no allocation and no atomic
+	// operation, and the differential suite pins enabled vs disabled
+	// runs to identical semantics (see DESIGN.md §9).
+	Metrics *metrics.Registry
 }
 
 // DefaultOptions enables the paper's static optimization and the formal
@@ -89,6 +103,11 @@ type DB struct {
 	stats   Stats
 	tracer  Tracer
 	txn     *Txn
+	// m and baseMetrics are the resolved instrument sets (zero values
+	// when Options.Metrics is nil); baseMetrics is installed on each
+	// transaction's Event Base at Begin.
+	m           engineMetrics
+	baseMetrics event.BaseMetrics
 }
 
 // New creates an empty database with the given options.
@@ -96,14 +115,19 @@ func New(opts Options) *DB {
 	if opts.MaxRuleExecutions == 0 {
 		opts.MaxRuleExecutions = 10000
 	}
+	if opts.Metrics != nil && opts.Support.Metrics == nil {
+		opts.Support.Metrics = rules.NewSupportMetrics(opts.Metrics)
+	}
 	s := schema.New()
 	db := &DB{
-		clock:   clock.New(),
-		schema:  s,
-		store:   object.NewStore(s),
-		support: rules.NewSupport(nil, opts.Support),
-		bodies:  make(map[string]Body),
-		opts:    opts,
+		clock:       clock.New(),
+		schema:      s,
+		store:       object.NewStore(s),
+		support:     rules.NewSupport(nil, opts.Support),
+		bodies:      make(map[string]Body),
+		opts:        opts,
+		m:           newEngineMetrics(opts.Metrics),
+		baseMetrics: event.NewBaseMetrics(opts.Metrics),
 	}
 	return db
 }
@@ -207,15 +231,21 @@ func (db *DB) Begin() (*Txn, error) {
 	if db.txn != nil {
 		return nil, errors.New("engine: transaction already open")
 	}
+	base := event.NewBaseSize(db.opts.SegmentSize)
+	base.SetMetrics(db.baseMetrics)
 	t := &Txn{
 		db:   db,
-		base: event.NewBase(),
+		base: base,
 		mark: db.store.MarkUndo(),
 	}
 	db.support.Rebind(t.base)
 	db.support.BeginTransaction(db.clock.Now())
 	db.txn = t
 	db.stats.Transactions++
+	db.m.transactions.Inc()
+	if db.tracer != nil {
+		db.tracer.TransactionStart(db.clock.Now())
+	}
 	return t, nil
 }
 
@@ -227,6 +257,7 @@ func (t *Txn) log(ty event.Type, oid types.OID) error {
 	}
 	t.pending = append(t.pending, occ)
 	t.db.stats.Events++
+	t.db.m.events.Inc()
 	return nil
 }
 
@@ -372,16 +403,49 @@ func (t *Txn) EndLine() error {
 // block), so every occurrence at or below the watermark is unreachable
 // by any future read. See DESIGN.md §8.
 func (t *Txn) flushBlock() {
-	t.db.stats.Blocks++
+	db := t.db
+	tr := db.tracer
+	db.stats.Blocks++
+	db.m.blocks.Inc()
 	n := len(t.pending)
-	t.db.support.NotifyArrivals(t.pending)
-	t.pending = t.pending[:0]
-	fired := t.db.support.CheckTriggered(t.db.clock.Now())
-	if !t.db.opts.DisableCompaction {
-		t.base.CompactBelow(t.db.support.Watermark())
+	db.m.blockEvents.Observe(int64(n))
+	if tr != nil {
+		tr.BlockStart(n)
 	}
-	if t.db.tracer != nil {
-		t.db.tracer.BlockEnd(n, fired)
+	db.support.NotifyArrivals(t.pending)
+	t.pending = t.pending[:0]
+	now := db.clock.Now()
+	var examinedBefore int64
+	if tr != nil {
+		tr.SweepStart(now)
+		examinedBefore = db.support.Stats().RulesExamined
+	}
+	fired := db.support.CheckTriggered(now)
+	if tr != nil {
+		tr.SweepEnd(int(db.support.Stats().RulesExamined-examinedBefore), len(fired))
+		for _, name := range fired {
+			// The activation instant and the net effect behind it: the
+			// occurrences of the rule's relevant window up to activation.
+			// Read-only lookups — tracing must never perturb state.
+			if st, ok := db.support.Rule(name); ok {
+				tr.RuleTriggered(name, st.TriggeredAt,
+					t.base.CountArrivals(st.LastConsideration, st.TriggeredAt))
+			}
+		}
+	}
+	if !db.opts.DisableCompaction {
+		wm := db.support.Watermark()
+		db.m.watermarkAge.Set(int64(now - wm))
+		segsBefore := 0
+		if tr != nil {
+			segsBefore = t.base.RetiredSegments()
+		}
+		if retired := t.base.CompactBelow(wm); retired > 0 && tr != nil {
+			tr.Compaction(retired, t.base.RetiredSegments()-segsBefore, wm)
+		}
+	}
+	if tr != nil {
+		tr.BlockEnd(n, fired)
 	}
 }
 
@@ -414,6 +478,7 @@ func (t *Txn) runRule(name string) error {
 		return err
 	}
 	t.db.stats.Considerations++
+	t.db.m.considerations.Inc()
 	body := t.db.bodies[name]
 	ctx := &cond.Ctx{
 		Store: t.db.store,
@@ -435,6 +500,7 @@ func (t *Txn) runRule(name string) error {
 		return nil
 	}
 	t.db.stats.RuleExecutions++
+	t.db.m.executions.Inc()
 	if err := body.Action.Exec(ctx, (*txnMutator)(t), bindings); err != nil {
 		return fmt.Errorf("engine: rule %q action: %w", name, err)
 	}
@@ -490,6 +556,7 @@ func (t *Txn) Commit() error {
 	t.db.store.DiscardUndo()
 	t.done = true
 	t.db.txn = nil
+	t.db.m.commits.Inc()
 	if t.db.tracer != nil {
 		t.db.tracer.TransactionEnd(true)
 	}
@@ -509,6 +576,7 @@ func (t *Txn) rollback() {
 	t.db.store.RollbackTo(t.mark)
 	t.done = true
 	t.db.txn = nil
+	t.db.m.rollbacks.Inc()
 	if t.db.tracer != nil {
 		t.db.tracer.TransactionEnd(false)
 	}

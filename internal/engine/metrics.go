@@ -1,0 +1,51 @@
+package engine
+
+import (
+	"chimera/internal/metrics"
+)
+
+// engineMetrics is the engine layer's instrument set: transaction
+// outcomes, block boundaries, occurrences, rule considerations and
+// executions, plus the watermark-age gauge (how far the consumption
+// low-watermark trails the clock — a stall means some rule has not been
+// considered for a long stretch and the Event Base cannot compact).
+// The zero value (all nil instruments) is the disabled configuration;
+// every report is then a branch-predictable nil check and nothing else.
+type engineMetrics struct {
+	transactions   *metrics.Counter
+	commits        *metrics.Counter
+	rollbacks      *metrics.Counter
+	blocks         *metrics.Counter
+	events         *metrics.Counter
+	considerations *metrics.Counter
+	executions     *metrics.Counter
+	blockEvents    *metrics.Histogram
+	watermarkAge   *metrics.Gauge
+}
+
+func newEngineMetrics(r *metrics.Registry) engineMetrics {
+	if r == nil {
+		return engineMetrics{}
+	}
+	return engineMetrics{
+		transactions:   r.Counter("chimera_engine_transactions_total"),
+		commits:        r.Counter("chimera_engine_commits_total"),
+		rollbacks:      r.Counter("chimera_engine_rollbacks_total"),
+		blocks:         r.Counter("chimera_engine_blocks_total"),
+		events:         r.Counter("chimera_engine_events_total"),
+		considerations: r.Counter("chimera_engine_considerations_total"),
+		executions:     r.Counter("chimera_engine_executions_total"),
+		blockEvents: r.Histogram("chimera_engine_block_events",
+			0, 1, 2, 4, 8, 16, 32, 64, 128, 256, 1024),
+		watermarkAge: r.Gauge("chimera_engine_watermark_age"),
+	}
+}
+
+// Metrics returns the registry the database reports into, or nil when
+// metrics are disabled.
+func (db *DB) Metrics() *metrics.Registry { return db.opts.Metrics }
+
+// Snapshot copies every metric the database and its layers (Event Base,
+// Trigger Support, incremental sweep) have reported. With metrics
+// disabled it returns the zero (empty) snapshot.
+func (db *DB) Snapshot() metrics.Snapshot { return db.opts.Metrics.Snapshot() }

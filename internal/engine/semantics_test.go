@@ -333,7 +333,10 @@ func TestTracer(t *testing.T) {
 	}
 }
 
-type recordingTracer struct{ lines []string }
+type recordingTracer struct {
+	NopTracer
+	lines []string
+}
 
 func (r *recordingTracer) BlockEnd(events int, triggered []string) {
 	r.lines = append(r.lines, fmt.Sprintf("block:%d:%v", events, triggered))

@@ -7,8 +7,45 @@ import (
 	"sync"
 
 	"chimera/internal/clock"
+	"chimera/internal/metrics"
 	"chimera/internal/types"
 )
+
+// BaseMetrics is the Event Base's instrument set. The zero value (all
+// nil instruments) is the disabled configuration: every report is a
+// no-op nil check (see internal/metrics). The engine resolves one set
+// per database and installs it on each transaction's Base, so the
+// instruments accumulate across transactions while the gauges track the
+// live transaction's window.
+type BaseMetrics struct {
+	// Appends counts occurrences ever appended.
+	Appends *metrics.Counter
+	// SegmentsAllocated / SegmentsRetired count segment churn;
+	// OccurrencesRetired counts occurrences dropped by compaction.
+	SegmentsAllocated  *metrics.Counter
+	SegmentsRetired    *metrics.Counter
+	OccurrencesRetired *metrics.Counter
+	// Live / LiveSegments gauge the retained window — the pair the
+	// bounded-memory claim of DESIGN.md §8 is about.
+	Live         *metrics.Gauge
+	LiveSegments *metrics.Gauge
+}
+
+// NewBaseMetrics resolves the Event Base instruments from a registry; a
+// nil registry yields the zero (disabled) set.
+func NewBaseMetrics(r *metrics.Registry) BaseMetrics {
+	if r == nil {
+		return BaseMetrics{}
+	}
+	return BaseMetrics{
+		Appends:            r.Counter("chimera_eb_appends_total"),
+		SegmentsAllocated:  r.Counter("chimera_eb_segments_allocated_total"),
+		SegmentsRetired:    r.Counter("chimera_eb_segments_retired_total"),
+		OccurrencesRetired: r.Counter("chimera_eb_occurrences_retired_total"),
+		Live:               r.Gauge("chimera_eb_live_occurrences"),
+		LiveSegments:       r.Gauge("chimera_eb_live_segments"),
+	}
+}
 
 // DefaultSegmentSize is the number of occurrences one segment of the
 // Event Base holds. 256 keeps a segment (with its segment-local indexes)
@@ -79,6 +116,9 @@ type Base struct {
 	floor       clock.Time
 	retired     int
 	retiredSegs int
+	// m is the instrument set (zero value when metrics are off; every
+	// report is then a nil-check no-op).
+	m BaseMetrics
 }
 
 // segment is one generation of the log: up to segSize occurrences in
@@ -136,6 +176,14 @@ func NewBaseSize(segSize int) *Base {
 	}
 }
 
+// SetMetrics installs the instrument set. Call before the Base is
+// shared between goroutines (the engine installs it at Begin).
+func (b *Base) SetMetrics(m BaseMetrics) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.m = m
+}
+
 // Append records a new event occurrence and returns it. The time stamp
 // must exceed every time stamp already appended (including retired ones).
 func (b *Base) Append(t Type, oid types.OID, at clock.Time) (Occurrence, error) {
@@ -161,6 +209,8 @@ func (b *Base) Append(t Type, oid types.OID, at clock.Time) (Occurrence, error) 
 			byOID:  make(map[types.OID][]int32),
 		}
 		b.segs = append(b.segs, sg)
+		b.m.SegmentsAllocated.Inc()
+		b.m.LiveSegments.Set(int64(len(b.segs)))
 	}
 	idx := int32(len(sg.occs))
 	sg.occs = append(sg.occs, occ)
@@ -180,6 +230,8 @@ func (b *Base) Append(t Type, oid types.OID, at clock.Time) (Occurrence, error) 
 	b.latest[t] = at
 	b.lastTS = at
 	b.live++
+	b.m.Appends.Inc()
+	b.m.Live.Set(int64(b.live))
 	return occ, nil
 }
 
@@ -218,6 +270,10 @@ func (b *Base) CompactBelow(watermark clock.Time) int {
 	b.live -= n
 	b.retired += n
 	b.retiredSegs += cut
+	b.m.SegmentsRetired.Add(int64(cut))
+	b.m.OccurrencesRetired.Add(int64(n))
+	b.m.Live.Set(int64(b.live))
+	b.m.LiveSegments.Set(int64(len(b.segs)))
 	return n
 }
 

@@ -45,10 +45,12 @@ import (
 	"runtime"
 	"sort"
 	"sync"
+	"time"
 
 	"chimera/internal/calculus"
 	"chimera/internal/clock"
 	"chimera/internal/event"
+	"chimera/internal/metrics"
 )
 
 // Coupling is the Event-Condition coupling mode of Section 2.
@@ -199,6 +201,14 @@ type Options struct {
 	// mentioned type arrived at. Semantically transparent — the
 	// differential tests pin it to the recursive reference probe.
 	Incremental bool
+	// Metrics, when non-nil, is the instrument set the support reports
+	// into. Reporting happens in bulk at the end of each CheckTriggered
+	// (counter deltas, not per-rule atomics), so the enabled path adds a
+	// constant cost per block boundary; a nil set costs one predictable
+	// branch. Instrumentation never changes outcomes — the differential
+	// suite in internal/engine pins metrics-on vs metrics-off runs to
+	// identical triggerings and database states.
+	Metrics *SupportMetrics
 	// Workers selects the CheckTriggered execution mode: 0 or 1 run the
 	// determination sequentially on the calling goroutine (the reference
 	// configuration), and n > 1 partitions the pending rules across n
@@ -235,6 +245,75 @@ type Stats struct {
 	SweepSkipped int64
 	// Triggerings counts transitions into the triggered state.
 	Triggerings int64
+}
+
+// SupportMetrics is the Trigger Support's instrument set. The shard
+// histograms expose imbalance (rules checked and triggerings per shard
+// per check) and MergeWaitNs the time the merging goroutine spent
+// blocked on the slowest shard — the signals the sharded determination
+// of DESIGN.md §7 needs in production. A nil *SupportMetrics disables
+// reporting.
+type SupportMetrics struct {
+	Checks        *metrics.Counter
+	RulesExamined *metrics.Counter
+	RulesSkipped  *metrics.Counter
+	TsEvals       *metrics.Counter
+	SweepSkipped  *metrics.Counter
+	Triggerings   *metrics.Counter
+	// BatchRules observes the pending-rule batch per check; ShardRules
+	// and ShardTriggerings observe per-shard loads (sharded path only).
+	BatchRules       *metrics.Histogram
+	ShardRules       *metrics.Histogram
+	ShardTriggerings *metrics.Histogram
+	// MergeWaitNs observes the coordinator's wait for the slowest shard.
+	MergeWaitNs *metrics.Histogram
+	// Workers gauges the worker count of the most recent check.
+	Workers *metrics.Gauge
+	// Sweep is handed to every rule's incremental Sweeper.
+	Sweep *calculus.SweepMetrics
+}
+
+// NewSupportMetrics resolves the Trigger Support instruments from a
+// registry; a nil registry yields nil (reporting disabled).
+func NewSupportMetrics(r *metrics.Registry) *SupportMetrics {
+	if r == nil {
+		return nil
+	}
+	return &SupportMetrics{
+		Checks:        r.Counter("chimera_trigger_checks_total"),
+		RulesExamined: r.Counter("chimera_trigger_rules_examined_total"),
+		RulesSkipped:  r.Counter("chimera_trigger_rules_skipped_total"),
+		TsEvals:       r.Counter("chimera_trigger_ts_evals_total"),
+		SweepSkipped:  r.Counter("chimera_trigger_sweep_skipped_total"),
+		Triggerings:   r.Counter("chimera_trigger_triggerings_total"),
+		BatchRules: r.Histogram("chimera_trigger_batch_rules",
+			1, 4, 16, 64, 256, 1024, 4096),
+		ShardRules: r.Histogram("chimera_trigger_shard_rules",
+			1, 4, 16, 64, 256, 1024, 4096),
+		ShardTriggerings: r.Histogram("chimera_trigger_shard_triggerings",
+			0, 1, 4, 16, 64, 256),
+		MergeWaitNs: r.Histogram("chimera_trigger_merge_wait_ns",
+			1e3, 1e4, 1e5, 1e6, 1e7, 1e8),
+		Workers: r.Gauge("chimera_trigger_workers"),
+		Sweep:   calculus.NewSweepMetrics(r),
+	}
+}
+
+// report publishes the delta between two Stats snapshots plus the batch
+// shape of one check. Called once per CheckTriggered with the support
+// mutex held; all instrument writes are atomic and allocation-free.
+func (m *SupportMetrics) report(before, after Stats, batch, workers int) {
+	if m == nil {
+		return
+	}
+	m.Checks.Inc()
+	m.RulesExamined.Add(after.RulesExamined - before.RulesExamined)
+	m.RulesSkipped.Add(after.RulesSkipped - before.RulesSkipped)
+	m.TsEvals.Add(after.TsEvaluations - before.TsEvaluations)
+	m.SweepSkipped.Add(after.SweepSkipped - before.SweepSkipped)
+	m.Triggerings.Add(after.Triggerings - before.Triggerings)
+	m.BatchRules.Observe(int64(batch))
+	m.Workers.Set(int64(workers))
 }
 
 // add accumulates a per-shard partial into the receiver.
@@ -548,6 +627,9 @@ func (s *Support) checkOne(st *State, env *calculus.Env, now clock.Time, stats *
 	case s.opts.Incremental:
 		if st.sweeper == nil {
 			st.sweeper = calculus.NewSweeper(st.Def.Event, st.LastConsideration, true)
+			if s.opts.Metrics != nil {
+				st.sweeper.SetMetrics(s.opts.Metrics.Sweep)
+			}
 		} else if st.sweeper.Since() != st.LastConsideration {
 			// The window restarted (a consideration); rewind the compiled
 			// sweeper in place instead of re-allocating it.
@@ -586,6 +668,11 @@ func (s *Support) checkOne(st *State, env *calculus.Env, now clock.Time, stats *
 func (s *Support) CheckTriggered(now clock.Time) []string {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	m := s.opts.Metrics
+	var statsBefore Stats
+	if m != nil {
+		statsBefore = s.stats
+	}
 	s.stats.Checks++
 	// Collect the rules to examine, preserving priority order.
 	batch := s.checkBuf[:0]
@@ -629,11 +716,25 @@ func (s *Support) CheckTriggered(now clock.Time) []string {
 				}
 			}(batch[lo:hi], s.envs[w], &partials[w])
 		}
+		var waitStart time.Time
+		if m != nil {
+			waitStart = time.Now()
+		}
 		wg.Wait()
+		if m != nil {
+			m.MergeWaitNs.Observe(time.Since(waitStart).Nanoseconds())
+			for w := 0; w < workers; w++ {
+				lo := w * len(batch) / workers
+				hi := (w + 1) * len(batch) / workers
+				m.ShardRules.Observe(int64(hi - lo))
+				m.ShardTriggerings.Observe(partials[w].Triggerings)
+			}
+		}
 		for w := range partials {
 			s.stats.add(partials[w])
 		}
 	}
+	m.report(statsBefore, s.stats, len(batch), workers)
 	var fired []string
 	for _, st := range batch {
 		if st.Triggered {

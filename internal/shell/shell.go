@@ -29,10 +29,12 @@ type Shell struct {
 // InteractiveOptions is the configuration interactive sessions should
 // run with: the defaults, minus Event Base compaction — `show events`
 // is an inspection tool and must display the complete in-transaction
-// log, not just the window live rules can still observe.
+// log, not just the window live rules can still observe — plus a
+// metrics registry so `show stats` can render the full instrument set.
 func InteractiveOptions() chimera.Options {
 	opts := chimera.DefaultOptions()
 	opts.DisableCompaction = true
+	opts.Metrics = chimera.NewMetricsRegistry()
 	return opts
 }
 
@@ -292,6 +294,10 @@ func (s *Shell) show(c lang.CmdShow) error {
 			st.Transactions, st.Blocks, st.Events, st.Considerations, st.RuleExecutions)
 		fmt.Fprintf(s.out, "trigger support: checks %d, examined %d, skipped %d, ts evaluations %d, triggerings %d\n",
 			ts.Checks, ts.RulesExamined, ts.RulesSkipped, ts.TsEvaluations, ts.Triggerings)
+		if s.db.Metrics() != nil {
+			fmt.Fprintln(s.out, "metrics:")
+			s.db.Snapshot().WriteText(s.out)
+		}
 	default:
 		return fmt.Errorf("show what? (rules, objects, events, stats, analysis, o<N>)")
 	}
