@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet bench cover fuzz verify verify-full
+.PHONY: build test race vet bench bench-smoke cover fuzz verify verify-full
 
 build:
 	$(GO) build ./...
@@ -18,14 +18,24 @@ race:
 vet:
 	$(GO) vet ./...
 
-# Full measured-experiment sweep (B1..B10); BENCH_trigger.json holds the
-# machine-readable B8 results, BENCH_eb.json the B9 Event Base soak, and
-# BENCH_obs.json the B10 observability-overhead run.
+# Full measured-experiment sweep (B1..B11); BENCH_trigger.json holds the
+# machine-readable B8 results, BENCH_eb.json the B9 Event Base soak,
+# BENCH_obs.json the B10 observability-overhead run, and BENCH_cse.json
+# the B11 shared-trigger-plan sweep.
 bench:
 	$(GO) run ./cmd/chimera-bench
 	$(GO) run ./cmd/chimera-bench -exp B8 -json BENCH_trigger.json >/dev/null
 	$(GO) run ./cmd/chimera-bench -exp B9 -json BENCH_eb.json >/dev/null
 	$(GO) run ./cmd/chimera-bench -metrics >/dev/null
+	$(GO) run ./cmd/chimera-bench -exp B11 -json BENCH_cse.json >/dev/null
+
+# CI-sized B11 run: just the acceptance cell (50 rules, overlap 4),
+# held against the committed BENCH_cse.json baseline. chimera-benchcmp
+# warns (exit 0) on >10% regressions — CI timing is too noisy to gate
+# the build on, but the warning shows up in the log.
+bench-smoke:
+	$(GO) run ./cmd/chimera-bench -exp B11 -smoke -json BENCH_cse_smoke.json
+	$(GO) run ./cmd/chimera-benchcmp BENCH_cse.json BENCH_cse_smoke.json
 
 # Coverage gate: total statement coverage must not fall below the
 # recorded baseline (76.6% when the gate was introduced; the floor

@@ -239,6 +239,93 @@ func BenchmarkShardedSupport(b *testing.B) {
 	}
 }
 
+// B11 — shared trigger plans: the incremental per-rule sweep vs the
+// interned DAG with memoized ts evaluation, on rule sets with forced
+// subexpression overlap (chimera-bench -exp B11 prints the full table).
+func BenchmarkSharedPlan(b *testing.B) {
+	vocab := workload.Vocabulary(6)
+	defs := workload.OverlapRules(rand.New(rand.NewSource(71)), workload.OverlapRuleSetOptions{
+		Rules: 50, Vocab: vocab, Overlap: 4,
+		FragmentsPerRule: 2, Depth: 3,
+		Negation: true, Precedence: true, Conjunctive: true,
+	})
+	for _, mode := range []struct {
+		name string
+		opts rules.Options
+	}{
+		{"incremental", rules.Options{UseFilter: true, Incremental: true}},
+		{"shared", rules.Options{UseFilter: true, Incremental: true, SharedPlan: true}},
+		{"shared-memoOff", rules.Options{UseFilter: true, Incremental: true, SharedPlan: true, MemoOff: true}},
+	} {
+		b.Run(mode.name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				c := clock.New()
+				base := event.NewBase()
+				s := rules.NewSupport(base, mode.opts)
+				s.BeginTransaction(c.Now())
+				for _, d := range defs {
+					if err := s.Define(d); err != nil {
+						b.Fatal(err)
+					}
+				}
+				stream := workload.Stream(rand.New(rand.NewSource(42)), c, base, workload.StreamOptions{
+					Blocks: 30, EventsPerBlock: 8, Objects: 16, Vocab: vocab,
+				})
+				workload.Drive(s, c, stream, true)
+			}
+		})
+	}
+}
+
+// Steady-state CheckTriggered on rules that never fire: after warmup
+// the call recycles every buffer, so allocs/op must report 0 for all
+// three evaluation modes (the test suite asserts this; the benchmark
+// shows it alongside the per-call cost).
+func BenchmarkCheckSteadyState(b *testing.B) {
+	vocab := workload.Vocabulary(4)
+	for _, mode := range []struct {
+		name string
+		opts rules.Options
+	}{
+		{"classic", rules.Options{UseFilter: true}},
+		{"incremental", rules.Options{UseFilter: true, Incremental: true}},
+		{"shared", rules.Options{UseFilter: true, SharedPlan: true}},
+	} {
+		b.Run(mode.name, func(b *testing.B) {
+			c := clock.New()
+			base := event.NewBase()
+			s := rules.NewSupport(base, mode.opts)
+			s.BeginTransaction(c.Now())
+			for i := 0; i < 8; i++ {
+				// Conjunction with an unseen type: probed, never fires.
+				def := rules.Def{
+					Name: fmt.Sprintf("r%02d", i),
+					Event: calculus.Conj(
+						calculus.P(vocab[i%len(vocab)]),
+						calculus.P(event.Create("never"))),
+					Priority: i,
+				}
+				if err := s.Define(def); err != nil {
+					b.Fatal(err)
+				}
+			}
+			r := rand.New(rand.NewSource(7))
+			for i := 0; i < 64; i++ {
+				if _, err := base.Append(vocab[r.Intn(len(vocab))], 1, c.Tick()); err != nil {
+					b.Fatal(err)
+				}
+			}
+			s.CheckTriggered(c.Now()) // warm the buffers
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				s.CheckTriggered(c.Now())
+			}
+		})
+	}
+}
+
 // Figure 5 regeneration cost (the six sampled ts curves).
 func BenchmarkFigure5Series(b *testing.B) {
 	for i := 0; i < b.N; i++ {

@@ -271,6 +271,15 @@ type AnalysisReport = analysis.Report
 // engine additionally enforces a runtime execution limit).
 func Analyze(db *DB) AnalysisReport { return analysis.Analyze(db) }
 
+// SharingReport quantifies cross-rule subexpression sharing in the
+// interned trigger plan (see DESIGN.md §10).
+type SharingReport = analysis.SharingReport
+
+// AnalyzeSharing reports the trigger plan's dedup ratio: expression tree
+// nodes across the rule set versus live DAG nodes, plus the most-shared
+// subexpressions.
+func AnalyzeSharing(db *DB) SharingReport { return analysis.AnalyzeSharing(db) }
+
 // Save writes a snapshot of the database (schema, live objects, rules)
 // as JSON to path. Snapshots capture committed state only; the Event
 // Base is per-transaction and is not persisted.

@@ -1,0 +1,112 @@
+// Command chimera-benchcmp compares two B11 result files (the JSON
+// chimera-bench -exp B11 emits, e.g. the committed BENCH_cse.json
+// baseline against a fresh run) cell by cell, benchstat-style. Cells
+// are keyed (rules, overlap, workers); only cells present in both
+// files are compared, so a smoke run holds itself against just the
+// matching slice of the full baseline.
+//
+// A regression — shared_ms up, eval_reduction down, or lost outcome
+// parity — beyond the threshold prints a WARNING line. Warnings do not
+// change the exit status: timing cells are noisy on shared CI
+// machines, so the tool warns loudly instead of failing the build
+// (pass -strict to turn warnings into exit 1 for local gating).
+//
+// Usage:
+//
+//	chimera-benchcmp BENCH_cse.json new.json
+//	chimera-benchcmp -threshold 0.05 -strict old.json new.json
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"chimera/internal/bench"
+)
+
+func main() {
+	threshold := flag.Float64("threshold", 0.10, "relative change that counts as a regression")
+	strict := flag.Bool("strict", false, "exit 1 when any regression is found (default: warn only)")
+	flag.Parse()
+	if flag.NArg() != 2 {
+		fmt.Fprintln(os.Stderr, "usage: chimera-benchcmp [-threshold 0.10] [-strict] baseline.json new.json")
+		os.Exit(2)
+	}
+
+	base, err := load(flag.Arg(0))
+	if err != nil {
+		fatal(err)
+	}
+	cur, err := load(flag.Arg(1))
+	if err != nil {
+		fatal(err)
+	}
+
+	type key struct{ rules, overlap, workers int }
+	byCell := make(map[key]bench.B11Result, len(base))
+	for _, r := range base {
+		byCell[key{r.Rules, r.Overlap, r.Workers}] = r
+	}
+
+	warnings, compared := 0, 0
+	for _, n := range cur {
+		o, ok := byCell[key{n.Rules, n.Overlap, n.Workers}]
+		if !ok {
+			continue
+		}
+		compared++
+		cell := fmt.Sprintf("rules=%d overlap=%d workers=%d", n.Rules, n.Overlap, n.Workers)
+		fmt.Printf("%s\n", cell)
+		fmt.Printf("  shared_ms       %10.3f -> %10.3f  (%+.1f%%)\n", o.SharedMs, n.SharedMs, delta(o.SharedMs, n.SharedMs))
+		fmt.Printf("  eval_reduction  %9.2fx -> %9.2fx  (%+.1f%%)\n", o.EvalReduction, n.EvalReduction, delta(o.EvalReduction, n.EvalReduction))
+		if o.SharedMs > 0 && n.SharedMs > o.SharedMs*(1+*threshold) {
+			warnings++
+			fmt.Printf("  WARNING: shared_ms regressed %.1f%% (threshold %.0f%%)\n", delta(o.SharedMs, n.SharedMs), 100**threshold)
+		}
+		if o.EvalReduction > 0 && n.EvalReduction < o.EvalReduction*(1-*threshold) {
+			warnings++
+			fmt.Printf("  WARNING: eval_reduction regressed %.1f%% (threshold %.0f%%)\n", -delta(o.EvalReduction, n.EvalReduction), 100**threshold)
+		}
+		if !n.SameOutcomes {
+			warnings++
+			fmt.Printf("  WARNING: shared plan and baseline disagree on triggerings\n")
+		}
+	}
+	if compared == 0 {
+		fatal(fmt.Errorf("no cells in common between %s and %s", flag.Arg(0), flag.Arg(1)))
+	}
+	if warnings > 0 {
+		fmt.Printf("%d regression warning(s) across %d compared cell(s)\n", warnings, compared)
+		if *strict {
+			os.Exit(1)
+		}
+	} else {
+		fmt.Printf("no regressions across %d compared cell(s)\n", compared)
+	}
+}
+
+func load(path string) ([]bench.B11Result, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var rs []bench.B11Result
+	if err := json.Unmarshal(data, &rs); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return rs, nil
+}
+
+func delta(old, new float64) float64 {
+	if old == 0 {
+		return 0
+	}
+	return 100 * (new - old) / old
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "chimera-benchcmp: %v\n", err)
+	os.Exit(1)
+}

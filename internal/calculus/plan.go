@@ -1,0 +1,580 @@
+package calculus
+
+import (
+	"sort"
+
+	"chimera/internal/clock"
+	"chimera/internal/event"
+	"chimera/internal/types"
+)
+
+// This file implements the shared trigger plan: expression trees of a
+// whole rule set hash-consed into one interned DAG (structural keys over
+// Prim/Not/And/Or/Seq × granularity), plus a generation-stamped memo
+// evaluator so a subexpression shared by N rules is evaluated once per
+// probe instant instead of N times. The Trigger Support drives it from
+// CheckTriggered (Options.SharedPlan); the paper's Section 5.1 optimizes
+// each rule in isolation, this is the cross-rule complement.
+
+// NodeID identifies one interned DAG node within a Plan. IDs are stable
+// for the lifetime of the node (until its refcount drops to zero) and
+// dense, so per-node memo state lives in flat slices.
+type NodeID int32
+
+// NoNode is the null NodeID (note that 0 is a valid id).
+const NoNode NodeID = -1
+
+// planOp is the node kind tag of the structural key.
+type planOp uint8
+
+const (
+	planPrim planOp = iota
+	planNot
+	planAnd
+	planOr
+	planSeq
+)
+
+// nodeKey is the structural identity of a node: operator, granularity,
+// primitive type (planPrim only) and the interned children. Because the
+// children are themselves NodeIDs, equal keys imply structurally equal
+// subtrees — hash-consing falls out of one map lookup per node.
+type nodeKey struct {
+	op   planOp
+	inst bool
+	t    event.Type
+	l, r NodeID
+}
+
+// planNode is one interned node plus the evaluation facts precomputed at
+// intern time (so the hot path never re-derives them).
+type planNode struct {
+	key  nodeKey
+	refs int32
+	// expr is the canonical expression of the subtree (the first interned
+	// instance); the sharing report renders it.
+	expr Expr
+	// size is the tree size of the subtree (nodes counted with
+	// multiplicity), the sharing report's dedup numerator.
+	size int32
+	// instRooted marks nodes whose top operator is instance-oriented: in a
+	// set-oriented context they evaluate via the ots→ts lift.
+	instRooted bool
+	// prims and safe are the lift's precomputed domain-restriction inputs
+	// (see Env.domainCached); meaningful only when instRooted.
+	prims []event.Type
+	safe  bool
+}
+
+// Plan is the interned DAG for one rule set. It is not safe for
+// concurrent mutation; the Trigger Support mutates it only under its
+// exclusive lock (Define/Drop) and shares it read-only across the
+// CheckTriggered worker goroutines.
+type Plan struct {
+	nodes  []planNode
+	ids    map[nodeKey]NodeID
+	free   []NodeID
+	live   int
+	shared int
+}
+
+// NewPlan returns an empty plan.
+func NewPlan() *Plan {
+	return &Plan{ids: make(map[nodeKey]NodeID)}
+}
+
+// Cap returns the id-space size (live + free slots); memo tables size
+// their flat per-node state to it.
+func (p *Plan) Cap() int { return len(p.nodes) }
+
+// Live returns the number of live interned nodes (the DAG size).
+func (p *Plan) Live() int { return p.live }
+
+// Shared returns the number of live nodes referenced more than once —
+// the subexpressions the memo can actually deduplicate.
+func (p *Plan) Shared() int { return p.shared }
+
+// Refs returns the reference count of a node (parents plus rule roots).
+func (p *Plan) Refs(id NodeID) int { return int(p.nodes[id].refs) }
+
+// Expr returns the canonical expression of a node.
+func (p *Plan) Expr(id NodeID) Expr { return p.nodes[id].expr }
+
+// Size returns the tree size of the subtree rooted at id.
+func (p *Plan) Size(id NodeID) int { return int(p.nodes[id].size) }
+
+// Intern hash-conses e into the DAG and returns its root id, taking one
+// reference on it. Structurally equal subtrees — across rules and within
+// one rule — map to the same NodeID.
+func (p *Plan) Intern(e Expr) NodeID {
+	var k nodeKey
+	l, r := NoNode, NoNode
+	switch n := e.(type) {
+	case Prim:
+		k = nodeKey{op: planPrim, t: n.T, l: NoNode, r: NoNode}
+	case Not:
+		l = p.Intern(n.X)
+		k = nodeKey{op: planNot, inst: n.Inst, l: l, r: NoNode}
+	case And:
+		l, r = p.Intern(n.L), p.Intern(n.R)
+		k = nodeKey{op: planAnd, inst: n.Inst, l: l, r: r}
+	case Or:
+		l, r = p.Intern(n.L), p.Intern(n.R)
+		k = nodeKey{op: planOr, inst: n.Inst, l: l, r: r}
+	case Seq:
+		l, r = p.Intern(n.L), p.Intern(n.R)
+		k = nodeKey{op: planSeq, inst: n.Inst, l: l, r: r}
+	default:
+		panic("calculus: unknown expression node in Plan.Intern")
+	}
+	if id, ok := p.ids[k]; ok {
+		p.addRef(id)
+		// The existing node already owns references to the children; give
+		// back the ones this walk just took. The counts cannot reach zero
+		// (the parent's references remain), so nothing is freed.
+		p.Release(l)
+		p.Release(r)
+		return id
+	}
+	id := p.alloc()
+	nd := &p.nodes[id]
+	nd.key = k
+	nd.refs = 1
+	nd.expr = e
+	nd.size = 1
+	if l != NoNode {
+		nd.size += p.nodes[l].size
+	}
+	if r != NoNode {
+		nd.size += p.nodes[r].size
+	}
+	if IsInstanceRooted(e) {
+		nd.instRooted = true
+		nd.safe = restrictionSafe(e)
+		nd.prims = Primitives(e)
+	}
+	p.ids[k] = id
+	p.live++
+	return id
+}
+
+func (p *Plan) alloc() NodeID {
+	if n := len(p.free); n > 0 {
+		id := p.free[n-1]
+		p.free = p.free[:n-1]
+		return id
+	}
+	p.nodes = append(p.nodes, planNode{})
+	return NodeID(len(p.nodes) - 1)
+}
+
+func (p *Plan) addRef(id NodeID) {
+	p.nodes[id].refs++
+	if p.nodes[id].refs == 2 {
+		p.shared++
+	}
+}
+
+// Release drops one reference on id; when the count reaches zero the
+// node is removed from the DAG (its id recycled) and its children are
+// released in turn. Releasing NoNode is a no-op.
+func (p *Plan) Release(id NodeID) {
+	if id == NoNode {
+		return
+	}
+	n := &p.nodes[id]
+	n.refs--
+	if n.refs == 1 {
+		p.shared--
+	}
+	if n.refs > 0 {
+		return
+	}
+	delete(p.ids, n.key)
+	l, r := n.key.l, n.key.r
+	*n = planNode{}
+	p.free = append(p.free, id)
+	p.live--
+	p.Release(l)
+	p.Release(r)
+}
+
+// SharedNode is one row of the sharing report: a subexpression and how
+// many parents (or rule roots) reference it.
+type SharedNode struct {
+	Expr string
+	Refs int
+	Size int
+}
+
+// SharedNodes lists the live nodes with at least minRefs references,
+// most-referenced (then largest, then lexicographic) first.
+func (p *Plan) SharedNodes(minRefs int) []SharedNode {
+	var out []SharedNode
+	for i := range p.nodes {
+		n := &p.nodes[i]
+		if n.refs >= int32(minRefs) && n.expr != nil {
+			out = append(out, SharedNode{Expr: n.expr.String(), Refs: int(n.refs), Size: int(n.size)})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Refs != out[j].Refs {
+			return out[i].Refs > out[j].Refs
+		}
+		if out[i].Size != out[j].Size {
+			return out[i].Size > out[j].Size
+		}
+		return out[i].Expr < out[j].Expr
+	})
+	return out
+}
+
+// ---------------------------------------------------------------------
+// Memoized evaluation over the DAG.
+
+type otsKey struct {
+	id  NodeID
+	oid types.OID
+}
+
+type otsEntry struct {
+	gen uint64
+	v   TS
+}
+
+// DefaultOTSBound is the default capacity of the per-evaluator
+// (nodeID, oid) cache for instance-oriented subresults.
+const DefaultOTSBound = 1 << 15
+
+// PlanEval evaluates interned nodes with a generation-stamped memo: one
+// generation per (Event Base window, probe instant), so every node's
+// set-oriented ts — and every lift's object domain — is computed at most
+// once per probe no matter how many rules share it. The ots values of
+// instance-oriented subexpressions go through a bounded (node, oid)
+// cache, useful when distinct lifts share instance subtrees.
+//
+// A PlanEval is stateful scratch like Env: one per goroutine. The
+// underlying Plan may be shared read-only across evaluators.
+//
+// Correctness hinges on one gate: memo slots are keyed to the current
+// probe instant (Begin), and precedence evaluates its left operand at
+// the right operand's activation instant — a historical time. Every
+// recursive call therefore re-checks t against the generation's instant
+// and bypasses the memo (read and write) off-instant; see DESIGN.md §10.
+type PlanEval struct {
+	plan *Plan
+	base *event.Base
+	// Since is the exclusive lower bound of the window R, as in Env.
+	since clock.Time
+	// RestrictDomain mirrors Env.RestrictDomain for the lifts.
+	RestrictDomain bool
+	// DisableMemo turns every cache off while keeping the DAG walk and
+	// the work counters — the ablation baseline benchmarks use to measure
+	// exactly how many node evaluations sharing avoids on an identical
+	// probe schedule.
+	DisableMemo bool
+
+	gen uint64
+	cur clock.Time
+
+	vals     []TS
+	epoch    []uint64
+	doms     [][]types.OID
+	domEpoch []uint64
+
+	// Prim cursors (Track mode): the last arrival of each interned
+	// primitive node inside the bound window, maintained incrementally
+	// from NoteArrival instead of re-queried with a LastOf search per
+	// probe instant. One cursor per prim node serves every rule sharing
+	// it. Entries are stamped with bindGen so Bind invalidates them all.
+	tracking  bool
+	bindGen   uint64
+	primLast  []clock.Time
+	primEpoch []uint64
+
+	otsCache map[otsKey]otsEntry
+	// OTSBound caps the (node, oid) cache; 0 keeps DefaultOTSBound,
+	// negative disables the cache entirely.
+	OTSBound int
+
+	// oidScratch serves domain computations at historical (off-memo)
+	// instants so they cannot clobber a memoized domain slice.
+	oidScratch []types.OID
+
+	evals int64
+	hits  int64
+}
+
+// NewPlanEval returns an evaluator over p with domain restriction on
+// (the Trigger Support's configuration).
+func NewPlanEval(p *Plan) *PlanEval {
+	return &PlanEval{plan: p, RestrictDomain: true, otsCache: make(map[otsKey]otsEntry)}
+}
+
+// Bind points the evaluator at an Event Base window (Since exclusive)
+// and invalidates every memoized value, prim cursors included.
+func (pe *PlanEval) Bind(base *event.Base, since clock.Time) {
+	pe.base = base
+	pe.since = since
+	pe.gen++
+	pe.bindGen++
+	pe.cur = clock.Never
+}
+
+// Track switches the prim cursors on. A tracking evaluator has a
+// stricter driving contract in exchange for O(1) prim lookups at the
+// memo instant: Begin instants within one Bind must be non-decreasing,
+// and every arrival in the window up to the current instant must be
+// reported through NoteArrival in timestamp order before that instant
+// is probed. The grouped CheckTriggered walk satisfies this by
+// construction; ad-hoc callers should leave tracking off.
+func (pe *PlanEval) Track(on bool) {
+	pe.tracking = on
+	if on {
+		pe.growPrim()
+	}
+}
+
+// NoteArrival reports one arrival to the prim cursors. Cursors not yet
+// initialized in this Bind stay lazy: their first evaluation runs one
+// LastOf catch-up query that includes this arrival.
+func (pe *PlanEval) NoteArrival(t event.Type, at clock.Time) {
+	if !pe.tracking {
+		return
+	}
+	id, ok := pe.plan.ids[nodeKey{op: planPrim, t: t, l: NoNode, r: NoNode}]
+	if !ok {
+		return
+	}
+	pe.growPrim()
+	if pe.primEpoch[id] == pe.bindGen {
+		pe.primLast[id] = at
+	}
+}
+
+func (pe *PlanEval) growPrim() {
+	if n := pe.plan.Cap(); len(pe.primLast) < n {
+		pe.primLast = append(pe.primLast, make([]clock.Time, n-len(pe.primLast))...)
+		pe.primEpoch = append(pe.primEpoch, make([]uint64, n-len(pe.primEpoch))...)
+	}
+}
+
+// Begin opens the memo generation for probe instant t: values computed
+// at t are memoized until the next Begin or Bind.
+func (pe *PlanEval) Begin(t clock.Time) {
+	pe.gen++
+	pe.cur = t
+	if n := pe.plan.Cap(); len(pe.vals) < n {
+		pe.vals = append(pe.vals, make([]TS, n-len(pe.vals))...)
+		pe.epoch = append(pe.epoch, make([]uint64, n-len(pe.epoch))...)
+		pe.doms = append(pe.doms, make([][]types.OID, n-len(pe.doms))...)
+		pe.domEpoch = append(pe.domEpoch, make([]uint64, n-len(pe.domEpoch))...)
+	}
+	if pe.tracking {
+		pe.growPrim()
+	}
+	bound := pe.OTSBound
+	if bound == 0 {
+		bound = DefaultOTSBound
+	}
+	if bound > 0 && len(pe.otsCache) >= bound {
+		// Evict wholesale once full: stale generations would otherwise pin
+		// the capacity and starve the current one.
+		clear(pe.otsCache)
+	}
+}
+
+// Cur returns the probe instant of the open generation (clock.Never
+// after Bind, before the first Begin).
+func (pe *PlanEval) Cur() clock.Time { return pe.cur }
+
+// TakeCounters returns and resets the evaluation-work counters: evals is
+// the number of node results actually computed (set-level ts, per-object
+// ots, lift domains), hits the number served from the memo — the
+// recomputations sharing avoided.
+func (pe *PlanEval) TakeCounters() (evals, hits int64) {
+	evals, hits = pe.evals, pe.hits
+	pe.evals, pe.hits = 0, 0
+	return evals, hits
+}
+
+// TS evaluates the set-oriented ts of node id at probe instant t over
+// R = (since, t], exactly as Env.TS does on the expression tree. Values
+// at the generation's instant (Begin) are memoized per node.
+func (pe *PlanEval) TS(id NodeID, t clock.Time) TS {
+	memo := t == pe.cur && !pe.DisableMemo
+	if memo && pe.epoch[id] == pe.gen {
+		pe.hits++
+		return pe.vals[id]
+	}
+	n := &pe.plan.nodes[id]
+	var v TS
+	if n.instRooted {
+		v = pe.lift(id, n, t)
+	} else {
+		switch n.key.op {
+		case planPrim:
+			v = pe.primTS(id, n, t)
+		case planNot:
+			v = -pe.TS(n.key.l, t)
+		case planAnd:
+			a, b := pe.TS(n.key.l, t), pe.TS(n.key.r, t)
+			if a.Active() && b.Active() {
+				v = maxTS(a, b)
+			} else {
+				v = minTS(a, b)
+			}
+		case planOr:
+			a, b := pe.TS(n.key.l, t), pe.TS(n.key.r, t)
+			if !a.Active() && !b.Active() {
+				v = minTS(a, b)
+			} else {
+				v = maxTS(a, b)
+			}
+		case planSeq:
+			v = -TS(t)
+			// The left operand is probed at the right's activation instant —
+			// a historical time, so the recursive call bypasses the memo.
+			if b := pe.TS(n.key.r, t); b.Active() {
+				if a := pe.TS(n.key.l, b.Time()); a.Active() {
+					v = b
+				}
+			}
+		}
+	}
+	pe.evals++
+	if memo {
+		pe.vals[id] = v
+		pe.epoch[id] = pe.gen
+	}
+	return v
+}
+
+// Active reports whether node id is active at t.
+func (pe *PlanEval) Active(id NodeID, t clock.Time) bool { return pe.TS(id, t).Active() }
+
+// primTS is the set-oriented ts of one primitive node. At the memo
+// instant a tracking evaluator serves it from the prim cursor — O(1)
+// instead of a LastOf search — initializing the cursor with one
+// catch-up query the first time the prim is touched in this Bind.
+// Historical probes (precedence left operands) always search.
+func (pe *PlanEval) primTS(id NodeID, n *planNode, t clock.Time) TS {
+	if pe.tracking && t == pe.cur {
+		if pe.primEpoch[id] != pe.bindGen {
+			pe.primLast[id] = pe.base.LastOf(n.key.t, pe.since, t)
+			pe.primEpoch[id] = pe.bindGen
+		}
+		if last := pe.primLast[id]; last != clock.Never {
+			return TS(last)
+		}
+		return -TS(t)
+	}
+	if last := pe.base.LastOf(n.key.t, pe.since, t); last != clock.Never {
+		return TS(last)
+	}
+	return -TS(t)
+}
+
+// lift mirrors Env.liftCached on the DAG: universal lift for instance
+// negation, existential lift otherwise, over the memoized object domain.
+func (pe *PlanEval) lift(id NodeID, n *planNode, t clock.Time) TS {
+	oids := pe.domain(id, n, t)
+	if n.key.op == planNot {
+		if len(oids) == 0 {
+			return TS(t)
+		}
+		best := pe.ots(id, t, oids[0])
+		for _, oid := range oids[1:] {
+			best = minTS(best, pe.ots(id, t, oid))
+		}
+		return best
+	}
+	if len(oids) == 0 {
+		return -TS(t)
+	}
+	best := pe.ots(id, t, oids[0])
+	for _, oid := range oids[1:] {
+		best = maxTS(best, pe.ots(id, t, oid))
+	}
+	return best
+}
+
+// domain returns the lift's object domain at t, memoized per node at the
+// generation's instant; off-instant requests compute into a scratch
+// buffer so they cannot clobber memoized slices.
+func (pe *PlanEval) domain(id NodeID, n *planNode, t clock.Time) []types.OID {
+	memo := t == pe.cur && !pe.DisableMemo
+	if memo && pe.domEpoch[id] == pe.gen {
+		pe.hits++
+		return pe.doms[id]
+	}
+	var buf []types.OID
+	if memo {
+		buf = pe.doms[id][:0]
+	} else {
+		buf = pe.oidScratch[:0]
+	}
+	if pe.RestrictDomain && n.safe {
+		buf = pe.base.AppendOIDsOfTypes(buf, n.prims, pe.since, t)
+	} else {
+		buf = pe.base.AppendOIDs(buf, pe.since, t)
+	}
+	pe.evals++
+	if memo {
+		pe.doms[id] = buf
+		pe.domEpoch[id] = pe.gen
+		return buf
+	}
+	pe.oidScratch = buf
+	return buf
+}
+
+// ots mirrors Env.OTS on the DAG, with the bounded (node, oid) cache at
+// the generation's instant.
+func (pe *PlanEval) ots(id NodeID, t clock.Time, oid types.OID) TS {
+	memo := t == pe.cur && pe.OTSBound >= 0 && !pe.DisableMemo
+	if memo {
+		if e, ok := pe.otsCache[otsKey{id, oid}]; ok && e.gen == pe.gen {
+			pe.hits++
+			return e.v
+		}
+	}
+	n := &pe.plan.nodes[id]
+	var v TS
+	switch n.key.op {
+	case planPrim:
+		if last := pe.base.LastOfObj(n.key.t, oid, pe.since, t); last != clock.Never {
+			v = TS(last)
+		} else {
+			v = -TS(t)
+		}
+	case planNot:
+		v = -pe.ots(n.key.l, t, oid)
+	case planAnd:
+		a, b := pe.ots(n.key.l, t, oid), pe.ots(n.key.r, t, oid)
+		if a.Active() && b.Active() {
+			v = maxTS(a, b)
+		} else {
+			v = minTS(a, b)
+		}
+	case planOr:
+		a, b := pe.ots(n.key.l, t, oid), pe.ots(n.key.r, t, oid)
+		if !a.Active() && !b.Active() {
+			v = minTS(a, b)
+		} else {
+			v = maxTS(a, b)
+		}
+	case planSeq:
+		v = -TS(t)
+		if b := pe.ots(n.key.r, t, oid); b.Active() {
+			if a := pe.ots(n.key.l, b.Time(), oid); a.Active() {
+				v = b
+			}
+		}
+	}
+	pe.evals++
+	if memo {
+		pe.otsCache[otsKey{id, oid}] = otsEntry{gen: pe.gen, v: v}
+	}
+	return v
+}

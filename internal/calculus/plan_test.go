@@ -1,0 +1,236 @@
+package calculus
+
+import (
+	"math/rand"
+	"testing"
+
+	"chimera/internal/clock"
+	"chimera/internal/event"
+)
+
+func TestPlanInterningSharesStructure(t *testing.T) {
+	p := NewPlan()
+	a := P(event.Create("stock"))
+	b := P(event.Delete("stock"))
+	shared := Conj(a, Neg(b))
+
+	r1 := p.Intern(Disj(shared, P(event.Create("show"))))
+	r2 := p.Intern(Disj(shared, P(event.Modify("show", "quantity"))))
+	r3 := p.Intern(shared)
+
+	if r1 == r2 {
+		t.Fatalf("distinct roots interned to the same id %d", r1)
+	}
+	// The shared conjunction must be one node: r3 is its id, and both
+	// disjunction roots reference it.
+	if got := p.Refs(r3); got != 3 {
+		t.Fatalf("shared subexpression refs = %d, want 3 (two parents + one root)", got)
+	}
+	if !Equal(p.Expr(r3), shared) {
+		t.Fatalf("canonical expr of shared node = %s, want %s", p.Expr(r3), shared)
+	}
+	// DAG: prim a, prim b, -b, a + -b, prim show-create, prim show-modify,
+	// two disjunctions = 8 live nodes.
+	if p.Live() != 8 {
+		t.Fatalf("live nodes = %d, want 8", p.Live())
+	}
+	if p.Shared() == 0 {
+		t.Fatalf("no shared nodes counted")
+	}
+
+	p.Release(r1)
+	p.Release(r2)
+	if got := p.Refs(r3); got != 1 {
+		t.Fatalf("after releasing parents, shared refs = %d, want 1", got)
+	}
+	// a + -b plus its two primitives and the negation stay; everything
+	// reachable only from the released roots is gone.
+	if p.Live() != 4 {
+		t.Fatalf("live nodes after release = %d, want 4", p.Live())
+	}
+	p.Release(r3)
+	if p.Live() != 0 || p.Shared() != 0 {
+		t.Fatalf("plan not empty after releasing every root: live=%d shared=%d", p.Live(), p.Shared())
+	}
+
+	// Freed ids are recycled.
+	capBefore := p.Cap()
+	p.Intern(shared)
+	if p.Cap() != capBefore {
+		t.Fatalf("re-interning grew the id space: cap %d -> %d", capBefore, p.Cap())
+	}
+}
+
+// TestPlanEvalMatchesEnv pins the memoized DAG evaluator to the
+// recursive reference evaluator over random expressions and histories,
+// at every arrival instant and the final now, under both domain modes —
+// including precedence (whose left operand is probed at a historical
+// instant and must bypass the memo) and instance lifts.
+func TestPlanEvalMatchesEnv(t *testing.T) {
+	r := rand.New(rand.NewSource(77))
+	vocab := DefaultVocabulary()
+	for trial := 0; trial < 60; trial++ {
+		c := clock.New()
+		base, now := GenHistory(r, c, HistoryOptions{Types: vocab, Objects: 5, Events: 40})
+
+		// A handful of expressions with forced overlap: some reuse a shared
+		// fragment so the memo actually dedups across roots.
+		frag := GenExpr(r, GenOptions{Types: vocab, MaxDepth: 2,
+			AllowNegation: true, AllowInstance: true, AllowPrecedence: true})
+		exprs := make([]Expr, 0, 6)
+		for i := 0; i < 4; i++ {
+			e := GenExpr(r, GenOptions{Types: vocab, MaxDepth: 3,
+				AllowNegation: true, AllowInstance: true, AllowPrecedence: true})
+			exprs = append(exprs, e)
+			if i%2 == 0 {
+				exprs = append(exprs, Disj(e, frag))
+			}
+		}
+
+		plan := NewPlan()
+		roots := make([]NodeID, len(exprs))
+		for i, e := range exprs {
+			roots[i] = plan.Intern(e)
+		}
+
+		for _, restrict := range []bool{true, false} {
+			for _, since := range []clock.Time{clock.Never, now / 2} {
+				env := &Env{Base: base, Since: since, RestrictDomain: restrict}
+				pe := NewPlanEval(plan)
+				pe.RestrictDomain = restrict
+				pe.Bind(base, since)
+				probes := base.AppendArrivals(nil, since, now)
+				probes = append(probes, now)
+				for _, at := range probes {
+					pe.Begin(at)
+					for i, e := range exprs {
+						want := env.TS(e, at)
+						got := pe.TS(roots[i], at)
+						if got != want {
+							t.Fatalf("trial %d restrict=%v since=%d: ts(%s, %d) = %d via plan, %d via reference",
+								trial, restrict, since, e, at, got, want)
+						}
+						// Second read must come from the memo with the same value.
+						if again := pe.TS(roots[i], at); again != want {
+							t.Fatalf("memoized reread of ts(%s, %d) = %d, want %d", e, at, again, want)
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestPlanEvalTrackingMatchesEnv pins the prim-cursor fast path (Track +
+// NoteArrival) to the reference evaluator under the grouped walk's
+// driving contract: arrivals reported in timestamp order, ascending
+// probe instants, and instants skipped without probing — the cursor's
+// lazy catch-up query — mixed with instants probed right after their
+// arrival is noted.
+func TestPlanEvalTrackingMatchesEnv(t *testing.T) {
+	r := rand.New(rand.NewSource(31))
+	vocab := DefaultVocabulary()
+	for trial := 0; trial < 60; trial++ {
+		c := clock.New()
+		base, now := GenHistory(r, c, HistoryOptions{Types: vocab, Objects: 5, Events: 40})
+
+		exprs := make([]Expr, 0, 4)
+		for i := 0; i < 4; i++ {
+			exprs = append(exprs, GenExpr(r, GenOptions{Types: vocab, MaxDepth: 3,
+				AllowNegation: true, AllowInstance: true, AllowPrecedence: true}))
+		}
+		plan := NewPlan()
+		roots := make([]NodeID, len(exprs))
+		for i, e := range exprs {
+			roots[i] = plan.Intern(e)
+		}
+
+		for _, since := range []clock.Time{clock.Never, now / 2} {
+			env := &Env{Base: base, Since: since, RestrictDomain: true}
+			pe := NewPlanEval(plan)
+			pe.Track(true)
+			pe.Bind(base, since)
+			occs := base.AppendWindow(nil, since, now)
+			for j, o := range occs {
+				pe.NoteArrival(o.Type, o.Timestamp)
+				if j%2 == 1 {
+					continue // noted but never probed: later probes must still see it
+				}
+				at := o.Timestamp
+				pe.Begin(at)
+				for i, e := range exprs {
+					if got, want := pe.TS(roots[i], at), env.TS(e, at); got != want {
+						t.Fatalf("trial %d since=%d: tracked ts(%s, %d) = %d, want %d",
+							trial, since, e, at, got, want)
+					}
+				}
+			}
+			pe.Begin(now)
+			for i, e := range exprs {
+				if got, want := pe.TS(roots[i], now), env.TS(e, now); got != want {
+					t.Fatalf("trial %d since=%d: tracked ts(%s, now=%d) = %d, want %d",
+						trial, since, e, now, got, want)
+				}
+			}
+		}
+	}
+}
+
+// TestPlanEvalSharingCounters checks the memo actually avoids work when
+// roots share subexpressions, and that TakeCounters drains.
+func TestPlanEvalSharingCounters(t *testing.T) {
+	r := rand.New(rand.NewSource(9))
+	vocab := DefaultVocabulary()
+	c := clock.New()
+	base, now := GenHistory(r, c, HistoryOptions{Types: vocab, Objects: 4, Events: 30})
+
+	shared := Conj(P(vocab[0]), P(vocab[1]))
+	plan := NewPlan()
+	r1 := plan.Intern(Disj(shared, P(vocab[2])))
+	r2 := plan.Intern(Disj(shared, P(vocab[3])))
+
+	pe := NewPlanEval(plan)
+	pe.Bind(base, clock.Never)
+	pe.Begin(now)
+	pe.TS(r1, now)
+	evals1, hits1 := pe.TakeCounters()
+	if evals1 == 0 || hits1 != 0 {
+		t.Fatalf("first root: evals=%d hits=%d, want work and no hits", evals1, hits1)
+	}
+	pe.TS(r2, now)
+	evals2, hits2 := pe.TakeCounters()
+	if hits2 == 0 {
+		t.Fatalf("second root sharing a conjunction produced no memo hits (evals=%d)", evals2)
+	}
+	if evals2 >= evals1 {
+		t.Fatalf("second root computed %d nodes, expected fewer than the first root's %d", evals2, evals1)
+	}
+	if e, h := pe.TakeCounters(); e != 0 || h != 0 {
+		t.Fatalf("TakeCounters did not drain: evals=%d hits=%d", e, h)
+	}
+}
+
+// TestPlanEvalOTSBound pins tiny and disabled (node, oid) caches to the
+// reference evaluator: the bound must shed capacity, never correctness.
+func TestPlanEvalOTSBound(t *testing.T) {
+	r := rand.New(rand.NewSource(123))
+	vocab := DefaultVocabulary()
+	for _, bound := range []int{-1, 1, 4} {
+		c := clock.New()
+		base, now := GenHistory(r, c, HistoryOptions{Types: vocab, Objects: 8, Events: 50})
+		e := DisjI(ConjI(P(vocab[0]), P(vocab[1])), NegI(P(vocab[2])))
+		plan := NewPlan()
+		root := plan.Intern(e)
+		env := &Env{Base: base, RestrictDomain: true}
+		pe := NewPlanEval(plan)
+		pe.OTSBound = bound
+		pe.Bind(base, clock.Never)
+		probes := append(base.AppendArrivals(nil, clock.Never, now), now)
+		for _, at := range probes {
+			pe.Begin(at)
+			if got, want := pe.TS(root, at), env.TS(e, at); got != want {
+				t.Fatalf("bound=%d: ts(%s, %d) = %d, want %d", bound, e, at, got, want)
+			}
+		}
+	}
+}

@@ -71,13 +71,15 @@ type Options struct {
 }
 
 // DefaultOptions enables the paper's static optimization and the formal
-// triggering semantics, plus the incremental ∃t' sweep and the
-// GOMAXPROCS-sharded triggering determination (both semantically
-// transparent; see DESIGN.md §7).
+// triggering semantics, plus the incremental ∃t' sweep, the
+// GOMAXPROCS-sharded triggering determination, and the shared trigger
+// plan with memoized evaluation (all semantically transparent; see
+// DESIGN.md §7 and §10).
 func DefaultOptions() Options {
 	return Options{Support: rules.Options{
 		UseFilter:   true,
 		Incremental: true,
+		SharedPlan:  true,
 		Workers:     rules.DefaultWorkers(),
 	}}
 }

@@ -168,6 +168,9 @@ type State struct {
 	// consideration window (Options.Incremental); nil until the first
 	// probe and discarded whenever the window restarts.
 	sweeper *calculus.Sweeper
+	// planRoot is the rule's root node in the support's interned DAG
+	// (Options.SharedPlan); NoNode when the shared plan is off.
+	planRoot calculus.NodeID
 }
 
 // FilterMode selects how the V(E) filter is consulted.
@@ -201,6 +204,23 @@ type Options struct {
 	// mentioned type arrived at. Semantically transparent — the
 	// differential tests pin it to the recursive reference probe.
 	Incremental bool
+	// SharedPlan hash-conses every rule's event expression into one
+	// interned DAG (calculus.Plan) and evaluates the triggering
+	// determination over it with a per-probe memo, so a subexpression
+	// shared by N rules with the same consideration horizon is evaluated
+	// once instead of N times. Semantically transparent — the differential
+	// tests pin it to the per-rule evaluators bit for bit. When set it
+	// supersedes Incremental on the check path (the per-rule sweeper
+	// cannot share work across rules); BoundaryOnly, an ablation of the
+	// probe semantics itself, still takes precedence. Mirrors the engine's
+	// DisableCompaction convention: on by default via
+	// engine.DefaultOptions, cleared to opt out.
+	SharedPlan bool
+	// MemoOff keeps the shared plan's grouped DAG walk but disables its
+	// memo tables (the ablation of experiment B11: it measures exactly
+	// how many node evaluations sharing avoids on an identical probe
+	// schedule). Meaningful only with SharedPlan.
+	MemoOff bool
 	// Metrics, when non-nil, is the instrument set the support reports
 	// into. Reporting happens in bulk at the end of each CheckTriggered
 	// (counter deltas, not per-rule atomics), so the enabled path adds a
@@ -243,6 +263,14 @@ type Stats struct {
 	// from cached sign state without a ts evaluation (its saving over the
 	// per-arrival recursive probe).
 	SweepSkipped int64
+	// MemoHits and MemoMisses count shared-plan memo lookups
+	// (Options.SharedPlan): a hit is a node result served from the
+	// per-probe memo instead of recomputed, a miss a node actually
+	// evaluated. In shared-plan runs TsEvaluations equals MemoMisses —
+	// the counters are node-granular there, where the per-rule modes
+	// count root-level evaluations.
+	MemoHits   int64
+	MemoMisses int64
 	// Triggerings counts transitions into the triggered state.
 	Triggerings int64
 }
@@ -260,6 +288,13 @@ type SupportMetrics struct {
 	TsEvals       *metrics.Counter
 	SweepSkipped  *metrics.Counter
 	Triggerings   *metrics.Counter
+	// MemoHits/MemoMisses count shared-plan memo lookups; PlanNodes and
+	// PlanShared gauge the interned DAG (live nodes, nodes referenced by
+	// more than one parent) after each check.
+	MemoHits   *metrics.Counter
+	MemoMisses *metrics.Counter
+	PlanNodes  *metrics.Gauge
+	PlanShared *metrics.Gauge
 	// BatchRules observes the pending-rule batch per check; ShardRules
 	// and ShardTriggerings observe per-shard loads (sharded path only).
 	BatchRules       *metrics.Histogram
@@ -294,8 +329,12 @@ func NewSupportMetrics(r *metrics.Registry) *SupportMetrics {
 			0, 1, 4, 16, 64, 256),
 		MergeWaitNs: r.Histogram("chimera_trigger_merge_wait_ns",
 			1e3, 1e4, 1e5, 1e6, 1e7, 1e8),
-		Workers: r.Gauge("chimera_trigger_workers"),
-		Sweep:   calculus.NewSweepMetrics(r),
+		Workers:    r.Gauge("chimera_trigger_workers"),
+		MemoHits:   r.Counter("chimera_plan_memo_hits_total"),
+		MemoMisses: r.Counter("chimera_plan_memo_misses_total"),
+		PlanNodes:  r.Gauge("chimera_plan_nodes"),
+		PlanShared: r.Gauge("chimera_plan_shared_nodes"),
+		Sweep:      calculus.NewSweepMetrics(r),
 	}
 }
 
@@ -311,6 +350,8 @@ func (m *SupportMetrics) report(before, after Stats, batch, workers int) {
 	m.RulesSkipped.Add(after.RulesSkipped - before.RulesSkipped)
 	m.TsEvals.Add(after.TsEvaluations - before.TsEvaluations)
 	m.SweepSkipped.Add(after.SweepSkipped - before.SweepSkipped)
+	m.MemoHits.Add(after.MemoHits - before.MemoHits)
+	m.MemoMisses.Add(after.MemoMisses - before.MemoMisses)
 	m.Triggerings.Add(after.Triggerings - before.Triggerings)
 	m.BatchRules.Observe(int64(batch))
 	m.Workers.Set(int64(workers))
@@ -323,6 +364,8 @@ func (s *Stats) add(o Stats) {
 	s.RulesSkipped += o.RulesSkipped
 	s.TsEvaluations += o.TsEvaluations
 	s.SweepSkipped += o.SweepSkipped
+	s.MemoHits += o.MemoHits
+	s.MemoMisses += o.MemoMisses
 	s.Triggerings += o.Triggerings
 }
 
@@ -357,16 +400,42 @@ type Support struct {
 	// allocation-free buffers) per worker shard.
 	checkBuf []*State
 	envs     []*calculus.Env
+	// plan is the rule set's interned expression DAG (Options.SharedPlan;
+	// nil otherwise), rebuilt incrementally on Define/Drop via per-node
+	// refcounts. planWorkers holds one memoized evaluator (plus private
+	// scratch) per worker shard; sinceBuf/groupBuf order the batch by
+	// consideration horizon so rules sharing a window share a memo.
+	plan        *calculus.Plan
+	planWorkers []*planWorker
+	sinceBuf    []clock.Time
+	groupBuf    []*State
+	cutBuf      []int
+	// firedBuf backs CheckTriggered's result slice, recycled across
+	// checks: the returned names are valid until the next call.
+	firedBuf []string
+}
+
+// planWorker is one shard's shared-plan scratch: the memoized evaluator
+// and the buffers the grouped probe loop recycles. Like calculus.Env it
+// is stateful and owned by a single goroutine at a time.
+type planWorker struct {
+	pe        *calculus.PlanEval
+	undecided []*State
+	occs      []event.Occurrence
 }
 
 // NewSupport builds a Trigger Support over an Event Base.
 func NewSupport(base *event.Base, opts Options) *Support {
-	return &Support{
+	s := &Support{
 		base:   base,
 		opts:   opts,
 		rules:  make(map[string]*State),
 		byType: make(map[event.Type][]*State),
 	}
+	if opts.SharedPlan {
+		s.plan = calculus.NewPlan()
+	}
+	return s
 }
 
 // Define registers a rule. The rule starts non-triggered with its
@@ -386,6 +455,16 @@ func (s *Support) Define(d Def) error {
 		LastConsideration: s.txnStart,
 		lastProbe:         s.txnStart,
 		monotone:          !calculus.ContainsNegation(d.Event),
+		// A rule defined mid-transaction starts pending: its window
+		// (txnStart, now] may already hold relevant occurrences, and the
+		// V(E) gate in CheckTriggered would otherwise skip it until the
+		// NEXT relevant arrival. The first check settles the flag (an
+		// empty window simply decides "not triggered").
+		pending:  true,
+		planRoot: calculus.NoNode,
+	}
+	if s.plan != nil {
+		st.planRoot = s.plan.Intern(d.Event)
 	}
 	s.rules[d.Name] = st
 	s.order = append(s.order, d.Name)
@@ -471,6 +550,12 @@ func (s *Support) Drop(name string) error {
 		return fmt.Errorf("rules: no rule %q", name)
 	}
 	delete(s.rules, name)
+	if s.plan != nil && st.planRoot != calculus.NoNode {
+		// Drop the rule's tree from the interned DAG; nodes still
+		// referenced by other rules survive, the rest free their ids.
+		s.plan.Release(st.planRoot)
+		st.planRoot = calculus.NoNode
+	}
 	if st.Def.Consumption == Preserving {
 		// Recompute the watermark input immediately: dropping the last
 		// preserving rule must unpin compaction without waiting for any
@@ -529,6 +614,16 @@ func (s *Support) Stats() Stats {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
 	return s.stats
+}
+
+// Plan returns the interned trigger-plan DAG, or nil when SharedPlan is
+// off. The plan is mutated only under Define/Drop (which hold the write
+// lock), so readers inspecting sharing — the analysis report, the shell
+// — see a consistent DAG between rule-set changes.
+func (s *Support) Plan() *calculus.Plan {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.plan
 }
 
 // ResetStats zeroes the work counters.
@@ -695,14 +790,19 @@ func (s *Support) CheckTriggered(now clock.Time) []string {
 	if workers < 2 || len(batch) < ShardMinRules {
 		workers = 1
 	}
-	for len(s.envs) < workers {
-		s.envs = append(s.envs, &calculus.Env{})
-	}
-	if workers == 1 {
+	if s.plan != nil && !s.opts.BoundaryOnly {
+		s.checkShared(batch, now, workers, m)
+	} else if workers == 1 {
+		for len(s.envs) < 1 {
+			s.envs = append(s.envs, &calculus.Env{})
+		}
 		for _, st := range batch {
 			s.checkOne(st, s.envs[0], now, &s.stats)
 		}
 	} else {
+		for len(s.envs) < workers {
+			s.envs = append(s.envs, &calculus.Env{})
+		}
 		partials := make([]Stats, workers)
 		var wg sync.WaitGroup
 		for w := 0; w < workers; w++ {
@@ -735,13 +835,264 @@ func (s *Support) CheckTriggered(now clock.Time) []string {
 		}
 	}
 	m.report(statsBefore, s.stats, len(batch), workers)
-	var fired []string
+	if m != nil && s.plan != nil {
+		m.PlanNodes.Set(int64(s.plan.Live()))
+		m.PlanShared.Set(int64(s.plan.Shared()))
+	}
+	// The result slice is recycled across checks (no allocation on busy
+	// boundaries); callers must not retain it past the next call.
+	fired := s.firedBuf[:0]
 	for _, st := range batch {
 		if st.Triggered {
 			fired = append(fired, st.Def.Name)
 		}
 	}
+	s.firedBuf = fired
 	return fired
+}
+
+// checkShared runs the triggering determination over the interned DAG:
+// the batch is reordered by consideration horizon (rules sharing a
+// horizon share a probe memo), partitioned across workers at group
+// boundaries — a group's memo must stay with one worker, so shards are
+// contiguous runs of whole groups, balanced by rule count — and each
+// worker walks its shard group by group with a private memoized
+// evaluator. Per-rule outcomes are independent, so neither the
+// reordering nor the partition can change results; the caller collects
+// fired names from the priority-ordered batch, keeping the merge
+// bit-identical to the sequential reference.
+func (s *Support) checkShared(batch []*State, now clock.Time, workers int, m *SupportMetrics) {
+	// Order by horizon in first-appearance order without sorting: one
+	// scan collects the distinct horizons (typically one or two), one
+	// scan per horizon buckets the rules. Buffers recycle across checks.
+	s.sinceBuf = s.sinceBuf[:0]
+	for _, st := range batch {
+		seen := false
+		for _, v := range s.sinceBuf {
+			if v == st.LastConsideration {
+				seen = true
+				break
+			}
+		}
+		if !seen {
+			s.sinceBuf = append(s.sinceBuf, st.LastConsideration)
+		}
+	}
+	grouped := batch
+	if len(s.sinceBuf) > 1 {
+		s.groupBuf = s.groupBuf[:0]
+		for _, v := range s.sinceBuf {
+			for _, st := range batch {
+				if st.LastConsideration == v {
+					s.groupBuf = append(s.groupBuf, st)
+				}
+			}
+		}
+		grouped = s.groupBuf
+	}
+	for len(s.planWorkers) < workers {
+		pe := calculus.NewPlanEval(s.plan)
+		pe.DisableMemo = s.opts.MemoOff
+		// The group walk feeds every arrival to the evaluator in
+		// timestamp order, so the prim cursors apply.
+		pe.Track(true)
+		s.planWorkers = append(s.planWorkers, &planWorker{pe: pe})
+	}
+	// Cut the horizon-ordered batch into at most `workers` contiguous
+	// shards, each ending on a group boundary (splitting a group across
+	// workers would duplicate its memo work in every shard).
+	cuts := s.cutBuf[:0]
+	i := 0
+	for w := workers; w > 0 && i < len(grouped); w-- {
+		target := (len(grouped) - i + w - 1) / w
+		end := i
+		for end-i < target && end < len(grouped) {
+			h := grouped[end].LastConsideration
+			for end < len(grouped) && grouped[end].LastConsideration == h {
+				end++
+			}
+		}
+		cuts = append(cuts, end)
+		i = end
+	}
+	s.cutBuf = cuts
+	if len(cuts) <= 1 {
+		// One group (or one shard's worth, or an empty batch): run on
+		// the caller, sharing its memo across the whole batch.
+		s.checkSharedRange(grouped, s.planWorkers[0], now, &s.stats)
+		return
+	}
+	partials := make([]Stats, len(cuts))
+	var wg sync.WaitGroup
+	start := 0
+	for w, end := range cuts {
+		wg.Add(1)
+		go func(shard []*State, pw *planWorker, out *Stats) {
+			defer wg.Done()
+			s.checkSharedRange(shard, pw, now, out)
+		}(grouped[start:end], s.planWorkers[w], &partials[w])
+		start = end
+	}
+	var waitStart time.Time
+	if m != nil {
+		waitStart = time.Now()
+	}
+	wg.Wait()
+	if m != nil {
+		m.MergeWaitNs.Observe(time.Since(waitStart).Nanoseconds())
+		start = 0
+		for w, end := range cuts {
+			m.ShardRules.Observe(int64(end - start))
+			m.ShardTriggerings.Observe(partials[w].Triggerings)
+			start = end
+		}
+	}
+	for w := range partials {
+		s.stats.add(partials[w])
+	}
+}
+
+// checkSharedRange walks one contiguous slice of the horizon-ordered
+// batch, handing each run of equal horizons to checkGroup, then drains
+// the evaluator's work counters into the shard's stats.
+func (s *Support) checkSharedRange(rs []*State, pw *planWorker, now clock.Time, stats *Stats) {
+	for len(rs) > 0 {
+		since := rs[0].LastConsideration
+		j := 1
+		for j < len(rs) && rs[j].LastConsideration == since {
+			j++
+		}
+		s.checkGroup(rs[:j], pw, now, stats)
+		rs = rs[j:]
+	}
+	evals, hits := pw.pe.TakeCounters()
+	stats.TsEvaluations += evals
+	stats.MemoMisses += evals
+	stats.MemoHits += hits
+}
+
+// checkGroup decides triggering for rules sharing one consideration
+// horizon. It reproduces the reference probe semantics exactly — every
+// arrival instant in (lastProbe, now] and then now itself, earliest
+// active probe wins, monotone rules collapsing to one evaluation at now
+// with the activation instant as TriggeredAt — but evaluates through
+// the worker's memoized DAG evaluator, so rules sharing subexpressions
+// (usually whole probes) share the work: one memo generation per probe
+// instant serves the entire group.
+func (s *Support) checkGroup(group []*State, pw *planWorker, now clock.Time, stats *Stats) {
+	since := group[0].LastConsideration
+	if s.base.Empty(since, now) {
+		// R = ∅: the system stays reactive, nothing can trigger (and a
+		// negation-free expression is inactive on an empty window too).
+		for _, st := range group {
+			st.lastProbe = now
+			st.pending = false
+		}
+		return
+	}
+	pe := pw.pe
+	pe.Bind(s.base, since)
+	// Collect the non-monotone rules — they probe every arrival instant
+	// they have not examined yet — and the earliest such instant.
+	und := pw.undecided[:0]
+	minLo := now
+	for _, st := range group {
+		if st.monotone {
+			continue
+		}
+		lo := st.lastProbe
+		if lo < since {
+			lo = since
+		}
+		if lo < minLo {
+			minLo = lo
+		}
+		und = append(und, st)
+	}
+	lastProbed := clock.Never
+	if len(und) > 0 && minLo < now {
+		pw.occs = s.base.AppendWindow(pw.occs[:0], minLo, now)
+		for _, o := range pw.occs {
+			// Feed the prim cursors even once every rule has decided:
+			// the final probe at now still reads them.
+			pe.NoteArrival(o.Type, o.Timestamp)
+			if len(und) == 0 {
+				continue
+			}
+			t := o.Timestamp
+			began := false
+			kept := und[:0]
+			for _, st := range und {
+				lo := st.lastProbe
+				if lo < since {
+					lo = since
+				}
+				if t <= lo {
+					// This rule already examined t in an earlier check;
+					// re-probing could not yield a new outcome.
+					kept = append(kept, st)
+					continue
+				}
+				if !st.Filter.Mentioned(o.Type) {
+					// No variation of the rule's formula matches this
+					// arrival, so its activation cannot change at t — the
+					// same soundness argument as the incremental sweep's
+					// instant skip.
+					stats.SweepSkipped++
+					kept = append(kept, st)
+					continue
+				}
+				if !began {
+					// Open the memo generation lazily: instants every
+					// rule skips cost nothing.
+					pe.Begin(t)
+					lastProbed = t
+					began = true
+				}
+				if pe.TS(st.planRoot, t).Active() {
+					st.Triggered = true
+					st.TriggeredAt = t
+					st.lastProbe = now
+					st.pending = false
+					stats.Triggerings++
+					continue
+				}
+				kept = append(kept, st)
+			}
+			und = kept
+		}
+	}
+	if lastProbed != now {
+		pe.Begin(now)
+	}
+	for _, st := range und {
+		lo := st.lastProbe
+		if lo < since {
+			lo = since
+		}
+		if now > lo && pe.TS(st.planRoot, now).Active() {
+			st.Triggered = true
+			st.TriggeredAt = now
+			stats.Triggerings++
+		}
+		st.lastProbe = now
+		st.pending = false
+	}
+	// Monotone rules decide in one evaluation at now, sharing the final
+	// probe's memo generation with everything above.
+	for _, st := range group {
+		if !st.monotone {
+			continue
+		}
+		if v := pe.TS(st.planRoot, now); v.Active() {
+			st.Triggered = true
+			st.TriggeredAt = v.Time()
+			stats.Triggerings++
+		}
+		st.lastProbe = now
+		st.pending = false
+	}
+	pw.undecided = und[:0]
 }
 
 // Triggered returns the currently triggered rules in priority order,

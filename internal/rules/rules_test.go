@@ -163,6 +163,9 @@ func TestFilterSkipsIrrelevantRules(t *testing.T) {
 	s, b, c := newSupport(t, Options{UseFilter: true})
 	s.Define(Def{Name: "stockRule", Event: calculus.P(createStock)})
 	s.Define(Def{Name: "showRule", Event: calculus.P(modShowQty)})
+	// Fresh rules start pending (their window may already hold matches);
+	// settle them so the steady-state skip below is observable.
+	s.CheckTriggered(c.Now())
 	log(t, s, b, c, createStock, 1)
 	s.ResetStats()
 	fired := s.CheckTriggered(c.Now())
@@ -193,6 +196,7 @@ func TestFilterSkipsPureNegativeArrival(t *testing.T) {
 	s, b, c := newSupport(t, Options{UseFilter: true})
 	e := calculus.Conj(calculus.P(createStock), calculus.Neg(calculus.P(modStockQty)))
 	s.Define(Def{Name: "r", Event: e})
+	s.CheckTriggered(c.Now()) // settle the fresh rule's pending state
 	log(t, s, b, c, modStockQty, 1) // pure Δ− arrival
 	s.ResetStats()
 	if fired := s.CheckTriggered(c.Now()); len(fired) != 0 {

@@ -1,0 +1,235 @@
+package rules
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"chimera/internal/calculus"
+)
+
+// TestSharedPlanMatchesReference is the shared-plan differential suite:
+// over randomized rule sets with forced subexpression overlap (a small
+// fragment pool spliced into every other rule), the shared-plan engine
+// must fire the identical rule set at identical activation instants as
+// the plain sequential reference — sequential, incremental, and sharded,
+// Workers ∈ {1, 4}. Run under -race this also exercises the per-worker
+// evaluator isolation.
+func TestSharedPlanMatchesReference(t *testing.T) {
+	r := rand.New(rand.NewSource(41))
+	vocab := calculus.DefaultVocabulary()
+	gen := calculus.GenOptions{Types: vocab, MaxDepth: 3,
+		AllowNegation: true, AllowInstance: true, AllowPrecedence: true}
+	fragGen := calculus.GenOptions{Types: vocab, MaxDepth: 2,
+		AllowNegation: true, AllowInstance: true, AllowPrecedence: true}
+
+	configs := []Options{
+		{SharedPlan: true},                                              // plain grouped path
+		{UseFilter: true, SharedPlan: true},                             // plus the V(E) gate
+		{Incremental: true, SharedPlan: true},                           // SharedPlan supersedes the sweep
+		{UseFilter: true, Incremental: true, SharedPlan: true, Workers: 4},
+		{SharedPlan: true, Workers: 4},
+	}
+
+	for trial := 0; trial < 10; trial++ {
+		// A pool of fragments shared across rules: with 4 fragments over
+		// 40 rules every fragment serves ~5 rules, so the DAG genuinely
+		// dedups and any memo-poisoning bug would surface as a firing
+		// divergence.
+		pool := make([]calculus.Expr, 4)
+		for i := range pool {
+			pool[i] = calculus.GenExpr(r, fragGen)
+		}
+		defs := make([]Def, 40)
+		for i := range defs {
+			e := calculus.GenExpr(r, gen)
+			if i%2 == 0 {
+				e = calculus.Disj(e, pool[r.Intn(len(pool))])
+			}
+			defs[i] = Def{
+				Name:     fmt.Sprintf("r%02d", i),
+				Event:    e,
+				Priority: i % 5,
+			}
+		}
+		seed := r.Int63()
+		ref := replay(t, Options{}, defs, vocab, seed, 6)
+		for _, cfg := range configs {
+			got := replay(t, cfg, defs, vocab, seed, 6)
+			if len(got) != len(ref) {
+				t.Fatalf("trial %d cfg %+v: %d rounds, want %d", trial, cfg, len(got), len(ref))
+			}
+			for i := range ref {
+				if len(ref[i]) != len(got[i]) {
+					t.Fatalf("trial %d cfg %+v round %d: reference fired %v, shared plan fired %v",
+						trial, cfg, i, ref[i], got[i])
+				}
+				for j := range ref[i] {
+					if ref[i][j] != got[i][j] {
+						t.Fatalf("trial %d cfg %+v round %d: reference %v vs shared plan %v",
+							trial, cfg, i, ref[i], got[i])
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestSharedPlanStatsAccounting: with heavy overlap the memo must record
+// hits, and TsEvaluations must equal MemoMisses (shared runs count node
+// evaluations, and every counted evaluation is by definition a miss).
+func TestSharedPlanStatsAccounting(t *testing.T) {
+	s, b, c := newSupport(t, Options{SharedPlan: true})
+	shared := calculus.Conj(calculus.P(createStock), calculus.P(modStockQty))
+	for i := 0; i < 8; i++ {
+		d := Def{Name: fmt.Sprintf("r%d", i),
+			Event: calculus.Disj(shared, calculus.P(modShowQty))}
+		if err := s.Define(d); err != nil {
+			t.Fatal(err)
+		}
+	}
+	log(t, s, b, c, createStock, 1)
+	s.CheckTriggered(c.Now())
+	st := s.Stats()
+	if st.MemoHits == 0 {
+		t.Fatalf("8 structurally identical rules produced no memo hits: %+v", st)
+	}
+	if st.TsEvaluations != st.MemoMisses {
+		t.Fatalf("TsEvaluations = %d, MemoMisses = %d; must be equal in shared runs",
+			st.TsEvaluations, st.MemoMisses)
+	}
+	// The 8 roots intern to one tree: hits should dwarf misses.
+	if st.MemoHits < st.MemoMisses {
+		t.Errorf("hits = %d < misses = %d despite 8-way sharing", st.MemoHits, st.MemoMisses)
+	}
+}
+
+// TestMidTransactionDefine is the regression test for the pending-gate
+// bug: under UseFilter, a rule defined after relevant arrivals in the
+// same transaction must still be examined at the next check — its
+// window (txnStart, now] already holds matching occurrences.
+func TestMidTransactionDefine(t *testing.T) {
+	for _, shared := range []bool{false, true} {
+		s, b, c := newSupport(t, Options{UseFilter: true, SharedPlan: shared})
+		// The arrival lands before the rule exists, so NotifyArrivals
+		// cannot mark it pending.
+		log(t, s, b, c, createStock, 1)
+		if err := s.Define(Def{Name: "late", Event: calculus.P(createStock)}); err != nil {
+			t.Fatal(err)
+		}
+		fired := s.CheckTriggered(c.Now())
+		if len(fired) != 1 || fired[0] != "late" {
+			t.Fatalf("shared=%v: mid-transaction rule not triggered, fired = %v", shared, fired)
+		}
+	}
+}
+
+// TestSharedPlanDefineDropLifecycle: rule churn must keep the DAG's
+// refcounts exact — shared nodes survive partial drops, and dropping
+// every owner empties the plan.
+func TestSharedPlanDefineDropLifecycle(t *testing.T) {
+	s, _, _ := newSupport(t, Options{SharedPlan: true})
+	shared := calculus.Conj(calculus.P(createStock), calculus.Neg(calculus.P(modStockQty)))
+	if err := s.Define(Def{Name: "a", Event: calculus.Disj(shared, calculus.P(modShowQty))}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Define(Def{Name: "b", Event: shared}); err != nil {
+		t.Fatal(err)
+	}
+	p := s.Plan()
+	if p == nil {
+		t.Fatal("SharedPlan on but Plan() is nil")
+	}
+	if p.Shared() == 0 {
+		t.Fatal("two rules over one conjunction: no shared nodes")
+	}
+	if err := s.Drop("a"); err != nil {
+		t.Fatal(err)
+	}
+	if p.Live() == 0 {
+		t.Fatal("dropping one owner emptied the plan")
+	}
+	if err := s.Drop("b"); err != nil {
+		t.Fatal(err)
+	}
+	if p.Live() != 0 {
+		t.Fatalf("all rules dropped but %d nodes live", p.Live())
+	}
+}
+
+// TestCheckTriggeredSteadyStateAllocs pins the zero-allocation property
+// of the triggering hot path: once buffers are warm, a sequential
+// boundary check allocates nothing — classic and shared-plan alike.
+func TestCheckTriggeredSteadyStateAllocs(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		opts Options
+	}{
+		{"classic", Options{}},
+		{"incremental", Options{Incremental: true}},
+		{"shared", Options{SharedPlan: true}},
+		// With the filter on, the steady-state batch is empty — the
+		// shared path must not pay for its parallel machinery then.
+		{"shared-filtered", Options{SharedPlan: true, UseFilter: true}},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			s, b, c := newSupport(t, tc.opts)
+			// Rules that examine work every check but never trigger, so
+			// the batch stays stable: a monotone conjunction missing one
+			// conjunct, and a negated form inactive once B arrived.
+			mono := calculus.Conj(calculus.P(createStock), calculus.P(modShowQty))
+			nonMono := calculus.Conj(calculus.P(createStock), calculus.Neg(calculus.P(createStock)))
+			for i := 0; i < 6; i++ {
+				e := mono
+				if i%2 == 1 {
+					e = nonMono
+				}
+				if err := s.Define(Def{Name: fmt.Sprintf("r%d", i), Event: e}); err != nil {
+					t.Fatal(err)
+				}
+			}
+			for i := 0; i < 10; i++ {
+				if _, err := b.Append(createStock, 1, c.Tick()); err != nil {
+					t.Fatal(err)
+				}
+			}
+			// Warm every recycled buffer (fired slice, group buffers,
+			// memo tables, sweeper state).
+			for i := 0; i < 3; i++ {
+				s.CheckTriggered(c.Tick())
+			}
+			allocs := testing.AllocsPerRun(50, func() {
+				s.CheckTriggered(c.Tick())
+			})
+			if allocs != 0 {
+				t.Errorf("steady-state CheckTriggered allocates %.1f objects/op, want 0", allocs)
+			}
+		})
+	}
+}
+
+// TestSharedPlanFiredSliceRecycled: the returned slice is reused across
+// checks (documented contract), so two consecutive boundaries with
+// firings must hand back the same backing array.
+func TestSharedPlanFiredSliceRecycled(t *testing.T) {
+	s, b, c := newSupport(t, Options{SharedPlan: true})
+	if err := s.Define(Def{Name: "r", Event: calculus.P(createStock), Consumption: Consuming}); err != nil {
+		t.Fatal(err)
+	}
+	log(t, s, b, c, createStock, 1)
+	first := s.CheckTriggered(c.Now())
+	if len(first) != 1 {
+		t.Fatalf("fired = %v", first)
+	}
+	if _, err := s.Consider("r", c.Tick()); err != nil {
+		t.Fatal(err)
+	}
+	log(t, s, b, c, createStock, 2)
+	second := s.CheckTriggered(c.Now())
+	if len(second) != 1 {
+		t.Fatalf("second fired = %v", second)
+	}
+	if &first[0] != &second[0] {
+		t.Error("fired slice was reallocated between checks")
+	}
+}

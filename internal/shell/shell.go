@@ -294,12 +294,19 @@ func (s *Shell) show(c lang.CmdShow) error {
 			st.Transactions, st.Blocks, st.Events, st.Considerations, st.RuleExecutions)
 		fmt.Fprintf(s.out, "trigger support: checks %d, examined %d, skipped %d, ts evaluations %d, triggerings %d\n",
 			ts.Checks, ts.RulesExamined, ts.RulesSkipped, ts.TsEvaluations, ts.Triggerings)
+		if ts.MemoHits+ts.MemoMisses > 0 {
+			fmt.Fprintf(s.out, "shared plan: memo hits %d, misses %d (%.1f%% hit rate)\n",
+				ts.MemoHits, ts.MemoMisses,
+				100*float64(ts.MemoHits)/float64(ts.MemoHits+ts.MemoMisses))
+		}
 		if s.db.Metrics() != nil {
 			fmt.Fprintln(s.out, "metrics:")
 			s.db.Snapshot().WriteText(s.out)
 		}
+	case "sharing":
+		fmt.Fprint(s.out, chimera.AnalyzeSharing(s.db))
 	default:
-		return fmt.Errorf("show what? (rules, objects, events, stats, analysis, o<N>)")
+		return fmt.Errorf("show what? (rules, objects, events, stats, sharing, analysis, o<N>)")
 	}
 	return nil
 }
