@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet bench bench-smoke cover fuzz verify verify-full
+.PHONY: build test race race-stress vet bench bench-smoke cover fuzz verify verify-full
 
 build:
 	$(GO) build ./...
@@ -15,27 +15,42 @@ test:
 race:
 	$(GO) test -race ./...
 
+# Concurrency stress under the race detector with forced parallelism:
+# the transaction-line stress tests (disjoint and contended writers at
+# the store layer, parallel triggering and the shared counter at the
+# engine layer) with GOMAXPROCS pinned to 4 so goroutines genuinely
+# interleave even on small CI runners.
+race-stress:
+	GOMAXPROCS=4 $(GO) test -race -count=2 \
+		-run 'TestLine|TestMultiSession|TestSupportConcurrentAccess' \
+		./internal/object/ ./internal/engine/ ./internal/rules/
+
 vet:
 	$(GO) vet ./...
 
-# Full measured-experiment sweep (B1..B11); BENCH_trigger.json holds the
+# Full measured-experiment sweep (B1..B12); BENCH_trigger.json holds the
 # machine-readable B8 results, BENCH_eb.json the B9 Event Base soak,
-# BENCH_obs.json the B10 observability-overhead run, and BENCH_cse.json
-# the B11 shared-trigger-plan sweep.
+# BENCH_obs.json the B10 observability-overhead run, BENCH_cse.json
+# the B11 shared-trigger-plan sweep, and BENCH_mt.json the B12
+# multi-session sweep.
 bench:
 	$(GO) run ./cmd/chimera-bench
 	$(GO) run ./cmd/chimera-bench -exp B8 -json BENCH_trigger.json >/dev/null
 	$(GO) run ./cmd/chimera-bench -exp B9 -json BENCH_eb.json >/dev/null
 	$(GO) run ./cmd/chimera-bench -metrics >/dev/null
 	$(GO) run ./cmd/chimera-bench -exp B11 -json BENCH_cse.json >/dev/null
+	$(GO) run ./cmd/chimera-bench -exp B12 -json BENCH_mt.json >/dev/null
 
-# CI-sized B11 run: just the acceptance cell (50 rules, overlap 4),
-# held against the committed BENCH_cse.json baseline. chimera-benchcmp
-# warns (exit 0) on >10% regressions — CI timing is too noisy to gate
-# the build on, but the warning shows up in the log.
+# CI-sized B11 + B12 runs: the acceptance cells (B11: 50 rules,
+# overlap 4; B12: 1 and 8 lines, both workloads), each held against its
+# committed baseline. chimera-benchcmp warns (exit 0) on >10%
+# regressions — CI timing is too noisy to gate the build on, but the
+# warning shows up in the log.
 bench-smoke:
 	$(GO) run ./cmd/chimera-bench -exp B11 -smoke -json BENCH_cse_smoke.json
 	$(GO) run ./cmd/chimera-benchcmp BENCH_cse.json BENCH_cse_smoke.json
+	$(GO) run ./cmd/chimera-bench -exp B12 -smoke -json BENCH_mt_smoke.json
+	$(GO) run ./cmd/chimera-benchcmp -exp B12 BENCH_mt.json BENCH_mt_smoke.json
 
 # Coverage gate: total statement coverage must not fall below the
 # recorded baseline (76.6% when the gate was introduced; the floor

@@ -71,6 +71,17 @@ type (
 	Stats = engine.Stats
 )
 
+// Sentinel errors of the transaction machinery.
+var (
+	// ErrTxnOpen is returned by DB.Begin when no further transaction
+	// line can be admitted (one open transaction in single-session mode,
+	// Options.MaxSessions lines in multi-session mode).
+	ErrTxnOpen = engine.ErrTxnOpen
+	// ErrConflict is returned by a transaction-line operation that lost
+	// a latch conflict with a concurrent line; roll back and retry.
+	ErrConflict = engine.ErrConflict
+)
+
 // Rule machinery.
 type (
 	// RuleDef is a rule's triggering definition (event expression,

@@ -1,19 +1,23 @@
-// Command chimera-benchcmp compares two B11 result files (the JSON
-// chimera-bench -exp B11 emits, e.g. the committed BENCH_cse.json
-// baseline against a fresh run) cell by cell, benchstat-style. Cells
-// are keyed (rules, overlap, workers); only cells present in both
-// files are compared, so a smoke run holds itself against just the
-// matching slice of the full baseline.
+// Command chimera-benchcmp compares two benchmark result files (the
+// JSON chimera-bench emits, e.g. a committed baseline against a fresh
+// run) cell by cell, benchstat-style. -exp selects the experiment
+// schema: B11 (default) compares shared-plan sweeps keyed
+// (rules, overlap, workers); B12 compares multi-session sweeps keyed
+// (lines, workload). Only cells present in both files are compared, so
+// a smoke run holds itself against just the matching slice of the full
+// baseline.
 //
-// A regression — shared_ms up, eval_reduction down, or lost outcome
-// parity — beyond the threshold prints a WARNING line. Warnings do not
-// change the exit status: timing cells are noisy on shared CI
+// A regression — B11: shared_ms up, eval_reduction down, or lost
+// outcome parity; B12: triggering throughput or speedup down, or p95
+// latency up — beyond the threshold prints a WARNING line. Warnings do
+// not change the exit status: timing cells are noisy on shared CI
 // machines, so the tool warns loudly instead of failing the build
 // (pass -strict to turn warnings into exit 1 for local gating).
 //
 // Usage:
 //
 //	chimera-benchcmp BENCH_cse.json new.json
+//	chimera-benchcmp -exp B12 BENCH_mt.json smoke.json
 //	chimera-benchcmp -threshold 0.05 -strict old.json new.json
 package main
 
@@ -22,57 +26,33 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
 	"chimera/internal/bench"
 )
 
 func main() {
+	exp := flag.String("exp", "B11", "result schema to compare: B11 or B12")
 	threshold := flag.Float64("threshold", 0.10, "relative change that counts as a regression")
 	strict := flag.Bool("strict", false, "exit 1 when any regression is found (default: warn only)")
 	flag.Parse()
 	if flag.NArg() != 2 {
-		fmt.Fprintln(os.Stderr, "usage: chimera-benchcmp [-threshold 0.10] [-strict] baseline.json new.json")
+		fmt.Fprintln(os.Stderr, "usage: chimera-benchcmp [-exp B11|B12] [-threshold 0.10] [-strict] baseline.json new.json")
 		os.Exit(2)
 	}
 
-	base, err := load(flag.Arg(0))
+	var warnings, compared int
+	var err error
+	switch strings.ToUpper(*exp) {
+	case "B11":
+		warnings, compared, err = compareB11(flag.Arg(0), flag.Arg(1), *threshold)
+	case "B12":
+		warnings, compared, err = compareB12(flag.Arg(0), flag.Arg(1), *threshold)
+	default:
+		err = fmt.Errorf("unknown experiment %q (B11 or B12)", *exp)
+	}
 	if err != nil {
 		fatal(err)
-	}
-	cur, err := load(flag.Arg(1))
-	if err != nil {
-		fatal(err)
-	}
-
-	type key struct{ rules, overlap, workers int }
-	byCell := make(map[key]bench.B11Result, len(base))
-	for _, r := range base {
-		byCell[key{r.Rules, r.Overlap, r.Workers}] = r
-	}
-
-	warnings, compared := 0, 0
-	for _, n := range cur {
-		o, ok := byCell[key{n.Rules, n.Overlap, n.Workers}]
-		if !ok {
-			continue
-		}
-		compared++
-		cell := fmt.Sprintf("rules=%d overlap=%d workers=%d", n.Rules, n.Overlap, n.Workers)
-		fmt.Printf("%s\n", cell)
-		fmt.Printf("  shared_ms       %10.3f -> %10.3f  (%+.1f%%)\n", o.SharedMs, n.SharedMs, delta(o.SharedMs, n.SharedMs))
-		fmt.Printf("  eval_reduction  %9.2fx -> %9.2fx  (%+.1f%%)\n", o.EvalReduction, n.EvalReduction, delta(o.EvalReduction, n.EvalReduction))
-		if o.SharedMs > 0 && n.SharedMs > o.SharedMs*(1+*threshold) {
-			warnings++
-			fmt.Printf("  WARNING: shared_ms regressed %.1f%% (threshold %.0f%%)\n", delta(o.SharedMs, n.SharedMs), 100**threshold)
-		}
-		if o.EvalReduction > 0 && n.EvalReduction < o.EvalReduction*(1-*threshold) {
-			warnings++
-			fmt.Printf("  WARNING: eval_reduction regressed %.1f%% (threshold %.0f%%)\n", -delta(o.EvalReduction, n.EvalReduction), 100**threshold)
-		}
-		if !n.SameOutcomes {
-			warnings++
-			fmt.Printf("  WARNING: shared plan and baseline disagree on triggerings\n")
-		}
 	}
 	if compared == 0 {
 		fatal(fmt.Errorf("no cells in common between %s and %s", flag.Arg(0), flag.Arg(1)))
@@ -87,16 +67,99 @@ func main() {
 	}
 }
 
-func load(path string) ([]bench.B11Result, error) {
+func compareB11(basePath, curPath string, threshold float64) (warnings, compared int, err error) {
+	var base, cur []bench.B11Result
+	if err := load(basePath, &base); err != nil {
+		return 0, 0, err
+	}
+	if err := load(curPath, &cur); err != nil {
+		return 0, 0, err
+	}
+
+	type key struct{ rules, overlap, workers int }
+	byCell := make(map[key]bench.B11Result, len(base))
+	for _, r := range base {
+		byCell[key{r.Rules, r.Overlap, r.Workers}] = r
+	}
+
+	for _, n := range cur {
+		o, ok := byCell[key{n.Rules, n.Overlap, n.Workers}]
+		if !ok {
+			continue
+		}
+		compared++
+		fmt.Printf("rules=%d overlap=%d workers=%d\n", n.Rules, n.Overlap, n.Workers)
+		fmt.Printf("  shared_ms       %10.3f -> %10.3f  (%+.1f%%)\n", o.SharedMs, n.SharedMs, delta(o.SharedMs, n.SharedMs))
+		fmt.Printf("  eval_reduction  %9.2fx -> %9.2fx  (%+.1f%%)\n", o.EvalReduction, n.EvalReduction, delta(o.EvalReduction, n.EvalReduction))
+		if o.SharedMs > 0 && n.SharedMs > o.SharedMs*(1+threshold) {
+			warnings++
+			fmt.Printf("  WARNING: shared_ms regressed %.1f%% (threshold %.0f%%)\n", delta(o.SharedMs, n.SharedMs), 100*threshold)
+		}
+		if o.EvalReduction > 0 && n.EvalReduction < o.EvalReduction*(1-threshold) {
+			warnings++
+			fmt.Printf("  WARNING: eval_reduction regressed %.1f%% (threshold %.0f%%)\n", -delta(o.EvalReduction, n.EvalReduction), 100*threshold)
+		}
+		if !n.SameOutcomes {
+			warnings++
+			fmt.Printf("  WARNING: shared plan and baseline disagree on triggerings\n")
+		}
+	}
+	return warnings, compared, nil
+}
+
+func compareB12(basePath, curPath string, threshold float64) (warnings, compared int, err error) {
+	var base, cur []bench.B12Result
+	if err := load(basePath, &base); err != nil {
+		return 0, 0, err
+	}
+	if err := load(curPath, &cur); err != nil {
+		return 0, 0, err
+	}
+
+	type key struct {
+		lines    int
+		workload string
+	}
+	byCell := make(map[key]bench.B12Result, len(base))
+	for _, r := range base {
+		byCell[key{r.Lines, r.Workload}] = r
+	}
+
+	for _, n := range cur {
+		o, ok := byCell[key{n.Lines, n.Workload}]
+		if !ok {
+			continue
+		}
+		compared++
+		fmt.Printf("lines=%d workload=%s\n", n.Lines, n.Workload)
+		fmt.Printf("  trig/s   %10.0f -> %10.0f  (%+.1f%%)\n", o.TrigPerSec, n.TrigPerSec, delta(o.TrigPerSec, n.TrigPerSec))
+		fmt.Printf("  speedup  %9.2fx -> %9.2fx  (%+.1f%%)\n", o.Speedup, n.Speedup, delta(o.Speedup, n.Speedup))
+		fmt.Printf("  p95 ms   %10.3f -> %10.3f  (%+.1f%%)\n", o.P95LatencyMs, n.P95LatencyMs, delta(o.P95LatencyMs, n.P95LatencyMs))
+		if o.TrigPerSec > 0 && n.TrigPerSec < o.TrigPerSec*(1-threshold) {
+			warnings++
+			fmt.Printf("  WARNING: triggering throughput regressed %.1f%% (threshold %.0f%%)\n", -delta(o.TrigPerSec, n.TrigPerSec), 100*threshold)
+		}
+		if o.Speedup > 0 && n.Speedup < o.Speedup*(1-threshold) {
+			warnings++
+			fmt.Printf("  WARNING: speedup over 1 line regressed %.1f%% (threshold %.0f%%)\n", -delta(o.Speedup, n.Speedup), 100*threshold)
+		}
+		if o.P95LatencyMs > 0 && n.P95LatencyMs > o.P95LatencyMs*(1+threshold) {
+			warnings++
+			fmt.Printf("  WARNING: p95 latency regressed %.1f%% (threshold %.0f%%)\n", delta(o.P95LatencyMs, n.P95LatencyMs), 100*threshold)
+		}
+	}
+	return warnings, compared, nil
+}
+
+func load(path string, into any) error {
 	data, err := os.ReadFile(path)
 	if err != nil {
-		return nil, err
+		return err
 	}
-	var rs []bench.B11Result
-	if err := json.Unmarshal(data, &rs); err != nil {
-		return nil, fmt.Errorf("%s: %w", path, err)
+	if err := json.Unmarshal(data, into); err != nil {
+		return fmt.Errorf("%s: %w", path, err)
 	}
-	return rs, nil
+	return nil
 }
 
 func delta(old, new float64) float64 {

@@ -128,7 +128,7 @@ func TestDeleteDedupes(t *testing.T) {
 
 func TestSpecializeGeneralizeStatements(t *testing.T) {
 	ctx, m, _, _ := fixture(t)
-	oid, _ := ctx.Store.Create("order", map[string]types.Value{"item": types.String_("x")})
+	oid, _ := ctx.Store.(*object.Store).Create("order", map[string]types.Value{"item": types.String_("x")})
 	bs := []cond.Binding{{"O": types.Ref(oid)}}
 	if err := (Specialize{Var: "O", To: "bigOrder"}).Exec(ctx, m, bs); err != nil {
 		t.Fatal(err)

@@ -1097,7 +1097,7 @@ func B10() Table { return B10FromResults(B10Results()) }
 
 // All runs every experiment.
 func All() []Table {
-	return []Table{B1(), B2(), B3(), B4(), B5(), B6(), B7(), B8(), B9(), B10(), B11()}
+	return []Table{B1(), B2(), B3(), B4(), B5(), B6(), B7(), B8(), B9(), B10(), B11(), B12()}
 }
 
 // ByID runs one experiment.
@@ -1125,6 +1125,8 @@ func ByID(id string) (Table, bool) {
 		return B10(), true
 	case "B11":
 		return B11(), true
+	case "B12":
+		return B12(), true
 	}
 	return Table{}, false
 }

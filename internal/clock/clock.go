@@ -9,7 +9,7 @@
 // time.
 package clock
 
-import "sync"
+import "sync/atomic"
 
 // Time is a logical time stamp. Time stamps start at 1 (0 is reserved as
 // "never" / transaction start) and strictly increase: no two event
@@ -23,10 +23,14 @@ type Time int64
 const Never Time = 0
 
 // Clock is a strictly monotone logical clock. The zero value is ready to
-// use and starts ticking at 1. Clock is safe for concurrent use.
+// use and starts ticking at 1. Clock is safe for concurrent use and
+// lock-free: with several transaction lines stamping occurrences in
+// parallel, every Tick is one atomic add, so the clock never becomes a
+// serialization point. Ticks issued to concurrent lines are unique but
+// interleave arbitrarily — exactly the paper's model of one global
+// timeline shared by all lines.
 type Clock struct {
-	mu  sync.Mutex
-	now Time
+	now atomic.Int64
 }
 
 // New returns a clock whose first Tick yields 1.
@@ -35,17 +39,12 @@ func New() *Clock { return &Clock{} }
 // Tick advances the clock and returns the new current time. Each event
 // occurrence is stamped with its own tick.
 func (c *Clock) Tick() Time {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	c.now++
-	return c.now
+	return Time(c.now.Add(1))
 }
 
 // Now returns the current time without advancing the clock.
 func (c *Clock) Now() Time {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.now
+	return Time(c.now.Load())
 }
 
 // AdvanceTo moves the clock forward to at least t. It never moves the
@@ -53,9 +52,13 @@ func (c *Clock) Now() Time {
 // timelines ("at time t3 < t ...") and by the engine when observing an
 // externally supplied time stamp.
 func (c *Clock) AdvanceTo(t Time) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	if t > c.now {
-		c.now = t
+	for {
+		cur := c.now.Load()
+		if int64(t) <= cur {
+			return
+		}
+		if c.now.CompareAndSwap(cur, int64(t)) {
+			return
+		}
 	}
 }

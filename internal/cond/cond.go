@@ -26,6 +26,7 @@ import (
 	"chimera/internal/clock"
 	"chimera/internal/event"
 	"chimera/internal/object"
+	"chimera/internal/schema"
 	"chimera/internal/types"
 )
 
@@ -42,11 +43,22 @@ func (b Binding) clone() Binding {
 	return c
 }
 
-// Ctx is the evaluation context of a condition: the object store, the
-// event base, and the observed window (Since is the rule's last
+// StoreView is the read face of the object store a condition evaluates
+// against. The plain *object.Store serves the single-session engine; an
+// *object.Line serves a concurrent transaction line, taking shared
+// latches on every object and class extension the condition touches so
+// the bindings stay stable to the end of the line.
+type StoreView interface {
+	Get(oid types.OID) (*object.Object, bool)
+	Select(class string) ([]types.OID, error)
+	Schema() *schema.Schema
+}
+
+// Ctx is the evaluation context of a condition: the object store view,
+// the event base, and the observed window (Since is the rule's last
 // consumption instant, At the consideration instant).
 type Ctx struct {
-	Store *object.Store
+	Store StoreView
 	Base  *event.Base
 	Since clock.Time
 	At    clock.Time

@@ -200,7 +200,7 @@ func TestFormulaConjunction(t *testing.T) {
 
 func TestAttrOnDeletedObjectErrors(t *testing.T) {
 	ctx, o1, _ := fixture(t)
-	ctx.Store.Delete(o1)
+	ctx.Store.(*object.Store).Delete(o1)
 	_, err := Compare{
 		L: Attr{Var: "S", Attr: "quantity"}, Op: CmpGt, R: Const{V: types.Int(0)},
 	}.Eval(ctx, []Binding{{"S": types.Ref(o1)}})

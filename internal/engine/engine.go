@@ -11,6 +11,9 @@ package engine
 import (
 	"errors"
 	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
 
 	"chimera/internal/act"
 	"chimera/internal/clock"
@@ -26,6 +29,20 @@ import (
 // ErrNoTransaction is returned by transactional operations outside a
 // transaction.
 var ErrNoTransaction = errors.New("engine: no active transaction")
+
+// ErrTxnOpen is returned by Begin when the database cannot admit another
+// transaction line: in single-session mode (Options.MaxSessions ≤ 1)
+// when a transaction is already open, in multi-session mode when
+// MaxSessions lines are active. Errors are (possibly) wrapped — test
+// with errors.Is.
+var ErrTxnOpen = errors.New("engine: transaction already open")
+
+// ErrConflict reports that a transaction line lost a latch conflict
+// with a concurrent line and was not granted access within the
+// configured wait (Options.LockWait). The losing line should be rolled
+// back and retried. It aliases object.ErrConflict so either package's
+// sentinel matches.
+var ErrConflict = object.ErrConflict
 
 // ErrRuleLimit is returned when a rule cascade exceeds the configured
 // execution budget — the engine's guard against non-terminating rule
@@ -68,6 +85,19 @@ type Options struct {
 	// operation, and the differential suite pins enabled vs disabled
 	// runs to identical semantics (see DESIGN.md §9).
 	Metrics *metrics.Registry
+	// MaxSessions is how many transaction lines Begin admits at once.
+	// 0 or 1 is the classic single-session engine: one open transaction,
+	// no latching, bit-identical to the sequential reference. Above 1
+	// each Begin opens an independent line — its own Event Base, its own
+	// Trigger Support session, its own undo — and the object store
+	// isolates the lines with per-OID/per-class latches (DESIGN.md §11).
+	MaxSessions int
+	// LockWait bounds how long a line blocks on a latch another line
+	// holds before the operation fails with ErrConflict: 0 means the
+	// 100ms default, negative is a try-latch (immediate ErrConflict).
+	// Since latches are held to end of line, the timeout doubles as the
+	// deadlock breaker; an unbounded wait is deliberately not offered.
+	LockWait time.Duration
 }
 
 // DefaultOptions enables the paper's static optimization and the formal
@@ -91,6 +121,20 @@ type Stats struct {
 	Events         int64
 	RuleExecutions int64
 	Considerations int64
+	// Conflicts counts transaction-line operations that failed with
+	// ErrConflict (always 0 in single-session mode).
+	Conflicts int64
+}
+
+// statsCounters is the engine's internal, atomically-updated form of
+// Stats: concurrent transaction lines bump them without a lock.
+type statsCounters struct {
+	transactions   atomic.Int64
+	blocks         atomic.Int64
+	events         atomic.Int64
+	ruleExecutions atomic.Int64
+	considerations atomic.Int64
+	conflicts      atomic.Int64
 }
 
 // DB is a Chimera database: schema, object store, rule set, and the
@@ -102,14 +146,27 @@ type DB struct {
 	support *rules.Support
 	bodies  map[string]Body
 	opts    Options
-	stats   Stats
+	stats   statsCounters
 	tracer  Tracer
-	txn     *Txn
-	// m and baseMetrics are the resolved instrument sets (zero values
-	// when Options.Metrics is nil); baseMetrics is installed on each
-	// transaction's Event Base at Begin.
+
+	// mu guards the session state: the single-session txn pointer and
+	// the active-line count.
+	mu     sync.Mutex
+	txn    *Txn
+	active int
+	// commitMu is the commit pipeline's serialization point: deferred
+	// rule processing and the publication of a line's writes (its latch
+	// release) happen one line at a time, in commit order, while
+	// everything before — trigger determination, condition evaluation,
+	// immediate rules — runs fully in parallel across lines.
+	commitMu sync.Mutex
+
+	// m, baseMetrics and latchM are the resolved instrument sets (zero
+	// values when Options.Metrics is nil); baseMetrics is installed on
+	// each transaction's Event Base at Begin, latchM on each line.
 	m           engineMetrics
 	baseMetrics event.BaseMetrics
+	latchM      object.LatchMetrics
 }
 
 // New creates an empty database with the given options.
@@ -130,6 +187,7 @@ func New(opts Options) *DB {
 		opts:        opts,
 		m:           newEngineMetrics(opts.Metrics),
 		baseMetrics: event.NewBaseMetrics(opts.Metrics),
+		latchM:      object.NewLatchMetrics(opts.Metrics),
 	}
 	return db
 }
@@ -146,8 +204,40 @@ func (db *DB) Clock() *clock.Clock { return db.clock }
 // Support exposes the Trigger Support (for statistics and inspection).
 func (db *DB) Support() *rules.Support { return db.support }
 
-// Stats returns the engine counters.
-func (db *DB) Stats() Stats { return db.stats }
+// Stats returns a snapshot of the engine counters.
+func (db *DB) Stats() Stats {
+	return Stats{
+		Transactions:   db.stats.transactions.Load(),
+		Blocks:         db.stats.blocks.Load(),
+		Events:         db.stats.events.Load(),
+		RuleExecutions: db.stats.ruleExecutions.Load(),
+		Considerations: db.stats.considerations.Load(),
+		Conflicts:      db.stats.conflicts.Load(),
+	}
+}
+
+// ActiveLines returns the number of open transaction lines.
+func (db *DB) ActiveLines() int {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	return db.active
+}
+
+// multiSession reports whether the database runs concurrent lines.
+func (db *DB) multiSession() bool { return db.opts.MaxSessions > 1 }
+
+// lockWait translates Options.LockWait into the line's wait budget
+// (line semantics: 0 is a try-latch, positive a bound).
+func (db *DB) lockWait() time.Duration {
+	switch {
+	case db.opts.LockWait < 0:
+		return 0
+	case db.opts.LockWait == 0:
+		return 100 * time.Millisecond
+	default:
+		return db.opts.LockWait
+	}
+}
 
 // DefineClass registers a root class.
 func (db *DB) DefineClass(name string, attrs ...schema.Attribute) error {
@@ -166,7 +256,10 @@ func (db *DB) DefineSubclass(name, parent string, attrs ...schema.Attribute) err
 // consideration time. Rules may be defined at any time outside a
 // transaction.
 func (db *DB) DefineRule(def rules.Def, body Body) error {
-	if db.txn != nil {
+	db.mu.Lock()
+	open := db.txn != nil || db.active > 0
+	db.mu.Unlock()
+	if open {
 		return errors.New("engine: cannot define rules inside a transaction")
 	}
 	for _, t := range eventClasses(def) {
@@ -208,6 +301,12 @@ func defPrimitives(def rules.Def) []event.Type {
 
 // DropRule removes a rule.
 func (db *DB) DropRule(name string) error {
+	db.mu.Lock()
+	open := db.txn != nil || db.active > 0
+	db.mu.Unlock()
+	if open {
+		return errors.New("engine: cannot drop rules inside a transaction")
+	}
 	if err := db.support.Drop(name); err != nil {
 		return err
 	}
@@ -215,35 +314,66 @@ func (db *DB) DropRule(name string) error {
 	return nil
 }
 
-// Txn is an open transaction: a sequence of non-interruptible blocks
-// (transaction lines) followed by Commit or Rollback.
+// Txn is an open transaction line: a sequence of non-interruptible
+// blocks followed by Commit or Rollback. In single-session mode it is
+// the database's one open transaction; in multi-session mode up to
+// Options.MaxSessions lines run concurrently, each on its own
+// goroutine. A Txn itself is not safe for concurrent use.
 type Txn struct {
-	db      *DB
-	base    *event.Base
-	mark    object.Mark
+	db   *DB
+	base *event.Base
+	// view is the line's Trigger Support state: the shared Support
+	// itself in single-session mode (the classic Rebind dance), a
+	// private rules.Session in multi-session mode.
+	view rules.View
+	// line is the object-store session: solo (no latching, OID-reusing
+	// undo) in single-session mode, latched in multi-session mode.
+	line    *object.Line
+	multi   bool
 	pending []event.Occurrence
 	execs   int
 	done    bool
 }
 
-// Begin opens a transaction. The Event Base starts empty (it is the log
-// of occurrences "since the beginning of the transaction") and every
-// rule's horizon resets to the transaction start.
+// Begin opens a transaction line. The Event Base starts empty (it is
+// the log of occurrences "since the beginning of the transaction") and
+// every rule's horizon resets to the transaction start. With
+// Options.MaxSessions ≤ 1 at most one transaction is open at a time;
+// above that, up to MaxSessions lines run concurrently. Either limit
+// reports ErrTxnOpen.
 func (db *DB) Begin() (*Txn, error) {
-	if db.txn != nil {
-		return nil, errors.New("engine: transaction already open")
-	}
 	base := event.NewBaseSize(db.opts.SegmentSize)
 	base.SetMetrics(db.baseMetrics)
-	t := &Txn{
-		db:   db,
-		base: base,
-		mark: db.store.MarkUndo(),
+	t := &Txn{db: db, base: base, multi: db.multiSession()}
+
+	db.mu.Lock()
+	if t.multi {
+		if db.active >= db.opts.MaxSessions {
+			db.mu.Unlock()
+			return nil, fmt.Errorf("%w: %d transaction lines active (MaxSessions %d)",
+				ErrTxnOpen, db.active, db.opts.MaxSessions)
+		}
+		t.view = db.support.NewSession(base, db.clock.Now())
+		t.line = db.store.BeginLine(object.LineOptions{
+			Wait:    db.lockWait(),
+			Metrics: db.latchM,
+		})
+	} else {
+		if db.txn != nil {
+			db.mu.Unlock()
+			return nil, ErrTxnOpen
+		}
+		db.support.Rebind(base)
+		db.support.BeginTransaction(db.clock.Now())
+		t.view = db.support
+		t.line = db.store.BeginLine(object.LineOptions{Solo: true})
+		db.txn = t
 	}
-	db.support.Rebind(t.base)
-	db.support.BeginTransaction(db.clock.Now())
-	db.txn = t
-	db.stats.Transactions++
+	db.active++
+	db.m.activeLines.Set(int64(db.active))
+	db.mu.Unlock()
+
+	db.stats.transactions.Add(1)
 	db.m.transactions.Inc()
 	if db.tracer != nil {
 		db.tracer.TransactionStart(db.clock.Now())
@@ -258,7 +388,7 @@ func (t *Txn) log(ty event.Type, oid types.OID) error {
 		return err
 	}
 	t.pending = append(t.pending, occ)
-	t.db.stats.Events++
+	t.db.stats.events.Add(1)
 	t.db.m.events.Inc()
 	return nil
 }
@@ -267,10 +397,18 @@ func (t *Txn) check() error {
 	if t == nil || t.done {
 		return ErrNoTransaction
 	}
-	if t.db.txn != t {
+	if !t.multi && t.db.txn != t {
 		return ErrNoTransaction
 	}
 	return nil
+}
+
+// conflict funnels every ErrConflict an operation reports, counting it.
+func (t *Txn) conflict(err error) error {
+	if errors.Is(err, object.ErrConflict) {
+		t.db.stats.conflicts.Add(1)
+	}
+	return err
 }
 
 // Create instantiates an object and logs create(class).
@@ -278,9 +416,9 @@ func (t *Txn) Create(class string, vals map[string]types.Value) (types.OID, erro
 	if err := t.check(); err != nil {
 		return types.NilOID, err
 	}
-	oid, err := t.db.store.Create(class, vals)
+	oid, err := t.line.Create(class, vals)
 	if err != nil {
-		return types.NilOID, err
+		return types.NilOID, t.conflict(err)
 	}
 	return oid, t.log(event.Create(class), oid)
 }
@@ -290,12 +428,12 @@ func (t *Txn) Modify(oid types.OID, attr string, v types.Value) error {
 	if err := t.check(); err != nil {
 		return err
 	}
-	o, ok := t.db.store.Get(oid)
-	if !ok {
-		return fmt.Errorf("engine: no object %s", oid)
+	o, err := t.line.Fetch(oid)
+	if err != nil {
+		return t.conflict(err)
 	}
-	if err := t.db.store.Modify(oid, attr, v); err != nil {
-		return err
+	if err := t.line.Modify(oid, attr, v); err != nil {
+		return t.conflict(err)
 	}
 	return t.log(event.Modify(o.Class().Name(), attr), oid)
 }
@@ -305,13 +443,13 @@ func (t *Txn) Delete(oid types.OID) error {
 	if err := t.check(); err != nil {
 		return err
 	}
-	o, ok := t.db.store.Get(oid)
-	if !ok {
-		return fmt.Errorf("engine: no object %s", oid)
+	o, err := t.line.Fetch(oid)
+	if err != nil {
+		return t.conflict(err)
 	}
 	class := o.Class().Name()
-	if err := t.db.store.Delete(oid); err != nil {
-		return err
+	if err := t.line.Delete(oid); err != nil {
+		return t.conflict(err)
 	}
 	return t.log(event.Delete(class), oid)
 }
@@ -321,8 +459,8 @@ func (t *Txn) Specialize(oid types.OID, sub string) error {
 	if err := t.check(); err != nil {
 		return err
 	}
-	if err := t.db.store.Specialize(oid, sub); err != nil {
-		return err
+	if err := t.line.Specialize(oid, sub); err != nil {
+		return t.conflict(err)
 	}
 	return t.log(event.T(event.OpSpecialize, sub), oid)
 }
@@ -333,8 +471,8 @@ func (t *Txn) Generalize(oid types.OID, super string) error {
 	if err := t.check(); err != nil {
 		return err
 	}
-	if err := t.db.store.Generalize(oid, super); err != nil {
-		return err
+	if err := t.line.Generalize(oid, super); err != nil {
+		return t.conflict(err)
 	}
 	return t.log(event.T(event.OpGeneralize, super), oid)
 }
@@ -359,9 +497,9 @@ func (t *Txn) Select(class string) ([]types.OID, error) {
 	if err := t.check(); err != nil {
 		return nil, err
 	}
-	oids, err := t.db.store.Select(class)
+	oids, err := t.line.Select(class)
 	if err != nil {
-		return nil, err
+		return nil, t.conflict(err)
 	}
 	for _, oid := range oids {
 		if err := t.log(event.T(event.OpSelect, class), oid); err != nil {
@@ -371,12 +509,13 @@ func (t *Txn) Select(class string) ([]types.OID, error) {
 	return oids, nil
 }
 
-// Get reads an object without generating events.
+// Get reads an object without generating events. In multi-session mode
+// the read takes a shared latch on the OID, held to end of line.
 func (t *Txn) Get(oid types.OID) (*object.Object, bool) {
 	if err := t.check(); err != nil {
 		return nil, false
 	}
-	return t.db.store.Get(oid)
+	return t.line.Get(oid)
 }
 
 // Base exposes the transaction's Event Base (read-only use). Unless
@@ -407,36 +546,36 @@ func (t *Txn) EndLine() error {
 func (t *Txn) flushBlock() {
 	db := t.db
 	tr := db.tracer
-	db.stats.Blocks++
+	db.stats.blocks.Add(1)
 	db.m.blocks.Inc()
 	n := len(t.pending)
 	db.m.blockEvents.Observe(int64(n))
 	if tr != nil {
 		tr.BlockStart(n)
 	}
-	db.support.NotifyArrivals(t.pending)
+	t.view.NotifyArrivals(t.pending)
 	t.pending = t.pending[:0]
 	now := db.clock.Now()
 	var examinedBefore int64
 	if tr != nil {
 		tr.SweepStart(now)
-		examinedBefore = db.support.Stats().RulesExamined
+		examinedBefore = t.view.Stats().RulesExamined
 	}
-	fired := db.support.CheckTriggered(now)
+	fired := t.view.CheckTriggered(now)
 	if tr != nil {
-		tr.SweepEnd(int(db.support.Stats().RulesExamined-examinedBefore), len(fired))
+		tr.SweepEnd(int(t.view.Stats().RulesExamined-examinedBefore), len(fired))
 		for _, name := range fired {
 			// The activation instant and the net effect behind it: the
 			// occurrences of the rule's relevant window up to activation.
 			// Read-only lookups — tracing must never perturb state.
-			if st, ok := db.support.Rule(name); ok {
+			if st, ok := t.view.Rule(name); ok {
 				tr.RuleTriggered(name, st.TriggeredAt,
 					t.base.CountArrivals(st.LastConsideration, st.TriggeredAt))
 			}
 		}
 	}
 	if !db.opts.DisableCompaction {
-		wm := db.support.Watermark()
+		wm := t.view.Watermark()
 		db.m.watermarkAge.Set(int64(now - wm))
 		segsBefore := 0
 		if tr != nil {
@@ -457,7 +596,7 @@ func (t *Txn) flushBlock() {
 // scope is triggered.
 func (t *Txn) processRules(filter func(rules.Def) bool) error {
 	for {
-		name, ok := t.db.support.Pick(filter)
+		name, ok := t.view.Pick(filter)
 		if !ok {
 			return nil
 		}
@@ -475,22 +614,25 @@ func (t *Txn) runRule(name string) error {
 		return fmt.Errorf("%w (%d executions; non-terminating rule set?)",
 			ErrRuleLimit, t.execs-1)
 	}
-	consideration, err := t.db.support.Consider(name, t.db.clock.Tick())
+	consideration, err := t.view.Consider(name, t.db.clock.Tick())
 	if err != nil {
 		return err
 	}
-	t.db.stats.Considerations++
+	t.db.stats.considerations.Add(1)
 	t.db.m.considerations.Inc()
 	body := t.db.bodies[name]
+	// The condition reads through the line, so in multi-session mode
+	// every object and class extension it examines is latched shared to
+	// end of line and the bindings stay stable.
 	ctx := &cond.Ctx{
-		Store: t.db.store,
+		Store: t.line,
 		Base:  t.base,
 		Since: consideration.Since,
 		At:    consideration.At,
 	}
 	bindings, err := body.Condition.Eval(ctx)
 	if err != nil {
-		return fmt.Errorf("engine: rule %q condition: %w", name, err)
+		return t.conflict(fmt.Errorf("engine: rule %q condition: %w", name, err))
 	}
 	if t.db.tracer != nil {
 		t.db.tracer.Considered(name, consideration.Since, consideration.At, len(bindings))
@@ -501,7 +643,7 @@ func (t *Txn) runRule(name string) error {
 		t.flushBlock()
 		return nil
 	}
-	t.db.stats.RuleExecutions++
+	t.db.stats.ruleExecutions.Add(1)
 	t.db.m.executions.Inc()
 	if err := body.Action.Exec(ctx, (*txnMutator)(t), bindings); err != nil {
 		return fmt.Errorf("engine: rule %q action: %w", name, err)
@@ -537,6 +679,12 @@ func (m *txnMutator) Generalize(oid types.OID, super string) error {
 // processed (their actions may re-trigger immediate rules, which are
 // served first by the priority-ordered pick). On error the transaction
 // rolls back.
+//
+// In multi-session mode Commit is the pipeline's serialization point:
+// the deferred-rule phase and the publication of the line's writes (its
+// latch release) happen under the database's commit latch, one line at
+// a time in commit order, while everything before overlaps freely with
+// other lines.
 func (t *Txn) Commit() error {
 	if err := t.check(); err != nil {
 		return err
@@ -551,13 +699,28 @@ func (t *Txn) Commit() error {
 		t.rollback()
 		return err
 	}
+	var wait0 time.Time
+	if t.db.m.commitWait != nil {
+		wait0 = time.Now()
+	}
+	t.db.commitMu.Lock()
+	if t.db.m.commitWait != nil {
+		t.db.m.commitWait.Observe(time.Since(wait0).Nanoseconds())
+	}
 	if err := t.processRules(nil); err != nil { // immediate + deferred
+		t.db.commitMu.Unlock()
 		t.rollback()
 		return err
 	}
-	t.db.store.DiscardUndo()
-	t.done = true
-	t.db.txn = nil
+	t.line.Commit()
+	t.db.commitMu.Unlock()
+	if !t.multi {
+		// The legacy contract: a successful commit discards the global
+		// undo history, including entries from direct store use outside
+		// any transaction.
+		t.db.store.DiscardUndo()
+	}
+	t.finish()
 	t.db.m.commits.Inc()
 	if t.db.tracer != nil {
 		t.db.tracer.TransactionEnd(true)
@@ -575,26 +738,44 @@ func (t *Txn) Rollback() error {
 }
 
 func (t *Txn) rollback() {
-	t.db.store.RollbackTo(t.mark)
-	t.done = true
-	t.db.txn = nil
+	t.line.Rollback()
+	t.finish()
 	t.db.m.rollbacks.Inc()
 	if t.db.tracer != nil {
 		t.db.tracer.TransactionEnd(false)
 	}
 }
 
+// finish retires the line: its Trigger Support session is released and
+// the database's session bookkeeping updated.
+func (t *Txn) finish() {
+	if sess, ok := t.view.(*rules.Session); ok {
+		sess.Release()
+	}
+	t.done = true
+	t.db.mu.Lock()
+	if t.db.txn == t {
+		t.db.txn = nil
+	}
+	t.db.active--
+	t.db.m.activeLines.Set(int64(t.db.active))
+	t.db.mu.Unlock()
+}
+
 // Run executes fn inside a fresh transaction, ending the line after fn
-// returns and committing; any error rolls back.
+// returns and committing; any error — or a panic inside fn — rolls
+// back before Run returns (the panic then propagates).
 func (db *DB) Run(fn func(*Txn) error) error {
 	t, err := db.Begin()
 	if err != nil {
 		return err
 	}
-	if err := fn(t); err != nil {
+	defer func() {
 		if !t.done {
 			t.rollback()
 		}
+	}()
+	if err := fn(t); err != nil {
 		return err
 	}
 	if t.done {

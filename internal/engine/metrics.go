@@ -21,6 +21,12 @@ type engineMetrics struct {
 	executions     *metrics.Counter
 	blockEvents    *metrics.Histogram
 	watermarkAge   *metrics.Gauge
+	// Multi-session instruments: how many transaction lines are open and
+	// how long committing lines wait for the commit latch (the pipeline's
+	// serialization point). Latch waits and conflicts are reported by the
+	// object layer (chimera_object_latch_*).
+	activeLines *metrics.Gauge
+	commitWait  *metrics.Histogram
 }
 
 func newEngineMetrics(r *metrics.Registry) engineMetrics {
@@ -38,6 +44,9 @@ func newEngineMetrics(r *metrics.Registry) engineMetrics {
 		blockEvents: r.Histogram("chimera_engine_block_events",
 			0, 1, 2, 4, 8, 16, 32, 64, 128, 256, 1024),
 		watermarkAge: r.Gauge("chimera_engine_watermark_age"),
+		activeLines:  r.Gauge("chimera_engine_active_lines"),
+		commitWait: r.Histogram("chimera_engine_commit_wait_ns",
+			1e3, 1e4, 1e5, 1e6, 1e7, 1e8, 1e9),
 	}
 }
 

@@ -1,0 +1,376 @@
+package engine
+
+import (
+	"errors"
+	"fmt"
+	"math/rand/v2"
+	"sync"
+	"testing"
+	"time"
+
+	"chimera/internal/act"
+	"chimera/internal/calculus"
+	"chimera/internal/cond"
+	"chimera/internal/event"
+	"chimera/internal/rules"
+	"chimera/internal/schema"
+	"chimera/internal/types"
+)
+
+// multiDB is stockDB with n concurrent transaction lines admitted.
+func multiDB(t *testing.T, n int) *DB {
+	t.Helper()
+	opts := DefaultOptions()
+	opts.MaxSessions = n
+	opts.LockWait = 5 * time.Second
+	db := New(opts)
+	if err := db.DefineClass("stock",
+		schema.Attribute{Name: "name", Kind: types.KindString},
+		schema.Attribute{Name: "quantity", Kind: types.KindInt},
+		schema.Attribute{Name: "maxquantity", Kind: types.KindInt},
+		schema.Attribute{Name: "minquantity", Kind: types.KindInt},
+	); err != nil {
+		t.Fatal(err)
+	}
+	return db
+}
+
+func TestErrTxnOpenSingleSession(t *testing.T) {
+	db := stockDB(t)
+	tx, err := db.Begin()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.Begin(); !errors.Is(err, ErrTxnOpen) {
+		t.Fatalf("second Begin = %v, want ErrTxnOpen", err)
+	}
+	if err := tx.Rollback(); err != nil {
+		t.Fatal(err)
+	}
+	tx2, err := db.Begin()
+	if err != nil {
+		t.Fatalf("Begin after rollback: %v", err)
+	}
+	tx2.Rollback()
+}
+
+func TestErrTxnOpenAtSessionLimit(t *testing.T) {
+	db := multiDB(t, 2)
+	a, err := db.Begin()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := db.Begin()
+	if err != nil {
+		t.Fatalf("second line within limit: %v", err)
+	}
+	if _, err := db.Begin(); !errors.Is(err, ErrTxnOpen) {
+		t.Fatalf("Begin over limit = %v, want ErrTxnOpen", err)
+	}
+	if db.ActiveLines() != 2 {
+		t.Errorf("ActiveLines = %d, want 2", db.ActiveLines())
+	}
+	a.Rollback()
+	c, err := db.Begin()
+	if err != nil {
+		t.Fatalf("Begin after a slot freed: %v", err)
+	}
+	c.Rollback()
+	b.Rollback()
+	if db.ActiveLines() != 0 {
+		t.Errorf("ActiveLines = %d after all closed, want 0", db.ActiveLines())
+	}
+}
+
+func TestRunPanicRollsBack(t *testing.T) {
+	db := stockDB(t)
+	var oid types.OID
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("panic did not propagate out of Run")
+			}
+		}()
+		db.Run(func(tx *Txn) error {
+			var err error
+			oid, err = tx.Create("stock", map[string]types.Value{"quantity": types.Int(5)})
+			if err != nil {
+				return err
+			}
+			panic("boom")
+		})
+	}()
+	if _, ok := db.Store().Get(oid); ok {
+		t.Error("creation survived a panic inside Run")
+	}
+	// The transaction slot must be free again.
+	if err := db.Run(func(tx *Txn) error {
+		_, err := tx.Create("stock", map[string]types.Value{"quantity": types.Int(1)})
+		return err
+	}); err != nil {
+		t.Fatalf("Run after panic: %v", err)
+	}
+}
+
+func TestDefineRuleBlockedWhileLinesOpen(t *testing.T) {
+	db := multiDB(t, 2)
+	tx, err := db.Begin()
+	if err != nil {
+		t.Fatal(err)
+	}
+	def := rules.Def{Name: "r", Target: "stock",
+		Event: calculus.P(event.Create("stock")), Coupling: rules.Immediate}
+	if err := db.DefineRule(def, Body{}); err == nil {
+		t.Error("DefineRule accepted while a line is open")
+	}
+	if err := db.DropRule("nope"); err == nil {
+		t.Error("DropRule accepted while a line is open")
+	}
+	tx.Rollback()
+	if err := db.DefineRule(def, Body{}); err != nil {
+		t.Errorf("DefineRule after lines closed: %v", err)
+	}
+}
+
+func TestMultiSessionConflictAndRetry(t *testing.T) {
+	opts := DefaultOptions()
+	opts.MaxSessions = 2
+	opts.LockWait = -1 // try-latch: conflicts fail immediately
+	db := New(opts)
+	if err := db.DefineClass("stock",
+		schema.Attribute{Name: "quantity", Kind: types.KindInt}); err != nil {
+		t.Fatal(err)
+	}
+	var oid types.OID
+	if err := db.Run(func(tx *Txn) error {
+		var err error
+		oid, err = tx.Create("stock", map[string]types.Value{"quantity": types.Int(0)})
+		return err
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	a, _ := db.Begin()
+	b, _ := db.Begin()
+	if err := a.Modify(oid, "quantity", types.Int(1)); err != nil {
+		t.Fatal(err)
+	}
+	err := b.Modify(oid, "quantity", types.Int(2))
+	if !errors.Is(err, ErrConflict) {
+		t.Fatalf("conflicting modify = %v, want ErrConflict", err)
+	}
+	b.Rollback()
+	if err := a.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if got := db.Stats().Conflicts; got == 0 {
+		t.Error("Stats.Conflicts did not count the conflict")
+	}
+	// Retry of the loser now succeeds.
+	if err := db.Run(func(tx *Txn) error {
+		return tx.Modify(oid, "quantity", types.Int(2))
+	}); err != nil {
+		t.Fatal(err)
+	}
+	o, _ := db.Store().Get(oid)
+	if o.MustGet("quantity").AsInt() != 2 {
+		t.Errorf("quantity = %d, want 2", o.MustGet("quantity").AsInt())
+	}
+}
+
+// TestMultiSessionParallelTriggering runs concurrent lines on disjoint
+// partitions — each line creates its own class's objects and its rule
+// fires over them — and checks every line's rule work landed. Exercised
+// by the CI -race job.
+func TestMultiSessionParallelTriggering(t *testing.T) {
+	const lines = 4
+	opts := DefaultOptions()
+	opts.MaxSessions = lines
+	opts.LockWait = 5 * time.Second
+	db := New(opts)
+	for i := 0; i < lines; i++ {
+		class := fmt.Sprintf("stock%d", i)
+		if err := db.DefineClass(class,
+			schema.Attribute{Name: "quantity", Kind: types.KindInt},
+			schema.Attribute{Name: "maxquantity", Kind: types.KindInt},
+		); err != nil {
+			t.Fatal(err)
+		}
+		err := db.DefineRule(
+			rules.Def{
+				Name:     "cap" + class,
+				Target:   class,
+				Event:    calculus.P(event.Create(class)),
+				Coupling: rules.Immediate,
+			},
+			Body{
+				Condition: cond.Formula{Atoms: []cond.Atom{
+					cond.Class{Class: class, Var: "S"},
+					cond.Occurred{Event: calculus.P(event.Create(class)), Var: "S"},
+					cond.Compare{
+						L:  cond.Attr{Var: "S", Attr: "quantity"},
+						Op: cond.CmpGt,
+						R:  cond.Attr{Var: "S", Attr: "maxquantity"},
+					},
+				}},
+				Action: act.Action{Statements: []act.Statement{
+					act.Modify{Class: class, Attr: "quantity", Var: "S",
+						Value: cond.Attr{Var: "S", Attr: "maxquantity"}},
+				}},
+			})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	const perLine = 10
+	oids := make([][]types.OID, lines)
+	var wg sync.WaitGroup
+	for i := 0; i < lines; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			class := fmt.Sprintf("stock%d", i)
+			for j := 0; j < perLine; j++ {
+				err := db.Run(func(tx *Txn) error {
+					oid, err := tx.Create(class, map[string]types.Value{
+						"quantity": types.Int(100), "maxquantity": types.Int(40),
+					})
+					if err != nil {
+						return err
+					}
+					oids[i] = append(oids[i], oid)
+					return nil
+				})
+				if err != nil {
+					t.Errorf("line %d txn %d: %v", i, j, err)
+					return
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+
+	for i := range oids {
+		if len(oids[i]) != perLine {
+			t.Fatalf("line %d committed %d objects, want %d", i, len(oids[i]), perLine)
+		}
+		for _, oid := range oids[i] {
+			o, ok := db.Store().Get(oid)
+			if !ok {
+				t.Fatalf("object %v lost", oid)
+			}
+			if got := o.MustGet("quantity").AsInt(); got != 40 {
+				t.Errorf("line %d object %v quantity = %d, want 40 (rule capped)", i, oid, got)
+			}
+		}
+	}
+	if got := db.Stats().RuleExecutions; got != lines*perLine {
+		t.Errorf("RuleExecutions = %d, want %d", got, lines*perLine)
+	}
+	if db.ActiveLines() != 0 {
+		t.Errorf("ActiveLines = %d at quiescence", db.ActiveLines())
+	}
+}
+
+// TestMultiSessionStressContended has every line increment one shared
+// counter through full engine transactions with conflict-retry; the
+// final value must be exact. Exercised by the CI -race job.
+func TestMultiSessionStressContended(t *testing.T) {
+	const lines, rounds = 4, 20
+	opts := DefaultOptions()
+	opts.MaxSessions = lines
+	opts.LockWait = 20 * time.Millisecond
+	db := New(opts)
+	if err := db.DefineClass("counter",
+		schema.Attribute{Name: "n", Kind: types.KindInt}); err != nil {
+		t.Fatal(err)
+	}
+	var oid types.OID
+	if err := db.Run(func(tx *Txn) error {
+		var err error
+		oid, err = tx.Create("counter", map[string]types.Value{"n": types.Int(0)})
+		return err
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	var wg sync.WaitGroup
+	for i := 0; i < lines; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for r := 0; r < rounds; r++ {
+				for {
+					err := db.Run(func(tx *Txn) error {
+						o, ok := tx.Get(oid)
+						if !ok {
+							return errors.New("counter unreadable (conflict)")
+						}
+						return tx.Modify(oid, "n", types.Int(o.MustGet("n").AsInt()+1))
+					})
+					if err == nil {
+						break
+					}
+					if errors.Is(err, ErrTxnOpen) {
+						time.Sleep(time.Millisecond) // all slots busy; retry
+					} else {
+						// Read→upgrade conflict: jittered backoff so the
+						// lines don't retry in lockstep.
+						time.Sleep(time.Duration(rand.IntN(400)+50) * time.Microsecond)
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	o, _ := db.Store().Get(oid)
+	if got := o.MustGet("n").AsInt(); got != lines*rounds {
+		t.Errorf("counter = %d, want %d", got, lines*rounds)
+	}
+}
+
+// TestMultiMatchesSingleSequentially runs the same transaction sequence
+// through a single-session database and through a multi-session one used
+// sequentially (one line at a time): results must agree — the
+// multi-session machinery adds no observable behavior at concurrency 1.
+func TestMultiMatchesSingleSequentially(t *testing.T) {
+	run := func(db *DB) []int64 {
+		t.Helper()
+		defineCheckStockQty(t, db)
+		var quantities []int64
+		var oids []types.OID
+		for i := 0; i < 5; i++ {
+			err := db.Run(func(tx *Txn) error {
+				oid, err := tx.Create("stock", map[string]types.Value{
+					"quantity":    types.Int(int64(30 + 20*i)),
+					"maxquantity": types.Int(50),
+				})
+				oids = append(oids, oid)
+				return err
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+		}
+		for _, oid := range oids {
+			o, _ := db.Store().Get(oid)
+			quantities = append(quantities, o.MustGet("quantity").AsInt())
+		}
+		st := db.Stats()
+		quantities = append(quantities, st.RuleExecutions, st.Events, st.Blocks)
+		ts := db.Support().Stats()
+		quantities = append(quantities, ts.Triggerings)
+		return quantities
+	}
+	single := run(stockDB(t))
+	multi := run(multiDB(t, 4))
+	if len(single) != len(multi) {
+		t.Fatalf("result lengths differ: %d vs %d", len(single), len(multi))
+	}
+	for i := range single {
+		if single[i] != multi[i] {
+			t.Errorf("result[%d]: single %d, multi %d", i, single[i], multi[i])
+		}
+	}
+}

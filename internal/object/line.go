@@ -1,0 +1,296 @@
+package object
+
+import (
+	"fmt"
+	"time"
+
+	"chimera/internal/schema"
+	"chimera/internal/types"
+)
+
+// Line is one transaction line's session over the store: its private
+// undo log plus the latches it holds. Mutations apply in place to the
+// shared store under strict two-phase latching — an exclusive latch per
+// written OID, exclusive latches up the class chain for extension
+// changes, shared latches for reads, all held until Commit or Rollback —
+// so concurrent lines on disjoint data proceed fully in parallel while
+// overlapping lines serialize (or fail fast with ErrConflict) at the
+// exact objects and classes they contend on.
+//
+// A Line is used by a single goroutine; distinct Lines of one Store are
+// safe to use concurrently.
+type Line struct {
+	s    *Store
+	id   uint64
+	solo bool
+	wait time.Duration
+	m    LatchMetrics
+	undo []undoEntry
+	held []heldLatch
+	done bool
+}
+
+type heldLatch struct {
+	k  latchKey
+	la *latch
+}
+
+// LineOptions configures a Line.
+type LineOptions struct {
+	// Wait bounds how long a conflicting latch acquisition blocks before
+	// ErrConflict: negative blocks indefinitely, zero is a try-latch
+	// (immediate ErrConflict), positive waits up to that long.
+	Wait time.Duration
+	// Solo declares the line is the store's only writer (the engine's
+	// single-session mode): latching is skipped entirely and aborted
+	// creations roll the OID allocator back, reproducing the sequential
+	// store bit for bit.
+	Solo bool
+	// Metrics instruments latch waits and conflicts; the zero value
+	// disables reporting.
+	Metrics LatchMetrics
+}
+
+// BeginLine opens a transaction line over the store.
+func (s *Store) BeginLine(opts LineOptions) *Line {
+	return &Line{
+		s:    s,
+		id:   s.nextLine.Add(1),
+		solo: opts.Solo,
+		wait: opts.Wait,
+		m:    opts.Metrics,
+	}
+}
+
+func (ln *Line) checkOpen() error {
+	if ln == nil || ln.done {
+		return fmt.Errorf("object: line is closed")
+	}
+	return nil
+}
+
+// latch acquires one latch in the requested mode, recording it for
+// release at line end. Already-held latches (including shared→exclusive
+// upgrades) stay single entries.
+func (ln *Line) latch(k latchKey, exclusive bool) error {
+	if ln.solo {
+		return nil
+	}
+	la := ln.s.latches.get(k)
+	isNew, err := la.acquire(ln.id, exclusive, ln.wait, &ln.m)
+	ln.s.latches.put(k, la)
+	if err != nil {
+		return err
+	}
+	if isNew {
+		ln.held = append(ln.held, heldLatch{k, la})
+	}
+	return nil
+}
+
+// latchClassChain exclusively latches class and every superclass up to
+// the root: extension changes conflict with any reader holding a shared
+// latch on an ancestor (Select latches exactly the class it scans, and
+// membership in a scan is membership in every ancestor's extension).
+func (ln *Line) latchClassChain(class string) error {
+	if ln.solo {
+		return nil
+	}
+	c, ok := ln.s.schema.Class(class)
+	if !ok {
+		return fmt.Errorf("object: unknown class %q", class)
+	}
+	for ; c != nil; c = c.Parent() {
+		if err := ln.latch(latchKey{class: c.Name()}, true); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Create instantiates a new object, exclusively latching the class chain
+// (an extension change) and the fresh OID (so no other line observes the
+// uncommitted object).
+func (ln *Line) Create(class string, vals map[string]types.Value) (types.OID, error) {
+	if err := ln.checkOpen(); err != nil {
+		return types.NilOID, err
+	}
+	if err := ln.latchClassChain(class); err != nil {
+		return types.NilOID, err
+	}
+	ln.s.mu.Lock()
+	oid, err := ln.s.createLocked(class, vals, &ln.undo, ln.solo)
+	ln.s.mu.Unlock()
+	if err != nil {
+		return types.NilOID, err
+	}
+	// The fresh OID's latch is necessarily free; this cannot block.
+	if err := ln.latch(latchKey{oid: oid}, true); err != nil {
+		return types.NilOID, err
+	}
+	return oid, nil
+}
+
+// Modify sets one attribute, exclusively latching the OID.
+func (ln *Line) Modify(oid types.OID, attr string, v types.Value) error {
+	if err := ln.checkOpen(); err != nil {
+		return err
+	}
+	if err := ln.latch(latchKey{oid: oid}, true); err != nil {
+		return err
+	}
+	ln.s.mu.Lock()
+	defer ln.s.mu.Unlock()
+	return ln.s.modifyLocked(oid, attr, v, &ln.undo)
+}
+
+// Delete removes an object, exclusively latching the OID and the class
+// chain (an extension change).
+func (ln *Line) Delete(oid types.OID) error {
+	if err := ln.checkOpen(); err != nil {
+		return err
+	}
+	if err := ln.latch(latchKey{oid: oid}, true); err != nil {
+		return err
+	}
+	// With the OID exclusively latched no other line can migrate the
+	// object, so its class chain is stable while we latch it.
+	class, err := ln.classOf(oid)
+	if err != nil {
+		return err
+	}
+	if err := ln.latchClassChain(class); err != nil {
+		return err
+	}
+	ln.s.mu.Lock()
+	defer ln.s.mu.Unlock()
+	return ln.s.deleteLocked(oid, &ln.undo)
+}
+
+// Specialize moves an object into a subclass (see Store.Specialize).
+func (ln *Line) Specialize(oid types.OID, sub string) error {
+	return ln.migrate(oid, sub, true)
+}
+
+// Generalize moves an object into a superclass (see Store.Generalize).
+func (ln *Line) Generalize(oid types.OID, super string) error {
+	return ln.migrate(oid, super, false)
+}
+
+func (ln *Line) migrate(oid types.OID, to string, down bool) error {
+	if err := ln.checkOpen(); err != nil {
+		return err
+	}
+	if err := ln.latch(latchKey{oid: oid}, true); err != nil {
+		return err
+	}
+	class, err := ln.classOf(oid)
+	if err != nil {
+		return err
+	}
+	// Both extensions change; the two chains share the longer one's
+	// suffix, and latches are reentrant, so latching both is one pass.
+	if err := ln.latchClassChain(class); err != nil {
+		return err
+	}
+	if err := ln.latchClassChain(to); err != nil {
+		return err
+	}
+	ln.s.mu.Lock()
+	defer ln.s.mu.Unlock()
+	return ln.s.migrateLocked(oid, to, down, &ln.undo)
+}
+
+func (ln *Line) classOf(oid types.OID) (string, error) {
+	ln.s.mu.RLock()
+	defer ln.s.mu.RUnlock()
+	o, ok := ln.s.objects[oid]
+	if !ok {
+		return "", fmt.Errorf("object: no object %s", oid)
+	}
+	return o.class.Name(), nil
+}
+
+// Get reads an object under a shared OID latch held to line end, so the
+// returned pointer stays consistent (no other line can modify, delete or
+// migrate it) for the rest of the line. A latch conflict reads as a
+// missing object; use Fetch to tell the two apart.
+func (ln *Line) Get(oid types.OID) (*Object, bool) {
+	o, err := ln.Fetch(oid)
+	return o, err == nil
+}
+
+// Fetch is Get with an error result distinguishing a latch conflict
+// (ErrConflict) from a missing object.
+func (ln *Line) Fetch(oid types.OID) (*Object, error) {
+	if err := ln.checkOpen(); err != nil {
+		return nil, err
+	}
+	if err := ln.latch(latchKey{oid: oid}, false); err != nil {
+		return nil, err
+	}
+	o, ok := ln.s.Get(oid)
+	if !ok {
+		return nil, fmt.Errorf("object: no object %s", oid)
+	}
+	return o, nil
+}
+
+// Select returns the OIDs of the named class's live extension under a
+// shared class latch held to line end: uncommitted extension changes by
+// other lines (which hold the class chain exclusively) either complete
+// before the scan or wait behind it, so the scan observes no half-done
+// line.
+func (ln *Line) Select(class string) ([]types.OID, error) {
+	if err := ln.checkOpen(); err != nil {
+		return nil, err
+	}
+	if _, ok := ln.s.schema.Class(class); !ok {
+		return nil, fmt.Errorf("object: unknown class %q", class)
+	}
+	if err := ln.latch(latchKey{class: class}, false); err != nil {
+		return nil, err
+	}
+	return ln.s.Select(class)
+}
+
+// Schema returns the catalog of the underlying store.
+func (ln *Line) Schema() *schema.Schema { return ln.s.schema }
+
+// Undo returns the number of undo entries the line has accumulated.
+func (ln *Line) Undo() int { return len(ln.undo) }
+
+// Commit ends the line keeping its mutations: the undo log is discarded
+// and every latch released, publishing the writes to all lines.
+func (ln *Line) Commit() {
+	if ln.checkOpen() != nil {
+		return
+	}
+	ln.undo = nil
+	ln.finish()
+}
+
+// Rollback ends the line undoing every mutation it performed, newest
+// first, then releases its latches.
+func (ln *Line) Rollback() {
+	if ln.checkOpen() != nil {
+		return
+	}
+	ln.s.mu.Lock()
+	for i := len(ln.undo) - 1; i >= 0; i-- {
+		ln.undo[i](ln.s)
+	}
+	ln.undo = nil
+	ln.s.mu.Unlock()
+	ln.finish()
+}
+
+func (ln *Line) finish() {
+	for i := len(ln.held) - 1; i >= 0; i-- {
+		h := ln.held[i]
+		h.la.release(ln.id)
+		ln.s.latches.free(h.k, h.la)
+	}
+	ln.held = nil
+	ln.done = true
+}

@@ -14,6 +14,7 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"chimera/internal/schema"
 	"chimera/internal/types"
@@ -87,6 +88,11 @@ type Store struct {
 	byClass map[string]map[types.OID]*Object
 	nextOID types.OID
 	undo    []undoEntry
+	// latches and nextLine serve the multi-line access path (BeginLine):
+	// per-OID and per-class reader/writer latches held to line end, and
+	// the line id allocator.
+	latches  *latchTable
+	nextLine atomic.Uint64
 }
 
 // NewStore returns an empty store over the given schema.
@@ -95,6 +101,7 @@ func NewStore(s *schema.Schema) *Store {
 		schema:  s,
 		objects: make(map[types.OID]*Object),
 		byClass: make(map[string]map[types.OID]*Object),
+		latches: newLatchTable(),
 	}
 }
 
@@ -113,6 +120,16 @@ func (s *Store) Len() int {
 func (s *Store) Create(class string, vals map[string]types.Value) (types.OID, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	return s.createLocked(class, vals, &s.undo, true)
+}
+
+// createLocked is the creation core, shared by the legacy global-undo
+// path and the per-line path. reuseOID selects whether the undo entry
+// rolls the OID allocator back: with a single line of control the
+// created OID is always the newest at undo time, but with concurrent
+// lines a later line may have allocated past it, so aborts leave an OID
+// gap instead.
+func (s *Store) createLocked(class string, vals map[string]types.Value, undo *[]undoEntry, reuseOID bool) (types.OID, error) {
 	c, ok := s.schema.Class(class)
 	if !ok {
 		return types.NilOID, fmt.Errorf("object: unknown class %q", class)
@@ -129,10 +146,12 @@ func (s *Store) Create(class string, vals map[string]types.Value) (types.OID, er
 	o := &Object{oid: oid, class: c, attrs: attrs}
 	s.objects[oid] = o
 	s.classSet(c.Name())[oid] = o
-	s.undo = append(s.undo, func(st *Store) {
+	*undo = append(*undo, func(st *Store) {
 		delete(st.objects, oid)
 		delete(st.classSet(c.Name()), oid)
-		st.nextOID-- // creation is always the newest OID at undo time
+		if reuseOID {
+			st.nextOID-- // creation is always the newest OID at undo time
+		}
 	})
 	return oid, nil
 }
@@ -141,6 +160,10 @@ func (s *Store) Create(class string, vals map[string]types.Value) (types.OID, er
 func (s *Store) Modify(oid types.OID, attr string, v types.Value) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	return s.modifyLocked(oid, attr, v, &s.undo)
+}
+
+func (s *Store) modifyLocked(oid types.OID, attr string, v types.Value, undo *[]undoEntry) error {
 	o, ok := s.objects[oid]
 	if !ok {
 		return fmt.Errorf("object: no object %s", oid)
@@ -154,7 +177,7 @@ func (s *Store) Modify(oid types.OID, attr string, v types.Value) error {
 	}
 	old, hadOld := o.attrs[attr]
 	o.attrs[attr] = v
-	s.undo = append(s.undo, func(*Store) {
+	*undo = append(*undo, func(*Store) {
 		if hadOld {
 			o.attrs[attr] = old
 		} else {
@@ -168,13 +191,17 @@ func (s *Store) Modify(oid types.OID, attr string, v types.Value) error {
 func (s *Store) Delete(oid types.OID) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	return s.deleteLocked(oid, &s.undo)
+}
+
+func (s *Store) deleteLocked(oid types.OID, undo *[]undoEntry) error {
 	o, ok := s.objects[oid]
 	if !ok {
 		return fmt.Errorf("object: no object %s", oid)
 	}
 	delete(s.objects, oid)
 	delete(s.classSet(o.class.Name()), oid)
-	s.undo = append(s.undo, func(st *Store) {
+	*undo = append(*undo, func(st *Store) {
 		st.objects[oid] = o
 		st.classSet(o.class.Name())[oid] = o
 	})
@@ -197,6 +224,10 @@ func (s *Store) Generalize(oid types.OID, super string) error {
 func (s *Store) migrate(oid types.OID, to string, down bool) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	return s.migrateLocked(oid, to, down, &s.undo)
+}
+
+func (s *Store) migrateLocked(oid types.OID, to string, down bool, undo *[]undoEntry) error {
 	o, ok := s.objects[oid]
 	if !ok {
 		return fmt.Errorf("object: no object %s", oid)
@@ -228,7 +259,7 @@ func (s *Store) migrate(oid types.OID, to string, down bool) error {
 	}
 	o.class = target
 	s.classSet(target.Name())[oid] = o
-	s.undo = append(s.undo, func(st *Store) {
+	*undo = append(*undo, func(st *Store) {
 		delete(st.classSet(target.Name()), oid)
 		o.class = oldClass
 		o.attrs = oldAttrs

@@ -369,11 +369,16 @@ func (s *Stats) add(o Stats) {
 	s.Triggerings += o.Triggerings
 }
 
-// Support is the Trigger Support plus Rule Table.
-type Support struct {
-	mu    sync.RWMutex
+// line is the state of one transaction line's triggering determination:
+// the bound Event Base, the per-rule records, the inverted listening
+// index, work counters, and all check-path scratch. The Support embeds
+// one line (its default, serving the classic single-session engine and
+// the direct Support API) and every Session owns another over the same
+// rule registry, so N concurrent lines run their determinations in
+// parallel with nothing shared but the immutable definitions, filters
+// and the interned plan DAG.
+type line struct {
 	base  *event.Base
-	opts  Options
 	rules map[string]*State
 	// order holds rule names sorted by (priority, name); it is the
 	// priority queue of the paper's Rule Table. ordered mirrors it with
@@ -400,12 +405,9 @@ type Support struct {
 	// allocation-free buffers) per worker shard.
 	checkBuf []*State
 	envs     []*calculus.Env
-	// plan is the rule set's interned expression DAG (Options.SharedPlan;
-	// nil otherwise), rebuilt incrementally on Define/Drop via per-node
-	// refcounts. planWorkers holds one memoized evaluator (plus private
-	// scratch) per worker shard; sinceBuf/groupBuf order the batch by
+	// planWorkers holds one memoized evaluator (plus private scratch)
+	// per worker shard; sinceBuf/groupBuf order the batch by
 	// consideration horizon so rules sharing a window share a memo.
-	plan        *calculus.Plan
 	planWorkers []*planWorker
 	sinceBuf    []clock.Time
 	groupBuf    []*State
@@ -413,6 +415,21 @@ type Support struct {
 	// firedBuf backs CheckTriggered's result slice, recycled across
 	// checks: the returned names are valid until the next call.
 	firedBuf []string
+}
+
+// Support is the Trigger Support plus Rule Table.
+type Support struct {
+	mu   sync.RWMutex
+	opts Options
+	// plan is the rule set's interned expression DAG (Options.SharedPlan;
+	// nil otherwise), rebuilt incrementally on Define/Drop via per-node
+	// refcounts.
+	plan *calculus.Plan
+	// sessions counts the open per-transaction Sessions. While any are
+	// open the rule set (and with it the plan DAG their evaluators walk)
+	// is frozen: Define and Drop fail.
+	sessions int
+	line
 }
 
 // planWorker is one shard's shared-plan scratch: the memoized evaluator
@@ -427,10 +444,12 @@ type planWorker struct {
 // NewSupport builds a Trigger Support over an Event Base.
 func NewSupport(base *event.Base, opts Options) *Support {
 	s := &Support{
-		base:   base,
-		opts:   opts,
-		rules:  make(map[string]*State),
-		byType: make(map[event.Type][]*State),
+		opts: opts,
+		line: line{
+			base:   base,
+			rules:  make(map[string]*State),
+			byType: make(map[event.Type][]*State),
+		},
 	}
 	if opts.SharedPlan {
 		s.plan = calculus.NewPlan()
@@ -446,6 +465,9 @@ func (s *Support) Define(d Def) error {
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	if s.sessions > 0 {
+		return fmt.Errorf("rules: cannot define rule %q while %d session(s) are open", d.Name, s.sessions)
+	}
 	if _, dup := s.rules[d.Name]; dup {
 		return fmt.Errorf("rules: rule %q already defined", d.Name)
 	}
@@ -471,7 +493,7 @@ func (s *Support) Define(d Def) error {
 	if d.Consumption == Preserving {
 		s.preserving++
 	}
-	s.index(st)
+	s.index(st, s.opts.FilterMode)
 	s.sortQueue()
 	return nil
 }
@@ -493,11 +515,15 @@ func (s *Support) Define(d Def) error {
 func (s *Support) Watermark() clock.Time {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
-	if s.preserving > 0 || len(s.ordered) == 0 {
-		return s.txnStart
+	return s.line.watermark()
+}
+
+func (l *line) watermark() clock.Time {
+	if l.preserving > 0 || len(l.ordered) == 0 {
+		return l.txnStart
 	}
-	wm := s.ordered[0].LastConsideration
-	for _, st := range s.ordered[1:] {
+	wm := l.ordered[0].LastConsideration
+	for _, st := range l.ordered[1:] {
 		if st.LastConsideration < wm {
 			wm = st.LastConsideration
 		}
@@ -506,21 +532,21 @@ func (s *Support) Watermark() clock.Time {
 }
 
 // index registers the rule in the inverted listening index.
-func (s *Support) index(st *State) {
+func (l *line) index(st *State, mode FilterMode) {
 	if st.Filter.MatchAll {
-		s.matchAll = append(s.matchAll, st)
+		l.matchAll = append(l.matchAll, st)
 		return
 	}
 	listen := st.Filter.RelevantTypes()
-	if s.opts.FilterMode == FilterMentioned {
+	if mode == FilterMentioned {
 		listen = st.Filter.MentionedTypes()
 	}
 	for _, t := range listen {
-		s.byType[t] = append(s.byType[t], st)
+		l.byType[t] = append(l.byType[t], st)
 	}
 }
 
-func (s *Support) unindex(st *State) {
+func (l *line) unindex(st *State) {
 	drop := func(list []*State) []*State {
 		for i, x := range list {
 			if x == st {
@@ -529,14 +555,14 @@ func (s *Support) unindex(st *State) {
 		}
 		return list
 	}
-	s.matchAll = drop(s.matchAll)
-	for t, list := range s.byType {
+	l.matchAll = drop(l.matchAll)
+	for t, list := range l.byType {
 		if nl := drop(list); len(nl) == 0 {
 			// Delete emptied keys so rule churn over many types does not
 			// grow the index unboundedly in long-lived sessions.
-			delete(s.byType, t)
+			delete(l.byType, t)
 		} else {
-			s.byType[t] = nl
+			l.byType[t] = nl
 		}
 	}
 }
@@ -545,6 +571,9 @@ func (s *Support) unindex(st *State) {
 func (s *Support) Drop(name string) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	if s.sessions > 0 {
+		return fmt.Errorf("rules: cannot drop rule %q while %d session(s) are open", name, s.sessions)
+	}
 	st, ok := s.rules[name]
 	if !ok {
 		return fmt.Errorf("rules: no rule %q", name)
@@ -593,7 +622,11 @@ func (s *Support) sortQueue() {
 func (s *Support) Rule(name string) (State, bool) {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
-	st, ok := s.rules[name]
+	return s.line.rule(name)
+}
+
+func (l *line) rule(name string) (State, bool) {
+	st, ok := l.rules[name]
 	if !ok {
 		return State{}, false
 	}
@@ -677,16 +710,20 @@ func (s *Support) NotifyArrivals(occs []event.Occurrence) {
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	if !s.opts.UseFilter {
+	s.line.notifyArrivals(occs, &s.opts)
+}
+
+func (l *line) notifyArrivals(occs []event.Occurrence, opts *Options) {
+	if !opts.UseFilter {
 		return
 	}
-	for _, st := range s.matchAll {
+	for _, st := range l.matchAll {
 		if !st.Triggered {
 			st.pending = true
 		}
 	}
 	for _, occ := range occs {
-		for _, st := range s.byType[occ.Type] {
+		for _, st := range l.byType[occ.Type] {
 			if !st.pending && !st.Triggered {
 				st.pending = true
 			}
@@ -698,16 +735,16 @@ func (s *Support) NotifyArrivals(occs []event.Occurrence) {
 // only st and stats — both owned exclusively by the calling shard — and
 // reads the Event Base, which is safe to share across workers. env is
 // the shard's private scratch evaluator.
-func (s *Support) checkOne(st *State, env *calculus.Env, now clock.Time, stats *Stats) {
-	env.Base = s.base
+func (l *line) checkOne(st *State, env *calculus.Env, now clock.Time, stats *Stats, opts *Options) {
+	env.Base = l.base
 	env.Since = st.LastConsideration
 	env.RestrictDomain = true
 	var ok bool
 	var at clock.Time
 	switch {
-	case s.opts.BoundaryOnly:
+	case opts.BoundaryOnly:
 		stats.TsEvaluations++
-		if !s.base.Empty(st.LastConsideration, now) && env.TS(st.Def.Event, now).Active() {
+		if !l.base.Empty(st.LastConsideration, now) && env.TS(st.Def.Event, now).Active() {
 			ok, at = true, now
 		}
 	case st.monotone:
@@ -719,11 +756,11 @@ func (s *Support) checkOne(st *State, env *calculus.Env, now clock.Time, stats *
 		if v := env.TS(st.Def.Event, now); v.Active() {
 			ok, at = true, v.Time()
 		}
-	case s.opts.Incremental:
+	case opts.Incremental:
 		if st.sweeper == nil {
 			st.sweeper = calculus.NewSweeper(st.Def.Event, st.LastConsideration, true)
-			if s.opts.Metrics != nil {
-				st.sweeper.SetMetrics(s.opts.Metrics.Sweep)
+			if opts.Metrics != nil {
+				st.sweeper.SetMetrics(opts.Metrics.Sweep)
 			}
 		} else if st.sweeper.Since() != st.LastConsideration {
 			// The window restarted (a consideration); rewind the compiled
@@ -736,7 +773,7 @@ func (s *Support) checkOne(st *State, env *calculus.Env, now clock.Time, stats *
 		ok, at = res.Fired, res.At
 	default:
 		probeFrom := st.lastProbe
-		stats.TsEvaluations += int64(s.base.CountArrivals(probeFrom, now)) + 1
+		stats.TsEvaluations += int64(l.base.CountArrivals(probeFrom, now)) + 1
 		ok, at = env.TriggeredAfter(st.Def.Event, probeFrom, now)
 	}
 	st.lastProbe = now
@@ -763,45 +800,49 @@ func (s *Support) checkOne(st *State, env *calculus.Env, now clock.Time, stats *
 func (s *Support) CheckTriggered(now clock.Time) []string {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	m := s.opts.Metrics
+	return s.line.checkTriggered(now, &s.opts, s.plan)
+}
+
+func (l *line) checkTriggered(now clock.Time, opts *Options, plan *calculus.Plan) []string {
+	m := opts.Metrics
 	var statsBefore Stats
 	if m != nil {
-		statsBefore = s.stats
+		statsBefore = l.stats
 	}
-	s.stats.Checks++
+	l.stats.Checks++
 	// Collect the rules to examine, preserving priority order.
-	batch := s.checkBuf[:0]
-	for _, st := range s.ordered {
+	batch := l.checkBuf[:0]
+	for _, st := range l.ordered {
 		if st.Triggered {
 			continue
 		}
-		s.stats.RulesExamined++
-		if s.opts.UseFilter && !st.pending {
-			s.stats.RulesSkipped++
+		l.stats.RulesExamined++
+		if opts.UseFilter && !st.pending {
+			l.stats.RulesSkipped++
 			continue
 		}
 		batch = append(batch, st)
 	}
-	s.checkBuf = batch
-	workers := s.opts.Workers
+	l.checkBuf = batch
+	workers := opts.Workers
 	if workers > len(batch) {
 		workers = len(batch)
 	}
 	if workers < 2 || len(batch) < ShardMinRules {
 		workers = 1
 	}
-	if s.plan != nil && !s.opts.BoundaryOnly {
-		s.checkShared(batch, now, workers, m)
+	if plan != nil && !opts.BoundaryOnly {
+		l.checkShared(batch, now, workers, m, opts, plan)
 	} else if workers == 1 {
-		for len(s.envs) < 1 {
-			s.envs = append(s.envs, &calculus.Env{})
+		for len(l.envs) < 1 {
+			l.envs = append(l.envs, &calculus.Env{})
 		}
 		for _, st := range batch {
-			s.checkOne(st, s.envs[0], now, &s.stats)
+			l.checkOne(st, l.envs[0], now, &l.stats, opts)
 		}
 	} else {
-		for len(s.envs) < workers {
-			s.envs = append(s.envs, &calculus.Env{})
+		for len(l.envs) < workers {
+			l.envs = append(l.envs, &calculus.Env{})
 		}
 		partials := make([]Stats, workers)
 		var wg sync.WaitGroup
@@ -812,9 +853,9 @@ func (s *Support) CheckTriggered(now clock.Time) []string {
 			go func(shard []*State, env *calculus.Env, out *Stats) {
 				defer wg.Done()
 				for _, st := range shard {
-					s.checkOne(st, env, now, out)
+					l.checkOne(st, env, now, out, opts)
 				}
-			}(batch[lo:hi], s.envs[w], &partials[w])
+			}(batch[lo:hi], l.envs[w], &partials[w])
 		}
 		var waitStart time.Time
 		if m != nil {
@@ -831,23 +872,23 @@ func (s *Support) CheckTriggered(now clock.Time) []string {
 			}
 		}
 		for w := range partials {
-			s.stats.add(partials[w])
+			l.stats.add(partials[w])
 		}
 	}
-	m.report(statsBefore, s.stats, len(batch), workers)
-	if m != nil && s.plan != nil {
-		m.PlanNodes.Set(int64(s.plan.Live()))
-		m.PlanShared.Set(int64(s.plan.Shared()))
+	m.report(statsBefore, l.stats, len(batch), workers)
+	if m != nil && plan != nil {
+		m.PlanNodes.Set(int64(plan.Live()))
+		m.PlanShared.Set(int64(plan.Shared()))
 	}
 	// The result slice is recycled across checks (no allocation on busy
 	// boundaries); callers must not retain it past the next call.
-	fired := s.firedBuf[:0]
+	fired := l.firedBuf[:0]
 	for _, st := range batch {
 		if st.Triggered {
 			fired = append(fired, st.Def.Name)
 		}
 	}
-	s.firedBuf = fired
+	l.firedBuf = fired
 	return fired
 }
 
@@ -861,47 +902,47 @@ func (s *Support) CheckTriggered(now clock.Time) []string {
 // reordering nor the partition can change results; the caller collects
 // fired names from the priority-ordered batch, keeping the merge
 // bit-identical to the sequential reference.
-func (s *Support) checkShared(batch []*State, now clock.Time, workers int, m *SupportMetrics) {
+func (l *line) checkShared(batch []*State, now clock.Time, workers int, m *SupportMetrics, opts *Options, plan *calculus.Plan) {
 	// Order by horizon in first-appearance order without sorting: one
 	// scan collects the distinct horizons (typically one or two), one
 	// scan per horizon buckets the rules. Buffers recycle across checks.
-	s.sinceBuf = s.sinceBuf[:0]
+	l.sinceBuf = l.sinceBuf[:0]
 	for _, st := range batch {
 		seen := false
-		for _, v := range s.sinceBuf {
+		for _, v := range l.sinceBuf {
 			if v == st.LastConsideration {
 				seen = true
 				break
 			}
 		}
 		if !seen {
-			s.sinceBuf = append(s.sinceBuf, st.LastConsideration)
+			l.sinceBuf = append(l.sinceBuf, st.LastConsideration)
 		}
 	}
 	grouped := batch
-	if len(s.sinceBuf) > 1 {
-		s.groupBuf = s.groupBuf[:0]
-		for _, v := range s.sinceBuf {
+	if len(l.sinceBuf) > 1 {
+		l.groupBuf = l.groupBuf[:0]
+		for _, v := range l.sinceBuf {
 			for _, st := range batch {
 				if st.LastConsideration == v {
-					s.groupBuf = append(s.groupBuf, st)
+					l.groupBuf = append(l.groupBuf, st)
 				}
 			}
 		}
-		grouped = s.groupBuf
+		grouped = l.groupBuf
 	}
-	for len(s.planWorkers) < workers {
-		pe := calculus.NewPlanEval(s.plan)
-		pe.DisableMemo = s.opts.MemoOff
+	for len(l.planWorkers) < workers {
+		pe := calculus.NewPlanEval(plan)
+		pe.DisableMemo = opts.MemoOff
 		// The group walk feeds every arrival to the evaluator in
 		// timestamp order, so the prim cursors apply.
 		pe.Track(true)
-		s.planWorkers = append(s.planWorkers, &planWorker{pe: pe})
+		l.planWorkers = append(l.planWorkers, &planWorker{pe: pe})
 	}
 	// Cut the horizon-ordered batch into at most `workers` contiguous
 	// shards, each ending on a group boundary (splitting a group across
 	// workers would duplicate its memo work in every shard).
-	cuts := s.cutBuf[:0]
+	cuts := l.cutBuf[:0]
 	i := 0
 	for w := workers; w > 0 && i < len(grouped); w-- {
 		target := (len(grouped) - i + w - 1) / w
@@ -915,11 +956,11 @@ func (s *Support) checkShared(batch []*State, now clock.Time, workers int, m *Su
 		cuts = append(cuts, end)
 		i = end
 	}
-	s.cutBuf = cuts
+	l.cutBuf = cuts
 	if len(cuts) <= 1 {
 		// One group (or one shard's worth, or an empty batch): run on
 		// the caller, sharing its memo across the whole batch.
-		s.checkSharedRange(grouped, s.planWorkers[0], now, &s.stats)
+		l.checkSharedRange(grouped, l.planWorkers[0], now, &l.stats)
 		return
 	}
 	partials := make([]Stats, len(cuts))
@@ -929,8 +970,8 @@ func (s *Support) checkShared(batch []*State, now clock.Time, workers int, m *Su
 		wg.Add(1)
 		go func(shard []*State, pw *planWorker, out *Stats) {
 			defer wg.Done()
-			s.checkSharedRange(shard, pw, now, out)
-		}(grouped[start:end], s.planWorkers[w], &partials[w])
+			l.checkSharedRange(shard, pw, now, out)
+		}(grouped[start:end], l.planWorkers[w], &partials[w])
 		start = end
 	}
 	var waitStart time.Time
@@ -948,21 +989,21 @@ func (s *Support) checkShared(batch []*State, now clock.Time, workers int, m *Su
 		}
 	}
 	for w := range partials {
-		s.stats.add(partials[w])
+		l.stats.add(partials[w])
 	}
 }
 
 // checkSharedRange walks one contiguous slice of the horizon-ordered
 // batch, handing each run of equal horizons to checkGroup, then drains
 // the evaluator's work counters into the shard's stats.
-func (s *Support) checkSharedRange(rs []*State, pw *planWorker, now clock.Time, stats *Stats) {
+func (l *line) checkSharedRange(rs []*State, pw *planWorker, now clock.Time, stats *Stats) {
 	for len(rs) > 0 {
 		since := rs[0].LastConsideration
 		j := 1
 		for j < len(rs) && rs[j].LastConsideration == since {
 			j++
 		}
-		s.checkGroup(rs[:j], pw, now, stats)
+		l.checkGroup(rs[:j], pw, now, stats)
 		rs = rs[j:]
 	}
 	evals, hits := pw.pe.TakeCounters()
@@ -979,9 +1020,9 @@ func (s *Support) checkSharedRange(rs []*State, pw *planWorker, now clock.Time, 
 // the worker's memoized DAG evaluator, so rules sharing subexpressions
 // (usually whole probes) share the work: one memo generation per probe
 // instant serves the entire group.
-func (s *Support) checkGroup(group []*State, pw *planWorker, now clock.Time, stats *Stats) {
+func (l *line) checkGroup(group []*State, pw *planWorker, now clock.Time, stats *Stats) {
 	since := group[0].LastConsideration
-	if s.base.Empty(since, now) {
+	if l.base.Empty(since, now) {
 		// R = ∅: the system stays reactive, nothing can trigger (and a
 		// negation-free expression is inactive on an empty window too).
 		for _, st := range group {
@@ -991,7 +1032,7 @@ func (s *Support) checkGroup(group []*State, pw *planWorker, now clock.Time, sta
 		return
 	}
 	pe := pw.pe
-	pe.Bind(s.base, since)
+	pe.Bind(l.base, since)
 	// Collect the non-monotone rules — they probe every arrival instant
 	// they have not examined yet — and the earliest such instant.
 	und := pw.undecided[:0]
@@ -1011,7 +1052,7 @@ func (s *Support) checkGroup(group []*State, pw *planWorker, now clock.Time, sta
 	}
 	lastProbed := clock.Never
 	if len(und) > 0 && minLo < now {
-		pw.occs = s.base.AppendWindow(pw.occs[:0], minLo, now)
+		pw.occs = l.base.AppendWindow(pw.occs[:0], minLo, now)
 		for _, o := range pw.occs {
 			// Feed the prim cursors even once every rule has decided:
 			// the final probe at now still reads them.
@@ -1100,8 +1141,12 @@ func (s *Support) checkGroup(group []*State, pw *planWorker, now clock.Time, sta
 func (s *Support) Triggered(filter func(Def) bool) []string {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
+	return s.line.triggeredNames(filter)
+}
+
+func (l *line) triggeredNames(filter func(Def) bool) []string {
 	var out []string
-	for _, st := range s.ordered {
+	for _, st := range l.ordered {
 		if st.Triggered && (filter == nil || filter(st.Def)) {
 			out = append(out, st.Def.Name)
 		}
@@ -1135,13 +1180,17 @@ type Consideration struct {
 func (s *Support) Consider(name string, now clock.Time) (Consideration, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	st, ok := s.rules[name]
+	return s.line.consider(name, now)
+}
+
+func (l *line) consider(name string, now clock.Time) (Consideration, error) {
+	st, ok := l.rules[name]
 	if !ok {
 		return Consideration{}, fmt.Errorf("rules: no rule %q", name)
 	}
 	since := st.LastConsideration
 	if st.Def.Consumption == Preserving {
-		since = s.txnStart
+		since = l.txnStart
 	}
 	c := Consideration{Rule: st.Def, Since: since, At: now}
 	st.Triggered = false

@@ -292,6 +292,8 @@ func (s *Shell) show(c lang.CmdShow) error {
 		ts := s.db.Support().Stats()
 		fmt.Fprintf(s.out, "transactions %d, blocks %d, events %d, considerations %d, rule executions %d\n",
 			st.Transactions, st.Blocks, st.Events, st.Considerations, st.RuleExecutions)
+		fmt.Fprintf(s.out, "sessions: %d line(s) active, %d latch conflict(s)\n",
+			s.db.ActiveLines(), st.Conflicts)
 		fmt.Fprintf(s.out, "trigger support: checks %d, examined %d, skipped %d, ts evaluations %d, triggerings %d\n",
 			ts.Checks, ts.RulesExamined, ts.RulesSkipped, ts.TsEvaluations, ts.Triggerings)
 		if ts.MemoHits+ts.MemoMisses > 0 {
