@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race race-stress vet bench bench-smoke cover fuzz verify verify-full
+.PHONY: build test race race-stress vet bench bench-smoke profile cover fuzz verify verify-full
 
 build:
 	$(GO) build ./...
@@ -28,11 +28,12 @@ race-stress:
 vet:
 	$(GO) vet ./...
 
-# Full measured-experiment sweep (B1..B12); BENCH_trigger.json holds the
+# Full measured-experiment sweep (B1..B13); BENCH_trigger.json holds the
 # machine-readable B8 results, BENCH_eb.json the B9 Event Base soak,
 # BENCH_obs.json the B10 observability-overhead run, BENCH_cse.json
-# the B11 shared-trigger-plan sweep, and BENCH_mt.json the B12
-# multi-session sweep.
+# the B11 shared-trigger-plan sweep, BENCH_mt.json the B12
+# multi-session sweep, and BENCH_col.json the B13 columnar-vs-row
+# layout sweep.
 bench:
 	$(GO) run ./cmd/chimera-bench
 	$(GO) run ./cmd/chimera-bench -exp B8 -json BENCH_trigger.json >/dev/null
@@ -40,17 +41,28 @@ bench:
 	$(GO) run ./cmd/chimera-bench -metrics >/dev/null
 	$(GO) run ./cmd/chimera-bench -exp B11 -json BENCH_cse.json >/dev/null
 	$(GO) run ./cmd/chimera-bench -exp B12 -json BENCH_mt.json >/dev/null
+	$(GO) run ./cmd/chimera-bench -exp B13 -json BENCH_col.json >/dev/null
 
-# CI-sized B11 + B12 runs: the acceptance cells (B11: 50 rules,
-# overlap 4; B12: 1 and 8 lines, both workloads), each held against its
-# committed baseline. chimera-benchcmp warns (exit 0) on >10%
-# regressions — CI timing is too noisy to gate the build on, but the
-# warning shows up in the log.
+# CI-sized B11 + B12 + B13 runs: the acceptance cells (B11: 50 rules,
+# overlap 4; B12: 1 and 8 lines, both workloads; B13: 1000 rules), each
+# held against its committed baseline. chimera-benchcmp warns (exit 0)
+# on >10% regressions — CI timing is too noisy to gate the build on,
+# but the warning shows up in the log.
 bench-smoke:
 	$(GO) run ./cmd/chimera-bench -exp B11 -smoke -json BENCH_cse_smoke.json
 	$(GO) run ./cmd/chimera-benchcmp BENCH_cse.json BENCH_cse_smoke.json
 	$(GO) run ./cmd/chimera-bench -exp B12 -smoke -json BENCH_mt_smoke.json
 	$(GO) run ./cmd/chimera-benchcmp -exp B12 BENCH_mt.json BENCH_mt_smoke.json
+	$(GO) run ./cmd/chimera-bench -exp B13 -smoke -json BENCH_col_smoke.json
+	$(GO) run ./cmd/chimera-benchcmp -exp B13 BENCH_col.json BENCH_col_smoke.json
+
+# CPU + heap profiles of one experiment (default: the B13 hot-loop
+# sweep). Inspect with `go tool pprof cpu.pprof` / `mem.pprof`.
+PROFILE_EXP ?= B13
+profile:
+	$(GO) run ./cmd/chimera-bench -exp $(PROFILE_EXP) -smoke \
+		-json /dev/null -cpuprofile cpu.pprof -memprofile mem.pprof
+	@echo "wrote cpu.pprof and mem.pprof (exp $(PROFILE_EXP))"
 
 # Coverage gate: total statement coverage must not fall below the
 # recorded baseline (76.6% when the gate was introduced; the floor

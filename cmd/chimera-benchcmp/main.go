@@ -1,23 +1,25 @@
 // Command chimera-benchcmp compares two benchmark result files (the
 // JSON chimera-bench emits, e.g. a committed baseline against a fresh
 // run) cell by cell, benchstat-style. -exp selects the experiment
-// schema: B11 (default) compares shared-plan sweeps keyed
-// (rules, overlap, workers); B12 compares multi-session sweeps keyed
-// (lines, workload). Only cells present in both files are compared, so
-// a smoke run holds itself against just the matching slice of the full
+// schema from a registry: B11 (default) compares shared-plan sweeps
+// keyed (rules, overlap, workers); B12 compares multi-session sweeps
+// keyed (lines, workload); B13 compares columnar-vs-row layout sweeps
+// keyed (rules). Only cells present in both files are compared, so a
+// smoke run holds itself against just the matching slice of the full
 // baseline.
 //
-// A regression — B11: shared_ms up, eval_reduction down, or lost
-// outcome parity; B12: triggering throughput or speedup down, or p95
-// latency up — beyond the threshold prints a WARNING line. Warnings do
-// not change the exit status: timing cells are noisy on shared CI
-// machines, so the tool warns loudly instead of failing the build
-// (pass -strict to turn warnings into exit 1 for local gating).
+// A regression — a lower-is-better metric up, a higher-is-better metric
+// down, or lost outcome parity — beyond the threshold prints a WARNING
+// line. Warnings do not change the exit status: timing cells are noisy
+// on shared CI machines, so the tool warns loudly instead of failing
+// the build (pass -strict to turn warnings into exit 1 for local
+// gating).
 //
 // Usage:
 //
 //	chimera-benchcmp BENCH_cse.json new.json
 //	chimera-benchcmp -exp B12 BENCH_mt.json smoke.json
+//	chimera-benchcmp -exp B13 BENCH_col.json smoke.json
 //	chimera-benchcmp -threshold 0.05 -strict old.json new.json
 package main
 
@@ -26,31 +28,156 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"sort"
 	"strings"
 
 	"chimera/internal/bench"
 )
 
+// ---------------------------------------------------------------------
+// Experiment registry. Each experiment contributes a loader that
+// normalizes its result file into keyed cells carrying a fixed list of
+// metrics; the comparison loop, regression rules and reporting are
+// shared. Adding an experiment is one registry entry — no new compare
+// function.
+
+// metricDef describes one compared metric of an experiment's schema.
+type metricDef struct {
+	name string
+	// unit renders a value ("ms", "x", "/s", "KB"); see formatVal.
+	unit string
+	// higherIsBetter selects the regression direction.
+	higherIsBetter bool
+}
+
+// cell is one experiment cell in registry-normalized form: a printable
+// key, metric values parallel to the experiment's metricDefs, and an
+// optional semantic-parity flag (nil when the schema has none).
+type cell struct {
+	key    string
+	vals   []float64
+	parity *bool
+}
+
+// experiment is one registry entry.
+type experiment struct {
+	id      string
+	about   string
+	metrics []metricDef
+	load    func(path string) ([]cell, error)
+}
+
+func boolPtr(b bool) *bool { return &b }
+
+var experiments = []experiment{
+	{
+		id:    "B11",
+		about: "shared trigger plans, keyed (rules, overlap, workers)",
+		metrics: []metricDef{
+			{name: "shared_ms", unit: "ms"},
+			{name: "eval_reduction", unit: "x", higherIsBetter: true},
+		},
+		load: func(path string) ([]cell, error) {
+			var rs []bench.B11Result
+			if err := load(path, &rs); err != nil {
+				return nil, err
+			}
+			cells := make([]cell, len(rs))
+			for i, r := range rs {
+				cells[i] = cell{
+					key:    fmt.Sprintf("rules=%d overlap=%d workers=%d", r.Rules, r.Overlap, r.Workers),
+					vals:   []float64{r.SharedMs, r.EvalReduction},
+					parity: boolPtr(r.SameOutcomes),
+				}
+			}
+			return cells, nil
+		},
+	},
+	{
+		id:    "B12",
+		about: "concurrent transaction lines, keyed (lines, workload)",
+		metrics: []metricDef{
+			{name: "trig/s", unit: "/s", higherIsBetter: true},
+			{name: "speedup", unit: "x", higherIsBetter: true},
+			{name: "p95 ms", unit: "ms"},
+		},
+		load: func(path string) ([]cell, error) {
+			var rs []bench.B12Result
+			if err := load(path, &rs); err != nil {
+				return nil, err
+			}
+			cells := make([]cell, len(rs))
+			for i, r := range rs {
+				cells[i] = cell{
+					key:  fmt.Sprintf("lines=%d workload=%s", r.Lines, r.Workload),
+					vals: []float64{r.TrigPerSec, r.Speedup, r.P95LatencyMs},
+				}
+			}
+			return cells, nil
+		},
+	},
+	{
+		id:    "B13",
+		about: "columnar Event Base vs row store, keyed (rules)",
+		metrics: []metricDef{
+			{name: "columnar_ms", unit: "ms"},
+			{name: "speedup", unit: "x", higherIsBetter: true},
+			{name: "col_alloc_kb", unit: "KB"},
+		},
+		load: func(path string) ([]cell, error) {
+			var rs []bench.B13Result
+			if err := load(path, &rs); err != nil {
+				return nil, err
+			}
+			cells := make([]cell, len(rs))
+			for i, r := range rs {
+				cells[i] = cell{
+					key:    fmt.Sprintf("rules=%d", r.Rules),
+					vals:   []float64{r.ColMs, r.Speedup, float64(r.ColAllocKB)},
+					parity: boolPtr(r.SameOutcomes),
+				}
+			}
+			return cells, nil
+		},
+	},
+}
+
+func lookup(id string) (experiment, bool) {
+	for _, e := range experiments {
+		if strings.EqualFold(e.id, id) {
+			return e, true
+		}
+	}
+	return experiment{}, false
+}
+
+func registryIDs() string {
+	ids := make([]string, len(experiments))
+	for i, e := range experiments {
+		ids[i] = e.id
+	}
+	sort.Strings(ids)
+	return strings.Join(ids, ", ")
+}
+
 func main() {
-	exp := flag.String("exp", "B11", "result schema to compare: B11 or B12")
+	expID := flag.String("exp", "B11", "result schema to compare ("+registryIDs()+")")
 	threshold := flag.Float64("threshold", 0.10, "relative change that counts as a regression")
 	strict := flag.Bool("strict", false, "exit 1 when any regression is found (default: warn only)")
 	flag.Parse()
 	if flag.NArg() != 2 {
-		fmt.Fprintln(os.Stderr, "usage: chimera-benchcmp [-exp B11|B12] [-threshold 0.10] [-strict] baseline.json new.json")
+		fmt.Fprintf(os.Stderr, "usage: chimera-benchcmp [-exp %s] [-threshold 0.10] [-strict] baseline.json new.json\n", registryIDs())
+		for _, e := range experiments {
+			fmt.Fprintf(os.Stderr, "  %s: %s\n", e.id, e.about)
+		}
 		os.Exit(2)
 	}
 
-	var warnings, compared int
-	var err error
-	switch strings.ToUpper(*exp) {
-	case "B11":
-		warnings, compared, err = compareB11(flag.Arg(0), flag.Arg(1), *threshold)
-	case "B12":
-		warnings, compared, err = compareB12(flag.Arg(0), flag.Arg(1), *threshold)
-	default:
-		err = fmt.Errorf("unknown experiment %q (B11 or B12)", *exp)
+	exp, ok := lookup(*expID)
+	if !ok {
+		fatal(fmt.Errorf("unknown experiment %q (registry: %s)", *expID, registryIDs()))
 	}
+	warnings, compared, err := compare(exp, flag.Arg(0), flag.Arg(1), *threshold)
 	if err != nil {
 		fatal(err)
 	}
@@ -67,88 +194,69 @@ func main() {
 	}
 }
 
-func compareB11(basePath, curPath string, threshold float64) (warnings, compared int, err error) {
-	var base, cur []bench.B11Result
-	if err := load(basePath, &base); err != nil {
+// compare holds every cell of cur against the same-keyed cell of base
+// under the experiment's metric directions.
+func compare(exp experiment, basePath, curPath string, threshold float64) (warnings, compared int, err error) {
+	base, err := exp.load(basePath)
+	if err != nil {
 		return 0, 0, err
 	}
-	if err := load(curPath, &cur); err != nil {
+	cur, err := exp.load(curPath)
+	if err != nil {
 		return 0, 0, err
 	}
-
-	type key struct{ rules, overlap, workers int }
-	byCell := make(map[key]bench.B11Result, len(base))
-	for _, r := range base {
-		byCell[key{r.Rules, r.Overlap, r.Workers}] = r
+	byKey := make(map[string]cell, len(base))
+	for _, c := range base {
+		byKey[c.key] = c
 	}
-
 	for _, n := range cur {
-		o, ok := byCell[key{n.Rules, n.Overlap, n.Workers}]
+		o, ok := byKey[n.key]
 		if !ok {
 			continue
 		}
 		compared++
-		fmt.Printf("rules=%d overlap=%d workers=%d\n", n.Rules, n.Overlap, n.Workers)
-		fmt.Printf("  shared_ms       %10.3f -> %10.3f  (%+.1f%%)\n", o.SharedMs, n.SharedMs, delta(o.SharedMs, n.SharedMs))
-		fmt.Printf("  eval_reduction  %9.2fx -> %9.2fx  (%+.1f%%)\n", o.EvalReduction, n.EvalReduction, delta(o.EvalReduction, n.EvalReduction))
-		if o.SharedMs > 0 && n.SharedMs > o.SharedMs*(1+threshold) {
-			warnings++
-			fmt.Printf("  WARNING: shared_ms regressed %.1f%% (threshold %.0f%%)\n", delta(o.SharedMs, n.SharedMs), 100*threshold)
+		fmt.Println(n.key)
+		for i, m := range exp.metrics {
+			ov, nv := o.vals[i], n.vals[i]
+			fmt.Printf("  %-15s %12s -> %12s  (%+.1f%%)\n", m.name, formatVal(ov, m.unit), formatVal(nv, m.unit), delta(ov, nv))
+			if regressed(ov, nv, m.higherIsBetter, threshold) {
+				warnings++
+				worse := delta(ov, nv)
+				if m.higherIsBetter {
+					worse = -worse
+				}
+				fmt.Printf("  WARNING: %s regressed %.1f%% (threshold %.0f%%)\n", m.name, worse, 100*threshold)
+			}
 		}
-		if o.EvalReduction > 0 && n.EvalReduction < o.EvalReduction*(1-threshold) {
+		if n.parity != nil && !*n.parity {
 			warnings++
-			fmt.Printf("  WARNING: eval_reduction regressed %.1f%% (threshold %.0f%%)\n", -delta(o.EvalReduction, n.EvalReduction), 100*threshold)
-		}
-		if !n.SameOutcomes {
-			warnings++
-			fmt.Printf("  WARNING: shared plan and baseline disagree on triggerings\n")
+			fmt.Printf("  WARNING: configurations disagree on triggerings\n")
 		}
 	}
 	return warnings, compared, nil
 }
 
-func compareB12(basePath, curPath string, threshold float64) (warnings, compared int, err error) {
-	var base, cur []bench.B12Result
-	if err := load(basePath, &base); err != nil {
-		return 0, 0, err
+func regressed(old, new float64, higherIsBetter bool, threshold float64) bool {
+	if old <= 0 {
+		return false
 	}
-	if err := load(curPath, &cur); err != nil {
-		return 0, 0, err
+	if higherIsBetter {
+		return new < old*(1-threshold)
 	}
+	return new > old*(1+threshold)
+}
 
-	type key struct {
-		lines    int
-		workload string
+func formatVal(v float64, unit string) string {
+	switch unit {
+	case "x":
+		return fmt.Sprintf("%.2fx", v)
+	case "/s":
+		return fmt.Sprintf("%.0f/s", v)
+	case "KB":
+		return fmt.Sprintf("%.0fKB", v)
+	default:
+		return fmt.Sprintf("%.3f%s", v, unit)
 	}
-	byCell := make(map[key]bench.B12Result, len(base))
-	for _, r := range base {
-		byCell[key{r.Lines, r.Workload}] = r
-	}
-
-	for _, n := range cur {
-		o, ok := byCell[key{n.Lines, n.Workload}]
-		if !ok {
-			continue
-		}
-		compared++
-		fmt.Printf("lines=%d workload=%s\n", n.Lines, n.Workload)
-		fmt.Printf("  trig/s   %10.0f -> %10.0f  (%+.1f%%)\n", o.TrigPerSec, n.TrigPerSec, delta(o.TrigPerSec, n.TrigPerSec))
-		fmt.Printf("  speedup  %9.2fx -> %9.2fx  (%+.1f%%)\n", o.Speedup, n.Speedup, delta(o.Speedup, n.Speedup))
-		fmt.Printf("  p95 ms   %10.3f -> %10.3f  (%+.1f%%)\n", o.P95LatencyMs, n.P95LatencyMs, delta(o.P95LatencyMs, n.P95LatencyMs))
-		if o.TrigPerSec > 0 && n.TrigPerSec < o.TrigPerSec*(1-threshold) {
-			warnings++
-			fmt.Printf("  WARNING: triggering throughput regressed %.1f%% (threshold %.0f%%)\n", -delta(o.TrigPerSec, n.TrigPerSec), 100*threshold)
-		}
-		if o.Speedup > 0 && n.Speedup < o.Speedup*(1-threshold) {
-			warnings++
-			fmt.Printf("  WARNING: speedup over 1 line regressed %.1f%% (threshold %.0f%%)\n", -delta(o.Speedup, n.Speedup), 100*threshold)
-		}
-		if o.P95LatencyMs > 0 && n.P95LatencyMs > o.P95LatencyMs*(1+threshold) {
-			warnings++
-			fmt.Printf("  WARNING: p95 latency regressed %.1f%% (threshold %.0f%%)\n", delta(o.P95LatencyMs, n.P95LatencyMs), 100*threshold)
-		}
-	}
-	return warnings, compared, nil
 }
 
 func load(path string, into any) error {

@@ -1,0 +1,104 @@
+// Package arena provides a generational bump allocator for the
+// per-generation scratch of the Trigger Support's evaluators: slices
+// whose lifetime is exactly one memo generation (PlanEval's domain
+// memos, sign histories and similar) are carved out of large slabs and
+// reclaimed wholesale by an O(1) Reset at the generation boundary,
+// instead of churning one heap allocation per slice per generation.
+package arena
+
+// Arena is a slab-based bump allocator for []T. Alloc carves slices off
+// the current slab; Reset rewinds the arena to empty while keeping every
+// slab for reuse, so a steady-state generation performs no heap
+// allocation at all once the slabs have grown to the generation's peak.
+//
+// An Arena is not safe for concurrent use; each evaluator owns one.
+// Slices returned by Alloc are invalidated by Reset — holding one across
+// a generation boundary is a use-after-reset bug (the memory is
+// recycled, not freed, so the race detector will not catch it; the
+// generation-stamped memo tables of the callers are what guard against
+// stale reads).
+type Arena[T any] struct {
+	slabs    [][]T
+	slab     int // index of the slab currently bump-allocated from
+	off      int // next free element in slabs[slab]
+	slabSize int
+	used     int
+}
+
+// DefaultSlabSize is the per-slab element count used when New is given a
+// non-positive size.
+const DefaultSlabSize = 4096
+
+// New returns an empty arena whose slabs hold slabSize elements each.
+func New[T any](slabSize int) *Arena[T] {
+	if slabSize <= 0 {
+		slabSize = DefaultSlabSize
+	}
+	return &Arena[T]{slabSize: slabSize}
+}
+
+// Alloc returns a zeroed slice of n elements carved from the arena, with
+// len == cap == n: a caller that appends past n escapes to the ordinary
+// heap instead of clobbering a neighboring allocation. Requests larger
+// than the slab size get a dedicated slab. Alloc(0) returns nil.
+func (a *Arena[T]) Alloc(n int) []T {
+	if n <= 0 {
+		return nil
+	}
+	a.used += n
+	if n > a.slabSize {
+		// Oversized: dedicated slab, inserted behind the cursor so the
+		// bump slab stays current.
+		s := make([]T, n)
+		a.slabs = append(a.slabs, nil)
+		copy(a.slabs[a.slab+1:], a.slabs[a.slab:])
+		a.slabs[a.slab] = s
+		a.slab++
+		return s
+	}
+	for {
+		if a.slab < len(a.slabs) {
+			s := a.slabs[a.slab]
+			if a.off+n <= len(s) {
+				out := s[a.off : a.off+n : a.off+n]
+				a.off += n
+				if a.off == len(s) {
+					a.slab++
+					a.off = 0
+				}
+				return clearSlice(out)
+			}
+			// Current slab too full; move on (its tail is wasted until the
+			// next Reset).
+			a.slab++
+			a.off = 0
+			continue
+		}
+		a.slabs = append(a.slabs, make([]T, a.slabSize))
+	}
+}
+
+// clearSlice zeroes s and returns it: recycled slab memory still holds
+// the previous generation's values.
+func clearSlice[T any](s []T) []T {
+	var zero T
+	for i := range s {
+		s[i] = zero
+	}
+	return s
+}
+
+// Reset rewinds the arena to empty in O(1), keeping all slabs for reuse.
+// Every slice previously returned by Alloc is invalidated.
+func (a *Arena[T]) Reset() {
+	a.slab = 0
+	a.off = 0
+	a.used = 0
+}
+
+// Used returns the number of elements handed out since the last Reset
+// (slab-tail waste excluded).
+func (a *Arena[T]) Used() int { return a.used }
+
+// Slabs returns the number of slabs currently retained.
+func (a *Arena[T]) Slabs() int { return len(a.slabs) }

@@ -1,0 +1,120 @@
+package arena
+
+import "testing"
+
+func TestAllocBasics(t *testing.T) {
+	a := New[int](8)
+	s := a.Alloc(3)
+	if len(s) != 3 || cap(s) != 3 {
+		t.Fatalf("Alloc(3): len=%d cap=%d, want 3/3", len(s), cap(s))
+	}
+	for i, v := range s {
+		if v != 0 {
+			t.Fatalf("Alloc not zeroed at %d: %d", i, v)
+		}
+	}
+	if a.Used() != 3 {
+		t.Fatalf("Used = %d, want 3", a.Used())
+	}
+	if a.Alloc(0) != nil {
+		t.Fatal("Alloc(0) should be nil")
+	}
+}
+
+func TestAllocationsDoNotOverlap(t *testing.T) {
+	a := New[int](4)
+	var got [][]int
+	// Cross several slab boundaries with varying sizes.
+	for _, n := range []int{3, 2, 4, 1, 3, 3, 2} {
+		s := a.Alloc(n)
+		for i := range s {
+			s[i] = len(got)*100 + i
+		}
+		got = append(got, s)
+	}
+	for k, s := range got {
+		for i, v := range s {
+			if v != k*100+i {
+				t.Fatalf("slice %d clobbered at %d: got %d", k, i, v)
+			}
+		}
+	}
+}
+
+func TestOversizedAlloc(t *testing.T) {
+	a := New[byte](4)
+	small := a.Alloc(2)
+	big := a.Alloc(100)
+	small2 := a.Alloc(2)
+	if len(big) != 100 {
+		t.Fatalf("oversized len = %d", len(big))
+	}
+	for i := range small {
+		small[i] = 1
+	}
+	for i := range big {
+		big[i] = 2
+	}
+	for i := range small2 {
+		small2[i] = 3
+	}
+	if small[0] != 1 || big[0] != 2 || big[99] != 2 || small2[0] != 3 {
+		t.Fatal("oversized alloc overlapped a small one")
+	}
+}
+
+func TestResetRecyclesAndRezeros(t *testing.T) {
+	a := New[int](8)
+	s := a.Alloc(8)
+	for i := range s {
+		s[i] = 7
+	}
+	slabs := a.Slabs()
+	a.Reset()
+	if a.Used() != 0 {
+		t.Fatalf("Used after Reset = %d", a.Used())
+	}
+	s2 := a.Alloc(8)
+	for i, v := range s2 {
+		if v != 0 {
+			t.Fatalf("recycled memory not zeroed at %d: %d", i, v)
+		}
+	}
+	if a.Slabs() != slabs {
+		t.Fatalf("Reset dropped slabs: %d -> %d", slabs, a.Slabs())
+	}
+}
+
+func TestSteadyStateZeroAlloc(t *testing.T) {
+	a := New[int64](1024)
+	// Warm to peak.
+	for i := 0; i < 3; i++ {
+		a.Reset()
+		for j := 0; j < 16; j++ {
+			a.Alloc(100)
+		}
+	}
+	allocs := testing.AllocsPerRun(50, func() {
+		a.Reset()
+		for j := 0; j < 16; j++ {
+			a.Alloc(100)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("steady-state allocs/run = %v, want 0", allocs)
+	}
+}
+
+func TestAppendEscapesSafely(t *testing.T) {
+	a := New[int](8)
+	s := a.Alloc(4)
+	next := a.Alloc(4)
+	next[0] = 42
+	s = append(s, 99) // must not clobber next (cap == len forces copy)
+	if next[0] != 42 {
+		t.Fatal("append through an arena slice clobbered the neighbor")
+	}
+	if s[4] != 99 {
+		t.Fatal("append lost the value")
+	}
+}

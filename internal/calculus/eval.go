@@ -33,6 +33,39 @@ func maxTS(a, b TS) TS {
 	return b
 }
 
+// andTS and orTS combine two operand ts values with branch-free sign
+// arithmetic — the u()-based selections of Section 4.2 compiled down to
+// shifts and masks, so the probe loops pay no branch mispredictions on
+// sign-alternating streams.
+//
+// Section 4.2's conjunction: both operands active → the later activation
+// (max), otherwise the earlier value (min). min/max of (a, b) are formed
+// branchlessly from d = a-b and its sign mask; the final select keys on
+// the sign of min (min > 0 ⇔ both active).
+//
+// The subtraction cannot overflow: ts magnitudes are bounded by the
+// transaction clock, far below the int64 midpoint.
+func andTS(a, b TS) TS {
+	d := a - b
+	s := d & (d >> 63) // d if a < b, else 0
+	lo := b + s        // min(a, b)
+	hi := a - s        // max(a, b)
+	m := (lo - 1) >> 63 // all-ones when lo <= 0 (some operand inactive)
+	return hi ^ ((hi ^ lo) & m)
+}
+
+// orTS is the disjunction: some operand active → the later activation
+// (max), both inactive → the earlier value (min). The select keys on the
+// sign of max (max > 0 ⇔ some operand active).
+func orTS(a, b TS) TS {
+	d := a - b
+	s := d & (d >> 63)
+	lo := b + s
+	hi := a - s
+	m := (hi - 1) >> 63 // all-ones when hi <= 0 (both inactive)
+	return hi ^ ((hi ^ lo) & m)
+}
+
 // Env fixes the portion R of the Event Base the calculus applies to:
 // every occurrence with Since < timestamp ≤ t participates in ts(E, t).
 // Section 4.4 instantiates Since with the rule's last consideration for
@@ -82,17 +115,9 @@ func (env *Env) TS(e Expr, t clock.Time) TS {
 	case Not:
 		return -env.TS(n.X, t)
 	case And:
-		a, b := env.TS(n.L, t), env.TS(n.R, t)
-		if a.Active() && b.Active() {
-			return maxTS(a, b)
-		}
-		return minTS(a, b)
+		return andTS(env.TS(n.L, t), env.TS(n.R, t))
 	case Or:
-		a, b := env.TS(n.L, t), env.TS(n.R, t)
-		if !a.Active() && !b.Active() {
-			return minTS(a, b)
-		}
-		return maxTS(a, b)
+		return orTS(env.TS(n.L, t), env.TS(n.R, t))
 	case Seq:
 		b := env.TS(n.R, t)
 		if b.Active() {
@@ -118,17 +143,9 @@ func (env *Env) OTS(e Expr, t clock.Time, oid types.OID) TS {
 	case Not:
 		return -env.OTS(n.X, t, oid)
 	case And:
-		a, b := env.OTS(n.L, t, oid), env.OTS(n.R, t, oid)
-		if a.Active() && b.Active() {
-			return maxTS(a, b)
-		}
-		return minTS(a, b)
+		return andTS(env.OTS(n.L, t, oid), env.OTS(n.R, t, oid))
 	case Or:
-		a, b := env.OTS(n.L, t, oid), env.OTS(n.R, t, oid)
-		if !a.Active() && !b.Active() {
-			return minTS(a, b)
-		}
-		return maxTS(a, b)
+		return orTS(env.OTS(n.L, t, oid), env.OTS(n.R, t, oid))
 	case Seq:
 		b := env.OTS(n.R, t, oid)
 		if b.Active() {

@@ -3,6 +3,7 @@ package calculus
 import (
 	"sort"
 
+	"chimera/internal/arena"
 	"chimera/internal/clock"
 	"chimera/internal/event"
 	"chimera/internal/types"
@@ -76,12 +77,21 @@ type Plan struct {
 	free   []NodeID
 	live   int
 	shared int
+	// prims lists the live primitive nodes, so evaluators can build their
+	// interned-type-id dispatch tables without scanning the whole DAG.
+	prims   []NodeID
+	version uint64
 }
 
 // NewPlan returns an empty plan.
 func NewPlan() *Plan {
 	return &Plan{ids: make(map[nodeKey]NodeID)}
 }
+
+// Version returns a counter bumped by every structural change (Intern of
+// a new node, Release freeing one). Evaluators caching id-indexed
+// dispatch state use it to detect staleness.
+func (p *Plan) Version() uint64 { return p.version }
 
 // Cap returns the id-space size (live + free slots); memo tables size
 // their flat per-node state to it.
@@ -155,6 +165,10 @@ func (p *Plan) Intern(e Expr) NodeID {
 	}
 	p.ids[k] = id
 	p.live++
+	p.version++
+	if k.op == planPrim {
+		p.prims = append(p.prims, id)
+	}
 	return id
 }
 
@@ -191,6 +205,16 @@ func (p *Plan) Release(id NodeID) {
 		return
 	}
 	delete(p.ids, n.key)
+	p.version++
+	if n.key.op == planPrim {
+		for i, pid := range p.prims {
+			if pid == id {
+				p.prims[i] = p.prims[len(p.prims)-1]
+				p.prims = p.prims[:len(p.prims)-1]
+				break
+			}
+		}
+	}
 	l, r := n.key.l, n.key.r
 	*n = planNode{}
 	p.free = append(p.free, id)
@@ -277,10 +301,16 @@ type PlanEval struct {
 	gen uint64
 	cur clock.Time
 
-	vals     []TS
-	epoch    []uint64
+	vals  []TS
+	epoch []uint64
+	// Domain memos live in a generational arena: doms[id] points into
+	// domArena, and Begin reclaims the whole generation's slices with one
+	// O(1) Reset instead of keeping a peak-sized buffer pinned per node.
+	// The gen stamp in domEpoch is what makes the recycling sound — a
+	// stale doms[id] is never read once its generation is over.
 	doms     [][]types.OID
 	domEpoch []uint64
+	domArena *arena.Arena[types.OID]
 
 	// Prim cursors (Track mode): the last arrival of each interned
 	// primitive node inside the bound window, maintained incrementally
@@ -291,6 +321,18 @@ type PlanEval struct {
 	bindGen   uint64
 	primLast  []clock.Time
 	primEpoch []uint64
+
+	// tid2prim dispatches an interned-type id (event.Base's per-Base type
+	// interner) straight to the prim node of that type — the columnar
+	// batched probe path reports arrivals by int32 id (NoteArrivalTID), an
+	// array index instead of NoteArrival's nodeKey map hash. Bind rebuilds
+	// it whenever the bound base or the plan's structure changed; the
+	// rebuild interns every live prim type, so a tid at or past the
+	// table's length was interned later by a non-prim arrival and is
+	// correctly ignored.
+	tid2prim []NodeID
+	tidBase  *event.Base
+	planVer  uint64
 
 	otsCache map[otsKey]otsEntry
 	// OTSBound caps the (node, oid) cache; 0 keeps DefaultOTSBound,
@@ -308,17 +350,64 @@ type PlanEval struct {
 // NewPlanEval returns an evaluator over p with domain restriction on
 // (the Trigger Support's configuration).
 func NewPlanEval(p *Plan) *PlanEval {
-	return &PlanEval{plan: p, RestrictDomain: true, otsCache: make(map[otsKey]otsEntry)}
+	return &PlanEval{
+		plan:           p,
+		RestrictDomain: true,
+		otsCache:       make(map[otsKey]otsEntry),
+		domArena:       arena.New[types.OID](0),
+	}
 }
 
 // Bind points the evaluator at an Event Base window (Since exclusive)
-// and invalidates every memoized value, prim cursors included.
+// and invalidates every memoized value, prim cursors included. On a
+// columnar base it also refreshes the interned-type-id dispatch table
+// backing NoteArrivalTID.
 func (pe *PlanEval) Bind(base *event.Base, since clock.Time) {
 	pe.base = base
 	pe.since = since
 	pe.gen++
 	pe.bindGen++
 	pe.cur = clock.Never
+	if base.Columnar() && (pe.tidBase != base || pe.planVer != pe.plan.version) {
+		pe.rebuildTIDs(base)
+	}
+}
+
+// rebuildTIDs rebuilds tid2prim: every live prim type is interned into
+// the base (assigning ids to types that have not occurred yet) and
+// mapped to its node. Types interned after this instant cannot be prim
+// types while the plan is unchanged, so lookups past the table's length
+// are simply not prims.
+func (pe *PlanEval) rebuildTIDs(base *event.Base) {
+	for _, id := range pe.plan.prims {
+		base.InternType(pe.plan.nodes[id].key.t)
+	}
+	n := base.InternedTypes()
+	if cap(pe.tid2prim) < n {
+		pe.tid2prim = make([]NodeID, n)
+	}
+	pe.tid2prim = pe.tid2prim[:n]
+	for i := range pe.tid2prim {
+		pe.tid2prim[i] = NoNode
+	}
+	for _, id := range pe.plan.prims {
+		pe.tid2prim[base.InternType(pe.plan.nodes[id].key.t)] = id
+	}
+	pe.tidBase = base
+	pe.planVer = pe.plan.version
+}
+
+// NoteArrivalTID is NoteArrival dispatched by interned-type id: the
+// columnar probe loop reports each scanned arrival with one array index
+// instead of a nodeKey map hash. Valid only after a Bind to the columnar
+// base whose interner produced the tid.
+func (pe *PlanEval) NoteArrivalTID(tid int32, at clock.Time) {
+	if !pe.tracking || int(tid) >= len(pe.tid2prim) {
+		return
+	}
+	if id := pe.tid2prim[tid]; id != NoNode && pe.primEpoch[id] == pe.bindGen {
+		pe.primLast[id] = at
+	}
 }
 
 // Track switches the prim cursors on. A tracking evaluator has a
@@ -360,10 +449,13 @@ func (pe *PlanEval) growPrim() {
 }
 
 // Begin opens the memo generation for probe instant t: values computed
-// at t are memoized until the next Begin or Bind.
+// at t are memoized until the next Begin or Bind. The previous
+// generation's domain-memo slices are reclaimed wholesale (arena reset);
+// their domEpoch stamps guarantee no stale read.
 func (pe *PlanEval) Begin(t clock.Time) {
 	pe.gen++
 	pe.cur = t
+	pe.domArena.Reset()
 	if n := pe.plan.Cap(); len(pe.vals) < n {
 		pe.vals = append(pe.vals, make([]TS, n-len(pe.vals))...)
 		pe.epoch = append(pe.epoch, make([]uint64, n-len(pe.epoch))...)
@@ -418,19 +510,9 @@ func (pe *PlanEval) TS(id NodeID, t clock.Time) TS {
 		case planNot:
 			v = -pe.TS(n.key.l, t)
 		case planAnd:
-			a, b := pe.TS(n.key.l, t), pe.TS(n.key.r, t)
-			if a.Active() && b.Active() {
-				v = maxTS(a, b)
-			} else {
-				v = minTS(a, b)
-			}
+			v = andTS(pe.TS(n.key.l, t), pe.TS(n.key.r, t))
 		case planOr:
-			a, b := pe.TS(n.key.l, t), pe.TS(n.key.r, t)
-			if !a.Active() && !b.Active() {
-				v = minTS(a, b)
-			} else {
-				v = maxTS(a, b)
-			}
+			v = orTS(pe.TS(n.key.l, t), pe.TS(n.key.r, t))
 		case planSeq:
 			v = -TS(t)
 			// The left operand is probed at the right's activation instant —
@@ -508,24 +590,23 @@ func (pe *PlanEval) domain(id NodeID, n *planNode, t clock.Time) []types.OID {
 		pe.hits++
 		return pe.doms[id]
 	}
-	var buf []types.OID
-	if memo {
-		buf = pe.doms[id][:0]
-	} else {
-		buf = pe.oidScratch[:0]
-	}
+	buf := pe.oidScratch[:0]
 	if pe.RestrictDomain && n.safe {
 		buf = pe.base.AppendOIDsOfTypes(buf, n.prims, pe.since, t)
 	} else {
 		buf = pe.base.AppendOIDs(buf, pe.since, t)
 	}
+	pe.oidScratch = buf
 	pe.evals++
 	if memo {
-		pe.doms[id] = buf
+		// Park the memoized copy in the generation arena; Begin reclaims
+		// every generation's domains with one reset.
+		dom := pe.domArena.Alloc(len(buf))
+		copy(dom, buf)
+		pe.doms[id] = dom
 		pe.domEpoch[id] = pe.gen
-		return buf
+		return dom
 	}
-	pe.oidScratch = buf
 	return buf
 }
 
@@ -551,19 +632,9 @@ func (pe *PlanEval) ots(id NodeID, t clock.Time, oid types.OID) TS {
 	case planNot:
 		v = -pe.ots(n.key.l, t, oid)
 	case planAnd:
-		a, b := pe.ots(n.key.l, t, oid), pe.ots(n.key.r, t, oid)
-		if a.Active() && b.Active() {
-			v = maxTS(a, b)
-		} else {
-			v = minTS(a, b)
-		}
+		v = andTS(pe.ots(n.key.l, t, oid), pe.ots(n.key.r, t, oid))
 	case planOr:
-		a, b := pe.ots(n.key.l, t, oid), pe.ots(n.key.r, t, oid)
-		if !a.Active() && !b.Active() {
-			v = minTS(a, b)
-		} else {
-			v = maxTS(a, b)
-		}
+		v = orTS(pe.ots(n.key.l, t, oid), pe.ots(n.key.r, t, oid))
 	case planSeq:
 		v = -TS(t)
 		if b := pe.ots(n.key.r, t, oid); b.Active() {

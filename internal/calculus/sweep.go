@@ -85,8 +85,12 @@ type sweepNode struct {
 	x, l, r *sweepNode
 
 	// swPrim: the cursor — time stamp of the most recent swept
-	// occurrence of the type, clock.Never before the first.
+	// occurrence of the type, clock.Never before the first. tid is the
+	// type's interned id in the Event Base the sweeper last advanced
+	// against (see Sweeper.ensureTIDs): the columnar walk matches
+	// arrivals by one int32 compare instead of a Type struct compare.
 	t    event.Type
+	tid  int32
 	last clock.Time
 
 	// swLift: the maximal instance-rooted subexpression, evaluated
@@ -131,6 +135,8 @@ type Sweeper struct {
 	prims     []*sweepNode // every swPrim node (the cursor list)
 	seqs      []*sweepNode // every swSeq node (the history owners)
 	liftTypes []event.Type // types mentioned inside instance lifts
+	liftTIDs  []int32      // liftTypes as interned ids (columnar walk)
+	tidBase   *event.Base  // base the interned ids were resolved against
 	since     clock.Time
 	probed    clock.Time // newest instant already swept
 	lastEval  clock.Time // newest evaluated probe
@@ -235,15 +241,42 @@ func (sw *Sweeper) advance(env *Env, now clock.Time) SweepResult {
 	if now <= sw.probed {
 		return res
 	}
-	// Walk the window chunk by chunk: each ChunkView aliases one segment
-	// of the Event Base, so the sweep stays allocation-free across
-	// segment boundaries, and because sw.probed never trails the rule's
-	// window start (which in turn never trails the compaction watermark)
-	// the walk is never rebased onto retired data.
+	// Walk the window chunk by chunk: each chunk aliases one segment of
+	// the Event Base, so the sweep stays allocation-free across segment
+	// boundaries, and because sw.probed never trails the rule's window
+	// start (which in turn never trails the compaction watermark) the
+	// walk is never rebased onto retired data. On a columnar base the
+	// walk touches only the timestamp and interned-type-id columns.
+	if env.Base.Columnar() {
+		sw.ensureTIDs(env.Base)
+		if sw.sweepCols(env, now, &res) {
+			return res
+		}
+	} else if sw.sweepRows(env, now, &res) {
+		return res
+	}
+	sw.probed = now
+	// Boundary probe, mirroring the reference's final ts(E, now). The
+	// window content is unchanged since the last arrival, so this is
+	// expected to confirm the cached sign; it is kept because the
+	// reference semantics probe it and it costs one evaluation per check.
+	if sw.seen > 0 && now > sw.lastEval {
+		sw.evalAll(env, now, false)
+		res.Evals++
+		if sw.active {
+			res.Fired, res.At = true, now
+		}
+	}
+	return res
+}
+
+// sweepRows is the row-store chunk walk: Occurrence views, cursors
+// matched by Type struct compare. Returns true when the sweep fired.
+func (sw *Sweeper) sweepRows(env *Env, now clock.Time, res *SweepResult) bool {
 	for {
 		win := env.Base.ChunkView(sw.probed, now)
 		if len(win) == 0 {
-			break
+			return false
 		}
 		for i := range win {
 			occ := &win[i]
@@ -276,24 +309,76 @@ func (sw *Sweeper) advance(env *Env, now clock.Time) SweepResult {
 				// sw.seen > 0 by construction: R is non-empty here.
 				sw.probed = occ.Timestamp
 				res.Fired, res.At = true, occ.Timestamp
-				return res
+				return true
 			}
 		}
 		sw.probed = win[len(win)-1].Timestamp
 	}
-	sw.probed = now
-	// Boundary probe, mirroring the reference's final ts(E, now). The
-	// window content is unchanged since the last arrival, so this is
-	// expected to confirm the cached sign; it is kept because the
-	// reference semantics probe it and it costs one evaluation per check.
-	if sw.seen > 0 && now > sw.lastEval {
-		sw.evalAll(env, now, false)
-		res.Evals++
-		if sw.active {
-			res.Fired, res.At = true, now
+}
+
+// sweepCols is the columnar chunk walk, semantically identical to
+// sweepRows: the mention scan loads the 8-byte timestamp and 4-byte
+// interned-id columns only and matches cursors with int32 compares — no
+// Occurrence materialization, no string comparison.
+func (sw *Sweeper) sweepCols(env *Env, now clock.Time, res *SweepResult) bool {
+	for {
+		cols := env.Base.ChunkCols(sw.probed, now)
+		n := len(cols.TS)
+		if n == 0 {
+			return false
 		}
+		for i := 0; i < n; i++ {
+			at := cols.TS[i]
+			tid := cols.TIDs[i]
+			sw.seen++
+			mentioned := false
+			for _, pn := range sw.prims {
+				if pn.tid == tid {
+					pn.last = at
+					mentioned = true
+				}
+			}
+			if !mentioned {
+				for _, lt := range sw.liftTIDs {
+					if lt == tid {
+						mentioned = true
+						break
+					}
+				}
+			}
+			if sw.sensitive || mentioned {
+				sw.evalAll(env, at, false)
+				res.Evals++
+			} else {
+				res.Skipped++
+			}
+			if sw.active {
+				sw.probed = at
+				res.Fired, res.At = true, at
+				return true
+			}
+		}
+		sw.probed = cols.TS[n-1]
 	}
-	return res
+}
+
+// ensureTIDs resolves the cursor and lift types to the base's interned
+// ids, once per base (rebinding a rule discards its sweepers, so one
+// sweeper only ever meets one base; the check still keys on identity).
+// Interning is eager — a prim type that has not occurred yet gets its id
+// now — so the columnar walk needs no existence checks.
+func (sw *Sweeper) ensureTIDs(base *event.Base) {
+	if sw.tidBase == base {
+		return
+	}
+	for _, pn := range sw.prims {
+		pn.tid = base.InternType(pn.t)
+	}
+	sw.liftTIDs = sw.liftTIDs[:0]
+	for _, t := range sw.liftTypes {
+		sw.liftTIDs = append(sw.liftTIDs, base.InternType(t))
+	}
+	sw.tidBase = base
 }
 
 // Active reports the root sign at the most recent probe.
@@ -323,21 +408,11 @@ func (sw *Sweeper) evalNode(n *sweepNode, env *Env, t clock.Time, empty bool) {
 	case swAnd:
 		sw.evalNode(n.l, env, t, empty)
 		sw.evalNode(n.r, env, t, empty)
-		a, b := n.l.val, n.r.val
-		if a.Active() && b.Active() {
-			n.val = maxTS(a, b)
-		} else {
-			n.val = minTS(a, b)
-		}
+		n.val = andTS(n.l.val, n.r.val)
 	case swOr:
 		sw.evalNode(n.l, env, t, empty)
 		sw.evalNode(n.r, env, t, empty)
-		a, b := n.l.val, n.r.val
-		if !a.Active() && !b.Active() {
-			n.val = minTS(a, b)
-		} else {
-			n.val = maxTS(a, b)
-		}
+		n.val = orTS(n.l.val, n.r.val)
 	case swSeq:
 		sw.evalNode(n.l, env, t, empty)
 		sw.evalNode(n.r, env, t, empty)

@@ -1,0 +1,166 @@
+package engine
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+	"time"
+
+	"chimera/internal/act"
+	"chimera/internal/calculus"
+	"chimera/internal/cond"
+	"chimera/internal/event"
+	"chimera/internal/rules"
+	"chimera/internal/schema"
+	"chimera/internal/types"
+)
+
+// Layout differential at the engine level: ColumnarEB on and off must
+// produce byte-identical databases and identical rule-execution counts
+// on identical workloads — the columnar Event Base may only change how
+// the triggering scan reads arrivals, never what the rules do.
+
+func TestDifferentialColumnarVsRowStore(t *testing.T) {
+	prod := rules.Options{UseFilter: true, Incremental: true, SharedPlan: true, Workers: 4}
+	for trial := 0; trial < 15; trial++ {
+		seed := int64(7000 + trial)
+		ops := genWorkload(rand.New(rand.NewSource(seed)), 60)
+
+		row := buildDiffDB(t, Options{Support: prod, ColumnarEB: false}, seed)
+		runDiffWorkload(t, row, ops)
+
+		col := buildDiffDB(t, Options{Support: prod, ColumnarEB: true}, seed)
+		runDiffWorkload(t, col, ops)
+
+		// Tiny segments force the columnar scan across seals + compaction.
+		small := buildDiffDB(t, Options{Support: prod, ColumnarEB: true, SegmentSize: 4}, seed)
+		runDiffWorkload(t, small, ops)
+
+		fpRow, fpCol, fpSmall := fingerprint(row), fingerprint(col), fingerprint(small)
+		if fpRow != fpCol {
+			t.Fatalf("trial %d: row-store and columnar databases diverged:\n--- row\n%s--- columnar\n%s",
+				trial, fpRow, fpCol)
+		}
+		if fpRow != fpSmall {
+			t.Fatalf("trial %d: small-segment columnar database diverged", trial)
+		}
+		if row.Stats().RuleExecutions != col.Stats().RuleExecutions {
+			t.Fatalf("trial %d: rule executions diverged: row %d vs columnar %d",
+				trial, row.Stats().RuleExecutions, col.Stats().RuleExecutions)
+		}
+	}
+}
+
+// TestMultiSessionColumnarMatchesRowStore drives concurrent transaction
+// lines (each line has its own columnar Event Base and Trigger Support
+// session) under both layouts: every line's rule work must land
+// identically. This is the multi-session leg of the layout differential.
+func TestMultiSessionColumnarMatchesRowStore(t *testing.T) {
+	run := func(columnar bool) [][]int64 {
+		const lines, perLine = 4, 8
+		opts := DefaultOptions()
+		opts.ColumnarEB = columnar
+		opts.MaxSessions = lines
+		opts.LockWait = 5 * time.Second
+		opts.SegmentSize = 4 // seal + compact within each line
+		db := multiStockDB(t, opts, lines)
+
+		var wg sync.WaitGroup
+		for i := 0; i < lines; i++ {
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				class := fmt.Sprintf("stock%d", i)
+				for j := 0; j < perLine; j++ {
+					err := db.Run(func(tx *Txn) error {
+						_, err := tx.Create(class, map[string]types.Value{
+							"quantity": types.Int(int64(30 + 20*j)), "maxquantity": types.Int(70),
+						})
+						return err
+					})
+					if err != nil {
+						t.Errorf("line %d txn %d: %v", i, j, err)
+						return
+					}
+				}
+			}(i)
+		}
+		wg.Wait()
+
+		// Per-class quantities, sorted by the store's Select order, plus
+		// the global stats: the layouts must agree on all of it.
+		out := make([][]int64, 0, lines+1)
+		for i := 0; i < lines; i++ {
+			oids, _ := db.Store().Select(fmt.Sprintf("stock%d", i))
+			qs := make([]int64, 0, len(oids))
+			for _, oid := range oids {
+				o, ok := db.Store().Get(oid)
+				if !ok {
+					t.Fatalf("object %v lost", oid)
+				}
+				qs = append(qs, o.MustGet("quantity").AsInt())
+			}
+			out = append(out, qs)
+		}
+		st := db.Stats()
+		out = append(out, []int64{st.RuleExecutions, st.Events, st.Blocks})
+		return out
+	}
+
+	row := run(false)
+	col := run(true)
+	for i := range row {
+		if len(row[i]) != len(col[i]) {
+			t.Fatalf("part %d: lengths differ: row %v vs columnar %v", i, row[i], col[i])
+		}
+		for j := range row[i] {
+			if row[i][j] != col[i][j] {
+				t.Errorf("part %d[%d]: row %d, columnar %d", i, j, row[i][j], col[i][j])
+			}
+		}
+	}
+}
+
+// multiStockDB builds a multi-session database with one capped stock
+// class and capping rule per line (the TestMultiSessionParallelTriggering
+// shape, parameterized on Options).
+func multiStockDB(t *testing.T, opts Options, lines int) *DB {
+	t.Helper()
+	db := New(opts)
+	for i := 0; i < lines; i++ {
+		class := fmt.Sprintf("stock%d", i)
+		if err := db.DefineClass(class,
+			schema.Attribute{Name: "quantity", Kind: types.KindInt},
+			schema.Attribute{Name: "maxquantity", Kind: types.KindInt},
+		); err != nil {
+			t.Fatal(err)
+		}
+		err := db.DefineRule(
+			rules.Def{
+				Name:     "cap" + class,
+				Target:   class,
+				Event:    calculus.P(event.Create(class)),
+				Coupling: rules.Immediate,
+			},
+			Body{
+				Condition: cond.Formula{Atoms: []cond.Atom{
+					cond.Class{Class: class, Var: "S"},
+					cond.Occurred{Event: calculus.P(event.Create(class)), Var: "S"},
+					cond.Compare{
+						L:  cond.Attr{Var: "S", Attr: "quantity"},
+						Op: cond.CmpGt,
+						R:  cond.Attr{Var: "S", Attr: "maxquantity"},
+					},
+				}},
+				Action: act.Action{Statements: []act.Statement{
+					act.Modify{Class: class, Attr: "quantity", Var: "S",
+						Value: cond.Attr{Var: "S", Attr: "maxquantity"}},
+				}},
+			})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	return db
+}

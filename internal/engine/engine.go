@@ -77,6 +77,14 @@ type Options struct {
 	// segment boundaries and compaction in tests; production
 	// configurations should leave the default.
 	SegmentSize int
+	// ColumnarEB selects the columnar Event Base layout: segments store
+	// parallel timestamp/type-id/OID-id columns and the triggering hot
+	// loops scan them directly (see event.NewBaseSize). Semantically
+	// transparent — the differential suites pin it to the row store bit
+	// for bit. Mirrors the SharedPlan convention: on by default via
+	// DefaultOptions, cleared to opt out (the row-store ablation of
+	// experiment B13).
+	ColumnarEB bool
 	// Metrics, when non-nil, is the registry the engine and every layer
 	// under it (Event Base, Trigger Support, incremental sweep) report
 	// into; read it back with DB.Snapshot. nil (the default) disables
@@ -102,16 +110,19 @@ type Options struct {
 
 // DefaultOptions enables the paper's static optimization and the formal
 // triggering semantics, plus the incremental ∃t' sweep, the
-// GOMAXPROCS-sharded triggering determination, and the shared trigger
-// plan with memoized evaluation (all semantically transparent; see
-// DESIGN.md §7 and §10).
+// GOMAXPROCS-sharded triggering determination, the shared trigger plan
+// with memoized evaluation, and the columnar Event Base (all
+// semantically transparent; see DESIGN.md §7, §10 and §12).
 func DefaultOptions() Options {
-	return Options{Support: rules.Options{
-		UseFilter:   true,
-		Incremental: true,
-		SharedPlan:  true,
-		Workers:     rules.DefaultWorkers(),
-	}}
+	return Options{
+		Support: rules.Options{
+			UseFilter:   true,
+			Incremental: true,
+			SharedPlan:  true,
+			Workers:     rules.DefaultWorkers(),
+		},
+		ColumnarEB: true,
+	}
 }
 
 // Stats aggregates engine-level counters for the benchmark harness.
@@ -342,7 +353,12 @@ type Txn struct {
 // above that, up to MaxSessions lines run concurrently. Either limit
 // reports ErrTxnOpen.
 func (db *DB) Begin() (*Txn, error) {
-	base := event.NewBaseSize(db.opts.SegmentSize)
+	var base *event.Base
+	if db.opts.ColumnarEB {
+		base = event.NewBaseSize(db.opts.SegmentSize)
+	} else {
+		base = event.NewRowBase(db.opts.SegmentSize)
+	}
 	base.SetMetrics(db.baseMetrics)
 	t := &Txn{db: db, base: base, multi: db.multiSession()}
 

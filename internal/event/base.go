@@ -29,6 +29,15 @@ type BaseMetrics struct {
 	// bounded-memory claim of DESIGN.md §8 is about.
 	Live         *metrics.Gauge
 	LiveSegments *metrics.Gauge
+	// DistinctOIDs / InternedTypes gauge the interner footprint (see the
+	// retention contract in the Base comment): both grow with the
+	// transaction's distinct objects and event types and are never shrunk
+	// by compaction, so a monotonically climbing gauge on a long-lived
+	// transaction is the expected signal — what the pair exposes is the
+	// slope, the one component of the base's memory that compaction
+	// cannot bound.
+	DistinctOIDs  *metrics.Gauge
+	InternedTypes *metrics.Gauge
 }
 
 // NewBaseMetrics resolves the Event Base instruments from a registry; a
@@ -44,6 +53,8 @@ func NewBaseMetrics(r *metrics.Registry) BaseMetrics {
 		OccurrencesRetired: r.Counter("chimera_eb_occurrences_retired_total"),
 		Live:               r.Gauge("chimera_eb_live_occurrences"),
 		LiveSegments:       r.Gauge("chimera_eb_live_segments"),
+		DistinctOIDs:       r.Gauge("chimera_eb_distinct_oids"),
+		InternedTypes:      r.Gauge("chimera_eb_interned_types"),
 	}
 }
 
@@ -82,35 +93,72 @@ const DefaultSegmentSize = 256
 // occurrences are unreachable through the window API (their time stamps
 // lie at or below Floor); lookups never consult them.
 //
+// # Columnar layout
+//
+// The default layout stores each segment as parallel columns — the
+// timestamp column, an interned-type-id column and an interned-OID
+// column — instead of an array of Occurrence rows. The probe loops of
+// the Trigger Support walk windows through ChunkCols, touching only the
+// 8-byte timestamp and 4-byte type-id columns (cache-dense, no string
+// fields), and compare interned int32 ids instead of Type structs;
+// Occurrence rows are materialized only at API edges (Window, All,
+// OccurrencesOf, the aliasing views). NewRowBase selects the historical
+// row-store layout, kept as the measured ablation (experiment B13) and
+// as a differential reference: both layouts serve the identical API with
+// bit-identical results.
+//
+// # Interners and retention
+//
+// A Base interns every distinct event Type and OID it sees into dense
+// int32 ids (first-arrival order). The interners — like the per-type
+// latest-timestamp map — are transaction-lifetime state: they grow with
+// the number of *distinct* types and objects, not with occurrences, and
+// compaction never shrinks them, because retired history still
+// determines id assignment (and OID first-arrival order, which
+// OIDs/AppendOIDs expose). A transaction touching an unbounded stream of
+// fresh objects therefore grows its interner without bound; the
+// chimera_eb_distinct_oids and chimera_eb_interned_types gauges expose
+// exactly this component so operators can see the slope. Bounding it
+// would need epoch-based id recycling across compactions, which nothing
+// requires yet.
+//
 // # Concurrency
 //
 // Base is explicitly safe for any number of concurrent readers: every
 // read path takes the internal RWMutex in shared mode and either copies
 // results or appends into a buffer the caller owns. The exceptions,
-// WindowView and ChunkView, return slices aliasing a segment's
-// occurrence array — safe because sealed segments are immutable and the
+// WindowView, ChunkView and ChunkCols, return slices aliasing a
+// segment's arrays — safe because sealed segments are immutable and the
 // tail segment is append-only: existing entries are never moved or
 // overwritten, and compaction only unlinks whole segments from the
 // chain, never relocating live data, so a previously returned view stays
 // valid (the garbage collector keeps its segment alive) even across
-// appends and compactions. Appends and CompactBelow take the mutex
-// exclusively; the engine additionally serializes writers per
-// transaction (one open transaction owns the Base), so readers racing a
-// writer observe either the pre-append or the post-append log, never a
-// torn state.
+// appends and compactions. In the columnar layout the row views are
+// served from a per-segment cache materialized lazily under its own
+// mutex; the cache's backing array is sized to the segment once and
+// never reallocates, so the same aliasing guarantee holds. Appends and
+// CompactBelow take the mutex exclusively; the engine additionally
+// serializes writers per transaction (one open transaction owns the
+// Base), so readers racing a writer observe either the pre-append or the
+// post-append log, never a torn state.
 type Base struct {
-	mu      sync.RWMutex
-	segSize int
-	segs    []*segment // live segments, ascending by time stamp
-	latest  map[Type]clock.Time
-	// oidRank orders distinct OIDs by first arrival across the whole
-	// transaction (retired occurrences included), so OIDs/AppendOIDs keep
-	// their documented order across compactions. It grows with distinct
-	// objects, not with occurrences.
-	oidRank map[types.OID]int
-	nextID  EID
-	lastTS  clock.Time // newest time stamp ever appended
-	live    int        // occurrences currently retained
+	mu       sync.RWMutex
+	segSize  int
+	columnar bool
+	segs     []*segment // live segments, ascending by time stamp
+	latest   map[Type]clock.Time
+	// typeIDs/typesByID and oidIDs/oidsByID are the per-Base interners:
+	// dense int32 ids in first-arrival order. The OID interner doubles as
+	// the first-arrival rank that keeps OIDs/AppendOIDs order stable
+	// across segment boundaries and compactions. See the retention
+	// contract in the type comment.
+	typeIDs   map[Type]int32
+	typesByID []Type
+	oidIDs    map[types.OID]int32
+	oidsByID  []types.OID
+	nextID    EID
+	lastTS    clock.Time // newest time stamp ever appended
+	live      int        // occurrences currently retained
 	// Compaction bookkeeping: the retirement floor (highest retired time
 	// stamp — every live occurrence is strictly above it) and counters.
 	floor       clock.Time
@@ -124,12 +172,27 @@ type Base struct {
 // segment is one generation of the log: up to segSize occurrences in
 // time-stamp order plus the segment-local slice of every index — the
 // per-type leaves (with their per-object sparse lists) and the
-// per-object occurrence lists. Index entries are int32 offsets into
-// occs; a segment and all its indexes retire together.
+// per-object occurrence lists. Index entries are int32 offsets into the
+// columns; a segment and all its indexes retire together.
+//
+// The timestamp column ts is filled in both layouts (every search is a
+// binary probe over it). The columnar layout additionally fills the
+// tids/oids id columns and leaves occs nil until a row view materializes
+// it; the row layout fills occs eagerly and leaves tids/oids nil.
 type segment struct {
-	occs   []Occurrence
-	leaves map[Type]*segLeaf
-	byOID  map[types.OID][]int32
+	firstEID EID // EID of entry 0; EIDs are dense, entry i is firstEID+i
+	ts       []clock.Time
+	tids     []int32
+	oids     []int32
+	leaves   map[Type]*segLeaf
+	byOID    map[types.OID][]int32
+	// occs is the row store (row layout) or the lazily materialized row
+	// cache (columnar layout). rowMu orders concurrent readers
+	// materializing the cache; the backing array is allocated once with
+	// the segment's full capacity, so previously returned views never
+	// move.
+	rowMu sync.Mutex
+	occs  []Occurrence
 }
 
 // segLeaf is one segment's slice of a leaf of the Occurred-Events tree:
@@ -140,41 +203,58 @@ type segLeaf struct {
 	byOID map[types.OID][]int32
 }
 
-func (sg *segment) minTS() clock.Time { return sg.occs[0].Timestamp }
-func (sg *segment) maxTS() clock.Time { return sg.occs[len(sg.occs)-1].Timestamp }
+func (sg *segment) n() int            { return len(sg.ts) }
+func (sg *segment) minTS() clock.Time { return sg.ts[0] }
+func (sg *segment) maxTS() clock.Time { return sg.ts[len(sg.ts)-1] }
 
 // search returns the first position in idxs whose occurrence has a time
 // stamp exceeding t (idxs ascend by time stamp).
 func (sg *segment) search(idxs []int32, t clock.Time) int {
 	return sort.Search(len(idxs), func(k int) bool {
-		return sg.occs[idxs[k]].Timestamp > t
+		return sg.ts[idxs[k]] > t
 	})
 }
 
-// bounds returns the [lo, hi) range of occs covering (since, upTo].
+// bounds returns the [lo, hi) range of the segment covering (since, upTo].
 func (sg *segment) bounds(since, upTo clock.Time) (int, int) {
-	lo := sort.Search(len(sg.occs), func(k int) bool { return sg.occs[k].Timestamp > since })
-	hi := sort.Search(len(sg.occs), func(k int) bool { return sg.occs[k].Timestamp > upTo })
+	lo := sort.Search(len(sg.ts), func(k int) bool { return sg.ts[k] > since })
+	hi := sort.Search(len(sg.ts), func(k int) bool { return sg.ts[k] > upTo })
 	return lo, hi
 }
 
-// NewBase returns an empty Event Base with the default segment size.
+// NewBase returns an empty Event Base with the default segment size, in
+// the columnar layout.
 func NewBase() *Base { return NewBaseSize(DefaultSegmentSize) }
 
-// NewBaseSize returns an empty Event Base whose segments hold segSize
-// occurrences. Small sizes exercise segment boundaries in tests; a size
-// larger than any workload degenerates to the flat single-array layout
-// (useful as an uncompacted differential reference).
-func NewBaseSize(segSize int) *Base {
+// NewBaseSize returns an empty columnar Event Base whose segments hold
+// segSize occurrences. Small sizes exercise segment boundaries in tests;
+// a size larger than any workload degenerates to the flat single-array
+// layout (useful as an uncompacted differential reference).
+func NewBaseSize(segSize int) *Base { return newBase(segSize, true) }
+
+// NewRowBase returns an Event Base in the historical row-store layout:
+// segments hold []Occurrence rows and the columnar probe APIs are
+// disabled. It is the measured ablation of experiment B13 and the
+// differential reference the columnar layout is pinned against; new code
+// should use NewBase/NewBaseSize.
+func NewRowBase(segSize int) *Base { return newBase(segSize, false) }
+
+func newBase(segSize int, columnar bool) *Base {
 	if segSize < 1 {
 		segSize = DefaultSegmentSize
 	}
 	return &Base{
-		segSize: segSize,
-		latest:  make(map[Type]clock.Time),
-		oidRank: make(map[types.OID]int),
+		segSize:  segSize,
+		columnar: columnar,
+		latest:   make(map[Type]clock.Time),
+		typeIDs:  make(map[Type]int32),
+		oidIDs:   make(map[types.OID]int32),
 	}
 }
+
+// Columnar reports whether the base uses the columnar segment layout
+// (ChunkCols and the interned-id columns are available).
+func (b *Base) Columnar() bool { return b.columnar }
 
 // SetMetrics installs the instrument set. Call before the Base is
 // shared between goroutines (the engine installs it at Begin).
@@ -182,6 +262,107 @@ func (b *Base) SetMetrics(m BaseMetrics) {
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	b.m = m
+}
+
+// internTypeLocked interns t, assigning the next dense id on first
+// sight. Callers hold the write lock.
+func (b *Base) internTypeLocked(t Type) int32 {
+	if id, ok := b.typeIDs[t]; ok {
+		return id
+	}
+	id := int32(len(b.typesByID))
+	b.typeIDs[t] = id
+	b.typesByID = append(b.typesByID, t)
+	b.m.InternedTypes.Set(int64(len(b.typesByID)))
+	return id
+}
+
+// internOIDLocked interns oid; ids ascend in first-arrival order, which
+// is exactly the global rank OIDs/AppendOIDs sort by. Callers hold the
+// write lock.
+func (b *Base) internOIDLocked(oid types.OID) int32 {
+	if id, ok := b.oidIDs[oid]; ok {
+		return id
+	}
+	id := int32(len(b.oidsByID))
+	b.oidIDs[oid] = id
+	b.oidsByID = append(b.oidsByID, oid)
+	b.m.DistinctOIDs.Set(int64(len(b.oidsByID)))
+	return id
+}
+
+// InternType interns an event type and returns its dense id, assigning
+// one if the type has not occurred yet. Compiled consumers (the shared
+// plan's prim cursors, the sweep's type cursors, the mention bitsets of
+// the Trigger Support) call it at bind time so arrivals can be matched
+// by int32 id instead of by Type struct comparison or map hashing.
+func (b *Base) InternType(t Type) int32 {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.internTypeLocked(t)
+}
+
+// InternedTypes returns the number of distinct event types interned so
+// far. Consumers caching id-indexed state use it as a cheap version
+// stamp: it only ever grows.
+func (b *Base) InternedTypes() int {
+	b.mu.RLock()
+	defer b.mu.RUnlock()
+	return len(b.typesByID)
+}
+
+// DistinctOIDs returns the number of distinct objects ever logged
+// (retired occurrences included).
+func (b *Base) DistinctOIDs() int {
+	b.mu.RLock()
+	defer b.mu.RUnlock()
+	return len(b.oidsByID)
+}
+
+// occAt materializes the occurrence at index i of sg. Callers hold the
+// mutex (read suffices).
+func (b *Base) occAt(sg *segment, i int) Occurrence {
+	if !b.columnar {
+		return sg.occs[i]
+	}
+	return Occurrence{
+		EID:       sg.firstEID + EID(i),
+		Type:      b.typesByID[sg.tids[i]],
+		OID:       b.oidsByID[sg.oids[i]],
+		Timestamp: sg.ts[i],
+	}
+}
+
+// rows returns sg's occurrence rows materialized through index hi
+// (exclusive), for the aliasing views. In the row layout this is the
+// primary store. In the columnar layout rows are materialized lazily, in
+// place, into a per-segment cache whose backing array is allocated once
+// with the segment's full capacity — it never reallocates, so slices
+// handed out earlier stay valid (and bit-identical) across later
+// appends, materializations and compactions, preserving the
+// WindowView/ChunkView aliasing contract. Callers hold b.mu (read
+// suffices); rowMu orders concurrent readers materializing the same
+// segment, and the happens-before edge it provides covers every element
+// a returned view exposes.
+func (b *Base) rows(sg *segment, hi int) []Occurrence {
+	if !b.columnar {
+		return sg.occs[:hi]
+	}
+	sg.rowMu.Lock()
+	if sg.occs == nil {
+		sg.occs = make([]Occurrence, 0, b.segSize)
+	}
+	for i := len(sg.occs); i < hi; i++ {
+		sg.occs = append(sg.occs, Occurrence{
+			EID:       sg.firstEID + EID(i),
+			Type:      b.typesByID[sg.tids[i]],
+			OID:       b.oidsByID[sg.oids[i]],
+			Timestamp: sg.ts[i],
+		})
+	}
+	view := sg.occs[:hi]
+	sg.rowMu.Unlock()
+	return view
 }
 
 // Append records a new event occurrence and returns it. The time stamp
@@ -200,20 +381,35 @@ func (b *Base) Append(t Type, oid types.OID, at clock.Time) (Occurrence, error) 
 	occ := Occurrence{EID: b.nextID, Type: t, OID: oid, Timestamp: at}
 
 	var sg *segment
-	if n := len(b.segs); n > 0 && len(b.segs[n-1].occs) < b.segSize {
+	if n := len(b.segs); n > 0 && b.segs[n-1].n() < b.segSize {
 		sg = b.segs[n-1]
 	} else {
 		sg = &segment{
-			occs:   make([]Occurrence, 0, b.segSize),
-			leaves: make(map[Type]*segLeaf),
-			byOID:  make(map[types.OID][]int32),
+			firstEID: b.nextID,
+			ts:       make([]clock.Time, 0, b.segSize),
+			leaves:   make(map[Type]*segLeaf),
+			byOID:    make(map[types.OID][]int32),
+		}
+		if b.columnar {
+			sg.tids = make([]int32, 0, b.segSize)
+			sg.oids = make([]int32, 0, b.segSize)
+		} else {
+			sg.occs = make([]Occurrence, 0, b.segSize)
 		}
 		b.segs = append(b.segs, sg)
 		b.m.SegmentsAllocated.Inc()
 		b.m.LiveSegments.Set(int64(len(b.segs)))
 	}
-	idx := int32(len(sg.occs))
-	sg.occs = append(sg.occs, occ)
+	idx := int32(sg.n())
+	tid := b.internTypeLocked(t)
+	oi := b.internOIDLocked(oid)
+	sg.ts = append(sg.ts, at)
+	if b.columnar {
+		sg.tids = append(sg.tids, tid)
+		sg.oids = append(sg.oids, oi)
+	} else {
+		sg.occs = append(sg.occs, occ)
+	}
 
 	lf := sg.leaves[t]
 	if lf == nil {
@@ -224,9 +420,6 @@ func (b *Base) Append(t Type, oid types.OID, at clock.Time) (Occurrence, error) 
 	lf.byOID[oid] = append(lf.byOID[oid], idx)
 	sg.byOID[oid] = append(sg.byOID[oid], idx)
 
-	if _, seen := b.oidRank[oid]; !seen {
-		b.oidRank[oid] = len(b.oidRank)
-	}
 	b.latest[t] = at
 	b.lastTS = at
 	b.live++
@@ -253,7 +446,7 @@ func (b *Base) CompactBelow(watermark clock.Time) int {
 	cut := 0
 	n := 0
 	for cut < len(b.segs) && b.segs[cut].maxTS() <= watermark {
-		n += len(b.segs[cut].occs)
+		n += b.segs[cut].n()
 		b.floor = b.segs[cut].maxTS()
 		cut++
 	}
@@ -333,7 +526,9 @@ func (b *Base) All() []Occurrence {
 	defer b.mu.RUnlock()
 	out := make([]Occurrence, 0, b.live)
 	for _, sg := range b.segs {
-		out = append(out, sg.occs...)
+		for i := 0; i < sg.n(); i++ {
+			out = append(out, b.occAt(sg, i))
+		}
 	}
 	return out
 }
@@ -359,7 +554,7 @@ func lastIn(sg *segment, idxs []int32, since, upTo clock.Time) clock.Time {
 	if i == 0 {
 		return clock.Never
 	}
-	ts := sg.occs[idxs[i-1]].Timestamp
+	ts := sg.ts[idxs[i-1]]
 	if ts <= since {
 		return clock.Never
 	}
@@ -387,7 +582,7 @@ func (b *Base) lastOf(pick func(*segment) []int32, since, upTo clock.Time) clock
 			if k > 0 {
 				// The newest entry ≤ upTo decides: if it clears since it is
 				// the answer; otherwise every older entry is smaller still.
-				if ts := sg.occs[idxs[k-1]].Timestamp; ts > since {
+				if ts := sg.ts[idxs[k-1]]; ts > since {
 					return ts
 				}
 				return clock.Never
@@ -445,7 +640,7 @@ func (b *Base) appendMatches(dst []Occurrence, pick func(*segment) []int32, sinc
 		lo := sg.search(idxs, since)
 		hi := sg.search(idxs, upTo)
 		for _, i := range idxs[lo:hi] {
-			dst = append(dst, sg.occs[i])
+			dst = append(dst, b.occAt(sg, int(i)))
 		}
 	}
 	return dst
@@ -478,7 +673,7 @@ func (b *Base) OccurrencesOfObj(t Type, oid types.OID, since, upTo clock.Time) [
 	}, since, upTo)
 }
 
-// forRanges calls fn for each live segment range occs[lo:hi] covering
+// forRanges calls fn for each live segment range [lo:hi] covering
 // (since, upTo], in ascending time order. fn returning false stops the
 // walk. Callers hold the mutex.
 func (b *Base) forRanges(since, upTo clock.Time, fn func(sg *segment, lo, hi int) bool) {
@@ -508,11 +703,19 @@ func (b *Base) Window(since, upTo clock.Time) []Occurrence {
 // AppendWindow appends the occurrences of (since, upTo] to dst and
 // returns the extended slice. Passing a recycled dst[:0] makes the hot
 // probe loops of the Trigger Support allocation-free in steady state.
+// Columnar hot paths walk ChunkCols instead and skip the row
+// materialization entirely.
 func (b *Base) AppendWindow(dst []Occurrence, since, upTo clock.Time) []Occurrence {
 	b.mu.RLock()
 	defer b.mu.RUnlock()
 	b.forRanges(since, upTo, func(sg *segment, lo, hi int) bool {
-		dst = append(dst, sg.occs[lo:hi]...)
+		if !b.columnar {
+			dst = append(dst, sg.occs[lo:hi]...)
+			return true
+		}
+		for i := lo; i < hi; i++ {
+			dst = append(dst, b.occAt(sg, i))
+		}
 		return true
 	})
 	return dst
@@ -520,51 +723,95 @@ func (b *Base) AppendWindow(dst []Occurrence, since, upTo clock.Time) []Occurren
 
 // WindowView returns the occurrences of (since, upTo] as a read-only
 // view. When the window lies inside one segment the view aliases that
-// segment's occurrence array — valid and immutable across later appends
-// and compactions (segments are never mutated or moved, only unlinked);
+// segment's row array — valid and immutable across later appends and
+// compactions (segments are never mutated or moved, only unlinked);
 // callers must not write through it. When the window spans a segment
 // boundary (or reaches into the retired region, whose live remainder may
 // start mid-chain) the method falls back to an allocated copy. Callers
 // needing guaranteed-zero-allocation iteration walk the window with
-// ChunkView instead.
+// ChunkView (rows) or ChunkCols (columns) instead.
 func (b *Base) WindowView(since, upTo clock.Time) []Occurrence {
 	b.mu.RLock()
 	defer b.mu.RUnlock()
 	var view []Occurrence
 	single := true
 	b.forRanges(since, upTo, func(sg *segment, lo, hi int) bool {
+		rows := b.rows(sg, hi)
 		if view == nil {
-			view = sg.occs[lo:hi]
+			view = rows[lo:hi]
 			return true
 		}
 		if single {
 			// Second range: abandon aliasing, start a copy.
-			view = append(append(make([]Occurrence, 0, len(view)+(hi-lo)), view...), sg.occs[lo:hi]...)
+			view = append(append(make([]Occurrence, 0, len(view)+(hi-lo)), view...), rows[lo:hi]...)
 			single = false
 			return true
 		}
-		view = append(view, sg.occs[lo:hi]...)
+		view = append(view, rows[lo:hi]...)
 		return true
 	})
 	return view
 }
 
 // ChunkView returns the earliest occurrences of (since, upTo] that are
-// contiguous in one segment, as a read-only alias of that segment's
-// array (never a copy), or nil when the window holds none. Iterating a
-// window chunk by chunk — advancing since to the last returned
-// occurrence's time stamp — is the allocation-free walk the incremental
-// sweep uses; each chunk stays valid across appends and compactions for
-// the same reason WindowView's aliased case does.
+// contiguous in one segment, as a read-only alias of that segment's row
+// array (never a copy of row data), or nil when the window holds none.
+// Iterating a window chunk by chunk — advancing since to the last
+// returned occurrence's time stamp — is the allocation-free walk the
+// incremental sweep uses on row-store bases; each chunk stays valid
+// across appends and compactions for the same reason WindowView's
+// aliased case does. On a columnar base the rows are served from the
+// per-segment materialization cache (filled at most once per entry);
+// columnar hot paths should prefer ChunkCols, which touches no rows.
 func (b *Base) ChunkView(since, upTo clock.Time) []Occurrence {
 	b.mu.RLock()
 	defer b.mu.RUnlock()
 	var view []Occurrence
 	b.forRanges(since, upTo, func(sg *segment, lo, hi int) bool {
-		view = sg.occs[lo:hi]
+		view = b.rows(sg, hi)[lo:hi]
 		return false
 	})
 	return view
+}
+
+// Cols is a columnar view of one contiguous run of occurrences inside a
+// single segment: parallel timestamp / interned-type-id / interned-OID
+// columns, plus the EID of the first entry (EIDs are dense — entry i has
+// EID EID0+i). Like ChunkView, the slices alias segment storage: they
+// stay valid across appends and compaction and are read-only for
+// callers. Only columnar bases produce a non-zero Cols (see Columnar).
+type Cols struct {
+	TS   []clock.Time
+	TIDs []int32
+	OIDs []int32
+	EID0 EID
+}
+
+// ChunkCols returns the earliest occurrences of (since, upTo] that are
+// contiguous in one segment, as a columnar view (never a copy), or the
+// zero Cols when the window holds none. It is the column-store analogue
+// of ChunkView: the batched probe loops of the Trigger Support walk a
+// window chunk by chunk — advancing since to the last returned timestamp
+// — touching only the dense timestamp and id columns, with no Occurrence
+// materialization at all. A row-store base always returns the zero Cols;
+// callers gate on Columnar().
+func (b *Base) ChunkCols(since, upTo clock.Time) Cols {
+	var c Cols
+	if !b.columnar {
+		return c
+	}
+	b.mu.RLock()
+	defer b.mu.RUnlock()
+	b.forRanges(since, upTo, func(sg *segment, lo, hi int) bool {
+		c = Cols{
+			TS:   sg.ts[lo:hi],
+			TIDs: sg.tids[lo:hi],
+			OIDs: sg.oids[lo:hi],
+			EID0: sg.firstEID + EID(lo),
+		}
+		return false
+	})
+	return c
 }
 
 // Arrivals returns the time stamps of every occurrence in (since, upTo],
@@ -575,13 +822,12 @@ func (b *Base) Arrivals(since, upTo clock.Time) []clock.Time {
 
 // AppendArrivals appends the time stamps of (since, upTo] to dst and
 // returns the extended slice (the buffer-reusing variant of Arrivals).
+// Both layouts serve it straight from the timestamp column.
 func (b *Base) AppendArrivals(dst []clock.Time, since, upTo clock.Time) []clock.Time {
 	b.mu.RLock()
 	defer b.mu.RUnlock()
 	b.forRanges(since, upTo, func(sg *segment, lo, hi int) bool {
-		for _, o := range sg.occs[lo:hi] {
-			dst = append(dst, o.Timestamp)
-		}
+		dst = append(dst, sg.ts[lo:hi]...)
 		return true
 	})
 	return dst
@@ -624,8 +870,8 @@ func (b *Base) OIDs(since, upTo clock.Time) []types.OID {
 // order of first appearance, and returns the extended slice (the
 // buffer-reusing variant of OIDs). Candidates are gathered from each
 // overlapping segment's per-object index and ordered by the global
-// first-arrival rank, so the order is stable across segment boundaries
-// and compactions.
+// first-arrival rank (the OID interner's id order), so the order is
+// stable across segment boundaries and compactions.
 func (b *Base) AppendOIDs(dst []types.OID, since, upTo clock.Time) []types.OID {
 	b.mu.RLock()
 	defer b.mu.RUnlock()
@@ -642,7 +888,7 @@ func (b *Base) AppendOIDs(dst []types.OID, since, upTo clock.Time) []types.OID {
 		}
 		for oid, idxs := range sg.byOID {
 			lo := sg.search(idxs, since)
-			if lo < len(idxs) && sg.occs[idxs[lo]].Timestamp <= upTo {
+			if lo < len(idxs) && sg.ts[idxs[lo]] <= upTo {
 				dst = append(dst, oid)
 			}
 		}
@@ -655,7 +901,7 @@ func (b *Base) AppendOIDs(dst []types.OID, since, upTo clock.Time) []types.OID {
 func (b *Base) rankDedup(dst []types.OID, start int) []types.OID {
 	tail := dst[start:]
 	sort.Slice(tail, func(i, j int) bool {
-		return b.oidRank[tail[i]] < b.oidRank[tail[j]]
+		return b.oidIDs[tail[i]] < b.oidIDs[tail[j]]
 	})
 	w := start
 	for r := start; r < len(dst); r++ {
@@ -703,7 +949,7 @@ func (b *Base) AppendOIDsOfTypes(dst []types.OID, ts []Type, since, upTo clock.T
 			for oid, idxs := range lf.byOID {
 				// Any occurrence of this type on this object in the window?
 				lo := sg.search(idxs, since)
-				if lo < len(idxs) && sg.occs[idxs[lo]].Timestamp <= upTo {
+				if lo < len(idxs) && sg.ts[idxs[lo]] <= upTo {
 					dst = append(dst, oid)
 				}
 			}
@@ -730,8 +976,8 @@ func (b *Base) String() string {
 	var sb strings.Builder
 	sb.WriteString("EID | event-type | OID | timestamp\n")
 	for _, sg := range b.segs {
-		for _, o := range sg.occs {
-			fmt.Fprintf(&sb, "%s\n", o)
+		for i := 0; i < sg.n(); i++ {
+			fmt.Fprintf(&sb, "%s\n", b.occAt(sg, i))
 		}
 	}
 	if b.retired > 0 {

@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"chimera/internal/clock"
+	"chimera/internal/metrics"
 	"chimera/internal/types"
 )
 
@@ -225,5 +226,74 @@ func TestTypeParseAndString(t *testing.T) {
 	}
 	if _, err := ParseOp("explode"); err == nil {
 		t.Error("ParseOp accepted an unknown operation")
+	}
+}
+
+// TestInternerGauges pins the interner-observability satellite: the
+// distinct-OID and interned-type gauges track exactly the interners'
+// sizes, on both layouts, and — per the retention contract documented on
+// Base — are not shrunk by compaction.
+func TestInternerGauges(t *testing.T) {
+	for _, layout := range []struct {
+		name string
+		mk   func() *Base
+	}{
+		{"columnar", func() *Base { return NewBaseSize(2) }},
+		{"rowstore", func() *Base { return NewRowBase(2) }},
+	} {
+		t.Run(layout.name, func(t *testing.T) {
+			reg := metrics.NewRegistry()
+			b := layout.mk()
+			b.SetMetrics(NewBaseMetrics(reg))
+			rows := []struct {
+				ty  Type
+				oid types.OID
+			}{
+				{Create("stock"), 1},
+				{Create("stock"), 2},
+				{Modify("stock", "quantity"), 1}, // repeat OID: no growth
+				{Create("order"), 3},
+				{Create("order"), 3}, // repeat both: no growth
+			}
+			for i, r := range rows {
+				if _, err := b.Append(r.ty, r.oid, clock.Time(i+1)); err != nil {
+					t.Fatal(err)
+				}
+			}
+			if got := b.DistinctOIDs(); got != 3 {
+				t.Fatalf("DistinctOIDs = %d, want 3", got)
+			}
+			if got := b.InternedTypes(); got != 3 {
+				t.Fatalf("InternedTypes = %d, want 3", got)
+			}
+			s := reg.Snapshot()
+			if got := s.Gauges["chimera_eb_distinct_oids"]; got != 3 {
+				t.Fatalf("chimera_eb_distinct_oids = %d, want 3", got)
+			}
+			if got := s.Gauges["chimera_eb_interned_types"]; got != 3 {
+				t.Fatalf("chimera_eb_interned_types = %d, want 3", got)
+			}
+			// Eager interning (compile-time consumers) registers unseen
+			// types immediately and is idempotent for seen ones.
+			if b.InternType(Create("stock")) != b.InternType(Create("stock")) {
+				t.Fatal("InternType not idempotent")
+			}
+			b.InternType(Delete("stock"))
+			if got := reg.Snapshot().Gauges["chimera_eb_interned_types"]; got != 4 {
+				t.Fatalf("gauge after eager intern = %d, want 4", got)
+			}
+			// Compaction retires occurrences but never interner entries.
+			b.CompactBelow(4)
+			if b.Retired() == 0 {
+				t.Fatal("compaction retired nothing")
+			}
+			if b.DistinctOIDs() != 3 || b.InternedTypes() != 4 {
+				t.Fatal("compaction shrank an interner")
+			}
+			s = reg.Snapshot()
+			if s.Gauges["chimera_eb_distinct_oids"] != 3 || s.Gauges["chimera_eb_interned_types"] != 4 {
+				t.Fatal("compaction moved an interner gauge")
+			}
+		})
 	}
 }

@@ -10,9 +10,10 @@ import (
 	"chimera/internal/types"
 )
 
-// fillPair appends an identical random history to a tiny-segment base
-// and a flat reference base (segments larger than the history), so every
-// query can be checked differentially across segment boundaries.
+// fillPair appends an identical random history to a tiny-segment
+// columnar base and a flat row-store reference base (segments larger
+// than the history), so every query is checked differentially both
+// across segment boundaries and across the two storage layouts.
 func fillPair(t *testing.T, r *rand.Rand, segSize, n int) (seg, ref *Base, vocab []Type) {
 	t.Helper()
 	vocab = []Type{
@@ -20,7 +21,7 @@ func fillPair(t *testing.T, r *rand.Rand, segSize, n int) (seg, ref *Base, vocab
 		Create("order"), Modify("order", "total"),
 	}
 	seg = NewBaseSize(segSize)
-	ref = NewBaseSize(n + 1)
+	ref = NewRowBase(n + 1)
 	ts := clock.Time(0)
 	for i := 0; i < n; i++ {
 		ts += clock.Time(1 + r.Intn(3)) // gaps exercise between-arrival windows
@@ -104,7 +105,64 @@ func TestSegmentedLookupsMatchFlat(t *testing.T) {
 		if want := ref.Window(since, upTo); !occEqual(chunks, want) {
 			t.Fatalf("ChunkView walk (%d, %d) mismatch", since, upTo)
 		}
+		// The columnar chunk walk reconstructs the same window from the
+		// raw columns (EIDs dense from EID0, ids through the interners).
+		var colOccs []Occurrence
+		lo = since
+		for {
+			c := seg.ChunkCols(lo, upTo)
+			if len(c.TS) != len(c.TIDs) || len(c.TS) != len(c.OIDs) {
+				t.Fatalf("ChunkCols ragged columns at (%d, %d)", lo, upTo)
+			}
+			if len(c.TS) == 0 {
+				break
+			}
+			for i := range c.TS {
+				colOccs = append(colOccs, Occurrence{
+					EID:       c.EID0 + EID(i),
+					Type:      typeOfTID(t, seg, c.TIDs[i]),
+					OID:       oidOfID(t, seg, c.OIDs[i]),
+					Timestamp: c.TS[i],
+				})
+			}
+			lo = c.TS[len(c.TS)-1]
+		}
+		if want := ref.Window(since, upTo); !occEqual(colOccs, want) {
+			t.Fatalf("ChunkCols walk (%d, %d) mismatch", since, upTo)
+		}
+		// The row store serves no columns.
+		if c := ref.ChunkCols(since, upTo); c.TS != nil || c.TIDs != nil || c.OIDs != nil {
+			t.Fatalf("row store returned columns for (%d, %d)", since, upTo)
+		}
 	}
+}
+
+// typeOfTID resolves an interned type id by probing the base's interner
+// through InternType (interning is idempotent, so re-interning every
+// vocabulary type finds the one with the matching id).
+func typeOfTID(t *testing.T, b *Base, tid int32) Type {
+	t.Helper()
+	for _, ty := range []Type{
+		Create("stock"), Delete("stock"), Modify("stock", "quantity"),
+		Create("order"), Modify("order", "total"),
+	} {
+		if b.InternType(ty) == tid {
+			return ty
+		}
+	}
+	t.Fatalf("unknown interned type id %d", tid)
+	return Type{}
+}
+
+// oidOfID resolves an interned OID id by scanning the first-arrival
+// order exposed through AppendOIDs over the whole log.
+func oidOfID(t *testing.T, b *Base, id int32) types.OID {
+	t.Helper()
+	oids := b.OIDs(clock.Never, clock.Time(1<<40))
+	if int(id) >= len(oids) {
+		t.Fatalf("interned OID id %d out of range %d", id, len(oids))
+	}
+	return oids[id]
 }
 
 func occEqual(a, b []Occurrence) bool {
@@ -305,6 +363,101 @@ func TestViewsSurviveCompaction(t *testing.T) {
 	if !occEqual(view, wantView) || !occEqual(chunk, wantChunk) {
 		t.Fatal("views changed under later appends")
 	}
+}
+
+// TestViewsStableAcrossSealsColumnar pins the aliasing contract on the
+// columnar layout against the row-store reference: WindowView/ChunkView
+// slices (and ChunkCols columns) taken at every stage — inside an
+// unsealed tail segment, before later appends seal it, and before
+// CompactBelow — keep their exact contents through all of it, and those
+// contents are bit-identical to the row store's view of the same window.
+func TestViewsStableAcrossSealsColumnar(t *testing.T) {
+	r := rand.New(rand.NewSource(31))
+	col := NewBaseSize(4)
+	row := NewRowBase(4) // same segmentation: same aliasing windows
+	vocab := []Type{Create("stock"), Modify("stock", "quantity"), Delete("stock")}
+
+	type snap struct {
+		since, upTo clock.Time
+		colView     []Occurrence
+		rowView     []Occurrence
+		colChunk    []Occurrence
+		rowChunk    []Occurrence
+		cols        Cols
+		want        []Occurrence // deep copy at capture time
+	}
+	var snaps []snap
+
+	ts := clock.Time(0)
+	for i := 0; i < 120; i++ {
+		ts += clock.Time(1 + r.Intn(2))
+		ty := vocab[r.Intn(len(vocab))]
+		oid := types.OID(1 + r.Intn(5))
+		if _, err := col.Append(ty, oid, ts); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := row.Append(ty, oid, ts); err != nil {
+			t.Fatal(err)
+		}
+		// Capture views mid-stream — including from the unsealed tail
+		// (i not a multiple of the segment size) — so later appends write
+		// into the very arrays the views alias.
+		if i%7 == 3 {
+			since := ts - clock.Time(r.Intn(6)+1)
+			s := snap{
+				since:    since,
+				upTo:     ts,
+				colView:  col.WindowView(since, ts),
+				rowView:  row.WindowView(since, ts),
+				colChunk: col.ChunkView(since, ts),
+				rowChunk: row.ChunkView(since, ts),
+				cols:     col.ChunkCols(since, ts),
+			}
+			s.want = append([]Occurrence(nil), row.Window(since, ts)...)
+			snaps = append(snaps, s)
+		}
+	}
+
+	check := func(stage string) {
+		t.Helper()
+		for _, s := range snaps {
+			if !occEqual(s.colView, s.rowView) || !occEqual(s.colView, s.want) {
+				t.Fatalf("%s: WindowView(%d, %d) diverged", stage, s.since, s.upTo)
+			}
+			if !occEqual(s.colChunk, s.rowChunk) {
+				t.Fatalf("%s: ChunkView(%d, %d) diverged", stage, s.since, s.upTo)
+			}
+			for i := range s.colChunk {
+				if s.colChunk[i] != s.want[i] {
+					t.Fatalf("%s: ChunkView(%d, %d) changed under the view", stage, s.since, s.upTo)
+				}
+			}
+			for i := range s.cols.TS {
+				w := s.want[i]
+				if s.cols.TS[i] != w.Timestamp || s.cols.EID0+EID(i) != w.EID {
+					t.Fatalf("%s: ChunkCols(%d, %d) changed under the view", stage, s.since, s.upTo)
+				}
+			}
+		}
+	}
+	check("after appends across seals")
+
+	mid := ts / 2
+	if col.CompactBelow(mid) == 0 || row.CompactBelow(mid) == 0 {
+		t.Fatal("compaction retired nothing")
+	}
+	check("after CompactBelow")
+
+	for i := 0; i < 40; i++ {
+		ts++
+		if _, err := col.Append(vocab[0], 1, ts); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := row.Append(vocab[0], 1, ts); err != nil {
+			t.Fatal(err)
+		}
+	}
+	check("after post-compaction appends")
 }
 
 // TestConcurrentReadersWithCompaction stress-tests the reader paths
