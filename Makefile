@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race race-stress vet bench bench-smoke profile cover fuzz verify verify-full
+.PHONY: build test race race-stress crash-smoke vet bench bench-smoke profile cover fuzz verify verify-full
 
 build:
 	$(GO) build ./...
@@ -25,6 +25,16 @@ race-stress:
 		-run 'TestLine|TestMultiSession|TestSupportConcurrentAccess' \
 		./internal/object/ ./internal/engine/ ./internal/rules/
 
+# Crash/recovery smoke under the race detector: the kill-and-recover
+# differential suite (random crash points, bit-identical replay), WAL
+# truncation/corruption recovery, checkpoint bounds, and the FileStore
+# fault-injection tests (failing writer, failing fsync, torn tails,
+# flipped CRC frames, leftover temp checkpoint).
+crash-smoke:
+	$(GO) test -race -count=1 \
+		-run 'TestKillRecover|TestRecoverContinuation|TestTruncatedWAL|TestCorruptWAL|TestStaleWAL|TestOpenNeedsRecovery|TestWALFailure|TestPerCommitSyncFailure|TestCloseSemantics|TestCheckpointBoundsWAL|TestDDLReplay|TestFileStore' \
+		./internal/engine/ ./internal/storage/
+
 vet:
 	$(GO) vet ./...
 
@@ -32,8 +42,9 @@ vet:
 # machine-readable B8 results, BENCH_eb.json the B9 Event Base soak,
 # BENCH_obs.json the B10 observability-overhead run, BENCH_cse.json
 # the B11 shared-trigger-plan sweep, BENCH_mt.json the B12
-# multi-session sweep, and BENCH_col.json the B13 columnar-vs-row
-# layout sweep.
+# multi-session sweep, BENCH_col.json the B13 columnar-vs-row layout
+# sweep, and BENCH_wal.json the B14 WAL ingest-overhead and
+# crash-recovery run.
 bench:
 	$(GO) run ./cmd/chimera-bench
 	$(GO) run ./cmd/chimera-bench -exp B8 -json BENCH_trigger.json >/dev/null
@@ -42,12 +53,14 @@ bench:
 	$(GO) run ./cmd/chimera-bench -exp B11 -json BENCH_cse.json >/dev/null
 	$(GO) run ./cmd/chimera-bench -exp B12 -json BENCH_mt.json >/dev/null
 	$(GO) run ./cmd/chimera-bench -exp B13 -json BENCH_col.json >/dev/null
+	$(GO) run ./cmd/chimera-bench -exp B14 -json BENCH_wal.json >/dev/null
 
-# CI-sized B11 + B12 + B13 runs: the acceptance cells (B11: 50 rules,
-# overlap 4; B12: 1 and 8 lines, both workloads; B13: 1000 rules), each
-# held against its committed baseline. chimera-benchcmp warns (exit 0)
-# on >10% regressions — CI timing is too noisy to gate the build on,
-# but the warning shows up in the log.
+# CI-sized B11..B14 runs: the acceptance cells (B11: 50 rules,
+# overlap 4; B12: 1 and 8 lines, both workloads; B13: 1000 rules;
+# B14: group-commit ingest configs and the smallest recovery image),
+# each held against its committed baseline. chimera-benchcmp warns
+# (exit 0) on >10% regressions — CI timing is too noisy to gate the
+# build on, but the warning shows up in the log.
 bench-smoke:
 	$(GO) run ./cmd/chimera-bench -exp B11 -smoke -json BENCH_cse_smoke.json
 	$(GO) run ./cmd/chimera-benchcmp BENCH_cse.json BENCH_cse_smoke.json
@@ -55,6 +68,8 @@ bench-smoke:
 	$(GO) run ./cmd/chimera-benchcmp -exp B12 BENCH_mt.json BENCH_mt_smoke.json
 	$(GO) run ./cmd/chimera-bench -exp B13 -smoke -json BENCH_col_smoke.json
 	$(GO) run ./cmd/chimera-benchcmp -exp B13 BENCH_col.json BENCH_col_smoke.json
+	$(GO) run ./cmd/chimera-bench -exp B14 -smoke -json BENCH_wal_smoke.json
+	$(GO) run ./cmd/chimera-benchcmp -exp B14 BENCH_wal.json BENCH_wal_smoke.json
 
 # CPU + heap profiles of one experiment (default: the B13 hot-loop
 # sweep). Inspect with `go tool pprof cpu.pprof` / `mem.pprof`.

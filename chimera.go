@@ -307,6 +307,69 @@ func RestoreWith(path string, opts Options) (*DB, error) {
 	return storage.LoadFile(path, opts)
 }
 
+// Durability. Configure Options.Durability with a SegmentStore and an
+// fsync policy, open with OpenDurable, and reopen after a crash (or a
+// clean shutdown) with Recover: the checkpoint restores the committed
+// base state and the WAL suffix replays logically through the live
+// engine paths, landing bit-identical to the pre-crash state
+// (DESIGN.md §13).
+type (
+	// DurabilityOptions selects the backing store, fsync policy, sync
+	// interval, checkpoint cadence and recovery parallelism.
+	DurabilityOptions = engine.DurabilityOptions
+	// FsyncPolicy is the group committer's sync discipline.
+	FsyncPolicy = engine.FsyncPolicy
+	// SegmentStore persists the WAL, checkpoints and retired columnar
+	// segments. MemStore keeps everything in memory (crash simulation,
+	// tests); FileStore is the on-disk implementation.
+	SegmentStore = engine.SegmentStore
+	// MemStore is the in-memory SegmentStore.
+	MemStore = storage.MemStore
+	// FileStore is the directory-backed SegmentStore.
+	FileStore = storage.FileStore
+	// RecoveryReport summarizes what Recover replayed.
+	RecoveryReport = engine.RecoveryReport
+)
+
+// Fsync policies.
+const (
+	// FsyncInterval (the default) syncs at most once per SyncInterval.
+	FsyncInterval = engine.FsyncInterval
+	// FsyncPerCommit syncs before Commit returns.
+	FsyncPerCommit = engine.FsyncPerCommit
+	// FsyncOff never syncs explicitly.
+	FsyncOff = engine.FsyncOff
+)
+
+// Durability errors.
+var (
+	// ErrNeedsRecovery is returned by OpenDurable when the store holds
+	// durable state from an earlier run; use Recover.
+	ErrNeedsRecovery = engine.ErrNeedsRecovery
+	// ErrWALFailed wraps the first I/O error the group committer hit;
+	// commits fail with it until the database is closed and recovered.
+	ErrWALFailed = engine.ErrWALFailed
+	// ErrClosed is returned by operations on a closed database.
+	ErrClosed = engine.ErrClosed
+)
+
+// NewMemStore returns an empty in-memory SegmentStore.
+func NewMemStore() *MemStore { return storage.NewMemStore() }
+
+// NewFileStore opens (creating if needed) a directory-backed
+// SegmentStore.
+func NewFileStore(dir string) (*FileStore, error) { return storage.NewFileStore(dir) }
+
+// OpenDurable creates a database over the configured durable store. A
+// store already holding state reports ErrNeedsRecovery.
+func OpenDurable(opts Options) (*DB, error) { return engine.Open(opts) }
+
+// Recover rebuilds a database from its store's checkpoint and WAL. The
+// returned Txn is non-nil when the log ends inside an open transaction
+// — the caller owns its fate (commit or roll back); the report
+// summarizes what was replayed.
+func Recover(opts Options) (*DB, *Txn, *RecoveryReport, error) { return engine.Recover(opts) }
+
 // Derived combinators: related-work idioms (Ode/HiPAC/Snoop/Samos/
 // REFLEX) expressed in the minimal calculus; see
 // internal/calculus/derived.go for each operator's fidelity notes.

@@ -1,6 +1,7 @@
 package chimera_test
 
 import (
+	"errors"
 	"strings"
 	"testing"
 
@@ -280,5 +281,72 @@ func TestFacadeDerivedCombinators(t *testing.T) {
 	}
 	if got := chimera.AnyOf(a, b).String(); got != "create(a) , create(b)" {
 		t.Errorf("AnyOf = %q", got)
+	}
+}
+
+// The durability surface through the public facade: a durable open, a
+// committed transaction through the quickstart rule, a clean close, the
+// ErrNeedsRecovery refusal, and a recovery landing on the same state.
+func TestFacadeDurability(t *testing.T) {
+	dir := t.TempDir()
+	fs, err := chimera.NewFileStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := chimera.DefaultOptions()
+	opts.Durability = chimera.DurabilityOptions{Store: fs, Fsync: chimera.FsyncPerCommit}
+	db, err := chimera.OpenDurable(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	chimera.MustLoad(db, `
+class stock(name: string, quantity: integer, maxquantity: integer)
+
+define immediate checkStockQty for stock
+events create
+condition stock(S), occurred(create, S), S.quantity > S.maxquantity
+action modify(stock.quantity, S, S.maxquantity)
+end`)
+	var oid chimera.OID
+	err = db.Run(func(tx *chimera.Txn) error {
+		var err error
+		oid, err = tx.Create("stock", chimera.Values{
+			"name": chimera.Str("bolts"), "quantity": chimera.Int(99),
+			"maxquantity": chimera.Int(40)})
+		return err
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Closing the database closes its store; reopening the directory is
+	// the crash-restart shape.
+	if fs, err = chimera.NewFileStore(dir); err != nil {
+		t.Fatal(err)
+	}
+	opts.Durability.Store = fs
+	if _, err := chimera.OpenDurable(opts); !errors.Is(err, chimera.ErrNeedsRecovery) {
+		t.Fatalf("OpenDurable on a used store = %v, want ErrNeedsRecovery", err)
+	}
+	rdb, rtx, rep, err := chimera.Recover(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rdb.Close()
+	if rtx != nil {
+		t.Fatal("clean shutdown recovered an open transaction")
+	}
+	if rep == nil {
+		t.Fatal("nil recovery report")
+	}
+	o, ok := rdb.Store().Get(oid)
+	if !ok {
+		t.Fatal("object missing after recovery")
+	}
+	if got := o.MustGet("quantity").AsInt(); got != 40 {
+		t.Fatalf("recovered quantity = %d, want 40", got)
 	}
 }

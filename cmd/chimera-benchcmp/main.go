@@ -4,7 +4,8 @@
 // schema from a registry: B11 (default) compares shared-plan sweeps
 // keyed (rules, overlap, workers); B12 compares multi-session sweeps
 // keyed (lines, workload); B13 compares columnar-vs-row layout sweeps
-// keyed (rules). Only cells present in both files are compared, so a
+// keyed (rules); B14 compares the durable-WAL ingest and recovery runs
+// keyed (section, config). Only cells present in both files are compared, so a
 // smoke run holds itself against just the matching slice of the full
 // baseline.
 //
@@ -20,6 +21,7 @@
 //	chimera-benchcmp BENCH_cse.json new.json
 //	chimera-benchcmp -exp B12 BENCH_mt.json smoke.json
 //	chimera-benchcmp -exp B13 BENCH_col.json smoke.json
+//	chimera-benchcmp -exp B14 BENCH_wal.json smoke.json
 //	chimera-benchcmp -threshold 0.05 -strict old.json new.json
 package main
 
@@ -112,6 +114,37 @@ var experiments = []experiment{
 					key:  fmt.Sprintf("lines=%d workload=%s", r.Lines, r.Workload),
 					vals: []float64{r.TrigPerSec, r.Speedup, r.P95LatencyMs},
 				}
+			}
+			return cells, nil
+		},
+	},
+	{
+		id:    "B14",
+		about: "durable Event Base WAL + recovery, keyed (section, config)",
+		metrics: []metricDef{
+			{name: "time", unit: "ms"},
+			{name: "vs-baseline", unit: "x", higherIsBetter: true},
+		},
+		load: func(path string) ([]cell, error) {
+			var r bench.B14Result
+			if err := load(path, &r); err != nil {
+				return nil, err
+			}
+			var cells []cell
+			for _, in := range r.Ingest {
+				// Normalized to the shared schema: per-txn cost in ms and
+				// throughput relative to the in-memory baseline.
+				cells = append(cells, cell{
+					key:  fmt.Sprintf("ingest config=%s", in.Config),
+					vals: []float64{in.UsPerTxn / 1e3, in.RelThroughput},
+				})
+			}
+			for _, rc := range r.Recovery {
+				cells = append(cells, cell{
+					key:    fmt.Sprintf("recovery txns=%d", rc.Txns),
+					vals:   []float64{rc.ParallelMs, rc.Speedup},
+					parity: boolPtr(rc.Identical),
+				})
 			}
 			return cells, nil
 		},

@@ -67,9 +67,11 @@ func (s Create) Exec(ctx *cond.Ctx, m Mutator, bindings []cond.Binding) error {
 	return nil
 }
 
-// String renders create(class, attr = term, ...) in the concrete rule
-// syntax (attributes sorted for determinism), so a rendered action
-// parses back.
+// String renders create(class, attr = term, ...) — or create once(...)
+// for a single-shot creation — in the concrete rule syntax (attributes
+// sorted for determinism), so a rendered action parses back. The Once
+// marker must round-trip: recovery re-parses rendered rules, and a
+// dropped modifier would multiply the creation by the binding count.
 func (s Create) String() string {
 	attrs := make([]string, 0, len(s.Vals))
 	for attr := range s.Vals {
@@ -81,7 +83,11 @@ func (s Create) String() string {
 	for _, attr := range attrs {
 		parts = append(parts, attr+" = "+s.Vals[attr].String())
 	}
-	return fmt.Sprintf("create(%s)", strings.Join(parts, ", "))
+	kw := "create"
+	if s.Once {
+		kw = "create once"
+	}
+	return fmt.Sprintf("%s(%s)", kw, strings.Join(parts, ", "))
 }
 
 // Modify sets one attribute of the object each binding's variable refers

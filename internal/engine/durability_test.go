@@ -1,0 +1,746 @@
+package engine_test
+
+// The kill-and-recover differential suite: a durable database driven
+// over a randomized workload must, at every block boundary, be
+// bit-identical to a database recovered from a clone of its store —
+// same objects, same occurrences and interner ids, same marks and
+// triggered flags, same consumption watermark and compaction state,
+// same clock and OID allocation point. The clone is the crash: MemStore
+// captures exactly the bytes a real disk would hold.
+//
+// The suite lives in package engine_test because the reference store
+// implementations live in internal/storage, which imports the engine.
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"chimera/internal/act"
+	"chimera/internal/calculus"
+	"chimera/internal/cond"
+	"chimera/internal/engine"
+	"chimera/internal/event"
+	"chimera/internal/rules"
+	"chimera/internal/schema"
+	"chimera/internal/storage"
+	"chimera/internal/types"
+)
+
+func durOptions(store engine.SegmentStore, checkpointEvery int) engine.Options {
+	o := engine.DefaultOptions()
+	o.Durability = engine.DurabilityOptions{
+		Store:           store,
+		Fsync:           engine.FsyncOff, // MemStore is durable on append
+		CheckpointEvery: checkpointEvery,
+	}
+	// Small segments so workloads cross many seal/persist boundaries.
+	o.SegmentSize = 8
+	return o
+}
+
+// defineDurCatalog installs the differential schema and rule set (the
+// same shapes as the in-package differential suite: an immediate clamp,
+// a deferred composite with negation, an instance-oriented sequence).
+func defineDurCatalog(t *testing.T, db *engine.DB) {
+	t.Helper()
+	if err := db.DefineClass("item",
+		schema.Attribute{Name: "n", Kind: types.KindInt},
+		schema.Attribute{Name: "cap", Kind: types.KindInt}); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.DefineClass("note",
+		schema.Attribute{Name: "n", Kind: types.KindInt}); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.DefineRule(
+		rules.Def{Name: "clamp", Target: "item", Priority: 1,
+			Event: calculus.Disj(
+				calculus.P(event.Create("item")),
+				calculus.P(event.Modify("item", "n")))},
+		engine.Body{
+			Condition: cond.Formula{Atoms: []cond.Atom{
+				cond.Class{Class: "item", Var: "S"},
+				cond.Occurred{Event: calculus.DisjI(
+					calculus.P(event.Create("item")),
+					calculus.P(event.Modify("item", "n"))), Var: "S"},
+				cond.Compare{L: cond.Attr{Var: "S", Attr: "n"}, Op: cond.CmpGt,
+					R: cond.Attr{Var: "S", Attr: "cap"}},
+			}},
+			Action: act.Action{Statements: []act.Statement{
+				act.Modify{Class: "item", Attr: "n", Var: "S",
+					Value: cond.Attr{Var: "S", Attr: "cap"}},
+			}},
+		}); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.DefineRule(
+		rules.Def{Name: "audit", Coupling: rules.Deferred, Priority: 2,
+			Event: calculus.Conj(
+				calculus.P(event.Create("item")),
+				calculus.Neg(calculus.Prec(
+					calculus.P(event.Create("item")),
+					calculus.P(event.Delete("item")))))},
+		engine.Body{
+			Condition: cond.Formula{Atoms: []cond.Atom{
+				cond.Occurred{Event: calculus.P(event.Create("item")), Var: "X"},
+			}},
+			Action: act.Action{Statements: []act.Statement{
+				act.Create{Class: "note", Once: true, Vals: map[string]cond.Term{
+					"n": cond.Const{V: types.Int(1)}}},
+			}},
+		}); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.DefineRule(
+		rules.Def{Name: "seq", Priority: 3,
+			Event: calculus.PrecI(
+				calculus.P(event.Create("item")),
+				calculus.P(event.Modify("item", "n")))},
+		engine.Body{
+			Condition: cond.Formula{Atoms: []cond.Atom{
+				cond.Occurred{Event: calculus.PrecI(
+					calculus.P(event.Create("item")),
+					calculus.P(event.Modify("item", "n"))), Var: "X"},
+			}},
+			Action: act.Action{Statements: []act.Statement{
+				act.Create{Class: "note", Once: true, Vals: map[string]cond.Term{
+					"n": cond.Const{V: types.Int(2)}}},
+			}},
+		}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// durFingerprint renders everything the recovery contract promises to
+// restore bit-identically.
+func durFingerprint(db *engine.DB, tx *engine.Txn) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "clock=%d nextOID=%d\n", db.Clock().Now(), db.Store().NextOID())
+	for _, class := range db.Schema().Names() {
+		oids, _ := db.Store().Select(class)
+		for _, oid := range oids {
+			if o, ok := db.Store().Get(oid); ok && o.Class().Name() == class {
+				b.WriteString(o.String())
+				b.WriteByte('\n')
+			}
+		}
+	}
+	if tx != nil {
+		for _, m := range db.Support().Marks() {
+			fmt.Fprintf(&b, "mark %s lc=%d trig=%v at=%d\n",
+				m.Rule, m.LastConsideration, m.Triggered, m.TriggeredAt)
+		}
+		base := tx.Base()
+		fmt.Fprintf(&b, "base len=%d floor=%d retired=%d segs=%d\n%s",
+			base.Len(), base.Floor(), base.Retired(), base.Segments(), base.String())
+	}
+	return b.String()
+}
+
+// durOp is one step of the scripted workload.
+type durOp struct {
+	kind int // 0 create, 1 modify, 2 delete, 3 endline, 4 raise, 5 commit+begin, 6 rollback+begin
+	arg  int64
+}
+
+func genDurOps(r *rand.Rand, n int) []durOp {
+	ops := make([]durOp, n)
+	for i := range ops {
+		k := r.Intn(10)
+		switch { // weight mutation ops over boundary ops
+		case k < 3:
+			ops[i] = durOp{kind: 0, arg: int64(r.Intn(100))}
+		case k < 5:
+			ops[i] = durOp{kind: 1, arg: int64(r.Intn(100))}
+		case k < 6:
+			ops[i] = durOp{kind: 2, arg: int64(r.Intn(100))}
+		case k < 8:
+			ops[i] = durOp{kind: 3}
+		case k < 9:
+			ops[i] = durOp{kind: 4, arg: int64(r.Intn(3))}
+		default:
+			if r.Intn(4) == 0 {
+				ops[i] = durOp{kind: 6}
+			} else {
+				ops[i] = durOp{kind: 5}
+			}
+		}
+	}
+	return ops
+}
+
+// applyDurOp advances one workload step. It returns the (possibly new)
+// transaction and whether a block boundary was just crossed.
+func applyDurOp(t *testing.T, db *engine.DB, tx *engine.Txn, live *[]types.OID, op durOp) (*engine.Txn, bool) {
+	t.Helper()
+	switch op.kind {
+	case 0:
+		oid, err := tx.Create("item", map[string]types.Value{
+			"n": types.Int(op.arg), "cap": types.Int(50)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		*live = append(*live, oid)
+	case 1:
+		if len(*live) > 0 {
+			oid := (*live)[int(op.arg)%len(*live)]
+			if _, ok := tx.Get(oid); ok {
+				if err := tx.Modify(oid, "n", types.Int(op.arg)); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+	case 2:
+		if len(*live) > 0 {
+			idx := int(op.arg) % len(*live)
+			oid := (*live)[idx]
+			if _, ok := tx.Get(oid); ok {
+				if err := tx.Delete(oid); err != nil {
+					t.Fatal(err)
+				}
+			}
+			*live = append((*live)[:idx], (*live)[idx+1:]...)
+		}
+	case 3:
+		if err := tx.EndLine(); err != nil {
+			t.Fatal(err)
+		}
+		return tx, true
+	case 4:
+		if err := tx.Raise(fmt.Sprintf("sig%d", op.arg)); err != nil {
+			t.Fatal(err)
+		}
+	case 5, 6:
+		if op.kind == 5 {
+			if err := tx.Commit(); err != nil {
+				t.Fatal(err)
+			}
+		} else {
+			if err := tx.Rollback(); err != nil {
+				t.Fatal(err)
+			}
+		}
+		ntx, err := db.Begin()
+		if err != nil {
+			t.Fatal(err)
+		}
+		*live = (*live)[:0]
+		oids, _ := db.Store().Select("item")
+		*live = append(*live, oids...)
+		return ntx, true
+	}
+	return tx, false
+}
+
+// recoverClone recovers a database from a clone of the store, failing
+// the test on any error.
+func recoverClone(t *testing.T, store *storage.MemStore, checkpointEvery int) (*engine.DB, *engine.Txn, *engine.RecoveryReport) {
+	t.Helper()
+	rdb, rtx, rep, err := engine.Recover(durOptions(store.Clone(), checkpointEvery))
+	if err != nil {
+		t.Fatalf("recover: %v", err)
+	}
+	return rdb, rtx, rep
+}
+
+// TestKillRecoverDifferential crashes (clones the store) at every block
+// boundary of a randomized workload and requires recovery to land on
+// the identical state.
+func TestKillRecoverDifferential(t *testing.T) {
+	for trial := 0; trial < 6; trial++ {
+		every := []int{0, 1, 3}[trial%3] // explicit-only, per-block, every-3-blocks
+		r := rand.New(rand.NewSource(int64(4000 + trial)))
+		ops := genDurOps(r, 50)
+
+		store := storage.NewMemStore()
+		db, err := engine.Open(durOptions(store, every))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defineDurCatalog(t, db)
+		tx, err := db.Begin()
+		if err != nil {
+			t.Fatal(err)
+		}
+		check := func(step int) {
+			if err := db.SyncWAL(); err != nil {
+				t.Fatal(err)
+			}
+			rdb, rtx, rep, err := engine.Recover(durOptions(store.Clone(), every))
+			if err != nil {
+				t.Fatalf("trial %d step %d: recover: %v", trial, step, err)
+			}
+			defer rdb.Close()
+			if rep.TxnOpen != (tx != nil) {
+				t.Fatalf("trial %d step %d: TxnOpen=%v, live txn open=%v",
+					trial, step, rep.TxnOpen, tx != nil)
+			}
+			want, got := durFingerprint(db, tx), durFingerprint(rdb, rtx)
+			if want != got {
+				t.Fatalf("trial %d step %d (every=%d): recovered state diverged:\n--- live\n%s--- recovered\n%s",
+					trial, step, every, want, got)
+			}
+		}
+		check(-1)
+		var live []types.OID
+		for i, op := range ops {
+			var boundary bool
+			tx, boundary = applyDurOp(t, db, tx, &live, op)
+			if boundary {
+				check(i)
+			}
+		}
+		if err := tx.Commit(); err != nil {
+			t.Fatal(err)
+		}
+		tx = nil
+		check(len(ops))
+		db.Close()
+	}
+}
+
+// TestRecoverContinuation crashes mid-workload, recovers, and then
+// drives the identical remaining operations against both the original
+// and the recovered database: they must stay in lockstep to the end.
+func TestRecoverContinuation(t *testing.T) {
+	for trial := 0; trial < 4; trial++ {
+		r := rand.New(rand.NewSource(int64(7000 + trial)))
+		ops := genDurOps(r, 60)
+		cut := len(ops) / 2
+
+		store := storage.NewMemStore()
+		db, err := engine.Open(durOptions(store, 2))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defineDurCatalog(t, db)
+		tx, err := db.Begin()
+		if err != nil {
+			t.Fatal(err)
+		}
+		var live []types.OID
+		for _, op := range ops[:cut] {
+			tx, _ = applyDurOp(t, db, tx, &live, op)
+		}
+		// The crash: only complete blocks survive. Force the boundary so
+		// both sides resume from the same instant, then clone.
+		if err := tx.EndLine(); err != nil {
+			t.Fatal(err)
+		}
+		if err := db.SyncWAL(); err != nil {
+			t.Fatal(err)
+		}
+		rdb, rtx, _, err := engine.Recover(durOptions(store.Clone(), 2))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rtx == nil {
+			t.Fatal("expected an open transaction after mid-workload recovery")
+		}
+		var rlive []types.OID
+		rlive = append(rlive, live...)
+		for i, op := range ops[cut:] {
+			tx, _ = applyDurOp(t, db, tx, &live, op)
+			rtx, _ = applyDurOp(t, rdb, rtx, &rlive, op)
+			if want, got := durFingerprint(db, tx), durFingerprint(rdb, rtx); want != got {
+				t.Fatalf("trial %d: diverged at continued op %d:\n--- original\n%s--- recovered\n%s",
+					trial, i, want, got)
+			}
+		}
+		if err := tx.Commit(); err != nil {
+			t.Fatal(err)
+		}
+		if err := rtx.Commit(); err != nil {
+			t.Fatal(err)
+		}
+		if want, got := durFingerprint(db, nil), durFingerprint(rdb, nil); want != got {
+			t.Fatalf("trial %d: final states diverged", trial)
+		}
+		db.Close()
+		rdb.Close()
+	}
+}
+
+// TestTruncatedWALRecovery cuts the log at arbitrary byte offsets: at a
+// synced boundary recovery lands exactly there; anywhere else it still
+// succeeds, stops at the last complete record, and yields a usable
+// database — never a partial engine.
+func TestTruncatedWALRecovery(t *testing.T) {
+	store := storage.NewMemStore()
+	db, err := engine.Open(durOptions(store, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defineDurCatalog(t, db)
+
+	// byLen records the expected state at every synced WAL length.
+	byLen := map[int]string{}
+	lens := []int{}
+	mark := func(tx *engine.Txn) {
+		if err := db.SyncWAL(); err != nil {
+			t.Fatal(err)
+		}
+		n := store.WALLen()
+		if _, dup := byLen[n]; !dup {
+			lens = append(lens, n)
+		}
+		byLen[n] = durFingerprint(db, tx)
+	}
+	mark(nil)
+	tx, err := db.Begin()
+	if err != nil {
+		t.Fatal(err)
+	}
+	mark(tx)
+	r := rand.New(rand.NewSource(99))
+	var live []types.OID
+	for _, op := range genDurOps(r, 40) {
+		var boundary bool
+		tx, boundary = applyDurOp(t, db, tx, &live, op)
+		if boundary {
+			mark(tx)
+		}
+	}
+	if err := tx.EndLine(); err != nil {
+		t.Fatal(err)
+	}
+	mark(tx)
+	total := store.WALLen()
+
+	// Exact-boundary cuts: the recovered state must equal the recorded
+	// fingerprint at that length.
+	for _, n := range lens {
+		clone := store.Clone()
+		clone.TruncateWAL(n)
+		rdb, rtx, _, err := engine.Recover(durOptions(clone, 0))
+		if err != nil {
+			t.Fatalf("cut at %d: %v", n, err)
+		}
+		if got := durFingerprint(rdb, rtx); got != byLen[n] {
+			t.Fatalf("cut at synced boundary %d: state differs:\n--- want\n%s--- got\n%s",
+				n, byLen[n], got)
+		}
+		rdb.Close()
+	}
+
+	// Arbitrary cuts: recovery must succeed and produce a database that
+	// accepts new work.
+	for i := 0; i < 60; i++ {
+		n := r.Intn(total + 1)
+		clone := store.Clone()
+		clone.TruncateWAL(n)
+		rdb, rtx, rep, err := engine.Recover(durOptions(clone, 0))
+		if err != nil {
+			t.Fatalf("cut at %d: %v", n, err)
+		}
+		if _, exact := byLen[n]; !exact && n < total && !rep.TruncatedWAL && !rep.StaleWAL {
+			// A cut inside a record must be noticed (a cut exactly between
+			// two records legitimately reads as a clean log).
+			_ = n // informational only: record boundaries between syncs are fine
+		}
+		if rtx != nil {
+			if err := rtx.Rollback(); err != nil {
+				t.Fatalf("cut at %d: rollback: %v", n, err)
+			}
+		}
+		// The usable-database probe must not assume the catalog: a cut
+		// before the DDL records legitimately recovers an empty schema.
+		if err := rdb.Run(func(tx *engine.Txn) error {
+			if _, ok := rdb.Schema().Class("item"); !ok {
+				return nil
+			}
+			_, err := tx.Create("item", map[string]types.Value{
+				"n": types.Int(1), "cap": types.Int(50)})
+			return err
+		}); err != nil {
+			t.Fatalf("cut at %d: post-recovery txn: %v", n, err)
+		}
+		rdb.Close()
+	}
+	db.Close()
+}
+
+// TestCorruptWALFrame flips a byte mid-log: recovery must stop at the
+// last record before the damage and still succeed.
+func TestCorruptWALFrame(t *testing.T) {
+	store := storage.NewMemStore()
+	db, err := engine.Open(durOptions(store, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defineDurCatalog(t, db)
+	if err := db.Run(func(tx *engine.Txn) error {
+		for i := 0; i < 10; i++ {
+			if _, err := tx.Create("item", map[string]types.Value{
+				"n": types.Int(int64(i)), "cap": types.Int(50)}); err != nil {
+				return err
+			}
+			if err := tx.EndLine(); err != nil {
+				return err
+			}
+		}
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.SyncWAL(); err != nil {
+		t.Fatal(err)
+	}
+	clone := store.Clone()
+	wal, err := clone.WAL()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Flip a byte two-thirds in; rebuild the clone's log around it.
+	pos := len(wal) * 2 / 3
+	wal[pos] ^= 0x20
+	clone.TruncateWAL(0)
+	if err := clone.AppendWAL(wal); err != nil {
+		t.Fatal(err)
+	}
+	rdb, rtx, rep, err := engine.Recover(durOptions(clone, 0))
+	if err != nil {
+		t.Fatalf("recover over corrupt frame: %v", err)
+	}
+	if !rep.TruncatedWAL {
+		t.Fatal("corrupt frame not reported as a truncated log")
+	}
+	if rtx != nil {
+		rtx.Rollback()
+	}
+	rdb.Close()
+	db.Close()
+}
+
+// TestStaleWALIgnored reproduces the crash window between checkpoint
+// publication and log reset: the log's marker names the previous epoch,
+// so recovery must take the checkpoint alone.
+func TestStaleWALIgnored(t *testing.T) {
+	store := storage.NewMemStore()
+	db, err := engine.Open(durOptions(store, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defineDurCatalog(t, db)
+	if err := db.Run(func(tx *engine.Txn) error {
+		_, err := tx.Create("item", map[string]types.Value{
+			"n": types.Int(7), "cap": types.Int(50)})
+		return err
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.SyncWAL(); err != nil {
+		t.Fatal(err)
+	}
+	preCkpt := store.Clone() // the old log, soon to be stale
+	if err := db.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	newCkpt, err := store.Checkpoint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The simulated crash: new checkpoint written, log not yet reset.
+	if err := preCkpt.PutCheckpoint(newCkpt); err != nil {
+		t.Fatal(err)
+	}
+	rdb, rtx, rep, err := engine.Recover(durOptions(preCkpt, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.StaleWAL {
+		t.Fatal("stale log not detected")
+	}
+	if want, got := durFingerprint(db, nil), durFingerprint(rdb, rtx); want != got {
+		t.Fatalf("stale-WAL recovery diverged:\n--- live\n%s--- recovered\n%s", want, got)
+	}
+	rdb.Close()
+	db.Close()
+}
+
+// TestOpenNeedsRecovery: Open refuses a store that already holds a
+// database.
+func TestOpenNeedsRecovery(t *testing.T) {
+	store := storage.NewMemStore()
+	db, err := engine.Open(durOptions(store, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	db.Close()
+	if _, err := engine.Open(durOptions(store.Clone(), 0)); !errors.Is(err, engine.ErrNeedsRecovery) {
+		t.Fatalf("Open on a used store: got %v, want ErrNeedsRecovery", err)
+	}
+}
+
+// TestWALFailureSurfacesAtCommit: once the store starts failing, the
+// sticky writer error must refuse the commit (and roll it back) rather
+// than let the caller believe the work is durable.
+func TestWALFailureSurfacesAtCommit(t *testing.T) {
+	store := storage.NewMemStore()
+	db, err := engine.Open(durOptions(store, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defineDurCatalog(t, db)
+	boom := errors.New("disk full")
+	tx, err := db.Begin()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tx.Create("item", map[string]types.Value{
+		"n": types.Int(1), "cap": types.Int(50)}); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.EndLine(); err != nil {
+		t.Fatal(err)
+	}
+	store.FailWrites(boom)
+	// More work, so the committer has something to choke on.
+	if _, err := tx.Create("item", map[string]types.Value{
+		"n": types.Int(2), "cap": types.Int(50)}); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.EndLine(); err != nil {
+		t.Fatal(err)
+	}
+	db.SyncWAL() //nolint:errcheck // drives the committer into the injected failure
+	err = tx.Commit()
+	if err == nil {
+		t.Fatal("commit succeeded over a failing log")
+	}
+	if !errors.Is(err, engine.ErrWALFailed) {
+		t.Fatalf("commit error %v does not wrap ErrWALFailed", err)
+	}
+	// The rollback happened: the mutations are gone.
+	if oids, _ := db.Store().Select("item"); len(oids) != 0 {
+		t.Fatalf("failed commit left %d objects behind", len(oids))
+	}
+	db.Close()
+}
+
+// TestPerCommitSyncFailure: under FsyncPerCommit a failing fsync must
+// surface from Commit itself.
+func TestPerCommitSyncFailure(t *testing.T) {
+	store := storage.NewMemStore()
+	opts := durOptions(store, 0)
+	opts.Durability.Fsync = engine.FsyncPerCommit
+	db, err := engine.Open(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defineDurCatalog(t, db)
+	store.FailSync(errors.New("fsync: I/O error"))
+	tx, err := db.Begin()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tx.Create("item", map[string]types.Value{
+		"n": types.Int(1), "cap": types.Int(50)}); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.Commit(); err == nil {
+		t.Fatal("per-commit fsync failure did not surface at Commit")
+	}
+	db.Close()
+}
+
+// TestCloseSemantics: Close is idempotent and fences Begin.
+func TestCloseSemantics(t *testing.T) {
+	store := storage.NewMemStore()
+	db, err := engine.Open(durOptions(store, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Close(); err != nil {
+		t.Fatalf("second Close: %v", err)
+	}
+	if _, err := db.Begin(); !errors.Is(err, engine.ErrClosed) {
+		t.Fatalf("Begin after Close: got %v, want ErrClosed", err)
+	}
+	if err := db.Checkpoint(); !errors.Is(err, engine.ErrClosed) {
+		t.Fatalf("Checkpoint after Close: got %v, want ErrClosed", err)
+	}
+}
+
+// TestCheckpointBoundsWAL: periodic checkpoints keep the log from
+// growing without bound, and recovery from the checkpointed store is
+// exact.
+func TestCheckpointBoundsWAL(t *testing.T) {
+	run := func(every int) int {
+		store := storage.NewMemStore()
+		db, err := engine.Open(durOptions(store, every))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer db.Close()
+		defineDurCatalog(t, db)
+		tx, err := db.Begin()
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < 200; i++ {
+			if _, err := tx.Create("item", map[string]types.Value{
+				"n": types.Int(int64(i)), "cap": types.Int(50)}); err != nil {
+				t.Fatal(err)
+			}
+			if err := tx.EndLine(); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := db.SyncWAL(); err != nil {
+			t.Fatal(err)
+		}
+		peak := store.WALLen()
+		// Exactness after a long checkpointed run.
+		rdb, rtx, _, err := engine.Recover(durOptions(store.Clone(), every))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if want, got := durFingerprint(db, tx), durFingerprint(rdb, rtx); want != got {
+			t.Fatalf("every=%d: recovery after checkpoints diverged", every)
+		}
+		rdb.Close()
+		return peak
+	}
+	unbounded := run(0)
+	bounded := run(5)
+	if bounded*4 > unbounded {
+		t.Fatalf("checkpointing every 5 blocks left WAL at %d bytes (unbounded run: %d)",
+			bounded, unbounded)
+	}
+}
+
+// TestDDLReplay: class definitions, rule definitions and rule drops are
+// all reconstructed from the log.
+func TestDDLReplay(t *testing.T) {
+	store := storage.NewMemStore()
+	db, err := engine.Open(durOptions(store, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defineDurCatalog(t, db)
+	if err := db.DropRule("audit"); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.SyncWAL(); err != nil {
+		t.Fatal(err)
+	}
+	rdb, _, _, err := engine.Recover(durOptions(store.Clone(), 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := rdb.Support().Rules(); len(got) != 2 {
+		t.Fatalf("recovered rules = %v, want clamp and seq only", got)
+	}
+	if _, ok := rdb.Schema().Class("item"); !ok {
+		t.Fatal("recovered schema lost class item")
+	}
+	rdb.Close()
+	db.Close()
+}

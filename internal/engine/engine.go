@@ -106,6 +106,46 @@ type Options struct {
 	// Since latches are held to end of line, the timeout doubles as the
 	// deadlock breaker; an unbounded wait is deliberately not offered.
 	LockWait time.Duration
+	// Durability, when its Store is set, makes the database durable: a
+	// group-committed write-ahead log covers the live window, sealed
+	// Event Base segments and the committed object/schema/rule state are
+	// persisted by checkpoints, and engine.Recover rebuilds a
+	// bit-identical engine after a crash (DESIGN.md §13). Durable
+	// databases are constructed with Open, not New, and require the
+	// columnar Event Base in single-session mode.
+	Durability DurabilityOptions
+}
+
+// Validate checks the options for constructor use. Negative limits are
+// rejected rather than silently clamped, and durability's structural
+// requirements (columnar Event Base, single session) are enforced up
+// front — a misconfiguration must fail at Open, not at the first
+// checkpoint.
+func (o Options) Validate() error {
+	if o.SegmentSize < 0 {
+		return fmt.Errorf("engine: negative SegmentSize %d", o.SegmentSize)
+	}
+	if o.MaxSessions < 0 {
+		return fmt.Errorf("engine: negative MaxSessions %d", o.MaxSessions)
+	}
+	if o.MaxRuleExecutions < 0 {
+		return fmt.Errorf("engine: negative MaxRuleExecutions %d", o.MaxRuleExecutions)
+	}
+	if o.Durability.enabled() {
+		if !o.ColumnarEB {
+			return errors.New("engine: durability requires the columnar Event Base (segment export)")
+		}
+		if o.MaxSessions > 1 {
+			return fmt.Errorf("engine: durability requires single-session mode, MaxSessions is %d", o.MaxSessions)
+		}
+		if o.Durability.SyncInterval < 0 {
+			return fmt.Errorf("engine: negative Durability.SyncInterval %v", o.Durability.SyncInterval)
+		}
+		if o.Durability.CheckpointEvery < 0 {
+			return fmt.Errorf("engine: negative Durability.CheckpointEvery %d", o.Durability.CheckpointEvery)
+		}
+	}
+	return nil
 }
 
 // DefaultOptions enables the paper's static optimization and the formal
@@ -178,10 +218,70 @@ type DB struct {
 	m           engineMetrics
 	baseMetrics event.BaseMetrics
 	latchM      object.LatchMetrics
+
+	// Durability state (nil wal on the classic in-memory engine): the
+	// group committer, the checkpoint sequence number (cross-checked
+	// against the WAL's leading marker record), the transaction
+	// generation that namespaces persisted segment ids, the high-water
+	// mark of persisted segment ordinals within the current generation,
+	// the block count since the last checkpoint, and the closed flag.
+	wal             *walWriter
+	ckptSeq         uint64
+	txnGen          uint32
+	segsPersisted   uint64
+	blocksSinceCkpt int
+	closed          bool
 }
 
-// New creates an empty database with the given options.
+// Open creates an empty database after validating the options — the
+// constructor for durable databases (and the error-returning form of
+// New). With durability enabled the store must be empty: a store
+// holding a checkpoint or WAL records is an existing database and must
+// go through Recover, not be silently reinitialized (ErrNeedsRecovery).
+func Open(opts Options) (*DB, error) {
+	if err := opts.Validate(); err != nil {
+		return nil, err
+	}
+	db := newDB(opts)
+	if !opts.Durability.enabled() {
+		return db, nil
+	}
+	ckpt, err := opts.Durability.Store.Checkpoint()
+	if err != nil {
+		return nil, fmt.Errorf("engine: open: %w", err)
+	}
+	wal, err := opts.Durability.Store.WAL()
+	if err != nil {
+		return nil, fmt.Errorf("engine: open: %w", err)
+	}
+	if ckpt != nil || len(wal) > 0 {
+		return nil, ErrNeedsRecovery
+	}
+	db.attachWAL()
+	// The initial checkpoint stamps the store with sequence 1 and seeds
+	// the WAL with its marker record, so a crash before the first
+	// explicit checkpoint already recovers cleanly.
+	if err := db.checkpointNow(nil); err != nil {
+		db.wal.close()
+		return nil, err
+	}
+	return db, nil
+}
+
+// New creates an empty database with the given options. New does not
+// validate (it predates Options.Validate and keeps the legacy clamping
+// behavior); durable databases must use Open — New panics if
+// Durability.Store is set, because it cannot report the store checks'
+// errors.
 func New(opts Options) *DB {
+	if opts.Durability.enabled() {
+		panic("engine: use Open for durable databases")
+	}
+	return newDB(opts)
+}
+
+// newDB builds the in-memory core shared by New, Open and Recover.
+func newDB(opts Options) *DB {
 	if opts.MaxRuleExecutions == 0 {
 		opts.MaxRuleExecutions = 10000
 	}
@@ -250,16 +350,29 @@ func (db *DB) lockWait() time.Duration {
 	}
 }
 
+// walDDL logs one DDL record (a no-op on the in-memory engine).
+func (db *DB) walDDL(rec []byte) error {
+	if db.wal == nil {
+		return nil
+	}
+	_, err := db.wal.append(rec)
+	return err
+}
+
 // DefineClass registers a root class.
 func (db *DB) DefineClass(name string, attrs ...schema.Attribute) error {
-	_, err := db.schema.Define(name, attrs...)
-	return err
+	if _, err := db.schema.Define(name, attrs...); err != nil {
+		return err
+	}
+	return db.walDDL(encDefineClass(nil, name, "", attrs))
 }
 
 // DefineSubclass registers a class specializing parent.
 func (db *DB) DefineSubclass(name, parent string, attrs ...schema.Attribute) error {
-	_, err := db.schema.DefineSub(name, parent, attrs...)
-	return err
+	if _, err := db.schema.DefineSub(name, parent, attrs...); err != nil {
+		return err
+	}
+	return db.walDDL(encDefineClass(nil, name, parent, attrs))
 }
 
 // DefineRule registers a trigger: its event expression and modes go to
@@ -282,7 +395,10 @@ func (db *DB) DefineRule(def rules.Def, body Body) error {
 		return err
 	}
 	db.bodies[def.Name] = body
-	return nil
+	// Rules are logged as their concrete-syntax source: recovery replays
+	// them through lang.ParseRule, the same front door a live definition
+	// came through.
+	return db.walDDL(encDefineRule(nil, RenderRule(def, body)))
 }
 
 func eventClasses(def rules.Def) []string {
@@ -322,7 +438,7 @@ func (db *DB) DropRule(name string) error {
 		return err
 	}
 	delete(db.bodies, name)
-	return nil
+	return db.walDDL(encDropRule(nil, name))
 }
 
 // Txn is an open transaction line: a sequence of non-interruptible
@@ -344,6 +460,15 @@ type Txn struct {
 	pending []event.Occurrence
 	execs   int
 	done    bool
+	// Durable-mode block state: the current block's WAL op stream
+	// (events, mutations, considerations in execution order — becomes
+	// one record at the block boundary), a reused record-assembly
+	// buffer, and the per-log set of event type ids already declared
+	// (indexed by interned id).
+	wrec     []byte
+	recBuf   []byte
+	markBuf  []firedMark
+	walTypes []bool
 }
 
 // Begin opens a transaction line. The Event Base starts empty (it is
@@ -363,6 +488,10 @@ func (db *DB) Begin() (*Txn, error) {
 	t := &Txn{db: db, base: base, multi: db.multiSession()}
 
 	db.mu.Lock()
+	if db.closed {
+		db.mu.Unlock()
+		return nil, ErrClosed
+	}
 	if t.multi {
 		if db.active >= db.opts.MaxSessions {
 			db.mu.Unlock()
@@ -394,19 +523,60 @@ func (db *DB) Begin() (*Txn, error) {
 	if db.tracer != nil {
 		db.tracer.TransactionStart(db.clock.Now())
 	}
+	if db.opts.Durability.enabled() {
+		// The generation namespaces this transaction's persisted segment
+		// ids; segment ordinals restart at zero with the fresh base. The
+		// bump happens during WAL replay too (wal is nil then), keeping
+		// replay's generation arithmetic identical to the live run's.
+		db.txnGen++
+		db.segsPersisted = 0
+		if db.wal != nil {
+			if _, err := db.wal.append(encBegin(nil, db.clock.Now())); err != nil {
+				t.rollback()
+				return nil, err
+			}
+		}
+	}
 	return t, nil
 }
 
-// log stamps and stores one occurrence (Event Handler duty).
+// log stamps and stores one occurrence (Event Handler duty). In durable
+// mode it also encodes the occurrence into the block's WAL op stream —
+// an in-memory append into a reused buffer, so the hot path stays
+// allocation-free and never touches the store (the group committer
+// drains record batches in the background).
 func (t *Txn) log(ty event.Type, oid types.OID) error {
-	occ, err := t.base.Append(ty, oid, t.db.clock.Tick())
-	if err != nil {
-		return err
+	ts := t.db.clock.Tick()
+	if t.db.wal != nil {
+		occ, tid, err := t.base.AppendTID(ty, oid, ts)
+		if err != nil {
+			return err
+		}
+		t.walEvent(tid, ty, ts, oid)
+		t.pending = append(t.pending, occ)
+	} else {
+		occ, err := t.base.Append(ty, oid, ts)
+		if err != nil {
+			return err
+		}
+		t.pending = append(t.pending, occ)
 	}
-	t.pending = append(t.pending, occ)
 	t.db.stats.events.Add(1)
 	t.db.m.events.Inc()
 	return nil
+}
+
+// walEvent appends one occurrence to the block op stream, declaring its
+// interned type id on first use in this log.
+func (t *Txn) walEvent(tid int32, ty event.Type, ts clock.Time, oid types.OID) {
+	if int(tid) >= len(t.walTypes) {
+		t.walTypes = append(t.walTypes, make([]bool, int(tid)+1-len(t.walTypes))...)
+	}
+	if !t.walTypes[tid] {
+		t.walTypes[tid] = true
+		t.wrec = encOpTypeDef(t.wrec, tid, ty)
+	}
+	t.wrec = encOpEvent(t.wrec, ts, tid, oid)
 }
 
 func (t *Txn) check() error {
@@ -436,6 +606,13 @@ func (t *Txn) Create(class string, vals map[string]types.Value) (types.OID, erro
 	if err != nil {
 		return types.NilOID, t.conflict(err)
 	}
+	if t.db.wal != nil {
+		// The allocated OID is logged so replay can verify the
+		// deterministic allocator reproduced it.
+		if t.wrec, err = encOpCreate(t.wrec, oid, class, vals); err != nil {
+			return types.NilOID, err
+		}
+	}
 	return oid, t.log(event.Create(class), oid)
 }
 
@@ -450,6 +627,12 @@ func (t *Txn) Modify(oid types.OID, attr string, v types.Value) error {
 	}
 	if err := t.line.Modify(oid, attr, v); err != nil {
 		return t.conflict(err)
+	}
+	if t.db.wal != nil {
+		var err error
+		if t.wrec, err = encOpModify(t.wrec, oid, attr, v); err != nil {
+			return err
+		}
 	}
 	return t.log(event.Modify(o.Class().Name(), attr), oid)
 }
@@ -467,6 +650,9 @@ func (t *Txn) Delete(oid types.OID) error {
 	if err := t.line.Delete(oid); err != nil {
 		return t.conflict(err)
 	}
+	if t.db.wal != nil {
+		t.wrec = encOpDelete(t.wrec, oid)
+	}
 	return t.log(event.Delete(class), oid)
 }
 
@@ -477,6 +663,9 @@ func (t *Txn) Specialize(oid types.OID, sub string) error {
 	}
 	if err := t.line.Specialize(oid, sub); err != nil {
 		return t.conflict(err)
+	}
+	if t.db.wal != nil {
+		t.wrec = encOpMigrate(t.wrec, opSpecialize, oid, sub)
 	}
 	return t.log(event.T(event.OpSpecialize, sub), oid)
 }
@@ -489,6 +678,9 @@ func (t *Txn) Generalize(oid types.OID, super string) error {
 	}
 	if err := t.line.Generalize(oid, super); err != nil {
 		return t.conflict(err)
+	}
+	if t.db.wal != nil {
+		t.wrec = encOpMigrate(t.wrec, opGeneralize, oid, super)
 	}
 	return t.log(event.T(event.OpGeneralize, super), oid)
 }
@@ -604,7 +796,52 @@ func (t *Txn) flushBlock() {
 	if tr != nil {
 		tr.BlockEnd(n, fired)
 	}
+	if db.wal != nil {
+		t.walFlushBlock(now, fired)
+	}
 }
+
+// walFlushBlock turns the accumulated op stream into one block record
+// and hands it to the group committer. Empty blocks (no ops, nothing
+// fired) are skipped — they are semantically inert, and skipping them
+// keeps idle EndLine calls off the log. Append errors are sticky in the
+// writer and surface at Commit; a failed log must not corrupt the
+// in-memory run.
+func (t *Txn) walFlushBlock(now clock.Time, fired []string) {
+	db := t.db
+	if len(t.wrec) == 0 && len(fired) == 0 {
+		return
+	}
+	var marks []firedMark
+	if len(fired) > 0 {
+		marks = t.markBuf[:0]
+		for _, name := range fired {
+			// The activation instant is recorded and restored verbatim:
+			// recovery must not re-run the triggering determination (a
+			// monotone rule's TriggeredAt is latched at first activation
+			// and cannot be recomputed from a later probe).
+			st, ok := t.view.Rule(name)
+			if !ok {
+				continue
+			}
+			marks = append(marks, firedMark{Rule: name, At: st.TriggeredAt})
+		}
+		t.markBuf = marks[:0]
+	}
+	rec := encBlock(t.recBuf[:0], now, marks, t.wrec)
+	t.recBuf = rec
+	t.wrec = t.wrec[:0]
+	if _, err := db.wal.append(rec); err != nil {
+		return // sticky; Commit reports it
+	}
+	db.blocksSinceCkpt++
+	if every := db.dur().CheckpointEvery; every > 0 && db.blocksSinceCkpt >= every {
+		db.checkpointNow(t) //nolint:errcheck // sticky in the writer; Commit reports it
+	}
+}
+
+// dur returns the durability options.
+func (db *DB) dur() DurabilityOptions { return db.opts.Durability }
 
 // processRules considers and executes triggered rules passing the filter,
 // highest priority first, re-running the triggering determination after
@@ -630,9 +867,16 @@ func (t *Txn) runRule(name string) error {
 		return fmt.Errorf("%w (%d executions; non-terminating rule set?)",
 			ErrRuleLimit, t.execs-1)
 	}
-	consideration, err := t.view.Consider(name, t.db.clock.Tick())
+	at := t.db.clock.Tick()
+	consideration, err := t.view.Consider(name, at)
 	if err != nil {
 		return err
+	}
+	if t.db.wal != nil {
+		// The consideration joins the block op stream: it precedes the
+		// action's ops in execution order, so replay advances the rule's
+		// horizon at exactly the live instant.
+		t.wrec = encOpConsider(t.wrec, name, at)
 	}
 	t.db.stats.considerations.Add(1)
 	t.db.m.considerations.Inc()
@@ -728,6 +972,15 @@ func (t *Txn) Commit() error {
 		t.rollback()
 		return err
 	}
+	if t.db.wal != nil {
+		// A committer in the failed state cannot make this commit durable;
+		// refuse (and roll back) rather than silently diverge from the log.
+		if err := t.db.wal.Err(); err != nil {
+			t.db.commitMu.Unlock()
+			t.rollback()
+			return err
+		}
+	}
 	t.line.Commit()
 	t.db.commitMu.Unlock()
 	if !t.multi {
@@ -740,6 +993,17 @@ func (t *Txn) Commit() error {
 	t.db.m.commits.Inc()
 	if t.db.tracer != nil {
 		t.db.tracer.TransactionEnd(true)
+	}
+	if t.db.wal != nil {
+		lsn, err := t.db.wal.append([]byte{recCommit})
+		if err == nil && t.db.dur().Fsync == FsyncPerCommit {
+			err = t.db.wal.waitDurable(lsn)
+		}
+		if err != nil {
+			// The in-memory state committed; durability did not. Report it —
+			// callers treating the database as durable must not proceed.
+			return err
+		}
 	}
 	return nil
 }
@@ -759,6 +1023,12 @@ func (t *Txn) rollback() {
 	t.db.m.rollbacks.Inc()
 	if t.db.tracer != nil {
 		t.db.tracer.TransactionEnd(false)
+	}
+	if t.db.wal != nil {
+		// Discard the unflushed block ops (they never happened, as far as
+		// the log is concerned) and record the rollback.
+		t.wrec = t.wrec[:0]
+		t.db.wal.append([]byte{recRollback}) //nolint:errcheck // sticky in the writer
 	}
 }
 

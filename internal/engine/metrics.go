@@ -27,6 +27,15 @@ type engineMetrics struct {
 	// object layer (chimera_object_latch_*).
 	activeLines *metrics.Gauge
 	commitWait  *metrics.Histogram
+	// Durability instruments: WAL records and bytes enqueued, committer
+	// flushes (store appends) and fsyncs, checkpoints written and sealed
+	// segments persisted by them.
+	walRecords        *metrics.Counter
+	walBytes          *metrics.Counter
+	walFlushes        *metrics.Counter
+	walFsyncs         *metrics.Counter
+	checkpoints       *metrics.Counter
+	segmentsPersisted *metrics.Counter
 }
 
 func newEngineMetrics(r *metrics.Registry) engineMetrics {
@@ -47,6 +56,12 @@ func newEngineMetrics(r *metrics.Registry) engineMetrics {
 		activeLines:  r.Gauge("chimera_engine_active_lines"),
 		commitWait: r.Histogram("chimera_engine_commit_wait_ns",
 			1e3, 1e4, 1e5, 1e6, 1e7, 1e8, 1e9),
+		walRecords:        r.Counter("chimera_wal_records_total"),
+		walBytes:          r.Counter("chimera_wal_bytes_total"),
+		walFlushes:        r.Counter("chimera_wal_flushes_total"),
+		walFsyncs:         r.Counter("chimera_wal_fsyncs_total"),
+		checkpoints:       r.Counter("chimera_ckpt_total"),
+		segmentsPersisted: r.Counter("chimera_ckpt_segments_persisted_total"),
 	}
 }
 

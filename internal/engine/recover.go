@@ -1,0 +1,494 @@
+package engine
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+
+	"chimera/internal/event"
+	"chimera/internal/lang"
+	"chimera/internal/object"
+	"chimera/internal/wire"
+)
+
+// RecoveryReport describes what Recover rebuilt and from how much log.
+type RecoveryReport struct {
+	// CheckpointSeq is the sequence number of the checkpoint recovery
+	// started from (0 if the store held none).
+	CheckpointSeq uint64
+	// Segments is how many sealed segment frames were fetched, decoded
+	// and index-rebuilt (in parallel across RecoveryWorkers).
+	Segments int
+	// Records and Blocks count the WAL records replayed; Events the
+	// occurrences re-appended by block replay.
+	Records int
+	Blocks  int
+	Events  int
+	// TxnOpen reports that the crash interrupted an open transaction,
+	// returned live by Recover.
+	TxnOpen bool
+	// TruncatedWAL is set when the log ended in a torn or corrupt frame:
+	// replay stopped at the last good record (the expected shape of a
+	// crash mid-write).
+	TruncatedWAL bool
+	// StaleWAL is set when the log's marker record named a different
+	// checkpoint epoch (a crash landed between checkpoint publication
+	// and log reset); the log was ignored.
+	StaleWAL bool
+	// SegmentLoad and Replay are the wall-clock durations of the two
+	// recovery phases: parallel segment decode/rebuild, and sequential
+	// WAL replay.
+	SegmentLoad time.Duration
+	Replay      time.Duration
+}
+
+// Recover rebuilds a database from the durable state in
+// opts.Durability.Store: the checkpoint is loaded, its referenced
+// segments are fetched, decoded and index-rebuilt in parallel across
+// cores, and the WAL records since the checkpoint are replayed through
+// the engine's own code paths. The result is bit-identical to the
+// crashed engine at its last durable block boundary: same objects, same
+// occurrences and interner ids, same marks, same triggered flags and
+// activation instants, same watermark.
+//
+// If a transaction was open at the crash, Recover returns it live — the
+// caller continues it or rolls it back. Recovery ends by writing a
+// fresh checkpoint, so the store is immediately re-openable and the
+// replayed log is not replayed twice.
+func Recover(opts Options) (*DB, *Txn, *RecoveryReport, error) {
+	if err := opts.Validate(); err != nil {
+		return nil, nil, nil, err
+	}
+	if !opts.Durability.enabled() {
+		return nil, nil, nil, errors.New("engine: Recover needs Durability.Store")
+	}
+	store := opts.Durability.Store
+	rep := &RecoveryReport{}
+	db := newDB(opts)
+
+	ckptBytes, err := store.Checkpoint()
+	if err != nil {
+		return nil, nil, nil, fmt.Errorf("engine: recover: checkpoint: %w", err)
+	}
+	var t *Txn
+	if ckptBytes != nil {
+		ck, err := decodeCheckpoint(ckptBytes)
+		if err != nil {
+			return nil, nil, nil, fmt.Errorf("engine: recover: checkpoint: %w", err)
+		}
+		rep.CheckpointSeq = ck.Seq
+		db.ckptSeq = ck.Seq
+		db.txnGen = ck.TxnGen
+		if t, err = db.applyCheckpoint(ck, rep); err != nil {
+			return nil, nil, nil, err
+		}
+	}
+
+	walBytes, err := store.WAL()
+	if err != nil {
+		return nil, nil, nil, fmt.Errorf("engine: recover: wal: %w", err)
+	}
+	replay0 := time.Now()
+	if t, err = db.replayWAL(walBytes, t, rep); err != nil {
+		return nil, nil, nil, err
+	}
+	rep.Replay = time.Since(replay0)
+	rep.TxnOpen = t != nil
+
+	// Re-arm durability: attach the committer and write a fresh
+	// checkpoint so the replayed log retires and the next crash recovers
+	// from here.
+	db.attachWAL()
+	if err := db.checkpointNow(t); err != nil {
+		db.wal.close()
+		return nil, nil, nil, fmt.Errorf("engine: recover: %w", err)
+	}
+	if t != nil {
+		db.segsPersisted = t.base.SealedSegments()
+	}
+	return db, t, rep, nil
+}
+
+// applyCheckpoint loads the checkpoint into the fresh database,
+// reopening the interrupted transaction if one was captured.
+func (db *DB) applyCheckpoint(ck *checkpoint, rep *RecoveryReport) (*Txn, error) {
+	for _, c := range ck.Classes {
+		var err error
+		if c.Parent == "" {
+			_, err = db.schema.Define(c.Name, c.Attrs...)
+		} else {
+			_, err = db.schema.DefineSub(c.Name, c.Parent, c.Attrs...)
+		}
+		if err != nil {
+			return nil, fmt.Errorf("engine: recover: class %q: %w", c.Name, err)
+		}
+	}
+	for _, src := range ck.Rules {
+		if err := db.replayDefineRule(src); err != nil {
+			return nil, err
+		}
+	}
+	for _, o := range ck.Objects {
+		if err := db.store.Restore(o.OID, o.Class, o.Vals); err != nil {
+			return nil, fmt.Errorf("engine: recover: %w", err)
+		}
+	}
+	// The allocation point is explicit state: OIDs freed by
+	// pre-checkpoint deletions must never be reissued.
+	db.store.SetNextOID(ck.NextOID)
+	db.clock.AdvanceTo(ck.Now)
+	if !ck.InTxn {
+		return nil, nil
+	}
+
+	// Fetch and decode the referenced segments in parallel, then rebuild
+	// the base's per-segment indexes in parallel (RestoreBase).
+	load0 := time.Now()
+	n := int(ck.SealedSegs - ck.FirstSeg)
+	total := n
+	if ck.Tail != nil {
+		total++
+	}
+	frames := make([]event.SegmentFrame, total)
+	workers := db.dur().RecoveryWorkers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if n > 0 {
+		if workers > n {
+			workers = n
+		}
+		var wg sync.WaitGroup
+		errs := make([]error, workers)
+		next := make(chan int, n)
+		for i := 0; i < n; i++ {
+			next <- i
+		}
+		close(next)
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				for i := range next {
+					data, err := db.dur().Store.Segment(segKey(db.txnGen, ck.FirstSeg+uint64(i)))
+					if err == nil {
+						frames[i], err = event.DecodeSegment(data)
+					}
+					if err != nil && errs[w] == nil {
+						errs[w] = fmt.Errorf("engine: recover: segment %d: %w", ck.FirstSeg+uint64(i), err)
+					}
+				}
+			}(w)
+		}
+		wg.Wait()
+		for _, err := range errs {
+			if err != nil {
+				return nil, err
+			}
+		}
+	}
+	if ck.Tail != nil {
+		frames[total-1] = *ck.Tail
+	}
+	base, err := event.RestoreBase(ck.Meta, frames, db.dur().RecoveryWorkers)
+	if err != nil {
+		return nil, fmt.Errorf("engine: recover: %w", err)
+	}
+	rep.Segments = total
+	rep.SegmentLoad = time.Since(load0)
+
+	t, err := db.reopenTxn(base, ck)
+	if err != nil {
+		return nil, err
+	}
+	return t, nil
+}
+
+// reopenTxn reinstates the interrupted transaction around a restored
+// base: the single-session Begin dance at the recorded start instant,
+// then the marks.
+func (db *DB) reopenTxn(base *event.Base, ck *checkpoint) (*Txn, error) {
+	base.SetMetrics(db.baseMetrics)
+	t := &Txn{db: db, base: base}
+	db.mu.Lock()
+	db.support.Rebind(base)
+	db.support.BeginTransaction(ck.Start)
+	t.view = db.support
+	t.line = db.store.BeginLine(object.LineOptions{Solo: true})
+	db.txn = t
+	db.active++
+	db.mu.Unlock()
+	if err := db.support.RestoreMarks(ck.Marks); err != nil {
+		return nil, fmt.Errorf("engine: recover: %w", err)
+	}
+	// The checkpointed undo log: without it a replayed rollback could
+	// only reverse mutations made after the checkpoint.
+	if err := t.line.RestoreUndo(ck.Undo); err != nil {
+		return nil, fmt.Errorf("engine: recover: %w", err)
+	}
+	// Types carried by the checkpoint's meta need no re-declaration in
+	// later WAL records.
+	t.walTypes = make([]bool, len(ck.Meta.Types))
+	for i := range t.walTypes {
+		t.walTypes[i] = true
+	}
+	return t, nil
+}
+
+// replayDefineRule replays one rule definition from its source form.
+func (db *DB) replayDefineRule(src string) error {
+	r, err := lang.ParseRule(src)
+	if err != nil {
+		return fmt.Errorf("engine: recover: rule %w", err)
+	}
+	if err := db.DefineRule(r.Def, Body{Condition: r.Condition, Action: r.Action}); err != nil {
+		return fmt.Errorf("engine: recover: rule %q: %w", r.Def.Name, err)
+	}
+	return nil
+}
+
+// replayTypes maps interned type ids to event types during block
+// decode. The table is indexed by the id itself: the base's interner is
+// pre-populated by Rebind (the rule vocabulary), so the ids a log
+// declares are not dense — the first declared id may be any slot the
+// live interner handed out. declared tracks which slots the log has
+// defined; an opEvent may only reference those.
+type replayTypes struct {
+	types    []event.Type
+	declared []bool
+}
+
+func (tt *replayTypes) reset() {
+	tt.types = tt.types[:0]
+	tt.declared = tt.declared[:0]
+}
+
+func (tt *replayTypes) declare(tid int32, ty event.Type) error {
+	if int(tid) >= len(tt.types) {
+		grow := int(tid) + 1 - len(tt.types)
+		tt.types = append(tt.types, make([]event.Type, grow)...)
+		tt.declared = append(tt.declared, make([]bool, grow)...)
+	}
+	if tt.declared[tid] {
+		return fmt.Errorf("%w: type id %d declared twice", wire.ErrCorrupt, tid)
+	}
+	tt.types[tid] = ty
+	tt.declared[tid] = true
+	return nil
+}
+
+func (tt *replayTypes) lookup(tid int32) (event.Type, error) {
+	if tid < 0 || int(tid) >= len(tt.types) || !tt.declared[tid] {
+		return event.Type{}, fmt.Errorf("%w: undeclared type id %d", wire.ErrCorrupt, tid)
+	}
+	return tt.types[tid], nil
+}
+
+// replayWAL applies the log's records to the recovering database. t is
+// the transaction reopened from the checkpoint (nil if none); the
+// return value is the transaction open after the last good record. A
+// torn or corrupt tail ends replay at the last complete record; a
+// marker mismatch discards the whole log as stale.
+func (db *DB) replayWAL(data []byte, t *Txn, rep *RecoveryReport) (*Txn, error) {
+	// Seed the table from the checkpoint's meta — its interner contents
+	// need no re-declaration in later records (mirroring the live
+	// engine's walTypes reset at checkpoint time).
+	var typeTab replayTypes
+	if t != nil {
+		st, err := t.base.ExportState()
+		if err != nil {
+			return nil, fmt.Errorf("engine: recover: %w", err)
+		}
+		for tid, ty := range st.Meta.Types {
+			if err := typeTab.declare(int32(tid), ty); err != nil {
+				return nil, err
+			}
+		}
+	}
+	first := true
+	for len(data) > 0 {
+		payload, rest, err := wire.NextFrame(data)
+		if err != nil {
+			rep.TruncatedWAL = true
+			break
+		}
+		if payload == nil {
+			break
+		}
+		rec, err := decRecord(payload)
+		if err != nil {
+			rep.TruncatedWAL = true
+			break
+		}
+		if first {
+			if rec.Kind != recCkptMarker || rec.Seq != db.ckptSeq {
+				// The log belongs to a different checkpoint epoch — the
+				// crash landed between checkpoint publication and log reset.
+				// Everything it records is already inside the checkpoint.
+				rep.StaleWAL = true
+				return t, nil
+			}
+			first = false
+			rep.Records++
+			data = rest
+			continue
+		}
+		if t, err = db.replayRecord(rec, t, &typeTab, rep); err != nil {
+			return nil, err
+		}
+		rep.Records++
+		data = rest
+	}
+	return t, nil
+}
+
+func (db *DB) replayRecord(rec walRecord, t *Txn, typeTab *replayTypes, rep *RecoveryReport) (*Txn, error) {
+	switch rec.Kind {
+	case recCkptMarker:
+		return nil, fmt.Errorf("%w: marker record inside the log", wire.ErrCorrupt)
+	case recDefineClass:
+		var err error
+		if rec.Parent == "" {
+			err = db.DefineClass(rec.Name, rec.Attrs...)
+		} else {
+			err = db.DefineSubclass(rec.Name, rec.Parent, rec.Attrs...)
+		}
+		if err != nil {
+			return nil, fmt.Errorf("engine: recover: class %q: %w", rec.Name, err)
+		}
+	case recDefineRule:
+		if err := db.replayDefineRule(rec.Src); err != nil {
+			return nil, err
+		}
+	case recDropRule:
+		if err := db.DropRule(rec.Name); err != nil {
+			return nil, fmt.Errorf("engine: recover: drop %q: %w", rec.Name, err)
+		}
+	case recBegin:
+		if t != nil {
+			return nil, fmt.Errorf("%w: begin inside an open transaction", wire.ErrCorrupt)
+		}
+		db.clock.AdvanceTo(rec.Start)
+		// The live Begin path reproduces the recorded one exactly: same
+		// clock instant, same fresh base, same generation bump.
+		nt, err := db.Begin()
+		if err != nil {
+			return nil, fmt.Errorf("engine: recover: begin: %w", err)
+		}
+		typeTab.reset()
+		return nt, nil
+	case recBlock:
+		if t == nil {
+			return nil, fmt.Errorf("%w: block record outside a transaction", wire.ErrCorrupt)
+		}
+		if err := t.replayBlock(rec, typeTab, rep); err != nil {
+			return nil, err
+		}
+		rep.Blocks++
+	case recCommit:
+		if t == nil {
+			return nil, fmt.Errorf("%w: commit outside a transaction", wire.ErrCorrupt)
+		}
+		// The mechanical commit tail only: rule processing already
+		// happened live, and its every effect is in the preceding block
+		// records.
+		t.line.Commit()
+		db.store.DiscardUndo()
+		t.finish()
+		return nil, nil
+	case recRollback:
+		if t == nil {
+			return nil, fmt.Errorf("%w: rollback outside a transaction", wire.ErrCorrupt)
+		}
+		t.line.Rollback()
+		t.finish()
+		return nil, nil
+	default:
+		return nil, fmt.Errorf("%w: unknown record kind %d", wire.ErrCorrupt, rec.Kind)
+	}
+	return t, nil
+}
+
+// replayBlock applies one block record: the op stream in execution
+// order, then the block-boundary protocol — arrivals announced,
+// recorded firings restored verbatim, compaction below the watermark —
+// exactly as flushBlock ran it live, minus the triggering
+// determination (its outcome is in the record).
+func (t *Txn) replayBlock(rec walRecord, typeTab *replayTypes, rep *RecoveryReport) error {
+	db := t.db
+	ops := rec.Ops
+	for len(ops) > 0 {
+		op, rest, err := nextWalOp(ops)
+		if err != nil {
+			return fmt.Errorf("engine: recover: block op: %w", err)
+		}
+		switch op.Kind {
+		case opTypeDef:
+			if err := typeTab.declare(op.TID, op.Type); err != nil {
+				return err
+			}
+		case opEvent:
+			ty, err := typeTab.lookup(op.TID)
+			if err != nil {
+				return err
+			}
+			db.clock.AdvanceTo(op.TS)
+			occ, tid, err := t.base.AppendTID(ty, op.OID, op.TS)
+			if err != nil {
+				return fmt.Errorf("engine: recover: append: %w", err)
+			}
+			if tid != op.TID {
+				return fmt.Errorf("%w: replay interned type id %d, log says %d",
+					wire.ErrCorrupt, tid, op.TID)
+			}
+			t.pending = append(t.pending, occ)
+			rep.Events++
+		case opCreate:
+			oid, err := t.line.Create(op.Class, op.Vals)
+			if err != nil {
+				return fmt.Errorf("engine: recover: create: %w", err)
+			}
+			if oid != op.OID {
+				return fmt.Errorf("%w: replay allocated %v, log says %v", wire.ErrCorrupt, oid, op.OID)
+			}
+		case opModify:
+			if err := t.line.Modify(op.OID, op.Attr, op.Val); err != nil {
+				return fmt.Errorf("engine: recover: modify: %w", err)
+			}
+		case opDelete:
+			if err := t.line.Delete(op.OID); err != nil {
+				return fmt.Errorf("engine: recover: delete: %w", err)
+			}
+		case opSpecialize:
+			if err := t.line.Specialize(op.OID, op.Class); err != nil {
+				return fmt.Errorf("engine: recover: specialize: %w", err)
+			}
+		case opGeneralize:
+			if err := t.line.Generalize(op.OID, op.Class); err != nil {
+				return fmt.Errorf("engine: recover: generalize: %w", err)
+			}
+		case opConsider:
+			db.clock.AdvanceTo(op.At)
+			if _, err := t.view.Consider(op.Rule, op.At); err != nil {
+				return fmt.Errorf("engine: recover: consider %q: %w", op.Rule, err)
+			}
+		default:
+			return fmt.Errorf("%w: unknown op kind %d", wire.ErrCorrupt, op.Kind)
+		}
+		ops = rest
+	}
+	t.view.NotifyArrivals(t.pending)
+	t.pending = t.pending[:0]
+	for _, f := range rec.Fired {
+		if err := db.support.RestoreTriggered(f.Rule, f.At); err != nil {
+			return fmt.Errorf("engine: recover: %w", err)
+		}
+	}
+	db.clock.AdvanceTo(rec.Now)
+	if !db.opts.DisableCompaction {
+		t.base.CompactBelow(t.view.Watermark())
+	}
+	return nil
+}

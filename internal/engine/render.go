@@ -1,0 +1,43 @@
+package engine
+
+import (
+	"fmt"
+	"strings"
+
+	"chimera/internal/rules"
+)
+
+// RenderRule renders a rule back to the concrete define syntax — the
+// inverse of lang.ParseRule. Both the snapshot writer (storage.Capture)
+// and the WAL's rule-definition records persist rules this way: the
+// source form is readable, diffable, and exercises the same parser on
+// the way back in, so persisted rules can never drift from what the
+// language accepts.
+func RenderRule(def rules.Def, body Body) string {
+	var sb strings.Builder
+	sb.WriteString("define ")
+	sb.WriteString(def.Coupling.String())
+	sb.WriteString(" ")
+	sb.WriteString(def.Consumption.String())
+	sb.WriteString(" ")
+	sb.WriteString(def.Name)
+	if def.Target != "" {
+		sb.WriteString(" for ")
+		sb.WriteString(def.Target)
+	}
+	if def.Priority != 0 {
+		fmt.Fprintf(&sb, " priority %d", def.Priority)
+	}
+	sb.WriteString("\nevents ")
+	sb.WriteString(def.Event.String())
+	if len(body.Condition.Atoms) > 0 {
+		sb.WriteString("\ncondition ")
+		sb.WriteString(body.Condition.String())
+	}
+	if len(body.Action.Statements) > 0 {
+		sb.WriteString("\naction ")
+		sb.WriteString(body.Action.String())
+	}
+	sb.WriteString("\nend")
+	return sb.String()
+}

@@ -1,0 +1,388 @@
+package engine
+
+import (
+	"fmt"
+
+	"chimera/internal/clock"
+	"chimera/internal/event"
+	"chimera/internal/schema"
+	"chimera/internal/types"
+	"chimera/internal/wire"
+)
+
+// WAL record layout. Every record travels as one wire frame; the
+// payload's first byte is the record kind. The log is logical, not
+// physical: it records the operations of the transaction (DDL, block
+// op streams, commit/rollback), and recovery replays them through the
+// same engine code paths that ran them live — determinism of the
+// engine (logical clock, deterministic OID allocation, deterministic
+// interner ids) makes the replayed state bit-identical.
+//
+// Granularity is the block: a block's operations accumulate in an
+// in-memory buffer and become one record at the block boundary
+// (flushBlock), so a crash loses whole blocks, never half of one, and
+// recovery always lands on a block boundary — the only instants at
+// which the paper's semantics let state be observed anyway.
+const (
+	// recCkptMarker is always the first record after a WAL reset; it
+	// carries the sequence number of the checkpoint that reset the log.
+	// Recovery cross-checks it against the checkpoint it loaded: a
+	// mismatch means the WAL belongs to a different checkpoint epoch
+	// (a crash landed between PutCheckpoint and ResetWAL) and must be
+	// ignored.
+	recCkptMarker byte = iota + 1
+	// recDefineClass / recDefineRule / recDropRule log DDL (outside
+	// transactions).
+	recDefineClass
+	recDefineRule
+	recDropRule
+	// recBegin opens a transaction at a clock instant.
+	recBegin
+	// recBlock is one non-interruptible block: the op stream (events,
+	// mutations, rule considerations in execution order), the clock at
+	// the boundary, and the rules that newly fired there with their
+	// activation instants (restored verbatim — see rules.RestoreTriggered).
+	recBlock
+	// recCommit / recRollback close the transaction.
+	recCommit
+	recRollback
+)
+
+// Block op stream entries; first byte of each op.
+const (
+	// opTypeDef declares an interned event-type id before its first use
+	// in this log. Ids are assigned by the Event Base in arrival order,
+	// so replay's interner reproduces them; the declaration lets the
+	// decoder map ids without re-deriving them.
+	opTypeDef byte = iota + 1
+	// opEvent is one occurrence: time stamp, type id, OID.
+	opEvent
+	// opCreate..opGeneralize mirror the object-store mutations. opCreate
+	// logs the allocated OID so replay can verify the deterministic
+	// allocator reproduced it.
+	opCreate
+	opModify
+	opDelete
+	opSpecialize
+	opGeneralize
+	// opConsider is one rule consideration (Consider advances the
+	// rule's horizon and detriggers it; the condition/action that follow
+	// are ordinary ops of the same stream).
+	opConsider
+)
+
+// firedMark is one newly triggered rule at a block boundary.
+type firedMark struct {
+	Rule string
+	At   clock.Time
+}
+
+// --- record encoders ---
+
+func encCkptMarker(dst []byte, seq uint64) []byte {
+	dst = append(dst, recCkptMarker)
+	return wire.AppendUvarint(dst, seq)
+}
+
+func encDefineClass(dst []byte, name, parent string, attrs []schema.Attribute) []byte {
+	dst = append(dst, recDefineClass)
+	dst = wire.AppendString(dst, name)
+	dst = wire.AppendString(dst, parent)
+	dst = wire.AppendUvarint(dst, uint64(len(attrs)))
+	for _, a := range attrs {
+		dst = wire.AppendString(dst, a.Name)
+		dst = wire.AppendString(dst, a.Kind.String())
+	}
+	return dst
+}
+
+func encDefineRule(dst []byte, src string) []byte {
+	return wire.AppendString(append(dst, recDefineRule), src)
+}
+
+func encDropRule(dst []byte, name string) []byte {
+	return wire.AppendString(append(dst, recDropRule), name)
+}
+
+func encBegin(dst []byte, start clock.Time) []byte {
+	return wire.AppendVarint(append(dst, recBegin), int64(start))
+}
+
+func encBlock(dst []byte, now clock.Time, fired []firedMark, ops []byte) []byte {
+	dst = append(dst, recBlock)
+	dst = wire.AppendVarint(dst, int64(now))
+	dst = wire.AppendUvarint(dst, uint64(len(fired)))
+	for _, f := range fired {
+		dst = wire.AppendString(dst, f.Rule)
+		dst = wire.AppendVarint(dst, int64(f.At))
+	}
+	return append(dst, ops...)
+}
+
+// --- block op encoders (append to the transaction's op buffer) ---
+
+func encOpTypeDef(dst []byte, tid int32, ty event.Type) []byte {
+	dst = append(dst, opTypeDef)
+	dst = wire.AppendUvarint(dst, uint64(tid))
+	dst = append(dst, byte(ty.Op))
+	dst = wire.AppendString(dst, ty.Class)
+	return wire.AppendString(dst, ty.Attr)
+}
+
+func encOpEvent(dst []byte, ts clock.Time, tid int32, oid types.OID) []byte {
+	dst = append(dst, opEvent)
+	dst = wire.AppendVarint(dst, int64(ts))
+	dst = wire.AppendUvarint(dst, uint64(tid))
+	return wire.AppendVarint(dst, int64(oid))
+}
+
+func encOpCreate(dst []byte, oid types.OID, class string, vals map[string]types.Value) ([]byte, error) {
+	dst = append(dst, opCreate)
+	dst = wire.AppendVarint(dst, int64(oid))
+	dst = wire.AppendString(dst, class)
+	dst = wire.AppendUvarint(dst, uint64(len(vals)))
+	var err error
+	for k, v := range vals {
+		dst = wire.AppendString(dst, k)
+		if dst, err = wire.AppendValue(dst, v); err != nil {
+			return nil, err
+		}
+	}
+	return dst, nil
+}
+
+func encOpModify(dst []byte, oid types.OID, attr string, v types.Value) ([]byte, error) {
+	dst = append(dst, opModify)
+	dst = wire.AppendVarint(dst, int64(oid))
+	dst = wire.AppendString(dst, attr)
+	return wire.AppendValue(dst, v)
+}
+
+func encOpDelete(dst []byte, oid types.OID) []byte {
+	return wire.AppendVarint(append(dst, opDelete), int64(oid))
+}
+
+func encOpMigrate(dst []byte, kind byte, oid types.OID, class string) []byte {
+	dst = append(dst, kind)
+	dst = wire.AppendVarint(dst, int64(oid))
+	return wire.AppendString(dst, class)
+}
+
+func encOpConsider(dst []byte, rule string, at clock.Time) []byte {
+	dst = append(dst, opConsider)
+	dst = wire.AppendString(dst, rule)
+	return wire.AppendVarint(dst, int64(at))
+}
+
+// --- decoders ---
+
+// walRecord is one decoded WAL record (fields populated per Kind).
+type walRecord struct {
+	Kind   byte
+	Seq    uint64 // recCkptMarker
+	Name   string // class, rule
+	Parent string
+	Attrs  []schema.Attribute
+	Src    string     // rule source
+	Start  clock.Time // recBegin
+	Now    clock.Time // recBlock
+	Fired  []firedMark
+	Ops    []byte
+}
+
+func decRecord(payload []byte) (walRecord, error) {
+	if len(payload) == 0 {
+		return walRecord{}, fmt.Errorf("%w: empty wal record", wire.ErrCorrupt)
+	}
+	r := walRecord{Kind: payload[0]}
+	p := payload[1:]
+	var err error
+	switch r.Kind {
+	case recCkptMarker:
+		if r.Seq, p, err = wire.Uvarint(p); err != nil {
+			return walRecord{}, err
+		}
+	case recDefineClass:
+		if r.Name, p, err = wire.String(p); err != nil {
+			return walRecord{}, err
+		}
+		if r.Parent, p, err = wire.String(p); err != nil {
+			return walRecord{}, err
+		}
+		var n uint64
+		if n, p, err = wire.Uvarint(p); err != nil {
+			return walRecord{}, err
+		}
+		r.Attrs = make([]schema.Attribute, n)
+		for i := range r.Attrs {
+			if r.Attrs[i].Name, p, err = wire.String(p); err != nil {
+				return walRecord{}, err
+			}
+			var ks string
+			if ks, p, err = wire.String(p); err != nil {
+				return walRecord{}, err
+			}
+			if r.Attrs[i].Kind, err = types.ParseKind(ks); err != nil {
+				return walRecord{}, fmt.Errorf("%w: %v", wire.ErrCorrupt, err)
+			}
+		}
+	case recDefineRule:
+		if r.Src, p, err = wire.String(p); err != nil {
+			return walRecord{}, err
+		}
+	case recDropRule:
+		if r.Name, p, err = wire.String(p); err != nil {
+			return walRecord{}, err
+		}
+	case recBegin:
+		var v int64
+		if v, p, err = wire.Varint(p); err != nil {
+			return walRecord{}, err
+		}
+		r.Start = clock.Time(v)
+	case recBlock:
+		var v int64
+		if v, p, err = wire.Varint(p); err != nil {
+			return walRecord{}, err
+		}
+		r.Now = clock.Time(v)
+		var n uint64
+		if n, p, err = wire.Uvarint(p); err != nil {
+			return walRecord{}, err
+		}
+		r.Fired = make([]firedMark, n)
+		for i := range r.Fired {
+			if r.Fired[i].Rule, p, err = wire.String(p); err != nil {
+				return walRecord{}, err
+			}
+			if v, p, err = wire.Varint(p); err != nil {
+				return walRecord{}, err
+			}
+			r.Fired[i].At = clock.Time(v)
+		}
+		r.Ops = p
+		p = nil
+	case recCommit, recRollback:
+		// no body
+	default:
+		return walRecord{}, fmt.Errorf("%w: unknown wal record kind %d", wire.ErrCorrupt, r.Kind)
+	}
+	if len(p) != 0 {
+		return walRecord{}, fmt.Errorf("%w: trailing bytes in wal record %d", wire.ErrCorrupt, r.Kind)
+	}
+	return r, nil
+}
+
+// walOp is one decoded block op (fields populated per Kind).
+type walOp struct {
+	Kind  byte
+	TID   int32
+	Type  event.Type
+	TS    clock.Time
+	OID   types.OID
+	Class string
+	Attr  string
+	Rule  string
+	At    clock.Time
+	Vals  map[string]types.Value
+	Val   types.Value
+}
+
+// nextWalOp decodes one op off the front of the stream.
+func nextWalOp(ops []byte) (walOp, []byte, error) {
+	if len(ops) == 0 {
+		return walOp{}, nil, fmt.Errorf("%w: empty wal op", wire.ErrCorrupt)
+	}
+	op := walOp{Kind: ops[0]}
+	p := ops[1:]
+	var err error
+	var v int64
+	var n uint64
+	switch op.Kind {
+	case opTypeDef:
+		if n, p, err = wire.Uvarint(p); err != nil {
+			return walOp{}, nil, err
+		}
+		op.TID = int32(n)
+		if len(p) == 0 {
+			return walOp{}, nil, wire.ErrCorrupt
+		}
+		op.Type.Op = event.Op(p[0])
+		p = p[1:]
+		if op.Type.Class, p, err = wire.String(p); err != nil {
+			return walOp{}, nil, err
+		}
+		if op.Type.Attr, p, err = wire.String(p); err != nil {
+			return walOp{}, nil, err
+		}
+	case opEvent:
+		if v, p, err = wire.Varint(p); err != nil {
+			return walOp{}, nil, err
+		}
+		op.TS = clock.Time(v)
+		if n, p, err = wire.Uvarint(p); err != nil {
+			return walOp{}, nil, err
+		}
+		op.TID = int32(n)
+		if v, p, err = wire.Varint(p); err != nil {
+			return walOp{}, nil, err
+		}
+		op.OID = types.OID(v)
+	case opCreate:
+		if v, p, err = wire.Varint(p); err != nil {
+			return walOp{}, nil, err
+		}
+		op.OID = types.OID(v)
+		if op.Class, p, err = wire.String(p); err != nil {
+			return walOp{}, nil, err
+		}
+		if n, p, err = wire.Uvarint(p); err != nil {
+			return walOp{}, nil, err
+		}
+		op.Vals = make(map[string]types.Value, n)
+		for i := uint64(0); i < n; i++ {
+			var k string
+			if k, p, err = wire.String(p); err != nil {
+				return walOp{}, nil, err
+			}
+			if op.Vals[k], p, err = wire.Value(p); err != nil {
+				return walOp{}, nil, err
+			}
+		}
+	case opModify:
+		if v, p, err = wire.Varint(p); err != nil {
+			return walOp{}, nil, err
+		}
+		op.OID = types.OID(v)
+		if op.Attr, p, err = wire.String(p); err != nil {
+			return walOp{}, nil, err
+		}
+		if op.Val, p, err = wire.Value(p); err != nil {
+			return walOp{}, nil, err
+		}
+	case opDelete:
+		if v, p, err = wire.Varint(p); err != nil {
+			return walOp{}, nil, err
+		}
+		op.OID = types.OID(v)
+	case opSpecialize, opGeneralize:
+		if v, p, err = wire.Varint(p); err != nil {
+			return walOp{}, nil, err
+		}
+		op.OID = types.OID(v)
+		if op.Class, p, err = wire.String(p); err != nil {
+			return walOp{}, nil, err
+		}
+	case opConsider:
+		if op.Rule, p, err = wire.String(p); err != nil {
+			return walOp{}, nil, err
+		}
+		if v, p, err = wire.Varint(p); err != nil {
+			return walOp{}, nil, err
+		}
+		op.At = clock.Time(v)
+	default:
+		return walOp{}, nil, fmt.Errorf("%w: unknown wal op kind %d", wire.ErrCorrupt, op.Kind)
+	}
+	return op, p, nil
+}

@@ -1,0 +1,509 @@
+package event
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"chimera/internal/clock"
+	"chimera/internal/types"
+	"chimera/internal/wire"
+)
+
+// This file is the durability face of the Event Base: a compact binary
+// codec for segments (the spill/persist unit DESIGN.md §8 anticipated)
+// and the export/restore hooks the engine's checkpoint and crash
+// recovery build on.
+//
+// A segment travels as one wire frame whose payload is the three
+// parallel columns — timestamps (delta-encoded; they are strictly
+// increasing), interned type ids and interned OID ids — plus the EID of
+// the first entry. Interner tables live in BaseMeta, written once per
+// checkpoint, so segment frames stay pure integer columns: a 256-entry
+// segment encodes in roughly a kilobyte. Frames are self-checking (CRC)
+// and independent of each other, which is what lets recovery decode and
+// index-rebuild them in parallel across cores (RestoreBase).
+
+// segmentCodecVersion pins the frame payload layout.
+const segmentCodecVersion = 1
+
+// SegmentFrame is one segment's contents in transit: the parallel
+// columns of the columnar layout plus the dense-EID origin. Frames
+// returned by ExportState alias live segment storage (sealed segments
+// are immutable; the tail is copied) and must be treated as read-only.
+type SegmentFrame struct {
+	FirstEID EID
+	TS       []clock.Time
+	TIDs     []int32
+	OIDs     []int32
+}
+
+// Len returns the number of occurrences in the frame.
+func (f SegmentFrame) Len() int { return len(f.TS) }
+
+// BaseMeta is the transaction-lifetime state of a Base that segments do
+// not carry: the layout parameters, the interner tables (dense id →
+// type/OID, in assignment order), the per-type latest-occurrence cache,
+// and the compaction counters. Together with the live segment frames it
+// reconstructs a Base bit-identically.
+type BaseMeta struct {
+	SegSize  int
+	Columnar bool
+	// Types and OIDs are the interner tables; index is the dense id.
+	// Types may include entries with no occurrence (compiled consumers
+	// intern at bind time), so Latest is clock.Never for those.
+	Types []Type
+	OIDs  []types.OID
+	// Latest is indexed by type id: the newest occurrence time stamp of
+	// the type, clock.Never if it never occurred.
+	Latest []clock.Time
+	// Compaction state: the retirement floor and the retired counters.
+	Floor       clock.Time
+	Retired     int
+	RetiredSegs int
+	// NextEID is the EID of the last occurrence ever appended; LastTS its
+	// time stamp.
+	NextEID EID
+	LastTS  clock.Time
+}
+
+// BaseState is a point-in-time export of a Base: its meta, the live
+// sealed (full, immutable) segments and the partially filled tail, if
+// any. The global ordinal of Sealed[i] is Meta.RetiredSegs + i — the
+// engine keys persisted segments by that ordinal so a checkpoint can
+// reference frames already written by earlier checkpoints.
+type BaseState struct {
+	Meta   BaseMeta
+	Sealed []SegmentFrame
+	Tail   *SegmentFrame
+}
+
+// ExportState captures the base for a checkpoint. Sealed frames alias
+// the immutable segment columns (no copy); the tail frame is copied, so
+// the export stays consistent even if appends continue afterwards. Only
+// columnar bases can be exported — the row-store ablation has no id
+// columns to persist.
+func (b *Base) ExportState() (BaseState, error) {
+	b.mu.RLock()
+	defer b.mu.RUnlock()
+	if !b.columnar {
+		return BaseState{}, fmt.Errorf("event: only columnar bases export segment state")
+	}
+	st := BaseState{
+		Meta: BaseMeta{
+			SegSize:     b.segSize,
+			Columnar:    b.columnar,
+			Types:       append([]Type(nil), b.typesByID...),
+			OIDs:        append([]types.OID(nil), b.oidsByID...),
+			Latest:      make([]clock.Time, len(b.typesByID)),
+			Floor:       b.floor,
+			Retired:     b.retired,
+			RetiredSegs: b.retiredSegs,
+			NextEID:     b.nextID,
+			LastTS:      b.lastTS,
+		},
+	}
+	for id, t := range b.typesByID {
+		if ts, ok := b.latest[t]; ok {
+			st.Meta.Latest[id] = ts
+		} else {
+			st.Meta.Latest[id] = clock.Never
+		}
+	}
+	for i, sg := range b.segs {
+		if sg.n() == b.segSize {
+			st.Sealed = append(st.Sealed, SegmentFrame{
+				FirstEID: sg.firstEID, TS: sg.ts, TIDs: sg.tids, OIDs: sg.oids,
+			})
+			continue
+		}
+		if i != len(b.segs)-1 {
+			return BaseState{}, fmt.Errorf("event: partial segment %d is not the tail", i)
+		}
+		st.Tail = &SegmentFrame{
+			FirstEID: sg.firstEID,
+			TS:       append([]clock.Time(nil), sg.ts...),
+			TIDs:     append([]int32(nil), sg.tids...),
+			OIDs:     append([]int32(nil), sg.oids...),
+		}
+	}
+	return st, nil
+}
+
+// SealedFrame returns the live sealed segment with global ordinal ord
+// (Meta.RetiredSegs ≤ ord < RetiredSegs + sealed count), aliasing its
+// immutable columns. The engine uses it to persist segments
+// incrementally without re-exporting the whole base.
+func (b *Base) SealedFrame(ord uint64) (SegmentFrame, error) {
+	b.mu.RLock()
+	defer b.mu.RUnlock()
+	i := int(ord) - b.retiredSegs
+	if i < 0 || i >= len(b.segs) || b.segs[i].n() != b.segSize {
+		return SegmentFrame{}, fmt.Errorf("event: no sealed segment with ordinal %d", ord)
+	}
+	sg := b.segs[i]
+	return SegmentFrame{FirstEID: sg.firstEID, TS: sg.ts, TIDs: sg.tids, OIDs: sg.oids}, nil
+}
+
+// SealedSegments returns the global count of segments ever sealed:
+// retired segments plus live full ones. Ordinals [RetiredSegments(),
+// SealedSegments()) are the live sealed frames.
+func (b *Base) SealedSegments() uint64 {
+	b.mu.RLock()
+	defer b.mu.RUnlock()
+	n := b.retiredSegs
+	for _, sg := range b.segs {
+		if sg.n() == b.segSize {
+			n++
+		}
+	}
+	return uint64(n)
+}
+
+// AppendTID is Append, additionally returning the occurrence's interned
+// type id. The engine's WAL encoder keys its per-transaction type
+// dictionary by the id, avoiding a second interner lookup per event.
+func (b *Base) AppendTID(t Type, oid types.OID, at clock.Time) (Occurrence, int32, error) {
+	occ, err := b.Append(t, oid, at)
+	if err != nil {
+		return occ, 0, err
+	}
+	b.mu.RLock()
+	tid := b.typeIDs[t]
+	b.mu.RUnlock()
+	return occ, tid, nil
+}
+
+// EncodeSegment appends one CRC-framed segment frame to dst. Timestamps
+// are delta-encoded (they increase strictly); ids are varints.
+func EncodeSegment(dst []byte, f SegmentFrame) []byte {
+	payload := make([]byte, 0, 16+10*len(f.TS))
+	payload = append(payload, segmentCodecVersion)
+	payload = wire.AppendVarint(payload, int64(f.FirstEID))
+	payload = wire.AppendUvarint(payload, uint64(len(f.TS)))
+	prev := int64(0)
+	for _, ts := range f.TS {
+		payload = wire.AppendUvarint(payload, uint64(int64(ts)-prev))
+		prev = int64(ts)
+	}
+	for _, tid := range f.TIDs {
+		payload = wire.AppendUvarint(payload, uint64(tid))
+	}
+	for _, oid := range f.OIDs {
+		payload = wire.AppendUvarint(payload, uint64(oid))
+	}
+	return wire.AppendFrame(dst, payload)
+}
+
+// DecodeSegment decodes one framed segment. data must hold exactly one
+// frame (what EncodeSegment appended); trailing bytes are an error.
+func DecodeSegment(data []byte) (SegmentFrame, error) {
+	payload, rest, err := wire.NextFrame(data)
+	if err != nil {
+		return SegmentFrame{}, fmt.Errorf("event: segment frame: %w", err)
+	}
+	if payload == nil || len(rest) != 0 {
+		return SegmentFrame{}, fmt.Errorf("%w: segment frame boundary", wire.ErrCorrupt)
+	}
+	if len(payload) < 1 || payload[0] != segmentCodecVersion {
+		return SegmentFrame{}, fmt.Errorf("%w: unknown segment codec version", wire.ErrCorrupt)
+	}
+	p := payload[1:]
+	first, p, err := wire.Varint(p)
+	if err != nil {
+		return SegmentFrame{}, err
+	}
+	n64, p, err := wire.Uvarint(p)
+	if err != nil {
+		return SegmentFrame{}, err
+	}
+	n := int(n64)
+	f := SegmentFrame{
+		FirstEID: EID(first),
+		TS:       make([]clock.Time, n),
+		TIDs:     make([]int32, n),
+		OIDs:     make([]int32, n),
+	}
+	prev := int64(0)
+	for i := 0; i < n; i++ {
+		d, q, err := wire.Uvarint(p)
+		if err != nil {
+			return SegmentFrame{}, err
+		}
+		prev += int64(d)
+		f.TS[i] = clock.Time(prev)
+		p = q
+	}
+	for i := 0; i < n; i++ {
+		v, q, err := wire.Uvarint(p)
+		if err != nil {
+			return SegmentFrame{}, err
+		}
+		f.TIDs[i] = int32(v)
+		p = q
+	}
+	for i := 0; i < n; i++ {
+		v, q, err := wire.Uvarint(p)
+		if err != nil {
+			return SegmentFrame{}, err
+		}
+		f.OIDs[i] = int32(v)
+		p = q
+	}
+	if len(p) != 0 {
+		return SegmentFrame{}, fmt.Errorf("%w: %d trailing bytes in segment payload", wire.ErrCorrupt, len(p))
+	}
+	return f, nil
+}
+
+// RestoreBase reconstructs a Base from a checkpoint export: the meta
+// plus the live frames in ascending order (sealed frames first, then
+// the tail, exactly as ExportState produced them). The per-segment
+// indexes — leaves, per-object lists, the row cache geometry — are
+// rebuilt concurrently across workers (≤0 means GOMAXPROCS), which is
+// the parallel-recovery half of the durability design: segments are
+// independent, so index rebuild scales with cores.
+func RestoreBase(meta BaseMeta, frames []SegmentFrame, workers int) (*Base, error) {
+	if meta.SegSize < 1 {
+		return nil, fmt.Errorf("event: restore: invalid segment size %d", meta.SegSize)
+	}
+	if len(meta.Latest) != len(meta.Types) {
+		return nil, fmt.Errorf("event: restore: latest table has %d entries for %d types",
+			len(meta.Latest), len(meta.Types))
+	}
+	b := newBase(meta.SegSize, true)
+	for id, t := range meta.Types {
+		if err := t.Valid(); err != nil {
+			return nil, fmt.Errorf("event: restore: type %d: %w", id, err)
+		}
+		b.typeIDs[t] = int32(id)
+		b.typesByID = append(b.typesByID, t)
+		if ts := meta.Latest[id]; ts != clock.Never {
+			b.latest[t] = ts
+		}
+	}
+	if len(b.typeIDs) != len(meta.Types) {
+		return nil, fmt.Errorf("event: restore: duplicate entries in type table")
+	}
+	for id, oid := range meta.OIDs {
+		b.oidIDs[oid] = int32(id)
+		b.oidsByID = append(b.oidsByID, oid)
+	}
+	if len(b.oidIDs) != len(meta.OIDs) {
+		return nil, fmt.Errorf("event: restore: duplicate entries in OID table")
+	}
+	b.floor = meta.Floor
+	b.retired = meta.Retired
+	b.retiredSegs = meta.RetiredSegs
+	b.nextID = meta.NextEID
+	b.lastTS = meta.LastTS
+
+	// Validate frame chaining before spending any rebuild work.
+	prevTS := meta.Floor
+	wantEID := EID(0)
+	for i, f := range frames {
+		if len(f.TIDs) != f.Len() || len(f.OIDs) != f.Len() {
+			return nil, fmt.Errorf("event: restore: frame %d has ragged columns", i)
+		}
+		if f.Len() == 0 || f.Len() > meta.SegSize {
+			return nil, fmt.Errorf("event: restore: frame %d holds %d occurrences (segment size %d)",
+				i, f.Len(), meta.SegSize)
+		}
+		if i > 0 && f.Len() != meta.SegSize && i != len(frames)-1 {
+			return nil, fmt.Errorf("event: restore: partial frame %d is not the tail", i)
+		}
+		if wantEID != 0 && f.FirstEID != wantEID {
+			return nil, fmt.Errorf("event: restore: frame %d starts at %v, want %v", i, f.FirstEID, wantEID)
+		}
+		wantEID = f.FirstEID + EID(f.Len())
+		for k, ts := range f.TS {
+			if ts <= prevTS {
+				return nil, fmt.Errorf("event: restore: non-monotone time stamp t%d in frame %d", int64(ts), i)
+			}
+			prevTS = ts
+			if int(f.TIDs[k]) >= len(meta.Types) || f.TIDs[k] < 0 {
+				return nil, fmt.Errorf("event: restore: frame %d references unknown type id %d", i, f.TIDs[k])
+			}
+			if int(f.OIDs[k]) >= len(meta.OIDs) || f.OIDs[k] < 0 {
+				return nil, fmt.Errorf("event: restore: frame %d references unknown OID id %d", i, f.OIDs[k])
+			}
+		}
+		b.live += f.Len()
+	}
+	if len(frames) > 0 && wantEID != meta.NextEID+1 {
+		return nil, fmt.Errorf("event: restore: frames end at EID %v, meta says %v", wantEID-1, meta.NextEID)
+	}
+
+	// Rebuild the per-segment indexes in parallel: each frame becomes one
+	// segment, and a segment's entire index footprint is segment-local.
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(frames) && len(frames) > 0 {
+		workers = len(frames)
+	}
+	b.segs = make([]*segment, len(frames))
+	var wg sync.WaitGroup
+	next := make(chan int, len(frames))
+	for i := range frames {
+		next <- i
+	}
+	close(next)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				b.segs[i] = b.buildSegment(frames[i])
+			}
+		}()
+	}
+	wg.Wait()
+	return b, nil
+}
+
+// buildSegment reconstructs one segment (columns copied to full segment
+// capacity, segment-local indexes rebuilt) from a frame. It touches
+// only b's immutable interner tables, so concurrent calls are safe.
+func (b *Base) buildSegment(f SegmentFrame) *segment {
+	n := f.Len()
+	sg := &segment{
+		firstEID: f.FirstEID,
+		ts:       append(make([]clock.Time, 0, b.segSize), f.TS...),
+		tids:     append(make([]int32, 0, b.segSize), f.TIDs...),
+		oids:     append(make([]int32, 0, b.segSize), f.OIDs...),
+		leaves:   make(map[Type]*segLeaf),
+		byOID:    make(map[types.OID][]int32),
+	}
+	for i := 0; i < n; i++ {
+		t := b.typesByID[f.TIDs[i]]
+		oid := b.oidsByID[f.OIDs[i]]
+		lf := sg.leaves[t]
+		if lf == nil {
+			lf = &segLeaf{byOID: make(map[types.OID][]int32)}
+			sg.leaves[t] = lf
+		}
+		lf.all = append(lf.all, int32(i))
+		lf.byOID[oid] = append(lf.byOID[oid], int32(i))
+		sg.byOID[oid] = append(sg.byOID[oid], int32(i))
+	}
+	return sg
+}
+
+// AppendBaseMeta appends the meta encoded as one wire frame.
+func AppendBaseMeta(dst []byte, m BaseMeta) []byte {
+	payload := make([]byte, 0, 64+16*len(m.Types)+8*len(m.OIDs))
+	payload = append(payload, segmentCodecVersion)
+	payload = wire.AppendUvarint(payload, uint64(m.SegSize))
+	if m.Columnar {
+		payload = append(payload, 1)
+	} else {
+		payload = append(payload, 0)
+	}
+	payload = wire.AppendUvarint(payload, uint64(len(m.Types)))
+	for id, t := range m.Types {
+		payload = append(payload, byte(t.Op))
+		payload = wire.AppendString(payload, t.Class)
+		payload = wire.AppendString(payload, t.Attr)
+		payload = wire.AppendVarint(payload, int64(m.Latest[id]))
+	}
+	payload = wire.AppendUvarint(payload, uint64(len(m.OIDs)))
+	for _, oid := range m.OIDs {
+		payload = wire.AppendVarint(payload, int64(oid))
+	}
+	payload = wire.AppendVarint(payload, int64(m.Floor))
+	payload = wire.AppendUvarint(payload, uint64(m.Retired))
+	payload = wire.AppendUvarint(payload, uint64(m.RetiredSegs))
+	payload = wire.AppendVarint(payload, int64(m.NextEID))
+	payload = wire.AppendVarint(payload, int64(m.LastTS))
+	return wire.AppendFrame(dst, payload)
+}
+
+// DecodeBaseMeta decodes a meta frame off the front of data, returning
+// the remainder.
+func DecodeBaseMeta(data []byte) (BaseMeta, []byte, error) {
+	payload, rest, err := wire.NextFrame(data)
+	if err != nil || payload == nil {
+		if err == nil {
+			err = fmt.Errorf("%w: missing base meta frame", wire.ErrCorrupt)
+		}
+		return BaseMeta{}, nil, err
+	}
+	if len(payload) < 1 || payload[0] != segmentCodecVersion {
+		return BaseMeta{}, nil, fmt.Errorf("%w: unknown base meta version", wire.ErrCorrupt)
+	}
+	p := payload[1:]
+	var m BaseMeta
+	segSize, p, err := wire.Uvarint(p)
+	if err != nil {
+		return BaseMeta{}, nil, err
+	}
+	m.SegSize = int(segSize)
+	if len(p) < 1 {
+		return BaseMeta{}, nil, wire.ErrCorrupt
+	}
+	m.Columnar = p[0] != 0
+	p = p[1:]
+	nTypes, p, err := wire.Uvarint(p)
+	if err != nil {
+		return BaseMeta{}, nil, err
+	}
+	m.Types = make([]Type, nTypes)
+	m.Latest = make([]clock.Time, nTypes)
+	for i := range m.Types {
+		if len(p) < 1 {
+			return BaseMeta{}, nil, wire.ErrCorrupt
+		}
+		m.Types[i].Op = Op(p[0])
+		p = p[1:]
+		if m.Types[i].Class, p, err = wire.String(p); err != nil {
+			return BaseMeta{}, nil, err
+		}
+		if m.Types[i].Attr, p, err = wire.String(p); err != nil {
+			return BaseMeta{}, nil, err
+		}
+		var ts int64
+		if ts, p, err = wire.Varint(p); err != nil {
+			return BaseMeta{}, nil, err
+		}
+		m.Latest[i] = clock.Time(ts)
+	}
+	nOIDs, p, err := wire.Uvarint(p)
+	if err != nil {
+		return BaseMeta{}, nil, err
+	}
+	m.OIDs = make([]types.OID, nOIDs)
+	for i := range m.OIDs {
+		var v int64
+		if v, p, err = wire.Varint(p); err != nil {
+			return BaseMeta{}, nil, err
+		}
+		m.OIDs[i] = types.OID(v)
+	}
+	var floor, nextEID, lastTS int64
+	var retired, retiredSegs uint64
+	if floor, p, err = wire.Varint(p); err != nil {
+		return BaseMeta{}, nil, err
+	}
+	if retired, p, err = wire.Uvarint(p); err != nil {
+		return BaseMeta{}, nil, err
+	}
+	if retiredSegs, p, err = wire.Uvarint(p); err != nil {
+		return BaseMeta{}, nil, err
+	}
+	if nextEID, p, err = wire.Varint(p); err != nil {
+		return BaseMeta{}, nil, err
+	}
+	if lastTS, p, err = wire.Varint(p); err != nil {
+		return BaseMeta{}, nil, err
+	}
+	if len(p) != 0 {
+		return BaseMeta{}, nil, fmt.Errorf("%w: trailing bytes in base meta", wire.ErrCorrupt)
+	}
+	m.Floor = clock.Time(floor)
+	m.Retired = int(retired)
+	m.RetiredSegs = int(retiredSegs)
+	m.NextEID = EID(nextEID)
+	m.LastTS = clock.Time(lastTS)
+	return m, rest, nil
+}

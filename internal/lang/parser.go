@@ -576,6 +576,13 @@ func (p *parser) parseStatement() (act.Statement, error) {
 		}
 		return act.Modify{Class: class, Attr: attr, Var: v.Text, Value: val}, nil
 	case "create":
+		// Optional once modifier: create once(class, ...) executes the
+		// creation a single time instead of once per binding.
+		once := false
+		if nt := p.peek(); nt.Kind == TokIdent && nt.Text == "once" {
+			p.next()
+			once = true
+		}
 		if _, err := p.expect(TokLParen); err != nil {
 			return nil, err
 		}
@@ -602,7 +609,7 @@ func (p *parser) parseStatement() (act.Statement, error) {
 		if _, err := p.expect(TokRParen); err != nil {
 			return nil, err
 		}
-		return act.Create{Class: cls.Text, Vals: vals}, nil
+		return act.Create{Class: cls.Text, Vals: vals, Once: once}, nil
 	case "delete":
 		if _, err := p.expect(TokLParen); err != nil {
 			return nil, err

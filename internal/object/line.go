@@ -260,6 +260,77 @@ func (ln *Line) Schema() *schema.Schema { return ln.s.schema }
 // Undo returns the number of undo entries the line has accumulated.
 func (ln *Line) Undo() int { return len(ln.undo) }
 
+// UndoRec is the serializable image of one undo entry. The engine
+// persists an open transaction's undo log inside its checkpoint so a
+// rollback replayed after a crash can still reverse mutations older
+// than the checkpoint (the WAL prefix holding them is truncated).
+type UndoRec struct {
+	Kind  uint8
+	OID   types.OID
+	Class string
+	Attr  string
+	Val   types.Value
+	Had   bool
+	Vals  map[string]types.Value
+	Reuse bool
+}
+
+// ExportUndo returns the line's undo log as serializable records,
+// oldest first. Attribute maps are copied, freezing the records against
+// later mutations by the still-open line.
+func (ln *Line) ExportUndo() []UndoRec {
+	recs := make([]UndoRec, len(ln.undo))
+	for i, e := range ln.undo {
+		r := UndoRec{
+			Kind:  uint8(e.kind),
+			OID:   e.oid,
+			Class: e.class,
+			Attr:  e.attr,
+			Val:   e.val,
+			Had:   e.had,
+			Reuse: e.reuse,
+		}
+		if e.vals != nil {
+			r.Vals = make(map[string]types.Value, len(e.vals))
+			for k, v := range e.vals {
+				r.Vals[k] = v
+			}
+		}
+		recs[i] = r
+	}
+	return recs
+}
+
+// RestoreUndo replaces the line's undo log with previously exported
+// records — recovery reinstates the checkpointed log into the reopened
+// transaction's line before replaying the WAL suffix.
+func (ln *Line) RestoreUndo(recs []UndoRec) error {
+	undo := make([]undoEntry, len(recs))
+	for i, r := range recs {
+		if undoKind(r.Kind) < undoCreate || undoKind(r.Kind) > undoMigrate {
+			return fmt.Errorf("object: unknown undo kind %d", r.Kind)
+		}
+		e := undoEntry{
+			kind:  undoKind(r.Kind),
+			oid:   r.OID,
+			class: r.Class,
+			attr:  r.Attr,
+			val:   r.Val,
+			had:   r.Had,
+			reuse: r.Reuse,
+		}
+		if r.Vals != nil {
+			e.vals = make(map[string]types.Value, len(r.Vals))
+			for k, v := range r.Vals {
+				e.vals[k] = v
+			}
+		}
+		undo[i] = e
+	}
+	ln.undo = undo
+	return nil
+}
+
 // Commit ends the line keeping its mutations: the undo log is discarded
 // and every latch released, publishing the writes to all lines.
 func (ln *Line) Commit() {
@@ -278,7 +349,7 @@ func (ln *Line) Rollback() {
 	}
 	ln.s.mu.Lock()
 	for i := len(ln.undo) - 1; i >= 0; i-- {
-		ln.undo[i](ln.s)
+		ln.undo[i].apply(ln.s)
 	}
 	ln.undo = nil
 	ln.s.mu.Unlock()

@@ -73,8 +73,80 @@ func (o *Object) String() string {
 	return s + "}"
 }
 
-// undoEntry reverses one mutation.
-type undoEntry func(s *Store)
+// undoKind discriminates the mutation an undoEntry reverses.
+type undoKind uint8
+
+const (
+	undoCreate undoKind = iota + 1
+	undoModify
+	undoDelete
+	undoMigrate
+)
+
+// undoEntry reverses one mutation. Entries are plain values — no
+// closures, no *Object pointers — so an open transaction's undo log can
+// be serialized into a durability checkpoint and reinstated after a
+// crash; every apply resolves the object by OID at undo time.
+type undoEntry struct {
+	kind  undoKind
+	oid   types.OID
+	class string                 // create: creation class; delete/migrate: class to restore
+	attr  string                 // modify: attribute name
+	val   types.Value            // modify: previous value
+	had   bool                   // modify: attribute existed before
+	vals  map[string]types.Value // delete: attrs to restore; migrate: attrs dropped by generalize
+	reuse bool                   // create: roll the OID allocator back
+}
+
+// apply reverses the recorded mutation. Undo entries run newest first,
+// so by the time an entry applies, every later mutation to the same
+// object has already been reversed: a created object is back in its
+// creation class, a migrated object still carries the target class.
+func (e undoEntry) apply(s *Store) {
+	switch e.kind {
+	case undoCreate:
+		delete(s.objects, e.oid)
+		delete(s.classSet(e.class), e.oid)
+		if e.reuse {
+			s.nextOID-- // creation is always the newest OID at undo time
+		}
+	case undoModify:
+		o, ok := s.objects[e.oid]
+		if !ok {
+			return
+		}
+		if e.had {
+			o.attrs[e.attr] = e.val
+		} else {
+			delete(o.attrs, e.attr)
+		}
+	case undoDelete:
+		c, ok := s.schema.Class(e.class)
+		if !ok {
+			return
+		}
+		o := &Object{oid: e.oid, class: c, attrs: e.vals}
+		s.objects[e.oid] = o
+		s.classSet(e.class)[e.oid] = o
+	case undoMigrate:
+		o, ok := s.objects[e.oid]
+		if !ok {
+			return
+		}
+		c, ok := s.schema.Class(e.class)
+		if !ok {
+			return
+		}
+		delete(s.classSet(o.class.Name()), e.oid)
+		o.class = c
+		// Generalizing dropped these attributes; the superclass had no
+		// such attributes so nothing could have touched them since.
+		for k, v := range e.vals {
+			o.attrs[k] = v
+		}
+		s.classSet(e.class)[e.oid] = o
+	}
+}
 
 // Mark is a position in the undo log; rolling back to a Mark undoes every
 // mutation performed after it.
@@ -146,13 +218,7 @@ func (s *Store) createLocked(class string, vals map[string]types.Value, undo *[]
 	o := &Object{oid: oid, class: c, attrs: attrs}
 	s.objects[oid] = o
 	s.classSet(c.Name())[oid] = o
-	*undo = append(*undo, func(st *Store) {
-		delete(st.objects, oid)
-		delete(st.classSet(c.Name()), oid)
-		if reuseOID {
-			st.nextOID-- // creation is always the newest OID at undo time
-		}
-	})
+	*undo = append(*undo, undoEntry{kind: undoCreate, oid: oid, class: c.Name(), reuse: reuseOID})
 	return oid, nil
 }
 
@@ -177,13 +243,7 @@ func (s *Store) modifyLocked(oid types.OID, attr string, v types.Value, undo *[]
 	}
 	old, hadOld := o.attrs[attr]
 	o.attrs[attr] = v
-	*undo = append(*undo, func(*Store) {
-		if hadOld {
-			o.attrs[attr] = old
-		} else {
-			delete(o.attrs, attr)
-		}
-	})
+	*undo = append(*undo, undoEntry{kind: undoModify, oid: oid, attr: attr, val: old, had: hadOld})
 	return nil
 }
 
@@ -201,10 +261,9 @@ func (s *Store) deleteLocked(oid types.OID, undo *[]undoEntry) error {
 	}
 	delete(s.objects, oid)
 	delete(s.classSet(o.class.Name()), oid)
-	*undo = append(*undo, func(st *Store) {
-		st.objects[oid] = o
-		st.classSet(o.class.Name())[oid] = o
-	})
+	// The deleted object's attrs map is unreachable from the store now,
+	// so the entry can keep it without copying.
+	*undo = append(*undo, undoEntry{kind: undoDelete, oid: oid, class: o.class.Name(), vals: o.attrs})
 	return nil
 }
 
@@ -245,26 +304,29 @@ func (s *Store) migrateLocked(oid types.OID, to string, down bool, undo *[]undoE
 			return fmt.Errorf("object: %q is not a superclass of %q", to, o.class.Name())
 		}
 	}
-	oldClass, oldAttrs := o.class, o.attrs
+	oldClass := o.class
 	delete(s.classSet(oldClass.Name()), oid)
+	var dropped map[string]types.Value
 	if !down {
-		// Generalizing drops attributes the superclass lacks.
-		trimmed := make(map[string]types.Value, len(oldAttrs))
-		for k, v := range oldAttrs {
+		// Generalizing drops attributes the superclass lacks. The undo
+		// entry keeps only the dropped values: the superclass has no such
+		// attributes, so they cannot change before the entry applies.
+		trimmed := make(map[string]types.Value, len(o.attrs))
+		for k, v := range o.attrs {
 			if _, ok := target.Attr(k); ok {
 				trimmed[k] = v
+			} else {
+				if dropped == nil {
+					dropped = make(map[string]types.Value)
+				}
+				dropped[k] = v
 			}
 		}
 		o.attrs = trimmed
 	}
 	o.class = target
 	s.classSet(target.Name())[oid] = o
-	*undo = append(*undo, func(st *Store) {
-		delete(st.classSet(target.Name()), oid)
-		o.class = oldClass
-		o.attrs = oldAttrs
-		st.classSet(oldClass.Name())[oid] = o
-	})
+	*undo = append(*undo, undoEntry{kind: undoMigrate, oid: oid, class: oldClass.Name(), vals: dropped})
 	return nil
 }
 
@@ -298,6 +360,28 @@ func (s *Store) Restore(oid types.OID, class string, vals map[string]types.Value
 		s.nextOID = oid
 	}
 	return nil
+}
+
+// NextOID returns the allocator's high-water mark: the OID most
+// recently allocated (or restored past). It is part of durable state —
+// deleting the newest object does not roll the allocator back, so the
+// live objects alone do not determine it.
+func (s *Store) NextOID() types.OID {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.nextOID
+}
+
+// SetNextOID advances the allocator to at least oid. Snapshot and
+// checkpoint loading use it to reinstate the exact allocation point, so
+// OIDs freed by pre-snapshot deletions are never reissued to new
+// objects (an OID is an identity; reuse would alias stale references).
+func (s *Store) SetNextOID(oid types.OID) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if oid > s.nextOID {
+		s.nextOID = oid
+	}
 }
 
 // Get returns the live object with the given OID.
@@ -351,7 +435,7 @@ func (s *Store) RollbackTo(m Mark) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	for i := len(s.undo) - 1; i >= int(m); i-- {
-		s.undo[i](s)
+		s.undo[i].apply(s)
 	}
 	s.undo = s.undo[:m]
 }

@@ -724,12 +724,29 @@ func (s *Support) BeginTransaction(start clock.Time) {
 
 // Rebind points the support at a new Event Base (a new transaction's
 // log). Sweepers hold cursors into the old base, so they are discarded.
+//
+// The rule vocabulary is interned into the fresh base here, eagerly and
+// in deterministic (priority, then expression traversal) order. The
+// probe machinery would intern the same types lazily at the first
+// triggering determination; doing it at Rebind pins the interner's id
+// assignment to a pure function of the rule set and the append order —
+// the property WAL replay relies on to rebuild a bit-identical base
+// without re-running the probes.
 func (s *Support) Rebind(base *event.Base) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.base = base
 	for _, st := range s.rules {
 		st.sweeper = nil
+	}
+	for _, name := range s.order {
+		st := s.rules[name]
+		if st == nil || st.Def.Event == nil {
+			continue
+		}
+		for _, t := range calculus.Primitives(st.Def.Event) {
+			base.InternType(t)
+		}
 	}
 }
 

@@ -1,0 +1,411 @@
+package storage
+
+// Error-path tests for the file-backed segment store: injected write
+// failures must surface as typed engine errors, torn or corrupt WAL
+// tails must recover to the last good record, and a crash between the
+// temp write and the rename of a checkpoint must leave the previous
+// checkpoint in force. In every case recovery yields a usable engine,
+// never a partial one.
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"chimera/internal/engine"
+	"chimera/internal/schema"
+	"chimera/internal/types"
+)
+
+func fileOptions(store *FileStore) engine.Options {
+	o := engine.DefaultOptions()
+	o.Durability = engine.DurabilityOptions{
+		Store: store,
+		Fsync: engine.FsyncPerCommit,
+	}
+	o.SegmentSize = 8
+	return o
+}
+
+// seedItems defines a one-class catalog and commits one creation per
+// transaction, returning the state fingerprint after each commit.
+func seedItems(t *testing.T, db *engine.DB, commits int) []string {
+	t.Helper()
+	if err := db.DefineClass("item",
+		schema.Attribute{Name: "n", Kind: types.KindInt}); err != nil {
+		t.Fatal(err)
+	}
+	fps := make([]string, 0, commits)
+	for i := 0; i < commits; i++ {
+		if err := db.Run(func(tx *engine.Txn) error {
+			_, err := tx.Create("item", map[string]types.Value{
+				"n": types.Int(int64(i))})
+			return err
+		}); err != nil {
+			t.Fatal(err)
+		}
+		fps = append(fps, stateFP(db))
+	}
+	return fps
+}
+
+// stateFP renders the committed object state, clock and OID allocator.
+func stateFP(db *engine.DB) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "clock=%d next=%d\n", db.Clock().Now(), db.Store().NextOID())
+	for _, class := range db.Schema().Names() {
+		oids, _ := db.Store().Select(class)
+		for _, oid := range oids {
+			if o, ok := db.Store().Get(oid); ok && o.Class().Name() == class {
+				b.WriteString(o.String())
+				b.WriteByte('\n')
+			}
+		}
+	}
+	return b.String()
+}
+
+// reopen recovers a database from the files left in dir.
+func reopen(t *testing.T, dir string) (*engine.DB, *engine.Txn, *engine.RecoveryReport) {
+	t.Helper()
+	fs, err := NewFileStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rdb, rtx, rep, err := engine.Recover(fileOptions(fs))
+	if err != nil {
+		t.Fatalf("recover: %v", err)
+	}
+	return rdb, rtx, rep
+}
+
+// probe proves the recovered engine is live: a fresh transaction can
+// create an object and commit (skipping the write when the catalog was
+// cut away with the log tail).
+func probe(t *testing.T, db *engine.DB) {
+	t.Helper()
+	if err := db.Run(func(tx *engine.Txn) error {
+		if _, ok := db.Schema().Class("item"); !ok {
+			return nil
+		}
+		_, err := tx.Create("item", map[string]types.Value{"n": types.Int(-1)})
+		return err
+	}); err != nil {
+		t.Fatalf("post-recovery txn: %v", err)
+	}
+}
+
+func TestFileStoreDurableRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	fs, err := NewFileStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	db, err := engine.Open(fileOptions(fs))
+	if err != nil {
+		t.Fatal(err)
+	}
+	fps := seedItems(t, db, 12)
+	want := fps[len(fps)-1]
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// A second Open on the same directory must refuse to reinitialize.
+	fs2, err := NewFileStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := engine.Open(fileOptions(fs2)); !errors.Is(err, engine.ErrNeedsRecovery) {
+		t.Fatalf("Open over durable state = %v, want ErrNeedsRecovery", err)
+	}
+	fs2.Close()
+
+	rdb, rtx, rep, err := engine.Recover(fileOptions(mustFileStore(t, dir)))
+	if err != nil {
+		t.Fatalf("recover: %v", err)
+	}
+	if rtx != nil {
+		t.Fatal("recovered an open transaction from a cleanly closed store")
+	}
+	if rep.TruncatedWAL {
+		t.Error("clean close reported a truncated WAL")
+	}
+	if got := stateFP(rdb); got != want {
+		t.Fatalf("state diverged after file round trip:\n got:\n%s\nwant:\n%s", got, want)
+	}
+	probe(t, rdb)
+	rdb.Close()
+}
+
+func mustFileStore(t *testing.T, dir string) *FileStore {
+	t.Helper()
+	fs, err := NewFileStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return fs
+}
+
+// failWriter fails every write after the first n bytes.
+type failWriter struct {
+	n   int
+	err error
+}
+
+func (w *failWriter) Write(p []byte) (int, error) {
+	if w.n <= 0 {
+		return 0, w.err
+	}
+	if len(p) > w.n {
+		p = p[:w.n]
+	}
+	w.n -= len(p)
+	return len(p), nil
+}
+
+func TestFileStoreWALWriteFailure(t *testing.T) {
+	fs := mustFileStore(t, t.TempDir())
+	db, err := engine.Open(fileOptions(fs))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	seedItems(t, db, 3)
+	before := db.Store().Len()
+
+	// Every byte appended from here on hits a broken disk.
+	sinkErr := errors.New("disk on fire")
+	fs.SetWALSink(&failWriter{err: sinkErr})
+
+	tx, err := db.Begin()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tx.Create("item", map[string]types.Value{"n": types.Int(99)}); err != nil {
+		t.Fatal(err)
+	}
+	err = tx.Commit()
+	if err == nil {
+		t.Fatal("commit over a failing WAL succeeded")
+	}
+	if !errors.Is(err, engine.ErrWALFailed) {
+		t.Fatalf("commit error = %v, want ErrWALFailed", err)
+	}
+	if !errors.Is(err, sinkErr) {
+		t.Fatalf("commit error = %v, does not preserve the I/O cause", err)
+	}
+
+	// The committer is poisoned: further work must be refused — at
+	// Begin, at the first mutation, or at latest at Commit — rather
+	// than silently diverging from the log.
+	refused := func() error {
+		tx2, err := db.Begin()
+		if err != nil {
+			return err
+		}
+		if _, err := tx2.Create("item", map[string]types.Value{"n": types.Int(100)}); err != nil {
+			tx2.Rollback() //nolint:errcheck // already failing
+			return err
+		}
+		return tx2.Commit()
+	}()
+	if !errors.Is(refused, engine.ErrWALFailed) {
+		t.Fatalf("transaction after WAL failure = %v, want ErrWALFailed", refused)
+	}
+	if got := db.Store().Len(); got > before+1 {
+		t.Fatalf("refused commit leaked objects: %d live, had %d", got, before)
+	}
+}
+
+func TestFileStoreSyncFailure(t *testing.T) {
+	fs := mustFileStore(t, t.TempDir())
+	db, err := engine.Open(fileOptions(fs))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	seedItems(t, db, 2)
+
+	syncErr := errors.New("fsync: input/output error")
+	fs.SetSyncErr(syncErr)
+	err = db.Run(func(tx *engine.Txn) error {
+		_, err := tx.Create("item", map[string]types.Value{"n": types.Int(7)})
+		return err
+	})
+	if !errors.Is(err, engine.ErrWALFailed) || !errors.Is(err, syncErr) {
+		t.Fatalf("commit over failing fsync = %v, want ErrWALFailed wrapping the cause", err)
+	}
+}
+
+// buildCrashImage seeds a durable database, closes it, and returns the
+// directory plus the per-commit fingerprints.
+func buildCrashImage(t *testing.T, commits int) (string, []string) {
+	t.Helper()
+	dir := t.TempDir()
+	db, err := engine.Open(fileOptions(mustFileStore(t, dir)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	fps := seedItems(t, db, commits)
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return dir, fps
+}
+
+// copyImage clones the store directory so each corruption gets a
+// pristine crash image.
+func copyImage(t *testing.T, src string) string {
+	t.Helper()
+	dst := t.TempDir()
+	ents, err := os.ReadDir(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range ents {
+		p, err := os.ReadFile(filepath.Join(src, e.Name()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(filepath.Join(dst, e.Name()), p, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return dst
+}
+
+func TestFileStoreTruncatedWALTail(t *testing.T) {
+	src, fps := buildCrashImage(t, 10)
+	wal := filepath.Join(src, "wal.log")
+	info, err := os.Stat(wal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, cut := range []int64{1, 2, 5, 17, info.Size() / 2} {
+		dir := copyImage(t, src)
+		if err := os.Truncate(filepath.Join(dir, "wal.log"), info.Size()-cut); err != nil {
+			t.Fatal(err)
+		}
+		rdb, rtx, rep := reopen(t, dir)
+		// A small cut cannot remove a whole frame, so the torn tail must
+		// be noticed; larger cuts may land exactly between two records
+		// and legitimately read as a clean (shorter) log.
+		if cut <= 2 && !rep.TruncatedWAL {
+			t.Errorf("cut %d: truncation not reported", cut)
+		}
+		// Recovery lands on a prefix of the history: either exactly a
+		// past commit (transaction boundary survived the cut) or a
+		// mid-transaction point with the line still open.
+		if rtx == nil {
+			got := stateFP(rdb)
+			found := false
+			for _, fp := range fps {
+				if fp == got {
+					found = true
+					break
+				}
+			}
+			if !found && got != stateFP(freshEngine(t)) {
+				t.Errorf("cut %d: recovered state matches no commit prefix:\n%s", cut, got)
+			}
+		} else if err := rtx.Rollback(); err != nil {
+			t.Fatalf("cut %d: rollback recovered txn: %v", cut, err)
+		}
+		probe(t, rdb)
+		rdb.Close()
+	}
+}
+
+// freshEngine is the empty-database fingerprint reference (a cut ahead
+// of the first commit legitimately recovers an empty engine).
+func freshEngine(t *testing.T) *engine.DB {
+	t.Helper()
+	return engine.New(engine.DefaultOptions())
+}
+
+func TestFileStoreCorruptWALFrame(t *testing.T) {
+	src, fps := buildCrashImage(t, 10)
+	wal := filepath.Join(src, "wal.log")
+	info, err := os.Stat(wal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Flip a byte at several depths of the tail half: the CRC framing
+	// must stop replay at the last record before the damage.
+	for _, frac := range []int64{2, 3, 4} {
+		dir := copyImage(t, src)
+		path := filepath.Join(dir, "wal.log")
+		p, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		off := info.Size() - info.Size()/frac
+		p[off] ^= 0xff
+		if err := os.WriteFile(path, p, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		rdb, rtx, rep := reopen(t, dir)
+		if !rep.TruncatedWAL {
+			t.Errorf("flip at %d: corruption not reported", off)
+		}
+		if rtx == nil {
+			got := stateFP(rdb)
+			found := false
+			for _, fp := range fps {
+				if fp == got {
+					found = true
+					break
+				}
+			}
+			if !found && got != stateFP(freshEngine(t)) {
+				t.Errorf("flip at %d: recovered state matches no commit prefix:\n%s", off, got)
+			}
+		} else if err := rtx.Rollback(); err != nil {
+			t.Fatalf("flip at %d: rollback recovered txn: %v", off, err)
+		}
+		probe(t, rdb)
+		rdb.Close()
+	}
+}
+
+func TestFileStoreLeftoverTempCheckpoint(t *testing.T) {
+	src, fps := buildCrashImage(t, 6)
+	// A crash between the temp write and the rename leaves garbage in
+	// checkpoint.bin.tmp; the committed checkpoint must stay in force.
+	tmp := filepath.Join(src, "checkpoint.bin.tmp")
+	if err := os.WriteFile(tmp, []byte("partial checkpoint garbage"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	rdb, _, rep := reopen(t, src)
+	if rep.TruncatedWAL {
+		t.Error("intact WAL reported truncated")
+	}
+	if got, want := stateFP(rdb), fps[len(fps)-1]; got != want {
+		t.Fatalf("temp checkpoint leaked into recovery:\n got:\n%s\nwant:\n%s", got, want)
+	}
+	probe(t, rdb)
+	rdb.Close()
+}
+
+func TestFileStoreAppendShortWrite(t *testing.T) {
+	fs := mustFileStore(t, t.TempDir())
+	defer fs.Close()
+	fs.SetWALSink(&failWriter{n: 2, err: errors.New("unused")})
+	err := fs.AppendWAL([]byte("a longer record"))
+	if !errors.Is(err, io.ErrShortWrite) {
+		t.Fatalf("AppendWAL short write = %v, want io.ErrShortWrite", err)
+	}
+	// Restoring the sink restores the file path.
+	fs.SetWALSink(nil)
+	if err := fs.AppendWAL([]byte("ok")); err != nil {
+		t.Fatal(err)
+	}
+	if p, err := fs.WAL(); err != nil || string(p) != "ok" {
+		t.Fatalf("WAL after restore = %q, %v", p, err)
+	}
+}

@@ -30,6 +30,11 @@ import (
 type Snapshot struct {
 	// Format identifies the snapshot layout version.
 	Format int `json:"format"`
+	// NextOID is the object allocator's high-water mark (format ≥ 2).
+	// It is explicit state: deleting the newest object does not roll the
+	// allocator back, so the live objects alone cannot determine it, and
+	// reissuing a freed OID after a load would alias stale references.
+	NextOID int64 `json:"next_oid"`
 	// Classes lists every class in definition-compatible order (parents
 	// before subclasses).
 	Classes []ClassRecord `json:"classes"`
@@ -40,7 +45,12 @@ type Snapshot struct {
 }
 
 // CurrentFormat is the snapshot layout version written by Save.
-const CurrentFormat = 1
+// Format history:
+//
+//	1 — initial layout (no allocator state; loading re-derived it from
+//	    the maximum live OID, silently reusing freed OIDs).
+//	2 — adds next_oid.
+const CurrentFormat = 2
 
 // ClassRecord serializes one class.
 type ClassRecord struct {
@@ -139,7 +149,7 @@ func decodeValue(r ValueRecord) (types.Value, error) {
 // Capture builds a snapshot of a database. It must be called outside a
 // transaction.
 func Capture(db *engine.DB) (*Snapshot, error) {
-	snap := &Snapshot{Format: CurrentFormat}
+	snap := &Snapshot{Format: CurrentFormat, NextOID: int64(db.Store().NextOID())}
 
 	// Classes, parents first.
 	cat := db.Schema()
@@ -222,40 +232,31 @@ func Capture(db *engine.DB) (*Snapshot, error) {
 	return snap, nil
 }
 
-// RenderRule renders a rule back to the concrete define syntax.
+// RenderRule renders a rule back to the concrete define syntax. It is
+// engine.RenderRule, re-exported here for compatibility: the renderer
+// moved into the engine so the WAL's rule-definition records and the
+// snapshot writer share one implementation.
 func RenderRule(def rules.Def, body engine.Body) string {
-	var sb strings.Builder
-	sb.WriteString("define ")
-	sb.WriteString(def.Coupling.String())
-	sb.WriteString(" ")
-	sb.WriteString(def.Consumption.String())
-	sb.WriteString(" ")
-	sb.WriteString(def.Name)
-	if def.Target != "" {
-		sb.WriteString(" for ")
-		sb.WriteString(def.Target)
-	}
-	if def.Priority != 0 {
-		fmt.Fprintf(&sb, " priority %d", def.Priority)
-	}
-	sb.WriteString("\nevents ")
-	sb.WriteString(def.Event.String())
-	if len(body.Condition.Atoms) > 0 {
-		sb.WriteString("\ncondition ")
-		sb.WriteString(body.Condition.String())
-	}
-	if len(body.Action.Statements) > 0 {
-		sb.WriteString("\naction ")
-		sb.WriteString(body.Action.String())
-	}
-	sb.WriteString("\nend")
-	return sb.String()
+	return engine.RenderRule(def, body)
 }
+
+// ErrOldFormat reports a snapshot written by an earlier release; it is
+// distinct from ErrUnknownFormat so callers can offer migration.
+var ErrOldFormat = fmt.Errorf("storage: snapshot format predates this version")
+
+// ErrUnknownFormat reports a snapshot format this version does not
+// know — most likely a newer release's output (or a corrupt document).
+var ErrUnknownFormat = fmt.Errorf("storage: unknown snapshot format")
 
 // Load reconstructs a fresh database from a snapshot.
 func Load(snap *Snapshot, opts engine.Options) (*engine.DB, error) {
-	if snap.Format != CurrentFormat {
-		return nil, fmt.Errorf("storage: unsupported snapshot format %d", snap.Format)
+	switch {
+	case snap.Format == CurrentFormat:
+	case snap.Format >= 1 && snap.Format < CurrentFormat:
+		return nil, fmt.Errorf("%w: got %d, current is %d (re-save with a release that reads it)",
+			ErrOldFormat, snap.Format, CurrentFormat)
+	default:
+		return nil, fmt.Errorf("%w: got %d, current is %d", ErrUnknownFormat, snap.Format, CurrentFormat)
 	}
 	db := engine.New(opts)
 	for _, c := range snap.Classes {
@@ -290,6 +291,7 @@ func Load(snap *Snapshot, opts engine.Options) (*engine.DB, error) {
 			return nil, err
 		}
 	}
+	db.Store().SetNextOID(types.OID(snap.NextOID))
 	for _, src := range snap.Rules {
 		r, err := lang.ParseRule(src)
 		if err != nil {

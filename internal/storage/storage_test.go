@@ -2,6 +2,7 @@ package storage
 
 import (
 	"bytes"
+	"errors"
 	"path/filepath"
 	"strings"
 	"testing"
@@ -237,6 +238,125 @@ func TestLoadErrors(t *testing.T) {
 	buf.WriteString("{not json")
 	if _, err := Read(&buf); err == nil {
 		t.Error("bad JSON accepted")
+	}
+}
+
+func TestSnapshotFormatErrors(t *testing.T) {
+	// A format-1 snapshot (pre-NextOID) is old, not unknown: callers
+	// can distinguish "migrate" from "refuse".
+	if _, err := Load(&Snapshot{Format: 1}, engine.DefaultOptions()); !errors.Is(err, ErrOldFormat) {
+		t.Errorf("Load(format 1) = %v, want ErrOldFormat", err)
+	}
+	if _, err := Load(&Snapshot{Format: 99}, engine.DefaultOptions()); !errors.Is(err, ErrUnknownFormat) {
+		t.Errorf("Load(format 99) = %v, want ErrUnknownFormat", err)
+	}
+	if _, err := Load(&Snapshot{Format: 0}, engine.DefaultOptions()); !errors.Is(err, ErrUnknownFormat) {
+		t.Errorf("Load(format 0) = %v, want ErrUnknownFormat", err)
+	}
+	if _, err := Load(&Snapshot{Format: CurrentFormat}, engine.DefaultOptions()); err != nil {
+		t.Errorf("Load(current format) = %v", err)
+	}
+}
+
+func TestSnapshotNextOID(t *testing.T) {
+	db := buildDB(t)
+	// Delete the newest object so the allocator's high-water mark sits
+	// above every surviving OID — a restore that derived the allocator
+	// from the live objects would hand the dead OID out again.
+	var top types.OID
+	if err := db.Run(func(tx *engine.Txn) error {
+		oid, err := tx.Create("supplier", map[string]types.Value{
+			"name": types.String_("doomed")})
+		if err != nil {
+			return err
+		}
+		top = oid
+		return tx.Delete(oid)
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	snap, err := Capture(db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap.NextOID != int64(db.Store().NextOID()) {
+		t.Fatalf("snapshot NextOID = %d, store says %d", snap.NextOID, db.Store().NextOID())
+	}
+	var buf bytes.Buffer
+	if err := Write(&buf, snap); err != nil {
+		t.Fatal(err)
+	}
+	back, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	restored, err := Load(back, engine.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := restored.Run(func(tx *engine.Txn) error {
+		oid, err := tx.Create("supplier", map[string]types.Value{
+			"name": types.String_("fresh")})
+		if oid <= top {
+			t.Errorf("OID %v reused at or below the deleted high-water %v", oid, top)
+		}
+		return err
+	}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSnapshotMultiSessionSharedPlan(t *testing.T) {
+	db := buildDB(t)
+	snap, err := Capture(db)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Restore under the concurrent configuration: several transaction
+	// lines plus the cross-rule shared plan must accept a captured
+	// rule set unchanged.
+	opts := engine.DefaultOptions()
+	opts.MaxSessions = 4
+	opts.Support.SharedPlan = true
+	restored, err := Load(snap, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tx1, err := restored.Begin()
+	if err != nil {
+		t.Fatal(err)
+	}
+	tx2, err := restored.Begin()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tx1.Create("stock", map[string]types.Value{
+		"quantity": types.Int(900)}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tx2.Create("supplier", map[string]types.Value{
+		"name": types.String_("late")}); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx1.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx2.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	// The restored clamp rule fired through the shared plan.
+	oids, _ := restored.Store().Select("stock")
+	clamped := false
+	for _, oid := range oids {
+		o, _ := restored.Store().Get(oid)
+		if o.MustGet("quantity").AsInt() == 100 {
+			clamped = true
+		}
+	}
+	if !clamped {
+		t.Error("restored rule did not fire under multi-session shared-plan config")
 	}
 }
 

@@ -1,0 +1,198 @@
+// Package wire implements the binary primitives shared by the durable
+// Event Base codecs: varint and string appenders, a tagged encoding for
+// attribute values, and CRC-framed records. Both the engine's write-ahead
+// log and the segment codec of internal/event build on the same frame
+// layer, so one implementation (and one corruption model) covers both.
+//
+// A frame is [length u32le][crc32c u32le][payload]: length counts the
+// payload bytes, the checksum is Castagnoli CRC-32 over the payload.
+// NextFrame distinguishes a frame that is torn (the file ends inside it —
+// ErrTruncated) from one whose bytes are wrong (checksum mismatch —
+// ErrCorrupt); recovery treats either as the end of the good prefix.
+package wire
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"math"
+
+	"chimera/internal/clock"
+	"chimera/internal/types"
+)
+
+// ErrTruncated reports a frame cut short by the end of the log — the
+// expected shape of a crash mid-write.
+var ErrTruncated = errors.New("wire: truncated frame")
+
+// ErrCorrupt reports a frame whose payload fails its checksum (or a
+// record whose payload does not decode) — bit rot or a torn overwrite.
+var ErrCorrupt = errors.New("wire: corrupt frame")
+
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// AppendFrame appends one CRC-framed payload to dst.
+func AppendFrame(dst, payload []byte) []byte {
+	var hdr [8]byte
+	binary.LittleEndian.PutUint32(hdr[0:4], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(hdr[4:8], crc32.Checksum(payload, castagnoli))
+	dst = append(dst, hdr[:]...)
+	return append(dst, payload...)
+}
+
+// NextFrame splits the first frame off data, returning its payload and
+// the remainder. An empty data returns (nil, nil, nil). A frame the data
+// ends inside returns ErrTruncated; a checksum mismatch ErrCorrupt.
+func NextFrame(data []byte) (payload, rest []byte, err error) {
+	if len(data) == 0 {
+		return nil, nil, nil
+	}
+	if len(data) < 8 {
+		return nil, nil, ErrTruncated
+	}
+	n := int(binary.LittleEndian.Uint32(data[0:4]))
+	sum := binary.LittleEndian.Uint32(data[4:8])
+	if len(data) < 8+n {
+		return nil, nil, ErrTruncated
+	}
+	payload = data[8 : 8+n]
+	if crc32.Checksum(payload, castagnoli) != sum {
+		return nil, nil, ErrCorrupt
+	}
+	return payload, data[8+n:], nil
+}
+
+// AppendUvarint appends x in unsigned varint encoding.
+func AppendUvarint(dst []byte, x uint64) []byte {
+	return binary.AppendUvarint(dst, x)
+}
+
+// AppendVarint appends x in zigzag varint encoding.
+func AppendVarint(dst []byte, x int64) []byte {
+	return binary.AppendVarint(dst, x)
+}
+
+// Uvarint decodes an unsigned varint off the front of data.
+func Uvarint(data []byte) (uint64, []byte, error) {
+	x, n := binary.Uvarint(data)
+	if n <= 0 {
+		return 0, nil, ErrCorrupt
+	}
+	return x, data[n:], nil
+}
+
+// Varint decodes a zigzag varint off the front of data.
+func Varint(data []byte) (int64, []byte, error) {
+	x, n := binary.Varint(data)
+	if n <= 0 {
+		return 0, nil, ErrCorrupt
+	}
+	return x, data[n:], nil
+}
+
+// AppendString appends a length-prefixed string.
+func AppendString(dst []byte, s string) []byte {
+	dst = AppendUvarint(dst, uint64(len(s)))
+	return append(dst, s...)
+}
+
+// String decodes a length-prefixed string off the front of data.
+func String(data []byte) (string, []byte, error) {
+	n, rest, err := Uvarint(data)
+	if err != nil {
+		return "", nil, err
+	}
+	if uint64(len(rest)) < n {
+		return "", nil, ErrCorrupt
+	}
+	return string(rest[:n]), rest[n:], nil
+}
+
+// Value kind tags. They mirror types.Kind but are pinned here so the
+// on-disk encoding cannot drift if the in-memory enum is reordered.
+const (
+	vkNull byte = iota
+	vkInt
+	vkFloat
+	vkString
+	vkBool
+	vkTime
+	vkOID
+)
+
+// AppendValue appends a tagged attribute value.
+func AppendValue(dst []byte, v types.Value) ([]byte, error) {
+	switch v.Kind() {
+	case types.KindNull:
+		return append(dst, vkNull), nil
+	case types.KindInt:
+		return AppendVarint(append(dst, vkInt), v.AsInt()), nil
+	case types.KindFloat:
+		dst = append(dst, vkFloat)
+		var b [8]byte
+		binary.LittleEndian.PutUint64(b[:], math.Float64bits(v.AsFloat()))
+		return append(dst, b[:]...), nil
+	case types.KindString:
+		return AppendString(append(dst, vkString), v.AsString()), nil
+	case types.KindBool:
+		dst = append(dst, vkBool)
+		if v.AsBool() {
+			return append(dst, 1), nil
+		}
+		return append(dst, 0), nil
+	case types.KindTime:
+		return AppendVarint(append(dst, vkTime), int64(v.AsTime())), nil
+	case types.KindOID:
+		return AppendVarint(append(dst, vkOID), int64(v.AsOID())), nil
+	}
+	return nil, fmt.Errorf("wire: unencodable value kind %v", v.Kind())
+}
+
+// Value decodes a tagged attribute value off the front of data.
+func Value(data []byte) (types.Value, []byte, error) {
+	if len(data) == 0 {
+		return types.Null, nil, ErrCorrupt
+	}
+	tag, rest := data[0], data[1:]
+	switch tag {
+	case vkNull:
+		return types.Null, rest, nil
+	case vkInt:
+		n, rest, err := Varint(rest)
+		if err != nil {
+			return types.Null, nil, err
+		}
+		return types.Int(n), rest, nil
+	case vkFloat:
+		if len(rest) < 8 {
+			return types.Null, nil, ErrCorrupt
+		}
+		f := math.Float64frombits(binary.LittleEndian.Uint64(rest[:8]))
+		return types.Float(f), rest[8:], nil
+	case vkString:
+		s, rest, err := String(rest)
+		if err != nil {
+			return types.Null, nil, err
+		}
+		return types.String_(s), rest, nil
+	case vkBool:
+		if len(rest) < 1 {
+			return types.Null, nil, ErrCorrupt
+		}
+		return types.Bool(rest[0] != 0), rest[1:], nil
+	case vkTime:
+		n, rest, err := Varint(rest)
+		if err != nil {
+			return types.Null, nil, err
+		}
+		return types.TimeVal(clock.Time(n)), rest, nil
+	case vkOID:
+		n, rest, err := Varint(rest)
+		if err != nil {
+			return types.Null, nil, err
+		}
+		return types.Ref(types.OID(n)), rest, nil
+	}
+	return types.Null, nil, fmt.Errorf("%w: unknown value tag %d", ErrCorrupt, tag)
+}

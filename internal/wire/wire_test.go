@@ -1,0 +1,165 @@
+package wire
+
+import (
+	"errors"
+	"testing"
+
+	"chimera/internal/clock"
+	"chimera/internal/types"
+)
+
+func TestFrameRoundTrip(t *testing.T) {
+	payloads := [][]byte{
+		[]byte("hello"),
+		{},
+		[]byte{0, 1, 2, 255},
+	}
+	var buf []byte
+	for _, p := range payloads {
+		buf = AppendFrame(buf, p)
+	}
+	rest := buf
+	for i, want := range payloads {
+		var got []byte
+		var err error
+		got, rest, err = NextFrame(rest)
+		if err != nil {
+			t.Fatalf("frame %d: %v", i, err)
+		}
+		if got == nil {
+			t.Fatalf("frame %d: premature end", i)
+		}
+		if string(got) != string(want) {
+			t.Fatalf("frame %d: got %q, want %q", i, got, want)
+		}
+	}
+	got, rest, err := NextFrame(rest)
+	if err != nil || got != nil || rest != nil {
+		t.Fatalf("expected clean end, got payload=%v rest=%v err=%v", got, rest, err)
+	}
+}
+
+func TestFrameTruncated(t *testing.T) {
+	full := AppendFrame(nil, []byte("payload"))
+	for cut := 1; cut < len(full); cut++ {
+		if _, _, err := NextFrame(full[:cut]); !errors.Is(err, ErrTruncated) {
+			t.Fatalf("cut at %d: got %v, want ErrTruncated", cut, err)
+		}
+	}
+}
+
+func TestFrameCorrupt(t *testing.T) {
+	full := AppendFrame(nil, []byte("payload"))
+	// Flip a payload byte: CRC must catch it.
+	bad := append([]byte(nil), full...)
+	bad[len(bad)-1] ^= 0x40
+	if _, _, err := NextFrame(bad); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("payload flip: got %v, want ErrCorrupt", err)
+	}
+	// Flip a CRC byte.
+	bad = append([]byte(nil), full...)
+	bad[5] ^= 0x01
+	if _, _, err := NextFrame(bad); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("crc flip: got %v, want ErrCorrupt", err)
+	}
+}
+
+func TestVarintRoundTrip(t *testing.T) {
+	uvals := []uint64{0, 1, 127, 128, 1 << 20, 1<<63 - 1}
+	var buf []byte
+	for _, v := range uvals {
+		buf = AppendUvarint(buf, v)
+	}
+	rest := buf
+	for _, want := range uvals {
+		var got uint64
+		var err error
+		got, rest, err = Uvarint(rest)
+		if err != nil || got != want {
+			t.Fatalf("uvarint: got %d err %v, want %d", got, err, want)
+		}
+	}
+
+	ivals := []int64{0, -1, 1, -64, 63, 1 << 40, -(1 << 40)}
+	buf = buf[:0]
+	for _, v := range ivals {
+		buf = AppendVarint(buf, v)
+	}
+	rest = buf
+	for _, want := range ivals {
+		var got int64
+		var err error
+		got, rest, err = Varint(rest)
+		if err != nil || got != want {
+			t.Fatalf("varint: got %d err %v, want %d", got, err, want)
+		}
+	}
+
+	// Payload-level decode errors are ErrCorrupt: the frame CRC already
+	// vouched for the bytes, so a short varint means bad data, not a
+	// torn write.
+	if _, _, err := Uvarint(nil); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("empty uvarint: got %v, want ErrCorrupt", err)
+	}
+}
+
+func TestStringRoundTrip(t *testing.T) {
+	vals := []string{"", "a", "héllo wörld", string(make([]byte, 300))}
+	var buf []byte
+	for _, v := range vals {
+		buf = AppendString(buf, v)
+	}
+	rest := buf
+	for _, want := range vals {
+		var got string
+		var err error
+		got, rest, err = String(rest)
+		if err != nil || got != want {
+			t.Fatalf("string: got %q err %v, want %q", got, err, want)
+		}
+	}
+	// Declared length beyond the buffer is corrupt payload data.
+	bad := AppendUvarint(nil, 10)
+	bad = append(bad, 'x')
+	if _, _, err := String(bad); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("short string: got %v, want ErrCorrupt", err)
+	}
+}
+
+func TestValueRoundTrip(t *testing.T) {
+	vals := []types.Value{
+		types.Null,
+		types.Int(-42),
+		types.Float(3.5),
+		types.String_("s"),
+		types.Bool(true),
+		types.Bool(false),
+		types.TimeVal(clock.Time(99)),
+		types.Ref(types.OID(7)),
+	}
+	var buf []byte
+	var err error
+	for _, v := range vals {
+		if buf, err = AppendValue(buf, v); err != nil {
+			t.Fatal(err)
+		}
+	}
+	rest := buf
+	for _, want := range vals {
+		var got types.Value
+		got, rest, err = Value(rest)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.Kind() != want.Kind() || got.String() != want.String() {
+			t.Fatalf("value: got %v, want %v", got, want)
+		}
+	}
+	if len(rest) != 0 {
+		t.Fatalf("trailing bytes: %v", rest)
+	}
+	// Unknown tag.
+	if _, _, err := Value([]byte{0xEE}); err == nil {
+		t.Fatal("unknown value tag accepted")
+	}
+}
