@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race race-stress crash-smoke vet bench bench-smoke profile cover fuzz verify verify-full
+.PHONY: build test race race-stress crash-smoke torture vet bench bench-smoke profile cover fuzz verify verify-full
 
 build:
 	$(GO) build ./...
@@ -34,6 +34,15 @@ crash-smoke:
 	$(GO) test -race -count=1 \
 		-run 'TestKillRecover|TestRecoverContinuation|TestTruncatedWAL|TestCorruptWAL|TestStaleWAL|TestOpenNeedsRecovery|TestWALFailure|TestPerCommitSyncFailure|TestCloseSemantics|TestCheckpointBoundsWAL|TestDDLReplay|TestFileStore' \
 		./internal/engine/ ./internal/storage/
+
+# Torture matrix under the race detector: adversarial rule sets against
+# the resource-governance machinery (gas/deadline kills, Event Base
+# bounds, parser limits, crash-during-budget-kill recovery, killed
+# sessions vs concurrent peers), plus a short adversarial fuzz pass.
+# Deterministic and time-capped; part of CI.
+torture:
+	$(GO) test -race -count=1 -timeout 5m -run 'TestTorture' ./internal/torture/
+	$(GO) test ./internal/torture/ -run '^$$' -fuzz FuzzAdversarialRules -fuzztime 15s
 
 vet:
 	$(GO) vet ./...

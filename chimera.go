@@ -69,6 +69,9 @@ type (
 	Body = engine.Body
 	// Stats aggregates engine counters.
 	Stats = engine.Stats
+	// Limits reports the configured resource bounds and the counters of
+	// transactions that hit them.
+	Limits = engine.Limits
 )
 
 // Sentinel errors of the transaction machinery.
@@ -80,6 +83,18 @@ var (
 	// ErrConflict is returned by a transaction-line operation that lost
 	// a latch conflict with a concurrent line; roll back and retry.
 	ErrConflict = engine.ErrConflict
+	// ErrGasExhausted is returned (wrapped) when a transaction exceeds
+	// Options.GasLimit evaluation steps; roll back the transaction.
+	ErrGasExhausted = engine.ErrGasExhausted
+	// ErrDeadlineExceeded is returned (wrapped) when a transaction runs
+	// past Options.TimeBudget; roll back the transaction.
+	ErrDeadlineExceeded = engine.ErrDeadlineExceeded
+	// ErrEventLimit is returned (wrapped) by an event-logging operation
+	// refused by Options.MaxEvents / Options.MaxSegments.
+	ErrEventLimit = engine.ErrEventLimit
+	// ErrRuleLimit is returned (wrapped) when a rule cascade exceeds
+	// Options.MaxRuleExecutions.
+	ErrRuleLimit = engine.ErrRuleLimit
 )
 
 // Rule machinery.

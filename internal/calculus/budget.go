@@ -1,0 +1,192 @@
+package calculus
+
+import (
+	"errors"
+	"math"
+	"sync/atomic"
+	"time"
+)
+
+// ErrGasExhausted is returned (wrapped) when a transaction spends more
+// evaluation gas — node evaluations across ts/ots probes, lift domains
+// and condition formulas — than its configured budget.
+var ErrGasExhausted = errors.New("calculus: gas budget exhausted")
+
+// ErrDeadlineExceeded is returned (wrapped) when a transaction's
+// evaluation runs past its wall-clock deadline.
+var ErrDeadlineExceeded = errors.New("calculus: evaluation deadline exceeded")
+
+// deadlineStride is how many charges pass between wall-clock probes (and
+// between cross-worker exhaustion checks): one time.Now() per 64 node
+// evaluations keeps the deadline check off the per-node hot path while
+// bounding the overshoot after the deadline to a few microseconds of
+// evaluation work.
+const deadlineStride = 64
+
+// Budget is a per-transaction evaluation budget, shared by every
+// evaluator the transaction drives (the recursive Env, the memoized
+// PlanEval, the incremental Sweeper — including the worker goroutines of
+// a sharded CheckTriggered). The unit of gas is one node evaluation, the
+// same work TsEvaluations/MemoMisses count, so a budget is portable
+// across evaluator configurations: memo hits are free, as they should be.
+//
+// Exhaustion aborts the evaluation in flight by panicking with a private
+// fault value; the package boundary converts it back into the typed
+// error with RecoverBudget. The deep recursive evaluators cannot
+// plumb an error return through every node visit without giving up
+// their branch-free hot paths — the contained panic is the standard Go
+// idiom for aborting a deep recursive descent (encoding/json, gob).
+//
+// The hot path is one uncontended atomic decrement per charged node;
+// the deadline is probed every deadlineStride charges. A nil *Budget is
+// valid and charges nothing.
+type Budget struct {
+	// gas is the remaining budget. Unlimited-gas budgets start at
+	// math.MaxInt64: the counter still tracks usage but can never go
+	// negative within a transaction's lifetime.
+	gas     atomic.Int64
+	initial int64
+	// state latches the first exhaustion cause: 0 live, 1 gas,
+	// 2 deadline. Once set every subsequent charge panics again within
+	// one stride, so sibling workers stop promptly.
+	state       atomic.Int32
+	hasDeadline bool
+	deadline    time.Time
+}
+
+const (
+	budgetLive     = 0
+	budgetGas      = 1
+	budgetDeadline = 2
+)
+
+// budgetFault is the panic payload carrying a budget exhaustion out of a
+// recursive evaluation. Private: non-budget panics are never swallowed.
+type budgetFault struct{ err error }
+
+// NewBudget returns a budget with the given gas allowance (≤ 0 means
+// unlimited) and wall-clock deadline (the zero Time means none).
+func NewBudget(gas int64, deadline time.Time) *Budget {
+	b := &Budget{initial: gas, deadline: deadline, hasDeadline: !deadline.IsZero()}
+	if gas <= 0 {
+		b.initial = math.MaxInt64
+	}
+	b.gas.Store(b.initial)
+	return b
+}
+
+// Charge spends one unit of gas; exhaustion (or a previously latched
+// exhaustion by a sibling worker) aborts by panicking with a budget
+// fault. Safe for concurrent use; a nil receiver charges nothing.
+func (b *Budget) Charge() {
+	if b == nil {
+		return
+	}
+	rem := b.gas.Add(-1)
+	if rem < 0 {
+		b.fail(budgetGas)
+	}
+	if rem&(deadlineStride-1) == 0 {
+		if s := b.state.Load(); s != budgetLive {
+			panic(budgetFault{b.stateErr(s)})
+		}
+		if b.hasDeadline && time.Now().After(b.deadline) {
+			b.fail(budgetDeadline)
+		}
+	}
+}
+
+// fail latches the first exhaustion cause and aborts.
+func (b *Budget) fail(cause int32) {
+	b.state.CompareAndSwap(budgetLive, cause)
+	panic(budgetFault{b.Err()})
+}
+
+func (b *Budget) stateErr(s int32) error {
+	switch s {
+	case budgetGas:
+		return ErrGasExhausted
+	case budgetDeadline:
+		return ErrDeadlineExceeded
+	}
+	return nil
+}
+
+// Err reports the latched exhaustion cause: nil while the budget is
+// live, ErrGasExhausted or ErrDeadlineExceeded once blown.
+func (b *Budget) Err() error {
+	if b == nil {
+		return nil
+	}
+	return b.stateErr(b.state.Load())
+}
+
+// Used returns the gas spent so far.
+func (b *Budget) Used() int64 {
+	if b == nil {
+		return 0
+	}
+	u := b.initial - b.gas.Load()
+	if u < 0 {
+		u = 0
+	}
+	return u
+}
+
+// Remaining returns the gas left (0 once exhausted; a large positive
+// number on unlimited-gas budgets).
+func (b *Budget) Remaining() int64 {
+	if b == nil {
+		return math.MaxInt64
+	}
+	if rem := b.gas.Load(); rem > 0 {
+		return rem
+	}
+	return 0
+}
+
+// Deadline returns the wall-clock deadline and whether one is set.
+func (b *Budget) Deadline() (time.Time, bool) {
+	if b == nil {
+		return time.Time{}, false
+	}
+	return b.deadline, b.hasDeadline
+}
+
+// RecoverBudget is the deferred package-boundary handler: it converts a
+// budget-fault panic into its typed error through errp, re-raising every
+// other panic untouched. Use as `defer calculus.RecoverBudget(&err)`.
+func RecoverBudget(errp *error) {
+	if r := recover(); r != nil {
+		f, ok := r.(budgetFault)
+		if !ok {
+			panic(r)
+		}
+		if errp != nil && *errp == nil {
+			*errp = f.err
+		}
+	}
+}
+
+// CatchBudget runs fn, converting a budget-fault panic raised inside it
+// into the typed error. Worker goroutines use it so an exhaustion on one
+// shard surfaces as a value the coordinator can rethrow on its own
+// goroutine (an unrecovered panic on a worker would kill the process).
+func CatchBudget(fn func()) (err error) {
+	defer RecoverBudget(&err)
+	fn()
+	return nil
+}
+
+// ThrowBudget re-raises a budget error previously caught by CatchBudget
+// as a budget fault, forwarding the abort across a goroutine join onto
+// the caller. A nil err is a no-op; non-budget errors must not be thrown.
+func ThrowBudget(err error) {
+	if err == nil {
+		return
+	}
+	if !errors.Is(err, ErrGasExhausted) && !errors.Is(err, ErrDeadlineExceeded) {
+		panic("calculus: ThrowBudget on a non-budget error: " + err.Error())
+	}
+	panic(budgetFault{err})
+}

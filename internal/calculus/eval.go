@@ -47,9 +47,9 @@ func maxTS(a, b TS) TS {
 // transaction clock, far below the int64 midpoint.
 func andTS(a, b TS) TS {
 	d := a - b
-	s := d & (d >> 63) // d if a < b, else 0
-	lo := b + s        // min(a, b)
-	hi := a - s        // max(a, b)
+	s := d & (d >> 63)  // d if a < b, else 0
+	lo := b + s         // min(a, b)
+	hi := a - s         // max(a, b)
 	m := (lo - 1) >> 63 // all-ones when lo <= 0 (some operand inactive)
 	return hi ^ ((hi ^ lo) & m)
 }
@@ -85,6 +85,9 @@ type Env struct {
 	// evaluation cheaper on wide transactions; TestLiftDomainRestriction
 	// checks the sign-equivalence property.
 	RestrictDomain bool
+	// Budget, when non-nil, is charged one unit per node evaluation;
+	// exhaustion aborts with a budget fault (see Budget).
+	Budget *Budget
 
 	// Scratch buffers recycled across evaluations, so that the hot probe
 	// loops of the Trigger Support allocate nothing in steady state. They
@@ -103,6 +106,7 @@ type Env struct {
 // Section 4.3 whenever a maximal instance-oriented subexpression is
 // reached.
 func (env *Env) TS(e Expr, t clock.Time) TS {
+	env.Budget.Charge()
 	if IsInstanceRooted(e) {
 		return env.lift(e, t)
 	}
@@ -134,6 +138,7 @@ func (env *Env) TS(e Expr, t clock.Time) TS {
 // e must satisfy the instance-only constraint (primitives or
 // instance-oriented operators).
 func (env *Env) OTS(e Expr, t clock.Time, oid types.OID) TS {
+	env.Budget.Charge()
 	switch n := e.(type) {
 	case Prim:
 		if last := env.Base.LastOfObj(n.T, oid, env.Since, t); last != clock.Never {
@@ -177,6 +182,7 @@ func (env *Env) domain(e Expr, t clock.Time) []types.OID {
 // The result aliases env.oidBuf: it is valid until the next domain call
 // on this Env and must not be retained.
 func (env *Env) domainCached(e Expr, prims []event.Type, safe bool, t clock.Time) []types.OID {
+	env.Budget.Charge()
 	if env.RestrictDomain && safe {
 		if prims == nil {
 			prims = Primitives(e)

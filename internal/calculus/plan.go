@@ -297,6 +297,10 @@ type PlanEval struct {
 	// exactly how many node evaluations sharing avoids on an identical
 	// probe schedule.
 	DisableMemo bool
+	// Budget, when non-nil, is charged one unit per computed node (the
+	// same work evals counts; memo hits are free). Exhaustion aborts
+	// with a budget fault (see Budget).
+	Budget *Budget
 
 	gen uint64
 	cur clock.Time
@@ -499,6 +503,7 @@ func (pe *PlanEval) TS(id NodeID, t clock.Time) TS {
 		pe.hits++
 		return pe.vals[id]
 	}
+	pe.Budget.Charge()
 	n := &pe.plan.nodes[id]
 	var v TS
 	if n.instRooted {
@@ -590,6 +595,7 @@ func (pe *PlanEval) domain(id NodeID, n *planNode, t clock.Time) []types.OID {
 		pe.hits++
 		return pe.doms[id]
 	}
+	pe.Budget.Charge()
 	buf := pe.oidScratch[:0]
 	if pe.RestrictDomain && n.safe {
 		buf = pe.base.AppendOIDsOfTypes(buf, n.prims, pe.since, t)
@@ -620,6 +626,7 @@ func (pe *PlanEval) ots(id NodeID, t clock.Time, oid types.OID) TS {
 			return e.v
 		}
 	}
+	pe.Budget.Charge()
 	n := &pe.plan.nodes[id]
 	var v TS
 	switch n.key.op {

@@ -389,6 +389,12 @@ func (sw *Sweeper) Active() bool { return sw.active }
 // their empty-domain value instead of consulting the (possibly already
 // populated, but not yet swept) Event Base.
 func (sw *Sweeper) evalAll(env *Env, t clock.Time, empty bool) {
+	// One charge per full-tree evaluation (the unit SweepResult.Evals
+	// counts); the lifts inside re-enter Env and charge per node. env is
+	// nil only for the budget-free initial empty-window evaluation.
+	if env != nil {
+		env.Budget.Charge()
+	}
 	sw.evalNode(sw.root, env, t, empty)
 	sw.active = sw.root.val.Active()
 	sw.lastEval = t

@@ -62,10 +62,13 @@ type Ctx struct {
 	Base  *event.Base
 	Since clock.Time
 	At    clock.Time
+	// Budget, when non-nil, is charged by every calculus evaluation the
+	// condition performs (event atoms re-entering the TS/OTS machinery).
+	Budget *calculus.Budget
 }
 
 func (c *Ctx) env() *calculus.Env {
-	return &calculus.Env{Base: c.Base, Since: c.Since, RestrictDomain: true}
+	return &calculus.Env{Base: c.Base, Since: c.Since, RestrictDomain: true, Budget: c.Budget}
 }
 
 // Term evaluates to a value under a binding.

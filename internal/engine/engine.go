@@ -16,6 +16,7 @@ import (
 	"time"
 
 	"chimera/internal/act"
+	"chimera/internal/calculus"
 	"chimera/internal/clock"
 	"chimera/internal/cond"
 	"chimera/internal/event"
@@ -49,6 +50,24 @@ var ErrConflict = object.ErrConflict
 // sets.
 var ErrRuleLimit = errors.New("engine: rule execution limit exceeded")
 
+// ErrGasExhausted is returned (wrapped) when a transaction spends more
+// evaluation gas than Options.GasLimit allows. The transaction must be
+// rolled back; the engine, its shared plan DAG and the WAL stay fully
+// consistent and reusable. Aliases calculus.ErrGasExhausted so either
+// package's sentinel matches with errors.Is.
+var ErrGasExhausted = calculus.ErrGasExhausted
+
+// ErrDeadlineExceeded is returned (wrapped) when a transaction's
+// evaluation runs past Options.TimeBudget. Same contract as
+// ErrGasExhausted; aliases calculus.ErrDeadlineExceeded.
+var ErrDeadlineExceeded = calculus.ErrDeadlineExceeded
+
+// ErrEventLimit is returned (wrapped) when an append would grow a
+// transaction's Event Base past Options.MaxEvents/MaxSegments — the
+// explicit error that replaces unbounded memory growth. Aliases
+// event.ErrLimit.
+var ErrEventLimit = event.ErrLimit
+
 // Body is the condition/action pair of a rule (the triggering state is
 // owned by the rules package).
 type Body struct {
@@ -64,6 +83,29 @@ type Options struct {
 	// MaxRuleExecutions bounds rule executions per transaction; 0 means
 	// the default of 10000.
 	MaxRuleExecutions int
+	// GasLimit bounds the evaluation work one transaction may perform,
+	// in node-evaluation units (the work TsEvaluations/MemoMisses
+	// count), across the triggering determination and condition
+	// formulas; 0 = unlimited. A transaction exceeding it fails with a
+	// wrapped ErrGasExhausted and must be rolled back; the engine and
+	// its shared structures stay consistent (DESIGN.md §14).
+	GasLimit int64
+	// TimeBudget bounds a transaction's wall-clock evaluation time,
+	// measured from Begin; 0 = unlimited. Exceeding it fails with a
+	// wrapped ErrDeadlineExceeded under the same degradation contract
+	// as GasLimit. The deadline is probed every few dozen node
+	// evaluations, so the overshoot past the deadline is microseconds.
+	TimeBudget time.Duration
+	// MaxEvents bounds the live (retained, uncompacted) occurrences of
+	// one transaction's Event Base; 0 = unlimited. An append past the
+	// bound fails with a wrapped ErrEventLimit instead of growing
+	// without limit — the guard against a transaction outrunning its
+	// consumption watermark.
+	MaxEvents int
+	// MaxSegments bounds the live segments of one transaction's Event
+	// Base (MaxSegments × SegmentSize occurrences, in coarser units);
+	// 0 = unlimited. Same error and contract as MaxEvents.
+	MaxSegments int
 	// DisableCompaction keeps every occurrence of a transaction in the
 	// Event Base instead of retiring segments below the consumption
 	// low-watermark at block boundaries. Compaction is semantically
@@ -131,6 +173,18 @@ func (o Options) Validate() error {
 	if o.MaxRuleExecutions < 0 {
 		return fmt.Errorf("engine: negative MaxRuleExecutions %d", o.MaxRuleExecutions)
 	}
+	if o.GasLimit < 0 {
+		return fmt.Errorf("engine: negative GasLimit %d", o.GasLimit)
+	}
+	if o.TimeBudget < 0 {
+		return fmt.Errorf("engine: negative TimeBudget %v", o.TimeBudget)
+	}
+	if o.MaxEvents < 0 {
+		return fmt.Errorf("engine: negative MaxEvents %d", o.MaxEvents)
+	}
+	if o.MaxSegments < 0 {
+		return fmt.Errorf("engine: negative MaxSegments %d", o.MaxSegments)
+	}
 	if o.Durability.enabled() {
 		if !o.ColumnarEB {
 			return errors.New("engine: durability requires the columnar Event Base (segment export)")
@@ -175,6 +229,15 @@ type Stats struct {
 	// Conflicts counts transaction-line operations that failed with
 	// ErrConflict (always 0 in single-session mode).
 	Conflicts int64
+	// Budget-kill counters: transactions that hit a resource limit.
+	// GasKills and DeadlineKills count evaluation-budget exhaustions
+	// (ErrGasExhausted / ErrDeadlineExceeded), EventLimitHits appends
+	// refused by the Event Base bounds (ErrEventLimit), RuleLimitHits
+	// rule cascades stopped by MaxRuleExecutions (ErrRuleLimit).
+	GasKills       int64
+	DeadlineKills  int64
+	EventLimitHits int64
+	RuleLimitHits  int64
 }
 
 // statsCounters is the engine's internal, atomically-updated form of
@@ -186,6 +249,10 @@ type statsCounters struct {
 	ruleExecutions atomic.Int64
 	considerations atomic.Int64
 	conflicts      atomic.Int64
+	gasKills       atomic.Int64
+	deadlineKills  atomic.Int64
+	eventLimitHits atomic.Int64
+	ruleLimitHits  atomic.Int64
 }
 
 // DB is a Chimera database: schema, object store, rule set, and the
@@ -324,6 +391,42 @@ func (db *DB) Stats() Stats {
 		RuleExecutions: db.stats.ruleExecutions.Load(),
 		Considerations: db.stats.considerations.Load(),
 		Conflicts:      db.stats.conflicts.Load(),
+		GasKills:       db.stats.gasKills.Load(),
+		DeadlineKills:  db.stats.deadlineKills.Load(),
+		EventLimitHits: db.stats.eventLimitHits.Load(),
+		RuleLimitHits:  db.stats.ruleLimitHits.Load(),
+	}
+}
+
+// Limits reports the database's configured resource bounds alongside the
+// counters of transactions that hit them — the data behind the shell's
+// `show limits`.
+type Limits struct {
+	GasLimit    int64
+	TimeBudget  time.Duration
+	MaxEvents   int
+	MaxSegments int
+	// MaxRuleExecutions is the per-transaction rule-cascade bound.
+	MaxRuleExecutions int
+	// Kill counters (see Stats).
+	GasKills       int64
+	DeadlineKills  int64
+	EventLimitHits int64
+	RuleLimitHits  int64
+}
+
+// Limits returns the configured resource bounds and kill counters.
+func (db *DB) Limits() Limits {
+	return Limits{
+		GasLimit:          db.opts.GasLimit,
+		TimeBudget:        db.opts.TimeBudget,
+		MaxEvents:         db.opts.MaxEvents,
+		MaxSegments:       db.opts.MaxSegments,
+		MaxRuleExecutions: db.opts.MaxRuleExecutions,
+		GasKills:          db.stats.gasKills.Load(),
+		DeadlineKills:     db.stats.deadlineKills.Load(),
+		EventLimitHits:    db.stats.eventLimitHits.Load(),
+		RuleLimitHits:     db.stats.ruleLimitHits.Load(),
 	}
 }
 
@@ -460,6 +563,12 @@ type Txn struct {
 	pending []event.Occurrence
 	execs   int
 	done    bool
+	// budget is the transaction's evaluation budget (nil = unlimited),
+	// shared by the triggering determination and condition evaluation.
+	// When it trips, the fault surfaces as a typed error from the
+	// operation that crossed the limit and the transaction must be
+	// rolled back.
+	budget *calculus.Budget
 	// Durable-mode block state: the current block's WAL op stream
 	// (events, mutations, considerations in execution order — becomes
 	// one record at the block boundary), a reused record-assembly
@@ -485,7 +594,15 @@ func (db *DB) Begin() (*Txn, error) {
 		base = event.NewRowBase(db.opts.SegmentSize)
 	}
 	base.SetMetrics(db.baseMetrics)
+	base.SetLimits(db.opts.MaxEvents, db.opts.MaxSegments)
 	t := &Txn{db: db, base: base, multi: db.multiSession()}
+	if db.opts.GasLimit > 0 || db.opts.TimeBudget > 0 {
+		var deadline time.Time
+		if db.opts.TimeBudget > 0 {
+			deadline = time.Now().Add(db.opts.TimeBudget)
+		}
+		t.budget = calculus.NewBudget(db.opts.GasLimit, deadline)
+	}
 
 	db.mu.Lock()
 	if db.closed {
@@ -517,6 +634,11 @@ func (db *DB) Begin() (*Txn, error) {
 	db.active++
 	db.m.activeLines.Set(int64(db.active))
 	db.mu.Unlock()
+
+	// Install the line's budget unconditionally: the single-session view
+	// is the shared Support, so a nil install clears any budget left by a
+	// previous transaction.
+	t.view.SetBudget(t.budget)
 
 	db.stats.transactions.Add(1)
 	db.m.transactions.Inc()
@@ -550,14 +672,14 @@ func (t *Txn) log(ty event.Type, oid types.OID) error {
 	if t.db.wal != nil {
 		occ, tid, err := t.base.AppendTID(ty, oid, ts)
 		if err != nil {
-			return err
+			return t.classify(err)
 		}
 		t.walEvent(tid, ty, ts, oid)
 		t.pending = append(t.pending, occ)
 	} else {
 		occ, err := t.base.Append(ty, oid, ts)
 		if err != nil {
-			return err
+			return t.classify(err)
 		}
 		t.pending = append(t.pending, occ)
 	}
@@ -593,6 +715,28 @@ func (t *Txn) check() error {
 func (t *Txn) conflict(err error) error {
 	if errors.Is(err, object.ErrConflict) {
 		t.db.stats.conflicts.Add(1)
+	}
+	return err
+}
+
+// classify funnels resource-limit errors into their kill counters; every
+// budget or capacity error a transaction surfaces passes through here
+// exactly once. Non-limit errors pass through untouched.
+func (t *Txn) classify(err error) error {
+	switch {
+	case err == nil:
+	case errors.Is(err, calculus.ErrGasExhausted):
+		t.db.stats.gasKills.Add(1)
+		t.db.m.gasKills.Inc()
+	case errors.Is(err, calculus.ErrDeadlineExceeded):
+		t.db.stats.deadlineKills.Add(1)
+		t.db.m.deadlineKills.Inc()
+	case errors.Is(err, event.ErrLimit):
+		t.db.stats.eventLimitHits.Add(1)
+		t.db.m.eventLimitHits.Inc()
+	case errors.Is(err, ErrRuleLimit):
+		t.db.stats.ruleLimitHits.Add(1)
+		t.db.m.ruleLimitHits.Inc()
 	}
 	return err
 }
@@ -740,7 +884,9 @@ func (t *Txn) EndLine() error {
 	if err := t.check(); err != nil {
 		return err
 	}
-	t.flushBlock()
+	if err := t.flushBlock(); err != nil {
+		return err
+	}
 	return t.processRules(func(d rules.Def) bool { return d.Coupling == rules.Immediate })
 }
 
@@ -751,7 +897,13 @@ func (t *Txn) EndLine() error {
 // its window — condition and action — before flushing the action's
 // block), so every occurrence at or below the watermark is unreachable
 // by any future read. See DESIGN.md §8.
-func (t *Txn) flushBlock() {
+//
+// A transaction budget tripping mid-determination surfaces here as the
+// typed error (ErrGasExhausted / ErrDeadlineExceeded). The error returns
+// before compaction and before the block record reaches the WAL: the
+// killed block's ops stay unlogged, so a subsequent rollback leaves the
+// log exactly as if the block never ran.
+func (t *Txn) flushBlock() error {
 	db := t.db
 	tr := db.tracer
 	db.stats.blocks.Add(1)
@@ -769,7 +921,10 @@ func (t *Txn) flushBlock() {
 		tr.SweepStart(now)
 		examinedBefore = t.view.Stats().RulesExamined
 	}
-	fired := t.view.CheckTriggered(now)
+	var fired []string
+	if err := calculus.CatchBudget(func() { fired = t.view.CheckTriggered(now) }); err != nil {
+		return t.classify(fmt.Errorf("engine: triggering determination: %w", err))
+	}
 	if tr != nil {
 		tr.SweepEnd(int(t.view.Stats().RulesExamined-examinedBefore), len(fired))
 		for _, name := range fired {
@@ -799,6 +954,7 @@ func (t *Txn) flushBlock() {
 	if db.wal != nil {
 		t.walFlushBlock(now, fired)
 	}
+	return nil
 }
 
 // walFlushBlock turns the accumulated op stream into one block record
@@ -864,8 +1020,8 @@ func (t *Txn) processRules(filter func(rules.Def) bool) error {
 func (t *Txn) runRule(name string) error {
 	t.execs++
 	if t.execs > t.db.opts.MaxRuleExecutions {
-		return fmt.Errorf("%w (%d executions; non-terminating rule set?)",
-			ErrRuleLimit, t.execs-1)
+		return t.classify(fmt.Errorf("%w (%d executions; non-terminating rule set?)",
+			ErrRuleLimit, t.execs-1))
 	}
 	at := t.db.clock.Tick()
 	consideration, err := t.view.Consider(name, at)
@@ -885,14 +1041,15 @@ func (t *Txn) runRule(name string) error {
 	// every object and class extension it examines is latched shared to
 	// end of line and the bindings stay stable.
 	ctx := &cond.Ctx{
-		Store: t.line,
-		Base:  t.base,
-		Since: consideration.Since,
-		At:    consideration.At,
+		Store:  t.line,
+		Base:   t.base,
+		Since:  consideration.Since,
+		At:     consideration.At,
+		Budget: t.budget,
 	}
-	bindings, err := body.Condition.Eval(ctx)
+	bindings, err := evalCondition(body, ctx)
 	if err != nil {
-		return t.conflict(fmt.Errorf("engine: rule %q condition: %w", name, err))
+		return t.classify(t.conflict(fmt.Errorf("engine: rule %q condition: %w", name, err)))
 	}
 	if t.db.tracer != nil {
 		t.db.tracer.Considered(name, consideration.Since, consideration.At, len(bindings))
@@ -900,8 +1057,7 @@ func (t *Txn) runRule(name string) error {
 	if len(bindings) == 0 {
 		// Condition not satisfied: the rule was considered and is
 		// detriggered; nothing executes.
-		t.flushBlock()
-		return nil
+		return t.flushBlock()
 	}
 	t.db.stats.ruleExecutions.Add(1)
 	t.db.m.executions.Inc()
@@ -913,8 +1069,15 @@ func (t *Txn) runRule(name string) error {
 	}
 	// The action is a non-interruptible block; its occurrences are
 	// announced at its end.
-	t.flushBlock()
-	return nil
+	return t.flushBlock()
+}
+
+// evalCondition runs one rule condition with a budget-fault boundary: a
+// budget tripping inside the condition's calculus evaluations unwinds to
+// here and converts into the typed error.
+func evalCondition(body Body, ctx *cond.Ctx) (bindings []cond.Binding, err error) {
+	defer calculus.RecoverBudget(&err)
+	return body.Condition.Eval(ctx)
 }
 
 // txnMutator adapts Txn to act.Mutator.
@@ -1035,6 +1198,10 @@ func (t *Txn) rollback() {
 // finish retires the line: its Trigger Support session is released and
 // the database's session bookkeeping updated.
 func (t *Txn) finish() {
+	// Clear the budget before the view outlives the transaction: the
+	// single-session view is the shared Support, and a stale budget must
+	// not charge (or kill) work done between transactions.
+	t.view.SetBudget(nil)
 	if sess, ok := t.view.(*rules.Session); ok {
 		sess.Release()
 	}

@@ -36,6 +36,13 @@ type engineMetrics struct {
 	walFsyncs         *metrics.Counter
 	checkpoints       *metrics.Counter
 	segmentsPersisted *metrics.Counter
+	// Resource-governance instruments: transactions killed by the gas or
+	// wall-clock budget, Event Base appends refused by the capacity
+	// bounds, and rule cascades stopped by MaxRuleExecutions.
+	gasKills       *metrics.Counter
+	deadlineKills  *metrics.Counter
+	eventLimitHits *metrics.Counter
+	ruleLimitHits  *metrics.Counter
 }
 
 func newEngineMetrics(r *metrics.Registry) engineMetrics {
@@ -62,6 +69,10 @@ func newEngineMetrics(r *metrics.Registry) engineMetrics {
 		walFsyncs:         r.Counter("chimera_wal_fsyncs_total"),
 		checkpoints:       r.Counter("chimera_ckpt_total"),
 		segmentsPersisted: r.Counter("chimera_ckpt_segments_persisted_total"),
+		gasKills:          r.Counter("chimera_engine_gas_kills_total"),
+		deadlineKills:     r.Counter("chimera_engine_deadline_kills_total"),
+		eventLimitHits:    r.Counter("chimera_engine_event_limit_hits_total"),
+		ruleLimitHits:     r.Counter("chimera_engine_rule_limit_hits_total"),
 	}
 }
 

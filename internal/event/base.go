@@ -1,6 +1,7 @@
 package event
 
 import (
+	"errors"
 	"fmt"
 	"sort"
 	"strings"
@@ -10,6 +11,12 @@ import (
 	"chimera/internal/metrics"
 	"chimera/internal/types"
 )
+
+// ErrLimit is the Event Base's typed capacity error: an append would
+// grow the live window past a configured bound (SetLimits). The caller
+// gets an explicit, recoverable error instead of unbounded memory
+// growth; test with errors.Is.
+var ErrLimit = errors.New("event: event base capacity limit exceeded")
 
 // BaseMetrics is the Event Base's instrument set. The zero value (all
 // nil instruments) is the disabled configuration: every report is a
@@ -164,6 +171,12 @@ type Base struct {
 	floor       clock.Time
 	retired     int
 	retiredSegs int
+	// Capacity bounds on the *live* window (SetLimits; 0 = unlimited).
+	// They bound what compaction cannot: a transaction whose rules'
+	// consumption watermark keeps up stays far under the limits forever,
+	// while one outrunning its watermark hits ErrLimit instead of OOM.
+	maxEvents   int
+	maxSegments int
 	// m is the instrument set (zero value when metrics are off; every
 	// report is then a nil-check no-op).
 	m BaseMetrics
@@ -262,6 +275,27 @@ func (b *Base) SetMetrics(m BaseMetrics) {
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	b.m = m
+}
+
+// SetLimits bounds the live window: at most maxEvents retained
+// occurrences and maxSegments live segments (0 = unlimited). An append
+// that would exceed either bound fails with a wrapped ErrLimit before
+// any state changes — the base stays fully usable, and compaction
+// (CompactBelow) frees room for further appends. The limits govern
+// live, not total, volume: what they bound is the memory component the
+// watermark cannot, a transaction whose rules stop consuming.
+func (b *Base) SetLimits(maxEvents, maxSegments int) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.maxEvents = maxEvents
+	b.maxSegments = maxSegments
+}
+
+// Limits returns the configured live-window bounds (0 = unlimited).
+func (b *Base) Limits() (maxEvents, maxSegments int) {
+	b.mu.RLock()
+	defer b.mu.RUnlock()
+	return b.maxEvents, b.maxSegments
 }
 
 // internTypeLocked interns t, assigning the next dense id on first
@@ -377,12 +411,21 @@ func (b *Base) Append(t Type, oid types.OID, at clock.Time) (Occurrence, error) 
 		return Occurrence{}, fmt.Errorf(
 			"event: non-monotone time stamp t%d after t%d", at, b.lastTS)
 	}
+	if b.maxEvents > 0 && b.live >= b.maxEvents {
+		return Occurrence{}, fmt.Errorf(
+			"%w: %d live occurrences (MaxEvents %d)", ErrLimit, b.live, b.maxEvents)
+	}
+	tailRoom := len(b.segs) > 0 && b.segs[len(b.segs)-1].n() < b.segSize
+	if !tailRoom && b.maxSegments > 0 && len(b.segs) >= b.maxSegments {
+		return Occurrence{}, fmt.Errorf(
+			"%w: %d live segments (MaxSegments %d)", ErrLimit, len(b.segs), b.maxSegments)
+	}
 	b.nextID++
 	occ := Occurrence{EID: b.nextID, Type: t, OID: oid, Timestamp: at}
 
 	var sg *segment
-	if n := len(b.segs); n > 0 && b.segs[n-1].n() < b.segSize {
-		sg = b.segs[n-1]
+	if tailRoom {
+		sg = b.segs[len(b.segs)-1]
 	} else {
 		sg = &segment{
 			firstEID: b.nextID,

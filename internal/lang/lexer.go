@@ -184,6 +184,9 @@ func Lex(src string) ([]Token, error) {
 				j++
 			}
 			text := src[i:j]
+			if len(text) > MaxIdentLen {
+				return nil, fmt.Errorf("%d:%d: %w: %d bytes (max %d)", l, cl, ErrIdentTooLong, len(text), MaxIdentLen)
+			}
 			advance(j - i)
 			if keywords[text] {
 				emit(TokKeyword, text, l, cl)

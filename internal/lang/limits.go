@@ -1,0 +1,42 @@
+package lang
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Parser resource limits. The recursive-descent parser otherwise
+// recurses once per nesting level and a hostile (or generated) script
+// could exhaust the goroutine stack or memory before any semantic check
+// runs; these bounds are generous for hand-written programs and turn
+// pathological input into typed errors instead.
+const (
+	// MaxNestingDepth bounds expression nesting — parenthesized and
+	// prefix-operator levels in event expressions and condition terms.
+	MaxNestingDepth = 256
+	// MaxProgramRules bounds the rule definitions one ParseProgram
+	// script may contain.
+	MaxProgramRules = 4096
+	// MaxIdentLen bounds identifier length in bytes.
+	MaxIdentLen = 1024
+)
+
+// Typed limit errors; positions are attached by wrapping, so test with
+// errors.Is.
+var (
+	ErrTooDeep      = errors.New("lang: expression nesting exceeds limit")
+	ErrTooManyRules = errors.New("lang: program exceeds rule-count limit")
+	ErrIdentTooLong = errors.New("lang: identifier exceeds length limit")
+)
+
+// enter charges one level of expression nesting against the parser's
+// depth budget; pair with a deferred leave.
+func (p *parser) enter(t Token) error {
+	p.depth++
+	if p.depth > MaxNestingDepth {
+		return fmt.Errorf("%d:%d: %w (max %d)", t.Line, t.Col, ErrTooDeep, MaxNestingDepth)
+	}
+	return nil
+}
+
+func (p *parser) leave() { p.depth-- }

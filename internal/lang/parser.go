@@ -19,6 +19,9 @@ type parser struct {
 	// target is the class a targeted rule is scoped to; bare event
 	// operation names resolve against it.
 	target string
+	// depth is the current expression-nesting level, bounded by
+	// MaxNestingDepth (see limits.go).
+	depth int
 }
 
 func newParser(src string) (*parser, error) {
@@ -107,6 +110,10 @@ var eventOps = map[string]event.Op{
 // bounds the infix operators consumed (pass 0 for a full expression, 11
 // to stop at top-level set disjunction commas).
 func (p *parser) parseEvent(minBP int) (calculus.Expr, error) {
+	if err := p.enter(p.peek()); err != nil {
+		return nil, err
+	}
+	defer p.leave()
 	var left calculus.Expr
 	t := p.peek()
 	switch t.Kind {
@@ -396,6 +403,10 @@ func foldInstanceDisj(exprs []calculus.Expr) calculus.Expr {
 // --- Terms ------------------------------------------------------------
 
 func (p *parser) parseTerm() (cond.Term, error) {
+	if err := p.enter(p.peek()); err != nil {
+		return nil, err
+	}
+	defer p.leave()
 	l, err := p.parseFactor()
 	if err != nil {
 		return nil, err
@@ -450,6 +461,10 @@ func (p *parser) parseFactor() (cond.Term, error) {
 }
 
 func (p *parser) parseUnary() (cond.Term, error) {
+	if err := p.enter(p.peek()); err != nil {
+		return nil, err
+	}
+	defer p.leave()
 	t := p.peek()
 	switch t.Kind {
 	case TokMinus:
@@ -853,6 +868,9 @@ func ParseProgram(src string) (Program, error) {
 				return prog, err
 			}
 			prog.Rules = append(prog.Rules, r)
+			if len(prog.Rules) > MaxProgramRules {
+				return prog, fmt.Errorf("%d:%d: %w (max %d)", t.Line, t.Col, ErrTooManyRules, MaxProgramRules)
+			}
 		default:
 			return prog, p.errf(t, "expected 'class' or 'define', got %s", t)
 		}

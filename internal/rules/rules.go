@@ -452,6 +452,13 @@ type line struct {
 	// firedBuf backs CheckTriggered's result slice, recycled across
 	// checks: the returned names are valid until the next call.
 	firedBuf []string
+	// budget is the transaction's evaluation budget (nil = unlimited),
+	// installed by SetBudget at Begin and handed to every evaluator the
+	// determination drives. Exhaustion aborts CheckTriggered with a
+	// budget fault; worker goroutines catch it and the coordinator
+	// rethrows on its own stack, so the fault always unwinds through the
+	// caller (the engine's block flush), never through a bare goroutine.
+	budget *calculus.Budget
 }
 
 // Support is the Trigger Support plus Rule Table.
@@ -757,6 +764,16 @@ func (s *Support) TxnStart() clock.Time {
 	return s.txnStart
 }
 
+// SetBudget installs (or, with nil, clears) the evaluation budget the
+// default line's determinations charge against. The engine calls it at
+// transaction begin; mid-transaction changes take effect at the next
+// CheckTriggered.
+func (s *Support) SetBudget(b *calculus.Budget) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.line.budget = b
+}
+
 // NotifyArrivals tells the support about freshly logged occurrences; with
 // the filter enabled it marks the rules those arrivals are relevant to.
 // This is the Event Handler → Trigger Support hand-off of Section 5.
@@ -893,6 +910,7 @@ func (l *line) checkTriggered(now clock.Time, opts *Options, plan *calculus.Plan
 		for len(l.envs) < 1 {
 			l.envs = append(l.envs, &calculus.Env{})
 		}
+		l.envs[0].Budget = l.budget
 		for _, st := range batch {
 			l.checkOne(st, l.envs[0], now, &l.stats, opts)
 		}
@@ -900,18 +918,27 @@ func (l *line) checkTriggered(now clock.Time, opts *Options, plan *calculus.Plan
 		for len(l.envs) < workers {
 			l.envs = append(l.envs, &calculus.Env{})
 		}
+		for _, env := range l.envs {
+			env.Budget = l.budget
+		}
 		partials := make([]Stats, workers)
+		errs := make([]error, workers)
 		var wg sync.WaitGroup
 		for w := 0; w < workers; w++ {
 			lo := w * len(batch) / workers
 			hi := (w + 1) * len(batch) / workers
 			wg.Add(1)
-			go func(shard []*State, env *calculus.Env, out *Stats) {
+			go func(shard []*State, env *calculus.Env, out *Stats, errp *error) {
 				defer wg.Done()
-				for _, st := range shard {
-					l.checkOne(st, env, now, out, opts)
-				}
-			}(batch[lo:hi], l.envs[w], &partials[w])
+				// A budget fault must not unwind a bare goroutine (that
+				// would kill the process): catch it here, rethrow on the
+				// coordinator after the join.
+				*errp = calculus.CatchBudget(func() {
+					for _, st := range shard {
+						l.checkOne(st, env, now, out, opts)
+					}
+				})
+			}(batch[lo:hi], l.envs[w], &partials[w], &errs[w])
 		}
 		var waitStart time.Time
 		if m != nil {
@@ -929,6 +956,9 @@ func (l *line) checkTriggered(now clock.Time, opts *Options, plan *calculus.Plan
 		}
 		for w := range partials {
 			l.stats.add(partials[w])
+		}
+		for _, err := range errs {
+			calculus.ThrowBudget(err)
 		}
 	}
 	m.report(statsBefore, l.stats, len(batch), workers)
@@ -995,6 +1025,9 @@ func (l *line) checkShared(batch []*State, now clock.Time, workers int, m *Suppo
 		pe.Track(true)
 		l.planWorkers = append(l.planWorkers, &planWorker{pe: pe})
 	}
+	for _, pw := range l.planWorkers {
+		pw.pe.Budget = l.budget
+	}
 	// Cut the horizon-ordered batch into at most `workers` contiguous
 	// shards, each ending on a group boundary (splitting a group across
 	// workers would duplicate its memo work in every shard).
@@ -1020,14 +1053,19 @@ func (l *line) checkShared(batch []*State, now clock.Time, workers int, m *Suppo
 		return
 	}
 	partials := make([]Stats, len(cuts))
+	errs := make([]error, len(cuts))
 	var wg sync.WaitGroup
 	start := 0
 	for w, end := range cuts {
 		wg.Add(1)
-		go func(shard []*State, pw *planWorker, out *Stats) {
+		go func(shard []*State, pw *planWorker, out *Stats, errp *error) {
 			defer wg.Done()
-			l.checkSharedRange(shard, pw, now, out)
-		}(grouped[start:end], l.planWorkers[w], &partials[w])
+			// Budget faults are caught per worker and rethrown by the
+			// coordinator after the join (see checkTriggered).
+			*errp = calculus.CatchBudget(func() {
+				l.checkSharedRange(shard, pw, now, out)
+			})
+		}(grouped[start:end], l.planWorkers[w], &partials[w], &errs[w])
 		start = end
 	}
 	var waitStart time.Time
@@ -1046,6 +1084,9 @@ func (l *line) checkShared(batch []*State, now clock.Time, workers int, m *Suppo
 	}
 	for w := range partials {
 		l.stats.add(partials[w])
+	}
+	for _, err := range errs {
+		calculus.ThrowBudget(err)
 	}
 }
 

@@ -3,6 +3,7 @@ package rules
 import (
 	"sync"
 
+	"chimera/internal/calculus"
 	"chimera/internal/clock"
 	"chimera/internal/event"
 )
@@ -34,6 +35,12 @@ type View interface {
 	Stats() Stats
 	// TxnStart is the line's transaction start instant.
 	TxnStart() clock.Time
+	// SetBudget installs (or, with nil, clears) the evaluation budget
+	// this line's triggering determinations charge against. Exhaustion
+	// surfaces from CheckTriggered as a budget fault the engine converts
+	// into the typed error (calculus.ErrGasExhausted /
+	// calculus.ErrDeadlineExceeded).
+	SetBudget(b *calculus.Budget)
 }
 
 var (
@@ -142,6 +149,13 @@ func (sess *Session) CheckTriggered(now clock.Time) []string {
 	sess.mu.Lock()
 	defer sess.mu.Unlock()
 	return sess.line.checkTriggered(now, &sess.sup.opts, sess.sup.plan)
+}
+
+// SetBudget installs the session's evaluation budget (nil = unlimited).
+func (sess *Session) SetBudget(b *calculus.Budget) {
+	sess.mu.Lock()
+	defer sess.mu.Unlock()
+	sess.line.budget = b
 }
 
 // Watermark is the session's consumption low-watermark.

@@ -90,7 +90,7 @@ func (s *Shell) Help() {
   specialize o<N>, <class> / generalize o<N>, <class>
   select <class> [where attr > 5, ...]               query (generates select events)
   raise <signal>                                     signal an external event
-  show objects | rules | events | stats | analysis | o<N>   inspect state
+  show objects | rules | events | stats | analysis | limits | o<N>   inspect state
   explain <rule>                                     why is the rule (not) triggered?
   save <file> / load <file>                          snapshot / restore
   quit
@@ -307,8 +307,29 @@ func (s *Shell) show(c lang.CmdShow) error {
 		}
 	case "sharing":
 		fmt.Fprint(s.out, chimera.AnalyzeSharing(s.db))
+	case "limits":
+		lim := s.db.Limits()
+		fmtLimit := func(name string, v int64, unit string) {
+			if v > 0 {
+				fmt.Fprintf(s.out, "  %-18s %d %s\n", name, v, unit)
+			} else {
+				fmt.Fprintf(s.out, "  %-18s unlimited\n", name)
+			}
+		}
+		fmt.Fprintln(s.out, "resource limits:")
+		fmtLimit("gas", lim.GasLimit, "evaluation steps/txn")
+		if lim.TimeBudget > 0 {
+			fmt.Fprintf(s.out, "  %-18s %v/txn\n", "time budget", lim.TimeBudget)
+		} else {
+			fmt.Fprintf(s.out, "  %-18s unlimited\n", "time budget")
+		}
+		fmtLimit("max events", int64(lim.MaxEvents), "live occurrences/txn")
+		fmtLimit("max segments", int64(lim.MaxSegments), "live segments/txn")
+		fmtLimit("max rule execs", int64(lim.MaxRuleExecutions), "executions/txn")
+		fmt.Fprintf(s.out, "hit counters: gas kills %d, deadline kills %d, event-limit hits %d, rule-limit hits %d\n",
+			lim.GasKills, lim.DeadlineKills, lim.EventLimitHits, lim.RuleLimitHits)
 	default:
-		return fmt.Errorf("show what? (rules, objects, events, stats, sharing, analysis, o<N>)")
+		return fmt.Errorf("show what? (rules, objects, events, stats, sharing, analysis, limits, o<N>)")
 	}
 	return nil
 }
