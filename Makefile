@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race race-stress crash-smoke torture vet bench bench-smoke profile cover fuzz verify verify-full
+.PHONY: build test race race-stress crash-smoke stream-smoke torture vet bench bench-smoke profile cover fuzz verify verify-full
 
 build:
 	$(GO) build ./...
@@ -35,6 +35,15 @@ crash-smoke:
 		-run 'TestKillRecover|TestRecoverContinuation|TestTruncatedWAL|TestCorruptWAL|TestStaleWAL|TestOpenNeedsRecovery|TestWALFailure|TestPerCommitSyncFailure|TestCloseSemantics|TestCheckpointBoundsWAL|TestDDLReplay|TestFileStore' \
 		./internal/engine/ ./internal/storage/
 
+# Streaming-mode suite under the race detector with forced parallelism:
+# the stream-vs-replay differential (bit-identical store, marks, clock
+# and WAL bytes), close/commit semantics, budget-kill recovery with
+# pipeline continuation, drop accounting, retention flatness under a
+# watermark-pinning rule, clock-driven idle sweeps, and the
+# multi-producer soak (see DESIGN.md §15).
+stream-smoke:
+	GOMAXPROCS=4 $(GO) test -race -count=1 ./internal/stream/
+
 # Torture matrix under the race detector: adversarial rule sets against
 # the resource-governance machinery (gas/deadline kills, Event Base
 # bounds, parser limits, crash-during-budget-kill recovery, killed
@@ -52,8 +61,9 @@ vet:
 # BENCH_obs.json the B10 observability-overhead run, BENCH_cse.json
 # the B11 shared-trigger-plan sweep, BENCH_mt.json the B12
 # multi-session sweep, BENCH_col.json the B13 columnar-vs-row layout
-# sweep, and BENCH_wal.json the B14 WAL ingest-overhead and
-# crash-recovery run.
+# sweep, BENCH_wal.json the B14 WAL ingest-overhead and
+# crash-recovery run, and BENCH_stream.json the B15 streaming
+# throughput and flat-memory soak.
 bench:
 	$(GO) run ./cmd/chimera-bench
 	$(GO) run ./cmd/chimera-bench -exp B8 -json BENCH_trigger.json >/dev/null
@@ -63,10 +73,12 @@ bench:
 	$(GO) run ./cmd/chimera-bench -exp B12 -json BENCH_mt.json >/dev/null
 	$(GO) run ./cmd/chimera-bench -exp B13 -json BENCH_col.json >/dev/null
 	$(GO) run ./cmd/chimera-bench -exp B14 -json BENCH_wal.json >/dev/null
+	$(GO) run ./cmd/chimera-bench -exp B15 -json BENCH_stream.json >/dev/null
 
-# CI-sized B11..B14 runs: the acceptance cells (B11: 50 rules,
+# CI-sized B11..B15 runs: the acceptance cells (B11: 50 rules,
 # overlap 4; B12: 1 and 8 lines, both workloads; B13: 1000 rules;
-# B14: group-commit ingest configs and the smallest recovery image),
+# B14: group-commit ingest configs and the smallest recovery image;
+# B15: memory and memstore/off throughput plus a short soak),
 # each held against its committed baseline. chimera-benchcmp warns
 # (exit 0) on >10% regressions — CI timing is too noisy to gate the
 # build on, but the warning shows up in the log.
@@ -79,6 +91,8 @@ bench-smoke:
 	$(GO) run ./cmd/chimera-benchcmp -exp B13 BENCH_col.json BENCH_col_smoke.json
 	$(GO) run ./cmd/chimera-bench -exp B14 -smoke -json BENCH_wal_smoke.json
 	$(GO) run ./cmd/chimera-benchcmp -exp B14 BENCH_wal.json BENCH_wal_smoke.json
+	$(GO) run ./cmd/chimera-bench -exp B15 -smoke -json BENCH_stream_smoke.json
+	$(GO) run ./cmd/chimera-benchcmp -exp B15 BENCH_stream.json BENCH_stream_smoke.json
 
 # CPU + heap profiles of one experiment (default: the B13 hot-loop
 # sweep). Inspect with `go tool pprof cpu.pprof` / `mem.pprof`.

@@ -40,6 +40,7 @@ package chimera
 
 import (
 	"fmt"
+	"time"
 
 	"chimera/internal/act"
 	"chimera/internal/analysis"
@@ -53,6 +54,7 @@ import (
 	"chimera/internal/rules"
 	"chimera/internal/schema"
 	"chimera/internal/storage"
+	"chimera/internal/stream"
 	"chimera/internal/types"
 )
 
@@ -384,6 +386,63 @@ func OpenDurable(opts Options) (*DB, error) { return engine.Open(opts) }
 // — the caller owns its fate (commit or roll back); the report
 // summarizes what was replayed.
 func Recover(opts Options) (*DB, *Txn, *RecoveryReport, error) { return engine.Recover(opts) }
+
+// Streaming. OpenStream starts a continuous-ingestion session over a
+// database: arrivals from any number of producers coalesce into
+// micro-batches, each swept as one transaction block (one trigger
+// sweep, one WAL record), with explicit backpressure, clock-driven
+// flushes and an optional retention window for flat steady-state
+// memory (DESIGN.md §15).
+type (
+	// Stream is a live stream session (see OpenStream).
+	Stream = stream.Stream
+	// StreamOptions configures a stream session: batch bound, flush
+	// interval, queue size, backpressure policy, retention window,
+	// per-batch budget and clock source.
+	StreamOptions = stream.Options
+	// StreamStats is a point-in-time snapshot of a stream session.
+	StreamStats = stream.Stats
+	// StreamEvent is one arrival (a primitive event type plus the
+	// affected object).
+	StreamEvent = stream.Event
+	// BatchError reports a refused micro-batch with its offending
+	// events; the session restarts its line and keeps ingesting.
+	BatchError = stream.BatchError
+	// BackpressurePolicy selects what producers experience when the
+	// arrival queue is full.
+	BackpressurePolicy = stream.Policy
+	// ClockSource paces stream flushes and the durability fsync ticker;
+	// inject a ManualClock for deterministic time-driven behavior.
+	ClockSource = clock.Source
+	// ManualClock is a test clock advanced explicitly.
+	ManualClock = clock.Manual
+)
+
+// Backpressure policies.
+const (
+	// BackpressureBlock makes Emit wait for queue room (lossless).
+	BackpressureBlock = stream.Block
+	// BackpressureDrop sheds arrivals when the queue is full (counted).
+	BackpressureDrop = stream.Drop
+)
+
+// ErrStreamClosed is returned by operations on a closed stream session.
+var ErrStreamClosed = stream.ErrClosed
+
+// WallClock is the real-time ClockSource (the default).
+var WallClock = clock.Wall
+
+// ExternalOf builds the primitive event type of an external signal
+// (Txn.Raise / Stream.Raise by name is usually more convenient).
+var ExternalOf = event.External
+
+// OpenStream starts a stream session over db. The session owns one
+// transaction line until Close, which drains the queue, sweeps the
+// remainder and commits.
+func OpenStream(db *DB, opts StreamOptions) (*Stream, error) { return stream.Open(db, opts) }
+
+// NewManualClock returns a ManualClock frozen at start.
+func NewManualClock(start time.Time) *ManualClock { return clock.NewManual(start) }
 
 // Derived combinators: related-work idioms (Ode/HiPAC/Snoop/Samos/
 // REFLEX) expressed in the minimal calculus; see

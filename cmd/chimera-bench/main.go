@@ -1,5 +1,5 @@
 // Command chimera-bench runs the measured experiments of EXPERIMENTS.md
-// (B1..B14) and prints their tables. Each experiment exercises a
+// (B1..B15) and prints their tables. Each experiment exercises a
 // performance claim Section 5 of the paper makes qualitatively.
 //
 // Usage:
@@ -30,11 +30,11 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "", "experiment id (B1..B14); empty runs all")
+	exp := flag.String("exp", "", "experiment id (B1..B15); empty runs all")
 	format := flag.String("format", "table", "output format: table or csv")
-	jsonOut := flag.String("json", "", "write machine-readable results to this file (-exp B8..B14; defaults to B8)")
+	jsonOut := flag.String("json", "", "write machine-readable results to this file (-exp B8..B15; defaults to B8)")
 	metricsRun := flag.Bool("metrics", false, "run the B10 observability-overhead experiment and write BENCH_obs.json")
-	smoke := flag.Bool("smoke", false, "with -exp B11..B14: run the reduced CI-sized sweep instead of the full one")
+	smoke := flag.Bool("smoke", false, "with -exp B11..B15: run the reduced CI-sized sweep instead of the full one")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
 	memProfile := flag.String("memprofile", "", "write a heap profile at exit to this file")
 	flag.Parse()
@@ -136,8 +136,17 @@ func main() {
 			}
 			data, err = json.MarshalIndent(results, "", "  ")
 			table = bench.B14FromResults(results)
+		case "B15":
+			var results bench.B15Result
+			if *smoke {
+				results = bench.B15SmokeResults()
+			} else {
+				results = bench.B15Results()
+			}
+			data, err = json.MarshalIndent(results, "", "  ")
+			table = bench.B15FromResults(results)
 		default:
-			fail(fmt.Errorf("-json supports experiments B8 through B14, not %q", *exp))
+			fail(fmt.Errorf("-json supports experiments B8 through B15, not %q", *exp))
 		}
 		if err != nil {
 			fail(err)
@@ -156,7 +165,7 @@ func main() {
 	}
 	t, ok := bench.ByID(*exp)
 	if !ok {
-		fail(fmt.Errorf("unknown experiment %q (B1..B14)", *exp))
+		fail(fmt.Errorf("unknown experiment %q (B1..B15)", *exp))
 	}
 	fmt.Println(render(t))
 }

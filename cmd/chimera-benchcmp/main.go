@@ -22,6 +22,7 @@
 //	chimera-benchcmp -exp B12 BENCH_mt.json smoke.json
 //	chimera-benchcmp -exp B13 BENCH_col.json smoke.json
 //	chimera-benchcmp -exp B14 BENCH_wal.json smoke.json
+//	chimera-benchcmp -exp B15 BENCH_stream.json smoke.json
 //	chimera-benchcmp -threshold 0.05 -strict old.json new.json
 package main
 
@@ -146,6 +147,45 @@ var experiments = []experiment{
 					parity: boolPtr(rc.Identical),
 				})
 			}
+			return cells, nil
+		},
+	},
+	{
+		id:    "B15",
+		about: "streaming ingestion throughput + flat-memory soak, keyed (section, config, batch)",
+		metrics: []metricDef{
+			{name: "events/s", unit: "/s", higherIsBetter: true},
+			{name: "speedup", unit: "x", higherIsBetter: true},
+		},
+		load: func(path string) ([]cell, error) {
+			var r bench.B15Result
+			if err := load(path, &r); err != nil {
+				return nil, err
+			}
+			var cells []cell
+			for _, c := range r.Throughput {
+				batch := fmt.Sprint(c.Batch)
+				if c.Batch == 0 {
+					batch = "per-txn"
+				}
+				cells = append(cells, cell{
+					key:  fmt.Sprintf("throughput config=%s batch=%s", c.Config, batch),
+					vals: []float64{c.EventsPerSec, c.Speedup},
+				})
+			}
+			// The soak cell keys on the window geometry, not the event
+			// count, so smoke and full soaks still compare.
+			cells = append(cells, cell{
+				key: fmt.Sprintf("soak window=%d segsize=%d", r.Soak.Window, r.Soak.SegmentSize),
+				// Both schema slots are higher-is-better, so the soak
+				// reports segment headroom (bound minus peak) twice — a
+				// shrinking window reads as the regression it is.
+				vals: []float64{
+					float64(r.Soak.SegmentBound - r.Soak.MaxLiveSegments),
+					float64(r.Soak.SegmentBound - r.Soak.MaxLiveSegments),
+				},
+				parity: boolPtr(r.Soak.Flat),
+			})
 			return cells, nil
 		},
 	},

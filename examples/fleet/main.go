@@ -1,0 +1,152 @@
+// Fleet: IoT fleet monitoring on a clock-driven stream session,
+// exercising the streaming features the fraud example does not: an
+// injectable clock (chimera.NewManualClock) whose ticks run idle sweeps
+// on a quiet stream, and a retention window (StreamOptions.Window) that
+// both ages occurrences out of the operators' view and keeps the Event
+// Base flat on an unbounded feed.
+//
+// Trucks report temperature telemetry; a dispatcher raises a "patrol"
+// heartbeat each minute. Two rules:
+//
+//   - overheat (consuming immediate): telemetry from a truck running
+//     hot creates an alert. Consuming, so each hot reading alerts
+//     exactly once — the consumed occurrence cannot re-trigger the rule
+//     on later sweeps while it sits in the window;
+//
+//   - dark (consuming immediate, set negation): a patrol heartbeat
+//     with NO telemetry anywhere in the window —
+//     external(patrol) + -(modify(truck.temp)). Negation needs a
+//     non-empty window to trigger (the R = ∅ reactive guard: an empty
+//     window triggers nothing), which is exactly what the heartbeat
+//     provides; the retention window is what lets the old telemetry age
+//     out so the negation can become active.
+//
+// The driver runs a healthy phase (telemetry + heartbeat each minute),
+// then lets the feed go dark: manual-clock ticks run idle sweeps that
+// advance the logical clock past the retention window, and the next
+// heartbeat finds the window telemetry-free.
+//
+// Run with: go run ./examples/fleet
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"chimera"
+)
+
+const program = `
+class truck(id: string, temp: integer)
+class alert(kind: string, truck: string)
+
+define consuming immediate overheat for truck
+events modify(temp)
+condition truck(T), occurred(modify(temp), T), T.temp > 90
+action create(alert, kind = "overheat", truck = T.id)
+end
+
+define consuming immediate dark
+events external(patrol) + -(modify(truck.temp))
+action create(alert, kind = "telemetry-gap", truck = "*")
+end`
+
+func main() {
+	db := chimera.Open()
+	chimera.MustLoad(db, program)
+
+	trucks := map[string]chimera.OID{}
+	if err := db.Run(func(tx *chimera.Txn) error {
+		for id, temp := range map[string]int64{"t1": 70, "t2": 68, "t7": 95} {
+			oid, err := tx.Create("truck", chimera.Values{
+				"id": chimera.Str(id), "temp": chimera.Int(temp)})
+			if err != nil {
+				return err
+			}
+			trucks[id] = oid
+		}
+		return nil
+	}); err != nil {
+		log.Fatal(err)
+	}
+
+	clk := chimera.NewManualClock(time.Time{})
+	s, err := chimera.OpenStream(db, chimera.StreamOptions{
+		MaxBatch:      16,
+		FlushInterval: time.Second, // manual seconds, not wall seconds
+		Window:        8,           // logical ticks of retention
+		Clock:         clk,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Healthy phase: five minutes of telemetry, heartbeat after the
+	// readings (so no instant shows a patrol with an empty window).
+	for minute := 0; minute < 5; minute++ {
+		for _, oid := range trucks {
+			if err := s.Emit(chimera.ModifyOf("truck", "temp"), oid); err != nil {
+				log.Fatal(err)
+			}
+		}
+		if err := s.Raise("patrol"); err != nil {
+			log.Fatal(err)
+		}
+		if err := s.Flush(); err != nil {
+			log.Fatal(err)
+		}
+	}
+	report(db, s, "healthy phase (one overheat alert per hot t7 reading, no gap)")
+
+	// The feed goes dark. Nothing arrives; only the clock moves. Each
+	// manual tick runs an idle sweep that advances the logical clock, and
+	// after enough of them the healthy-phase telemetry has aged past the
+	// retention window — both compacted away and invisible to operators.
+	const darkTicks = 12
+	for i := 0; i < darkTicks; i++ {
+		clk.Advance(time.Second)
+		waitIdle(s, uint64(i+1))
+	}
+
+	// The next heartbeat probes a telemetry-free window: dark fires.
+	if err := s.Raise("patrol"); err != nil {
+		log.Fatal(err)
+	}
+	if err := s.Flush(); err != nil {
+		log.Fatal(err)
+	}
+	report(db, s, "after the feed went dark (telemetry-gap alert)")
+
+	if err := s.Close(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+// waitIdle blocks until the session has run at least n idle sweeps —
+// tick delivery is asynchronous, so the driver polls rather than assume
+// the sweep goroutine has caught up with the clock.
+func waitIdle(s *chimera.Stream, n uint64) {
+	for s.Stats().IdleSweeps < n {
+		time.Sleep(time.Millisecond)
+	}
+}
+
+func report(db *chimera.DB, s *chimera.Stream, label string) {
+	fmt.Println("--", label)
+	st := s.Stats()
+	fmt.Printf("   stream: %d events / %d batches, %d idle sweeps\n",
+		st.Events, st.Batches, st.IdleSweeps)
+	fmt.Printf("   window: %d live events in %d segment(s), floor %d\n",
+		st.LiveEvents, st.LiveSegments, st.Floor)
+	oids, err := db.Store().Select("alert")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("   alerts: %d\n", len(oids))
+	for _, oid := range oids {
+		if o, ok := db.Store().Get(oid); ok {
+			fmt.Println("    ", o)
+		}
+	}
+}

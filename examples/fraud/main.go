@@ -1,0 +1,125 @@
+// Fraud: card-fraud pattern detection over a stream session — the
+// continuous-ingestion mode of DESIGN.md §15 driving the paper's
+// composite-event rules.
+//
+// A payment switch feeds swipe observations and decline signals into
+// one chimera.OpenStream session; micro-batches sweep the rule set once
+// per batch instead of once per swipe. Three patterns:
+//
+//   - overlimit (immediate): a spend observation on a card whose
+//     running total exceeds its limit — straight V(E)-filtered
+//     triggering, fires mid-stream, not at commit;
+//
+//   - probe (consuming precedence): external(declined) < modify(spent)
+//     — a declined authorization followed by a successful spend in the
+//     same window, the classic "probe a stolen card with a small
+//     charge" shape. Consuming, so each probe pattern alerts once;
+//
+//   - ringup (deferred + instance conjunction): a card created AND
+//     charged inside the streamed session — fresh-account abuse —
+//     checked once at the session's commit.
+//
+// Run with: go run ./examples/fraud
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"chimera"
+)
+
+const program = `
+class card(holder: string, spent: integer, limit: integer)
+class alert(kind: string, holder: string)
+
+define immediate overlimit for card
+events modify(spent)
+condition card(C), occurred(modify(spent), C), C.spent > C.limit
+action create(alert, kind = "over-limit", holder = C.holder)
+end
+
+define consuming probe priority 1
+events external(declined) < modify(card.spent)
+condition card(C), occurred(modify(card.spent), C)
+action create once(alert, kind = "probe-then-spend", holder = C.holder)
+end
+
+define deferred ringup for card priority 2
+events create += modify(spent)
+condition card(C), occurred(create += modify(spent), C)
+action create(alert, kind = "fresh-card-abuse", holder = C.holder)
+end`
+
+func main() {
+	db := chimera.Open()
+	chimera.MustLoad(db, program)
+
+	// The issuer's book: one card already over its limit, one fresh.
+	var visa, corp chimera.OID
+	if err := db.Run(func(tx *chimera.Txn) error {
+		var err error
+		if visa, err = tx.Create("card", chimera.Values{
+			"holder": chimera.Str("m.bouvier"), "spent": chimera.Int(120),
+			"limit": chimera.Int(100)}); err != nil {
+			return err
+		}
+		corp, err = tx.Create("card", chimera.Values{
+			"holder": chimera.Str("acme-corp"), "spent": chimera.Int(10),
+			"limit": chimera.Int(5000)})
+		return err
+	}); err != nil {
+		log.Fatal(err)
+	}
+
+	// One streaming session carries the whole trading window. Batches
+	// flush at 64 swipes or every clock tick, whichever comes first.
+	s, err := chimera.OpenStream(db, chimera.StreamOptions{MaxBatch: 64})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	swipe := func(oid chimera.OID) {
+		if err := s.Emit(chimera.ModifyOf("card", "spent"), oid); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	// The switch's morning: routine traffic on the corporate card, one
+	// swipe on the over-limit card, then a decline followed by a spend —
+	// the probe pattern.
+	for i := 0; i < 200; i++ {
+		swipe(corp)
+	}
+	swipe(visa)
+	if err := s.Raise("declined"); err != nil {
+		log.Fatal(err)
+	}
+	swipe(visa)
+	if err := s.Flush(); err != nil {
+		log.Fatal(err)
+	}
+
+	// A card created inside the session and charged immediately: the
+	// instance conjunction for the deferred ringup rule.
+	if err := s.Emit(chimera.CreateOf("card"), corp); err != nil {
+		log.Fatal(err)
+	}
+	swipe(corp)
+
+	if err := s.Close(); err != nil {
+		log.Fatal(err)
+	}
+
+	st := s.Stats()
+	fmt.Printf("ingested %d events in %d batches (%d enqueued, %d dropped)\n",
+		st.Events, st.Batches, st.Enqueued, st.Dropped)
+
+	alerts, _ := db.Store().Select("alert")
+	fmt.Printf("%d alert(s):\n", len(alerts))
+	for _, oid := range alerts {
+		if o, ok := db.Store().Get(oid); ok {
+			fmt.Println(" ", o)
+		}
+	}
+}

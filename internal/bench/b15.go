@@ -1,0 +1,369 @@
+package bench
+
+import (
+	"fmt"
+	"runtime"
+	"time"
+
+	"chimera/internal/clock"
+	"chimera/internal/engine"
+	"chimera/internal/event"
+	"chimera/internal/storage"
+	"chimera/internal/stream"
+	"chimera/internal/types"
+)
+
+// ---------------------------------------------------------------------
+// B15 — streaming ingestion: batched CEP throughput and flat-memory
+// soak.
+//
+// Two questions, two sections in one result file (BENCH_stream.json):
+//
+// Throughput: what does micro-batching buy over the paper's
+// one-transaction-per-event discipline? The baseline drives one full
+// transaction per arrival (setup, trigger sweep, commit publication,
+// WAL commit record); the stream coalesces arrivals into MaxBatch-sized
+// micro-batches, each swept as one block. The sweep crosses batch sizes
+// {1, 16, 64, 256} with the in-memory engine and the in-memory segment
+// store under each fsync policy. The acceptance target is ≥5× events/s
+// at batch ≥64 on the memory configuration.
+//
+// Soak: does steady-state memory stay flat on an unbounded input? A
+// preserving deferred rule pins the consumption watermark — the
+// adversarial case where the rule-set watermark alone would retain the
+// whole history — and the session's retention window must keep live
+// segments bounded across ≥10⁶ events anyway.
+
+// B15Throughput is one cell of the events/s sweep. Batch 0 is the
+// baseline: one transaction per event.
+type B15Throughput struct {
+	Config       string  `json:"config"`
+	Batch        int     `json:"batch"`
+	EventsPerSec float64 `json:"events_per_sec"`
+	UsPerEvent   float64 `json:"us_per_event"`
+	// Speedup is events/s versus the same configuration's baseline row.
+	Speedup float64 `json:"speedup_vs_per_event_txn"`
+}
+
+// B15Soak is the flat-memory soak summary.
+type B15Soak struct {
+	Events          int     `json:"events"`
+	Window          int64   `json:"window_ticks"`
+	SegmentSize     int     `json:"segment_size"`
+	MaxLiveEvents   int     `json:"max_live_events"`
+	MaxLiveSegments int     `json:"max_live_segments"`
+	SegmentBound    int     `json:"segment_bound"`
+	FloorAdvanced   bool    `json:"floor_advanced"`
+	StartHeapKB     float64 `json:"start_heap_kb"`
+	PeakHeapKB      float64 `json:"peak_heap_kb"`
+	EndHeapKB       float64 `json:"end_heap_kb"`
+	// Flat is the acceptance bit: live segments stayed under the
+	// window-derived bound while the compaction floor advanced.
+	Flat bool `json:"flat"`
+}
+
+// B15Result is the experiment's machine-readable output.
+type B15Result struct {
+	Throughput []B15Throughput `json:"throughput"`
+	Soak       B15Soak         `json:"soak"`
+}
+
+// b15Open opens one configuration (reusing the B14 clamp catalog: 10
+// consuming immediate rules over stock creates/modifies) and seeds the
+// object the streamed observations refer to.
+func b15Open(mk func() engine.Options) (*engine.DB, types.OID) {
+	db, err := engine.Open(mk())
+	if err != nil {
+		panic(err)
+	}
+	b14Catalog(db, 10)
+	var oid types.OID
+	if err := db.Run(func(tx *engine.Txn) error {
+		var err error
+		oid, err = tx.Create("stock", map[string]types.Value{
+			"quantity": types.Int(10), "maxquantity": types.Int(50)})
+		return err
+	}); err != nil {
+		panic(err)
+	}
+	return db, oid
+}
+
+// b15Baseline prices the paper's discipline: one transaction per event.
+func b15Baseline(mk func() engine.Options, n int) int64 {
+	db, oid := b15Open(mk)
+	defer db.Close()
+	ty := event.Modify("stock", "quantity")
+	start := time.Now()
+	for i := 0; i < n; i++ {
+		if err := db.Run(func(tx *engine.Txn) error {
+			return tx.Emit(ty, oid)
+		}); err != nil {
+			panic(err)
+		}
+	}
+	if err := db.SyncWAL(); err != nil {
+		panic(err)
+	}
+	return time.Since(start).Nanoseconds()
+}
+
+// b15Stream prices the streaming mode at one batch size: n observations
+// through a stream session, swept in batch-sized blocks.
+func b15Stream(mk func() engine.Options, n, batch int) int64 {
+	db, oid := b15Open(mk)
+	defer db.Close()
+	s, err := stream.Open(db, stream.Options{
+		MaxBatch:      batch,
+		QueueSize:     4 * batch,
+		FlushInterval: time.Second, // size-driven flushes only
+	})
+	if err != nil {
+		panic(err)
+	}
+	ty := event.Modify("stock", "quantity")
+	start := time.Now()
+	for i := 0; i < n; i++ {
+		if err := s.Emit(ty, oid); err != nil {
+			panic(err)
+		}
+	}
+	if err := s.Close(); err != nil {
+		panic(err)
+	}
+	if err := db.SyncWAL(); err != nil {
+		panic(err)
+	}
+	ns := time.Since(start).Nanoseconds()
+	if got := s.Stats(); got.Events != uint64(n) || got.Dropped != 0 {
+		panic(fmt.Sprintf("b15: stream ingested %d events (dropped %d), want %d",
+			got.Events, got.Dropped, n))
+	}
+	return ns
+}
+
+// B15ThroughputResults runs the events/s sweep: batch sizes crossed
+// with storage configurations, minimum time over reps (rep 0 warms up).
+func B15ThroughputResults(n, reps int, batches []int) []B15Throughput {
+	memStore := func(policy engine.FsyncPolicy) func() engine.Options {
+		return func() engine.Options {
+			o := engine.DefaultOptions()
+			o.Durability = engine.DurabilityOptions{Store: storage.NewMemStore(), Fsync: policy}
+			return o
+		}
+	}
+	configs := []struct {
+		name string
+		mk   func() engine.Options
+	}{
+		{"memory", engine.DefaultOptions},
+		{"memstore/off", memStore(engine.FsyncOff)},
+		{"memstore/interval", memStore(engine.FsyncInterval)},
+		{"memstore/per-commit", memStore(engine.FsyncPerCommit)},
+	}
+	type cell struct {
+		config string
+		batch  int
+		run    func() int64
+	}
+	var cells []cell
+	for _, cfg := range configs {
+		cfg := cfg
+		cells = append(cells, cell{cfg.name, 0, func() int64 { return b15Baseline(cfg.mk, n) }})
+		for _, b := range batches {
+			b := b
+			cells = append(cells, cell{cfg.name, b, func() int64 { return b15Stream(cfg.mk, n, b) }})
+		}
+	}
+	// Reps interleave round-robin across cells so drifting host load
+	// lands on every cell instead of biasing a quiet stretch.
+	best := make([]int64, len(cells))
+	for rep := 0; rep <= reps; rep++ {
+		for i, c := range cells {
+			ns := c.run()
+			if rep == 0 {
+				continue
+			}
+			if best[i] == 0 || ns < best[i] {
+				best[i] = ns
+			}
+		}
+	}
+	out := make([]B15Throughput, len(cells))
+	baseline := map[string]float64{}
+	for i, c := range cells {
+		eps := float64(n) / (float64(best[i]) / 1e9)
+		if c.batch == 0 {
+			baseline[c.config] = eps
+		}
+		out[i] = B15Throughput{
+			Config:       c.config,
+			Batch:        c.batch,
+			EventsPerSec: eps,
+			UsPerEvent:   float64(best[i]) / float64(n) / 1e3,
+			Speedup:      eps / baseline[c.config],
+		}
+	}
+	return out
+}
+
+// B15SoakResults runs the flat-memory soak: n observations through a
+// windowed stream while a preserving deferred rule pins the rule-set
+// watermark, so only the retention window keeps memory bounded.
+func B15SoakResults(n int) B15Soak {
+	const segSize = 256
+	const window = clock.Time(4096)
+	o := engine.DefaultOptions()
+	o.SegmentSize = segSize
+	db, err := engine.Open(o)
+	if err != nil {
+		panic(err)
+	}
+	defer db.Close()
+	b14Catalog(db, 10)
+	b14AuditRule(db) // preserving + deferred: pins the watermark
+	var oid types.OID
+	if err := db.Run(func(tx *engine.Txn) error {
+		var e error
+		oid, e = tx.Create("stock", map[string]types.Value{
+			"quantity": types.Int(10), "maxquantity": types.Int(50)})
+		return e
+	}); err != nil {
+		panic(err)
+	}
+
+	heapKB := func() float64 {
+		var ms runtime.MemStats
+		runtime.ReadMemStats(&ms)
+		return float64(ms.HeapAlloc) / 1024
+	}
+	runtime.GC()
+	res := B15Soak{
+		Events: n, Window: int64(window), SegmentSize: segSize,
+		// The window spans at most window/segSize full segments plus a
+		// partial tail and a not-yet-retired head; ×2 headroom keeps the
+		// bound robust to sweep-boundary jitter without weakening the
+		// flatness claim (unbounded growth would cross any constant).
+		SegmentBound: 2 * (int(window)/segSize + 2),
+		StartHeapKB:  heapKB(),
+	}
+
+	s, err := stream.Open(db, stream.Options{
+		MaxBatch:      256,
+		QueueSize:     1024,
+		FlushInterval: time.Second,
+		Window:        window,
+	})
+	if err != nil {
+		panic(err)
+	}
+	ty := event.Modify("stock", "quantity")
+	for i := 0; i < n; i++ {
+		if err := s.Emit(ty, oid); err != nil {
+			panic(err)
+		}
+		if i%8192 == 0 {
+			st := s.Stats()
+			if st.LiveEvents > res.MaxLiveEvents {
+				res.MaxLiveEvents = st.LiveEvents
+			}
+			if st.LiveSegments > res.MaxLiveSegments {
+				res.MaxLiveSegments = st.LiveSegments
+			}
+			if i%65536 == 0 {
+				if kb := heapKB(); kb > res.PeakHeapKB {
+					res.PeakHeapKB = kb
+				}
+			}
+		}
+	}
+	if err := s.Flush(); err != nil {
+		panic(err)
+	}
+	st := s.Stats()
+	if st.LiveEvents > res.MaxLiveEvents {
+		res.MaxLiveEvents = st.LiveEvents
+	}
+	if st.LiveSegments > res.MaxLiveSegments {
+		res.MaxLiveSegments = st.LiveSegments
+	}
+	res.FloorAdvanced = st.Floor > 0
+	if err := s.Close(); err != nil {
+		panic(err)
+	}
+	runtime.GC()
+	res.EndHeapKB = heapKB()
+	if res.EndHeapKB > res.PeakHeapKB {
+		res.PeakHeapKB = res.EndHeapKB
+	}
+	res.Flat = res.FloorAdvanced && res.MaxLiveSegments <= res.SegmentBound
+	return res
+}
+
+// B15Results runs the full experiment.
+func B15Results() B15Result {
+	return B15Result{
+		Throughput: B15ThroughputResults(20_000, 3, []int{1, 16, 64, 256}),
+		Soak:       B15SoakResults(1_000_000),
+	}
+}
+
+// B15SmokeResults is the reduced sweep for CI (make bench-smoke): the
+// acceptance-relevant memory cells plus one durable configuration, and
+// a shorter soak, at the full sweep's per-cell geometry so
+// chimera-benchcmp can hold the smoke run against the committed
+// BENCH_stream.json cell for cell.
+func B15SmokeResults() B15Result {
+	sweep := B15ThroughputResults(4_000, 1, []int{1, 64})
+	var keep []B15Throughput
+	for _, c := range sweep {
+		if c.Config == "memory" || c.Config == "memstore/off" {
+			keep = append(keep, c)
+		}
+	}
+	return B15Result{
+		Throughput: keep,
+		Soak:       B15SoakResults(200_000),
+	}
+}
+
+// B15FromResults renders the table for a precomputed run, so the -json
+// emission path does not run the experiment twice.
+func B15FromResults(r B15Result) Table {
+	t := Table{
+		ID:     "B15",
+		Title:  "streaming ingestion: batched CEP throughput and flat-memory soak",
+		Header: []string{"section", "config", "batch", "events/s", "µs/event", "speedup", "flat"},
+	}
+	for _, c := range r.Throughput {
+		batch := fmt.Sprint(c.Batch)
+		if c.Batch == 0 {
+			batch = "per-txn"
+		}
+		t.Rows = append(t.Rows, []string{
+			"throughput", c.Config, batch,
+			fmt.Sprintf("%.0f", c.EventsPerSec),
+			fmt.Sprintf("%.2f", c.UsPerEvent),
+			fmt.Sprintf("%.2fx", c.Speedup), "—",
+		})
+	}
+	s := r.Soak
+	t.Rows = append(t.Rows, []string{
+		"soak",
+		fmt.Sprintf("events=%d window=%d", s.Events, s.Window),
+		fmt.Sprintf("segs≤%d/%d", s.MaxLiveSegments, s.SegmentBound),
+		fmt.Sprintf("live≤%d", s.MaxLiveEvents),
+		fmt.Sprintf("heap %0.f→%.0f→%.0fKB", s.StartHeapKB, s.PeakHeapKB, s.EndHeapKB),
+		fmt.Sprintf("floor=%v", s.FloorAdvanced),
+		fmt.Sprint(s.Flat),
+	})
+	t.Notes = append(t.Notes,
+		"throughput streams modify-observations through the B14 clamp catalog (10 consuming immediate rules); 'per-txn' is the paper's discipline — one transaction per event — and each batch row coalesces arrivals into MaxBatch micro-batches swept as single blocks",
+		"speedup is events/s versus the same configuration's per-txn row; the acceptance target is ≥5x at batch ≥64 on the memory configuration (durable rows amortize the WAL commit record on top and typically gain more)",
+		"the soak pins the consumption watermark with a preserving deferred rule — the adversarial retention case — and asserts the stream's window kept live segments bounded (flat) across the whole run while the compaction floor advanced",
+		"minimum over repeated runs per cell, reps interleaved round-robin; heap figures are GC-settled at the endpoints and sampled hot at the peak")
+	return t
+}
+
+// B15 runs and renders the streaming experiment.
+func B15() Table { return B15FromResults(B15Results()) }

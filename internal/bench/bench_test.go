@@ -105,3 +105,32 @@ func TestTableCSV(t *testing.T) {
 		t.Fatalf("CSV = %q, want %q", got, want)
 	}
 }
+
+func TestB15MicroRun(t *testing.T) {
+	// A tiny end-to-end pass over the real experiment code: the speedup
+	// math keys off each configuration's baseline row, and the soak's
+	// flatness bit must hold even at micro scale.
+	sweep := B15ThroughputResults(300, 1, []int{64})
+	if len(sweep) != 8 {
+		t.Fatalf("sweep has %d cells, want 8 (4 configs x {per-txn, 64})", len(sweep))
+	}
+	for _, c := range sweep {
+		if c.EventsPerSec <= 0 {
+			t.Fatalf("non-positive throughput in %+v", c)
+		}
+		if c.Batch == 0 && c.Speedup != 1 {
+			t.Fatalf("baseline row speedup = %v, want 1", c.Speedup)
+		}
+	}
+	soak := B15SoakResults(30_000)
+	if !soak.Flat {
+		t.Fatalf("micro soak not flat: %+v", soak)
+	}
+	if !soak.FloorAdvanced {
+		t.Fatal("micro soak never advanced the compaction floor")
+	}
+	tab := B15FromResults(B15Result{Throughput: sweep, Soak: soak})
+	if tab.ID != "B15" || len(tab.Rows) != 9 {
+		t.Fatalf("unexpected table shape: id=%s rows=%d", tab.ID, len(tab.Rows))
+	}
+}

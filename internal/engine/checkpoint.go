@@ -520,7 +520,7 @@ func decodeCheckpoint(data []byte) (*checkpoint, error) {
 
 // attachWAL starts the group committer over the configured store.
 func (db *DB) attachWAL() {
-	db.wal = newWALWriter(db.dur().Store, db.dur().Fsync, db.dur().syncInterval(), &db.m)
+	db.wal = newWALWriter(db.dur().Store, db.dur().Fsync, db.dur().syncInterval(), db.dur().clock(), &db.m)
 }
 
 // checkpointNow writes a checkpoint under the WAL barrier. t is the

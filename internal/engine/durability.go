@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"time"
 
+	"chimera/internal/clock"
 	"chimera/internal/wire"
 )
 
@@ -107,6 +108,10 @@ type DurabilityOptions struct {
 	// RecoveryWorkers bounds the parallel segment decode/rebuild during
 	// Recover; ≤0 means GOMAXPROCS.
 	RecoveryWorkers int
+	// Clock is the wall-clock source pacing the group committer's drain
+	// tick and interval syncs. nil means clock.Wall; tests inject a
+	// clock.Manual to drive the fsync interval deterministically.
+	Clock clock.Source
 }
 
 func (d DurabilityOptions) enabled() bool { return d.Store != nil }
@@ -116,6 +121,13 @@ func (d DurabilityOptions) syncInterval() time.Duration {
 		return 5 * time.Millisecond
 	}
 	return d.SyncInterval
+}
+
+func (d DurabilityOptions) clock() clock.Source {
+	if d.Clock == nil {
+		return clock.Wall
+	}
+	return d.Clock
 }
 
 // ErrNeedsRecovery is returned by Open when the configured store
@@ -147,6 +159,7 @@ type walWriter struct {
 	store  SegmentStore
 	policy FsyncPolicy
 	ival   time.Duration
+	src    clock.Source
 	m      *engineMetrics
 
 	mu       chan struct{} // 1-token mutex; see lock/unlock
@@ -166,11 +179,12 @@ type walWriter struct {
 	done chan struct{} // committer exited
 }
 
-func newWALWriter(store SegmentStore, policy FsyncPolicy, ival time.Duration, m *engineMetrics) *walWriter {
+func newWALWriter(store SegmentStore, policy FsyncPolicy, ival time.Duration, src clock.Source, m *engineMetrics) *walWriter {
 	w := &walWriter{
 		store:  store,
 		policy: policy,
 		ival:   ival,
+		src:    src,
 		m:      m,
 		mu:     make(chan struct{}, 1),
 		cond:   make(chan struct{}),
@@ -277,19 +291,19 @@ func (w *walWriter) Err() error {
 // run is the committer loop.
 func (w *walWriter) run() {
 	defer close(w.done)
-	var ticker *time.Ticker
 	var tick <-chan time.Time
 	if w.policy != FsyncPerCommit {
 		// The drain tick: under FsyncInterval it also drives the
 		// periodic sync; under FsyncOff it only moves small batches to
 		// the store (append rings eagerly past walWakeBytes).
 		// FsyncPerCommit needs neither — every commit rings via
-		// waitDurable.
-		ticker = time.NewTicker(w.ival)
+		// waitDurable. The ticker comes from the injectable clock
+		// source, so tests can advance it manually.
+		ticker := w.src.NewTicker(w.ival)
 		defer ticker.Stop()
-		tick = ticker.C
+		tick = ticker.C()
 	}
-	lastSync := time.Now()
+	lastSync := w.src.Now()
 	for {
 		select {
 		case <-w.wake:
@@ -308,7 +322,7 @@ func (w *walWriter) run() {
 		w.spare = nil
 		count := w.enqueued
 		needSync := w.syncReq > w.synced
-		if w.policy == FsyncInterval && count > w.synced && time.Since(lastSync) >= w.ival {
+		if w.policy == FsyncInterval && count > w.synced && w.src.Since(lastSync) >= w.ival {
 			needSync = true
 		}
 		closing := w.closed
@@ -329,7 +343,7 @@ func (w *walWriter) run() {
 		if err == nil && (needSync || closing) {
 			if err = w.store.SyncWAL(); err == nil {
 				syncedTo = count
-				lastSync = time.Now()
+				lastSync = w.src.Now()
 				w.m.walFsyncs.Inc()
 			}
 		}

@@ -843,6 +843,63 @@ func (t *Txn) Raise(signal string) error {
 	return t.log(event.External(signal), types.NilOID)
 }
 
+// Emit logs one occurrence of an arbitrary event type against oid
+// (types.NilOID for events affecting no object) without touching the
+// object store. It is the streaming ingest primitive: a stream session
+// coalesces externally observed events — sensor readings, card swipes,
+// telemetry — into micro-batches of Emits followed by one EndLine, so
+// one trigger sweep and one WAL record serve the whole batch. Raise is
+// Emit specialized to external signals.
+func (t *Txn) Emit(ty event.Type, oid types.OID) error {
+	if err := t.check(); err != nil {
+		return err
+	}
+	return t.log(ty, oid)
+}
+
+// SetRetention declares a logical-time retention window on the
+// transaction's Event Base (see event.Base.SetRetention): block-boundary
+// compaction then retires occurrences older than window ticks behind the
+// clock even when a dormant rule's watermark would pin them. Streaming
+// sessions use it to keep steady-state memory flat on unbounded inputs;
+// the cost is semantic and explicit — operators cannot see past the
+// retention bound.
+func (t *Txn) SetRetention(window clock.Time) error {
+	if err := t.check(); err != nil {
+		return err
+	}
+	t.base.SetRetention(window)
+	return nil
+}
+
+// SetBudget replaces the transaction's evaluation budget (nil = run
+// unlimited). The engine installs the per-transaction budget from
+// Options at Begin; a streaming session reinstalls a fresh budget per
+// micro-batch so one poisoned batch trips ErrGasExhausted for that
+// batch's sweep without condemning the whole long-lived session.
+func (t *Txn) SetBudget(b *calculus.Budget) error {
+	if err := t.check(); err != nil {
+		return err
+	}
+	t.budget = b
+	t.view.SetBudget(b)
+	return nil
+}
+
+// ResetRuleGuard restarts the transaction's rule-cascade execution
+// counter (Options.MaxRuleExecutions). Ordinary transactions never
+// call this — the guard bounds the whole transaction. A streaming
+// session calls it at micro-batch boundaries so the bound guards each
+// batch's cascade instead of accumulating across a session that sweeps
+// indefinitely many batches on one transaction line.
+func (t *Txn) ResetRuleGuard() error {
+	if err := t.check(); err != nil {
+		return err
+	}
+	t.execs = 0
+	return nil
+}
+
 // Select queries the live extension of a class and logs select(class)
 // occurrences for the returned objects.
 func (t *Txn) Select(class string) ([]types.OID, error) {
@@ -938,7 +995,9 @@ func (t *Txn) flushBlock() error {
 		}
 	}
 	if !db.opts.DisableCompaction {
-		wm := t.view.Watermark()
+		// The retention bound lifts the watermark for streaming sessions
+		// (Txn.SetRetention); with no retention it is the watermark.
+		wm := t.base.RetentionBound(t.view.Watermark(), now)
 		db.m.watermarkAge.Set(int64(now - wm))
 		segsBefore := 0
 		if tr != nil {

@@ -177,6 +177,10 @@ type Base struct {
 	// while one outrunning its watermark hits ErrLimit instead of OOM.
 	maxEvents   int
 	maxSegments int
+	// retention is the streaming window bound (SetRetention; 0 = none):
+	// compaction may retire occurrences more than retention ticks behind
+	// the current instant regardless of the consumption watermark.
+	retention clock.Time
 	// m is the instrument set (zero value when metrics are off; every
 	// report is then a nil-check no-op).
 	m BaseMetrics
@@ -296,6 +300,47 @@ func (b *Base) Limits() (maxEvents, maxSegments int) {
 	b.mu.RLock()
 	defer b.mu.RUnlock()
 	return b.maxEvents, b.maxSegments
+}
+
+// SetRetention declares a logical-time retention window for streaming
+// consumption: occurrences older than window ticks behind the current
+// instant are eligible for compaction even when some rule's consumption
+// watermark still reaches below them (0 = unlimited, the default).
+// Retention is the streaming mode's memory guarantee — a dormant rule
+// (never considered because its events never arrive) pins the
+// low-watermark forever, and on an unbounded stream that means unbounded
+// memory. The trade is explicit and semantic: with retention set, an
+// operator's window effectively starts at the retention bound, so
+// occurrences older than the window can no longer contribute to
+// triggering (DESIGN.md §15).
+func (b *Base) SetRetention(window clock.Time) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.retention = window
+}
+
+// Retention returns the configured retention window (0 = unlimited).
+func (b *Base) Retention() clock.Time {
+	b.mu.RLock()
+	defer b.mu.RUnlock()
+	return b.retention
+}
+
+// RetentionBound lifts a consumption watermark to the retention floor:
+// the compaction bound at instant now is the higher of the rule-set
+// watermark and now minus the retention window. With no retention
+// configured the watermark passes through unchanged.
+func (b *Base) RetentionBound(wm, now clock.Time) clock.Time {
+	b.mu.RLock()
+	w := b.retention
+	b.mu.RUnlock()
+	if w <= 0 {
+		return wm
+	}
+	if bound := now - w; bound > wm {
+		return bound
+	}
+	return wm
 }
 
 // internTypeLocked interns t, assigning the next dense id on first

@@ -261,7 +261,7 @@ func ParseCommand(src string) (Command, error) {
 		case w.Kind == TokIdent || w.Kind == TokKeyword:
 			return finish(p, CmdShow{What: w.Text})
 		default:
-			return nil, p.errf(w, "show what? (rules, objects, events, stats, limits, o<N>)")
+			return nil, p.errf(w, "show what? (rules, objects, events, stats, stream, limits, o<N>)")
 		}
 	}
 	return nil, p.errf(t, "unknown command %s", t)

@@ -8,11 +8,13 @@ import (
 	"fmt"
 	"io"
 	"strings"
+	"time"
 
 	"chimera"
 	"chimera/internal/calculus"
 	"chimera/internal/cond"
 	"chimera/internal/lang"
+	"chimera/internal/metrics"
 )
 
 // Execute additionally understands two session verbs outside the lang
@@ -90,7 +92,7 @@ func (s *Shell) Help() {
   specialize o<N>, <class> / generalize o<N>, <class>
   select <class> [where attr > 5, ...]               query (generates select events)
   raise <signal>                                     signal an external event
-  show objects | rules | events | stats | analysis | limits | o<N>   inspect state
+  show objects | rules | events | stats | stream | analysis | limits | o<N>   inspect state
   explain <rule>                                     why is the rule (not) triggered?
   save <file> / load <file>                          snapshot / restore
   quit
@@ -307,6 +309,39 @@ func (s *Shell) show(c lang.CmdShow) error {
 		}
 	case "sharing":
 		fmt.Fprint(s.out, chimera.AnalyzeSharing(s.db))
+	case "stream":
+		if s.db.Metrics() == nil {
+			return fmt.Errorf("no metrics registry attached to this database")
+		}
+		snap := s.db.Snapshot()
+		if snap.Counters["chimera_stream_enqueued_total"] == 0 &&
+			snap.Counters["chimera_stream_batches_total"] == 0 {
+			fmt.Fprintln(s.out, "no stream session has reported yet (see chimera.OpenStream)")
+			return nil
+		}
+		fmt.Fprintf(s.out, "ingestion: enqueued %d, dropped %d, ingested %d in %d batch(es), %d idle sweep(s)\n",
+			snap.Counters["chimera_stream_enqueued_total"],
+			snap.Counters["chimera_stream_dropped_total"],
+			snap.Counters["chimera_stream_events_total"],
+			snap.Counters["chimera_stream_batches_total"],
+			snap.Counters["chimera_stream_idle_sweeps_total"])
+		fmt.Fprintf(s.out, "failures: budget kills %d, line restarts %d\n",
+			snap.Counters["chimera_stream_budget_kills_total"],
+			snap.Counters["chimera_stream_restarts_total"])
+		fmt.Fprintf(s.out, "window: queue depth %d, live events %d, live segments %d\n",
+			snap.Gauges["chimera_stream_queue_depth"],
+			snap.Gauges["chimera_stream_live_events"],
+			snap.Gauges["chimera_stream_live_segments"])
+		if h, ok := snap.Histograms["chimera_stream_batch_events"]; ok && h.Count > 0 {
+			fmt.Fprintf(s.out, "batch size: mean %.1f over %d batch(es)\n",
+				float64(h.Sum)/float64(h.Count), h.Count)
+			fmt.Fprint(s.out, "  ")
+			writeHistLine(s.out, h)
+		}
+		if h, ok := snap.Histograms["chimera_stream_sweep_lag_ns"]; ok && h.Count > 0 {
+			fmt.Fprintf(s.out, "sweep lag: mean %s\n",
+				time.Duration(float64(h.Sum)/float64(h.Count)).Round(time.Microsecond))
+		}
 	case "limits":
 		lim := s.db.Limits()
 		fmtLimit := func(name string, v int64, unit string) {
@@ -329,9 +364,33 @@ func (s *Shell) show(c lang.CmdShow) error {
 		fmt.Fprintf(s.out, "hit counters: gas kills %d, deadline kills %d, event-limit hits %d, rule-limit hits %d\n",
 			lim.GasKills, lim.DeadlineKills, lim.EventLimitHits, lim.RuleLimitHits)
 	default:
-		return fmt.Errorf("show what? (rules, objects, events, stats, sharing, analysis, limits, o<N>)")
+		return fmt.Errorf("show what? (rules, objects, events, stats, stream, sharing, analysis, limits, o<N>)")
 	}
 	return nil
+}
+
+// writeHistLine renders one histogram as "≤bound:count" pairs, skipping
+// empty buckets (the final +Inf bucket prints as ">last-bound").
+func writeHistLine(w io.Writer, h metrics.HistogramSnapshot) {
+	first := true
+	sep := func() {
+		if !first {
+			fmt.Fprint(w, "  ")
+		}
+		first = false
+	}
+	for i, n := range h.Counts {
+		if n == 0 {
+			continue
+		}
+		sep()
+		if i < len(h.Bounds) {
+			fmt.Fprintf(w, "≤%d:%d", h.Bounds[i], n)
+		} else {
+			fmt.Fprintf(w, ">%d:%d", h.Bounds[len(h.Bounds)-1], n)
+		}
+	}
+	fmt.Fprintln(w)
 }
 
 // explain renders the triggering verdict of one rule against the open

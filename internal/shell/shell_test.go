@@ -6,6 +6,7 @@ import (
 	"path/filepath"
 	"strings"
 	"testing"
+	"time"
 
 	"chimera"
 )
@@ -364,5 +365,54 @@ func TestGoldenSessions(t *testing.T) {
 				t.Errorf("golden mismatch:\n--- got\n%s--- want\n%s", got, golden)
 			}
 		})
+	}
+}
+
+func TestShowStream(t *testing.T) {
+	sh, out := newShell(t)
+	if err := sh.Execute("show stream"); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "no stream session") {
+		t.Fatalf("idle database should report no stream activity:\n%s", out.String())
+	}
+
+	// Run a stream session over the shell's database, then render it.
+	s, err := chimera.OpenStream(sh.DB(), chimera.StreamOptions{
+		MaxBatch: 4,
+		Clock:    chimera.NewManualClock(time.Unix(0, 0)),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		if err := s.Raise("pulse"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	out.Reset()
+	if err := sh.Execute("show stream"); err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	for _, want := range []string{
+		"enqueued 10", "ingested 10", "batch size", "sweep lag",
+	} {
+		if !strings.Contains(got, want) {
+			t.Errorf("show stream missing %q:\n%s", want, got)
+		}
+	}
+
+	// No registry at all: the command should refuse, not render zeros.
+	bare := New(chimera.Open(), out)
+	if err := bare.Execute("show stream"); err == nil {
+		t.Fatal("show stream without a metrics registry should error")
 	}
 }

@@ -1,0 +1,589 @@
+// Package stream is Chimera's continuous-ingestion mode: a long-lived
+// stream session over one engine transaction line, fed through a
+// bounded multi-producer arrival queue and swept in micro-batches.
+//
+// The paper evaluates composite events only at transaction boundaries;
+// driving one transaction per event makes every arrival pay the full
+// transaction setup — Event Base allocation, rule-horizon reset, memo
+// Begin, commit publication, and (durable) a WAL commit record. A
+// stream session amortizes all of it: arrivals coalesce into
+// micro-batches (flushed on size or clock tick, whichever comes first),
+// and each batch costs one block — one NotifyArrivals walk, one trigger
+// sweep over the shared-plan memo groups, one compaction pass and one
+// WAL record — instead of hundreds.
+//
+// Backpressure is explicit: when the arrival queue fills, Block makes
+// producers wait and Drop sheds the event (counted, never silent).
+// Sweeps are paced by an injectable clock.Source, so time-based
+// behavior (partial-batch flush latency, idle sweeps that advance the
+// logical clock when no events arrive) is deterministic under test.
+// Window-bounded consumption (Options.Window) feeds the engine's
+// low-watermark compactor a retention floor, keeping steady-state
+// memory flat on unbounded inputs even when a dormant rule would pin
+// the watermark. See DESIGN.md §15.
+package stream
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"chimera/internal/calculus"
+	"chimera/internal/clock"
+	"chimera/internal/engine"
+	"chimera/internal/event"
+	"chimera/internal/types"
+)
+
+// Policy selects what a producer experiences when the arrival queue is
+// full.
+type Policy int
+
+const (
+	// Block (the default) makes Emit wait until the queue has room —
+	// lossless ingestion, producers run at the sweep's pace.
+	Block Policy = iota
+	// Drop sheds the arrival when the queue is full: Emit returns nil
+	// immediately and the drop is counted (Stats.Dropped,
+	// chimera_stream_dropped_total). For workloads where freshness
+	// beats completeness.
+	Drop
+)
+
+func (p Policy) String() string {
+	switch p {
+	case Block:
+		return "block"
+	case Drop:
+		return "drop"
+	}
+	return fmt.Sprintf("policy(%d)", int(p))
+}
+
+// ErrClosed is returned by operations on a closed stream.
+var ErrClosed = errors.New("stream: closed")
+
+// Event is one arrival: a primitive event type and the object it
+// affects (types.NilOID for object-less signals).
+type Event struct {
+	Type event.Type
+	OID  types.OID
+}
+
+// BatchError reports a micro-batch whose sweep was refused — typically
+// a poisoned batch tripping the per-batch budget (errors.Is
+// ErrGasExhausted / ErrDeadlineExceeded). The offending events are
+// attached so the producer side can quarantine or replay them. After a
+// batch error the session restarts its transaction line: the
+// accumulated window and any uncommitted rule-action mutations are
+// discarded (the engine's budget contract — a tripped determination
+// must roll back), and ingestion continues on the fresh line.
+type BatchError struct {
+	// Events is the offending micro-batch (empty for an idle sweep).
+	Events []Event
+	// Err is the underlying typed error.
+	Err error
+}
+
+func (e *BatchError) Error() string {
+	return fmt.Sprintf("stream: batch of %d refused: %v", len(e.Events), e.Err)
+}
+
+func (e *BatchError) Unwrap() error { return e.Err }
+
+// Options configures a stream session.
+type Options struct {
+	// MaxBatch is the micro-batch size bound: a batch flushes as soon
+	// as it holds this many arrivals. 0 means 256.
+	MaxBatch int
+	// FlushInterval is the clock-tick flush: a partial batch older than
+	// this sweeps anyway, and an idle session runs a sweep (advancing
+	// the logical clock) each interval so time-driven behavior does not
+	// wait for arrivals. 0 means 5ms.
+	FlushInterval time.Duration
+	// QueueSize bounds the arrival queue. 0 means 4096.
+	QueueSize int
+	// Backpressure selects the full-queue policy (Block or Drop).
+	Backpressure Policy
+	// Window, when positive, bounds consumption to the last Window
+	// logical ticks: older occurrences become compactable regardless of
+	// the rule-set watermark (and correspondingly invisible to
+	// operators). The streaming memory guarantee — see Txn.SetRetention.
+	Window clock.Time
+	// GasPerBatch, when positive, caps the evaluation gas one
+	// micro-batch sweep may spend; a poisoned batch trips
+	// ErrGasExhausted (reported via a BatchError with the offending
+	// events) instead of stalling the pipeline. 0 = unlimited.
+	GasPerBatch int64
+	// TimePerBatch, when positive, is the wall-clock analogue of
+	// GasPerBatch. 0 = unlimited.
+	TimePerBatch time.Duration
+	// Clock paces flush ticks and measures sweep lag. nil means
+	// clock.Wall; tests inject clock.Manual for determinism.
+	Clock clock.Source
+	// OnBatchError, when set, is invoked (on the sweep goroutine) for
+	// every refused batch, after the line restarted. The callback must
+	// not call back into the stream.
+	OnBatchError func(*BatchError)
+}
+
+func (o Options) withDefaults() Options {
+	if o.MaxBatch <= 0 {
+		o.MaxBatch = 256
+	}
+	if o.FlushInterval <= 0 {
+		o.FlushInterval = 5 * time.Millisecond
+	}
+	if o.QueueSize <= 0 {
+		o.QueueSize = 4096
+	}
+	if o.Clock == nil {
+		o.Clock = clock.Wall
+	}
+	return o
+}
+
+// Stats is a point-in-time snapshot of a stream session.
+type Stats struct {
+	// Enqueued counts arrivals accepted into the queue; Dropped counts
+	// arrivals shed by the Drop policy.
+	Enqueued uint64
+	Dropped  uint64
+	// Events counts occurrences ingested into the engine; Batches the
+	// micro-batch sweeps that carried them; IdleSweeps the clock-driven
+	// sweeps that ran without arrivals.
+	Events     uint64
+	Batches    uint64
+	IdleSweeps uint64
+	// BudgetKills counts batches refused by the per-batch budget;
+	// Restarts the transaction-line restarts they (or other batch
+	// errors) forced.
+	BudgetKills uint64
+	Restarts    uint64
+	// QueueDepth is the current arrival-queue occupancy.
+	QueueDepth int
+	// LiveEvents / LiveSegments / Floor describe the session's Event
+	// Base window: what retention plus the low-watermark compactor
+	// currently retain.
+	LiveEvents   int
+	LiveSegments int
+	Floor        clock.Time
+}
+
+// Stream is a live stream session. Emit/Raise are safe for concurrent
+// use by any number of producers; Flush, Close and Stats may be called
+// from any goroutine.
+type Stream struct {
+	db   *engine.DB
+	opts Options
+	src  clock.Source
+	m    streamMetrics
+
+	in       chan Event
+	flushReq chan chan error
+	quit     chan struct{} // closed by Close: stop accepting, drain, commit
+	done     chan struct{} // closed by the worker on exit
+
+	closed atomic.Bool
+	failed atomic.Bool // worker terminated abnormally (line restart failed)
+
+	enqueued    atomic.Uint64
+	dropped     atomic.Uint64
+	events      atomic.Uint64
+	batches     atomic.Uint64
+	idleSweeps  atomic.Uint64
+	budgetKills atomic.Uint64
+	restarts    atomic.Uint64
+
+	mu       sync.Mutex
+	txn      *engine.Txn
+	lastErr  error // most recent batch error (observability)
+	finalErr error // Close/terminal outcome
+}
+
+// Open starts a stream session over db: it opens the session's
+// long-lived transaction line (subject to the database's session
+// admission — ErrTxnOpen when no line is free) and starts the sweep
+// goroutine. The session owns the line until Close, which drains the
+// queue, runs a final sweep and commits.
+//
+// Metrics: when db was opened with a metrics registry, the session
+// reports the chimera_stream_* instrument set into it.
+func Open(db *engine.DB, opts Options) (*Stream, error) {
+	opts = opts.withDefaults()
+	s := &Stream{
+		db:       db,
+		opts:     opts,
+		src:      opts.Clock,
+		m:        newStreamMetrics(db.Metrics()),
+		in:       make(chan Event, opts.QueueSize),
+		flushReq: make(chan chan error),
+		quit:     make(chan struct{}),
+		done:     make(chan struct{}),
+	}
+	if err := s.beginLine(); err != nil {
+		return nil, err
+	}
+	go s.run()
+	return s, nil
+}
+
+// beginLine opens (or reopens, after a batch error) the session's
+// transaction line and applies the retention window.
+func (s *Stream) beginLine() error {
+	txn, err := s.db.Begin()
+	if err != nil {
+		return err
+	}
+	if s.opts.Window > 0 {
+		if err := txn.SetRetention(s.opts.Window); err != nil {
+			txn.Rollback() //nolint:errcheck // refusing the line anyway
+			return err
+		}
+	}
+	s.mu.Lock()
+	s.txn = txn
+	s.mu.Unlock()
+	return nil
+}
+
+// Emit enqueues one arrival. Under Block it waits for queue room (or
+// the stream closing); under Drop a full queue sheds the event, counts
+// it and returns nil.
+func (s *Stream) Emit(ty event.Type, oid types.OID) error {
+	if s.closed.Load() {
+		return ErrClosed
+	}
+	if s.failed.Load() {
+		return s.terminalErr()
+	}
+	ev := Event{Type: ty, OID: oid}
+	switch s.opts.Backpressure {
+	case Drop:
+		select {
+		case s.in <- ev:
+		default:
+			s.dropped.Add(1)
+			s.m.dropped.Inc()
+			return nil
+		}
+	default: // Block
+		select {
+		case s.in <- ev:
+		case <-s.quit:
+			return ErrClosed
+		case <-s.done:
+			return s.terminalErr()
+		}
+	}
+	s.enqueued.Add(1)
+	s.m.enqueued.Inc()
+	s.m.queueDepth.Set(int64(len(s.in)))
+	return nil
+}
+
+// Raise enqueues an external signal (an object-less arrival), the
+// streaming form of Txn.Raise.
+func (s *Stream) Raise(signal string) error {
+	if signal == "" {
+		return errors.New("stream: empty signal name")
+	}
+	return s.Emit(event.External(signal), types.NilOID)
+}
+
+// Flush synchronously drains everything enqueued before the call and
+// sweeps it (in MaxBatch-sized batches), returning the first batch
+// error hit (the pipeline itself has already recovered and continues).
+// Tests and differential harnesses use it as a barrier.
+func (s *Stream) Flush() error {
+	if s.closed.Load() {
+		if err := s.terminalErr(); err != nil {
+			return err
+		}
+		return ErrClosed
+	}
+	req := make(chan error, 1)
+	select {
+	case s.flushReq <- req:
+	case <-s.quit:
+		return ErrClosed
+	case <-s.done:
+		return s.terminalErr()
+	}
+	select {
+	case err := <-req:
+		return err
+	case <-s.done:
+		return s.terminalErr()
+	}
+}
+
+// Close stops the session: no further Emits are accepted, the queue is
+// drained and swept, and the session's transaction commits (publishing
+// every rule-action mutation). Close returns the commit error, or the
+// terminal error if the session had already failed. Close is
+// idempotent.
+func (s *Stream) Close() error {
+	if !s.closed.CompareAndSwap(false, true) {
+		<-s.done
+		return s.terminalErr()
+	}
+	close(s.quit)
+	<-s.done
+	return s.terminalErr()
+}
+
+// Err returns the most recent batch error (nil when every batch so far
+// swept cleanly). The pipeline keeps running after batch errors; Err is
+// the observability hook for producers that do not install OnBatchError.
+func (s *Stream) Err() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.lastErr
+}
+
+func (s *Stream) terminalErr() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.finalErr
+}
+
+// Stats snapshots the session counters and the live window state.
+func (s *Stream) Stats() Stats {
+	st := Stats{
+		Enqueued:    s.enqueued.Load(),
+		Dropped:     s.dropped.Load(),
+		Events:      s.events.Load(),
+		Batches:     s.batches.Load(),
+		IdleSweeps:  s.idleSweeps.Load(),
+		BudgetKills: s.budgetKills.Load(),
+		Restarts:    s.restarts.Load(),
+		QueueDepth:  len(s.in),
+	}
+	s.mu.Lock()
+	txn := s.txn
+	s.mu.Unlock()
+	if txn != nil {
+		base := txn.Base()
+		st.LiveEvents = base.Len()
+		st.LiveSegments = base.Segments()
+		st.Floor = base.Floor()
+	}
+	return st
+}
+
+// run is the sweep goroutine: it owns the session's transaction line
+// and is the only goroutine touching it.
+func (s *Stream) run() {
+	defer close(s.done)
+	ticker := s.src.NewTicker(s.opts.FlushInterval)
+	defer ticker.Stop()
+	batch := make([]Event, 0, s.opts.MaxBatch)
+	var batchStart time.Time
+
+	for {
+		select {
+		case ev := <-s.in:
+			if len(batch) == 0 {
+				batchStart = s.src.Now()
+			}
+			batch = append(batch, ev)
+			// Opportunistic coalescing: take whatever else is already
+			// queued, up to the batch bound, without blocking.
+		coalesce:
+			for len(batch) < s.opts.MaxBatch {
+				select {
+				case ev := <-s.in:
+					batch = append(batch, ev)
+				default:
+					break coalesce
+				}
+			}
+			s.m.queueDepth.Set(int64(len(s.in)))
+			if len(batch) >= s.opts.MaxBatch {
+				if _, terminal := s.sweep(batch, batchStart, false); terminal {
+					return
+				}
+				batch = batch[:0]
+			}
+
+		case <-ticker.C():
+			// Clock-driven flush: a partial batch sweeps now (bounding
+			// its latency at one interval); an idle session sweeps with
+			// an advanced logical clock so time-based behavior runs
+			// without arrivals.
+			if _, terminal := s.sweep(batch, batchStart, len(batch) == 0); terminal {
+				return
+			}
+			batch = batch[:0]
+
+		case req := <-s.flushReq:
+			var err error
+			var terminal bool
+			batch, err, terminal = s.drainAndSweep(batch, batchStart)
+			req <- err
+			if terminal {
+				return
+			}
+
+		case <-s.quit:
+			batch, _, terminal := s.drainAndSweep(batch, batchStart)
+			_ = batch
+			if !terminal {
+				s.mu.Lock()
+				txn := s.txn
+				s.txn = nil
+				s.mu.Unlock()
+				if err := txn.Commit(); err != nil {
+					s.mu.Lock()
+					s.finalErr = err
+					s.mu.Unlock()
+				}
+			}
+			return
+		}
+	}
+}
+
+// drainAndSweep empties the arrival queue into MaxBatch-sized sweeps
+// (the queue is bounded, so this terminates even against racing
+// producers as soon as the queue is momentarily empty). It returns the
+// recycled batch buffer, the first batch error hit, and whether the
+// session reached its terminal state.
+func (s *Stream) drainAndSweep(batch []Event, batchStart time.Time) ([]Event, error, bool) {
+	var firstErr error
+	flush := func() bool {
+		err, terminal := s.sweep(batch, batchStart, false)
+		if firstErr == nil {
+			firstErr = err
+		}
+		batch = batch[:0]
+		return !terminal
+	}
+	for {
+		select {
+		case ev := <-s.in:
+			if len(batch) == 0 {
+				batchStart = s.src.Now()
+			}
+			batch = append(batch, ev)
+			if len(batch) >= s.opts.MaxBatch {
+				if !flush() {
+					return batch, firstErr, true
+				}
+			}
+		default:
+			if len(batch) > 0 {
+				if !flush() {
+					return batch, firstErr, true
+				}
+			}
+			s.m.queueDepth.Set(int64(len(s.in)))
+			return batch, firstErr, false
+		}
+	}
+}
+
+// sweep runs one micro-batch block: ingest the batch's occurrences,
+// close the block (one trigger sweep, one compaction pass, one WAL
+// record) and run immediate rules to quiescence. idle sweeps advance
+// the logical clock first, standing in for "time passed" on a quiet
+// stream. It returns the batch error (nil on a clean sweep) and whether
+// the session reached its terminal state (line restart failed).
+func (s *Stream) sweep(batch []Event, batchStart time.Time, idle bool) (error, bool) {
+	if idle {
+		s.db.Clock().Tick()
+	}
+	s.mu.Lock()
+	txn := s.txn
+	s.mu.Unlock()
+
+	// The cascade guard bounds each batch's sweep, not the session's
+	// lifetime total — a long-lived line would otherwise trip
+	// MaxRuleExecutions after enough healthy batches.
+	if err := txn.ResetRuleGuard(); err != nil {
+		return s.batchFailed(batch, err)
+	}
+
+	var budget *calculus.Budget
+	if s.opts.GasPerBatch > 0 || s.opts.TimePerBatch > 0 {
+		var deadline time.Time
+		if s.opts.TimePerBatch > 0 {
+			deadline = time.Now().Add(s.opts.TimePerBatch)
+		}
+		budget = calculus.NewBudget(s.opts.GasPerBatch, deadline)
+		if err := txn.SetBudget(budget); err != nil {
+			return s.batchFailed(batch, err)
+		}
+	}
+
+	err := func() error {
+		for _, ev := range batch {
+			if err := txn.Emit(ev.Type, ev.OID); err != nil {
+				return err
+			}
+		}
+		return txn.EndLine()
+	}()
+
+	if budget != nil && err == nil {
+		// The batch's budget must not charge (or kill) later batches.
+		err = txn.SetBudget(nil)
+	}
+	if err != nil {
+		return s.batchFailed(batch, err)
+	}
+
+	if idle {
+		s.idleSweeps.Add(1)
+		s.m.idleSweeps.Inc()
+	} else {
+		n := uint64(len(batch))
+		s.events.Add(n)
+		s.batches.Add(1)
+		s.m.events.Add(int64(n))
+		s.m.batches.Inc()
+		s.m.batchEvents.Observe(int64(n))
+		s.m.sweepLag.Observe(s.src.Since(batchStart).Nanoseconds())
+	}
+	base := txn.Base()
+	s.m.liveEvents.Set(int64(base.Len()))
+	s.m.liveSegments.Set(int64(base.Segments()))
+	return nil, false
+}
+
+// batchFailed records a refused batch, restarts the transaction line
+// and reports through OnBatchError. The returned bool is true only when
+// the restart itself failed (the terminal state).
+func (s *Stream) batchFailed(batch []Event, err error) (error, bool) {
+	be := &BatchError{Events: append([]Event(nil), batch...), Err: err}
+	if errors.Is(err, calculus.ErrGasExhausted) || errors.Is(err, calculus.ErrDeadlineExceeded) {
+		s.budgetKills.Add(1)
+		s.m.budgetKills.Inc()
+	}
+	s.mu.Lock()
+	s.lastErr = be
+	txn := s.txn
+	s.txn = nil
+	s.mu.Unlock()
+
+	txn.Rollback() //nolint:errcheck // the line is poisoned either way
+	if rerr := s.beginLine(); rerr != nil {
+		s.failed.Store(true)
+		s.mu.Lock()
+		s.finalErr = fmt.Errorf("stream: line restart after batch error: %w", rerr)
+		s.mu.Unlock()
+		if s.opts.OnBatchError != nil {
+			s.opts.OnBatchError(be)
+		}
+		return be, true
+	}
+	s.restarts.Add(1)
+	s.m.restarts.Inc()
+	if s.opts.OnBatchError != nil {
+		s.opts.OnBatchError(be)
+	}
+	return be, false
+}

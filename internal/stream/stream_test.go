@@ -1,0 +1,734 @@
+package stream_test
+
+// The streaming suite: a stream session must be bit-identical to an
+// equivalent one-transaction-per-batch replay (the differential test),
+// honor backpressure and per-batch budgets without stalling, keep
+// steady-state memory flat under a retention window, and survive a
+// -race soak with concurrent producers and compaction on (the
+// `make stream-smoke` target runs this file with -race).
+//
+// Lives in package stream_test because the durable smoke needs
+// internal/storage, which imports the engine.
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"chimera/internal/act"
+	"chimera/internal/calculus"
+	"chimera/internal/clock"
+	"chimera/internal/cond"
+	"chimera/internal/engine"
+	"chimera/internal/event"
+	"chimera/internal/rules"
+	"chimera/internal/schema"
+	"chimera/internal/storage"
+	"chimera/internal/stream"
+	"chimera/internal/types"
+)
+
+// defineStreamCatalog installs the differential schema and rule set:
+// an immediate clamp, a deferred composite with negation, an
+// instance-oriented sequence (same shapes as the engine suites).
+func defineStreamCatalog(t *testing.T, db *engine.DB) {
+	t.Helper()
+	if err := db.DefineClass("item",
+		schema.Attribute{Name: "n", Kind: types.KindInt},
+		schema.Attribute{Name: "cap", Kind: types.KindInt}); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.DefineClass("note",
+		schema.Attribute{Name: "n", Kind: types.KindInt}); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.DefineRule(
+		rules.Def{Name: "clamp", Target: "item", Priority: 1,
+			Event: calculus.Disj(
+				calculus.P(event.Create("item")),
+				calculus.P(event.Modify("item", "n")))},
+		engine.Body{
+			Condition: cond.Formula{Atoms: []cond.Atom{
+				cond.Class{Class: "item", Var: "S"},
+				cond.Occurred{Event: calculus.DisjI(
+					calculus.P(event.Create("item")),
+					calculus.P(event.Modify("item", "n"))), Var: "S"},
+				cond.Compare{L: cond.Attr{Var: "S", Attr: "n"}, Op: cond.CmpGt,
+					R: cond.Attr{Var: "S", Attr: "cap"}},
+			}},
+			Action: act.Action{Statements: []act.Statement{
+				act.Modify{Class: "item", Attr: "n", Var: "S",
+					Value: cond.Attr{Var: "S", Attr: "cap"}},
+			}},
+		}); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.DefineRule(
+		rules.Def{Name: "audit", Coupling: rules.Deferred, Priority: 2,
+			Event: calculus.Conj(
+				calculus.P(event.Create("item")),
+				calculus.Neg(calculus.Prec(
+					calculus.P(event.Create("item")),
+					calculus.P(event.Delete("item")))))},
+		engine.Body{
+			Condition: cond.Formula{Atoms: []cond.Atom{
+				cond.Occurred{Event: calculus.P(event.Create("item")), Var: "X"},
+			}},
+			Action: act.Action{Statements: []act.Statement{
+				act.Create{Class: "note", Once: true, Vals: map[string]cond.Term{
+					"n": cond.Const{V: types.Int(1)}}},
+			}},
+		}); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.DefineRule(
+		rules.Def{Name: "seq", Priority: 3,
+			Event: calculus.PrecI(
+				calculus.P(event.Create("item")),
+				calculus.P(event.Modify("item", "n")))},
+		engine.Body{
+			Condition: cond.Formula{Atoms: []cond.Atom{
+				cond.Occurred{Event: calculus.PrecI(
+					calculus.P(event.Create("item")),
+					calculus.P(event.Modify("item", "n"))), Var: "X"},
+			}},
+			Action: act.Action{Statements: []act.Statement{
+				act.Create{Class: "note", Once: true, Vals: map[string]cond.Term{
+					"n": cond.Const{V: types.Int(2)}}},
+			}},
+		}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// seedItems creates (and commits) k items the streamed observations
+// refer to.
+func seedItems(t *testing.T, db *engine.DB, k int) []types.OID {
+	t.Helper()
+	oids := make([]types.OID, 0, k)
+	if err := db.Run(func(tx *engine.Txn) error {
+		for i := 0; i < k; i++ {
+			oid, err := tx.Create("item", map[string]types.Value{
+				"n": types.Int(int64(i)), "cap": types.Int(50)})
+			if err != nil {
+				return err
+			}
+			oids = append(oids, oid)
+		}
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	return oids
+}
+
+// genEvents produces the deterministic observation workload both sides
+// of the differential ingest.
+func genEvents(r *rand.Rand, oids []types.OID, n int) []stream.Event {
+	evs := make([]stream.Event, n)
+	for i := range evs {
+		oid := oids[r.Intn(len(oids))]
+		switch r.Intn(10) {
+		case 0, 1, 2:
+			evs[i] = stream.Event{Type: event.Create("item"), OID: oid}
+		case 3:
+			evs[i] = stream.Event{Type: event.Delete("item"), OID: oid}
+		case 4:
+			evs[i] = stream.Event{Type: event.External("tick"), OID: types.NilOID}
+		default:
+			evs[i] = stream.Event{Type: event.Modify("item", "n"), OID: oid}
+		}
+	}
+	return evs
+}
+
+// fingerprint renders the post-commit state the differential compares:
+// logical clock, OID allocation point, every object, every rule mark,
+// and (withStats — they are process-lifetime, not recovered) the
+// engine's counters.
+func fingerprint(db *engine.DB, withStats bool) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "clock=%d nextOID=%d\n", db.Clock().Now(), db.Store().NextOID())
+	for _, class := range db.Schema().Names() {
+		oids, _ := db.Store().Select(class)
+		for _, oid := range oids {
+			if o, ok := db.Store().Get(oid); ok && o.Class().Name() == class {
+				b.WriteString(o.String())
+				b.WriteByte('\n')
+			}
+		}
+	}
+	for _, m := range db.Support().Marks() {
+		fmt.Fprintf(&b, "mark %s lc=%d trig=%v at=%d\n",
+			m.Rule, m.LastConsideration, m.Triggered, m.TriggeredAt)
+	}
+	if withStats {
+		st := db.Stats()
+		fmt.Fprintf(&b, "events=%d blocks=%d cons=%d exec=%d\n",
+			st.Events, st.Blocks, st.Considerations, st.RuleExecutions)
+	}
+	return b.String()
+}
+
+// TestStreamDifferential proves the central equivalence: a stream
+// session ingesting a workload in MaxBatch-sized micro-batches is
+// bit-identical to a plain transaction replaying the same batches as
+// explicit Emit+EndLine blocks — same objects, marks, clock, engine
+// counters, and (in the durable variant) the same WAL bytes.
+func TestStreamDifferential(t *testing.T) {
+	const batch = 32
+	const n = 600 // deliberately not a multiple of batch
+	for _, durable := range []bool{false, true} {
+		name := "memory"
+		if durable {
+			name = "durable"
+		}
+		t.Run(name, func(t *testing.T) {
+			open := func() (*engine.DB, *storage.MemStore) {
+				o := engine.DefaultOptions()
+				var store *storage.MemStore
+				if durable {
+					store = storage.NewMemStore()
+					o.Durability = engine.DurabilityOptions{
+						Store: store, Fsync: engine.FsyncOff}
+				}
+				db, err := engine.Open(o)
+				if err != nil {
+					t.Fatal(err)
+				}
+				return db, store
+			}
+
+			streamDB, streamStore := open()
+			refDB, refStore := open()
+			defineStreamCatalog(t, streamDB)
+			defineStreamCatalog(t, refDB)
+			sOids := seedItems(t, streamDB, 8)
+			rOids := seedItems(t, refDB, 8)
+			evs := genEvents(rand.New(rand.NewSource(42)), sOids, n)
+			refEvs := genEvents(rand.New(rand.NewSource(42)), rOids, n)
+
+			// Stream side: manual clock (no tick ever fires), so the only
+			// sweep boundaries are size flushes plus the Flush barrier.
+			s, err := stream.Open(streamDB, stream.Options{
+				MaxBatch:  batch,
+				QueueSize: n,
+				Clock:     clock.NewManual(time.Unix(0, 0)),
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, ev := range evs {
+				if err := s.Emit(ev.Type, ev.OID); err != nil {
+					t.Fatal(err)
+				}
+			}
+			if err := s.Flush(); err != nil {
+				t.Fatal(err)
+			}
+			st := s.Stats()
+			if st.Events != n {
+				t.Fatalf("stream ingested %d events, want %d", st.Events, n)
+			}
+			if want := uint64((n + batch - 1) / batch); st.Batches != want {
+				t.Fatalf("stream swept %d batches, want %d", st.Batches, want)
+			}
+			if err := s.Close(); err != nil {
+				t.Fatal(err)
+			}
+
+			// Reference side: one transaction, explicit batch blocks.
+			txn, err := refDB.Begin()
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i, ev := range refEvs {
+				if err := txn.Emit(ev.Type, ev.OID); err != nil {
+					t.Fatal(err)
+				}
+				if (i+1)%batch == 0 {
+					if err := txn.EndLine(); err != nil {
+						t.Fatal(err)
+					}
+				}
+			}
+			if n%batch != 0 {
+				if err := txn.EndLine(); err != nil {
+					t.Fatal(err)
+				}
+			}
+			if err := txn.Commit(); err != nil {
+				t.Fatal(err)
+			}
+
+			if got, want := fingerprint(streamDB, true), fingerprint(refDB, true); got != want {
+				t.Fatalf("stream diverged from batch replay:\n--- stream ---\n%s--- replay ---\n%s",
+					got, want)
+			}
+			if durable {
+				// Force both group committers to drain before comparing:
+				// WAL bytes reach the store asynchronously.
+				if err := streamDB.SyncWAL(); err != nil {
+					t.Fatal(err)
+				}
+				if err := refDB.SyncWAL(); err != nil {
+					t.Fatal(err)
+				}
+			}
+			if durable && streamStore.WALLen() != refStore.WALLen() {
+				t.Fatalf("WAL length diverged: stream=%d replay=%d",
+					streamStore.WALLen(), refStore.WALLen())
+			}
+			if err := streamDB.Close(); err != nil {
+				t.Fatal(err)
+			}
+			if err := refDB.Close(); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+// TestStreamCloseCommits checks Close publishes the session's
+// rule-action mutations: the deferred audit rule creates a note at the
+// stream's commit, visible in the store afterwards.
+func TestStreamCloseCommits(t *testing.T) {
+	db, err := engine.Open(engine.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defineStreamCatalog(t, db)
+	oids := seedItems(t, db, 2)
+
+	s, err := stream.Open(db, stream.Options{
+		Clock: clock.NewManual(time.Unix(0, 0)),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Emit(event.Create("item"), oids[0]); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	notes, _ := db.Store().Select("note")
+	if len(notes) == 0 {
+		t.Fatal("deferred rule mutation not visible after Close")
+	}
+
+	// Closed-session semantics: everything reports ErrClosed, Close is
+	// idempotent.
+	if err := s.Emit(event.Create("item"), oids[1]); !errors.Is(err, stream.ErrClosed) {
+		t.Fatalf("Emit after Close = %v, want ErrClosed", err)
+	}
+	if err := s.Flush(); !errors.Is(err, stream.ErrClosed) {
+		t.Fatalf("Flush after Close = %v, want ErrClosed", err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatalf("second Close = %v, want nil", err)
+	}
+}
+
+// TestStreamBudgetKill checks the satellite contract: a poisoned batch
+// trips the per-batch budget, the error is typed and carries the
+// offending events, and the pipeline continues on a fresh line instead
+// of stalling.
+func TestStreamBudgetKill(t *testing.T) {
+	db, err := engine.Open(engine.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defineStreamCatalog(t, db)
+	oids := seedItems(t, db, 2)
+
+	var cbErrs []*stream.BatchError
+	s, err := stream.Open(db, stream.Options{
+		MaxBatch:     8,
+		GasPerBatch:  1, // any rule evaluation trips
+		Clock:        clock.NewManual(time.Unix(0, 0)),
+		OnBatchError: func(be *stream.BatchError) { cbErrs = append(cbErrs, be) },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 4; i++ {
+		if err := s.Emit(event.Modify("item", "n"), oids[i%2]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	err = s.Flush()
+	if err == nil {
+		t.Fatal("poisoned batch swept cleanly, want budget error")
+	}
+	var be *stream.BatchError
+	if !errors.As(err, &be) {
+		t.Fatalf("Flush error %T, want *stream.BatchError", err)
+	}
+	if !errors.Is(err, calculus.ErrGasExhausted) {
+		t.Fatalf("Flush error %v, want ErrGasExhausted", err)
+	}
+	if len(be.Events) != 4 {
+		t.Fatalf("BatchError carries %d events, want the 4 offenders", len(be.Events))
+	}
+	st := s.Stats()
+	if st.BudgetKills != 1 || st.Restarts != 1 {
+		t.Fatalf("kills=%d restarts=%d, want 1/1", st.BudgetKills, st.Restarts)
+	}
+	if st.Events != 0 {
+		t.Fatalf("refused batch counted %d ingested events, want 0", st.Events)
+	}
+	if len(cbErrs) != 1 || cbErrs[0] != be {
+		t.Fatalf("OnBatchError saw %d errors, want the same BatchError once", len(cbErrs))
+	}
+	if got := s.Err(); !errors.Is(got, calculus.ErrGasExhausted) {
+		t.Fatalf("Err() = %v, want the batch error", got)
+	}
+
+	// The pipeline continues: an innocuous batch (no rule listens to the
+	// signal, so no evaluation gas is spent) sweeps cleanly on the
+	// restarted line.
+	if err := s.Raise("noop"); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Flush(); err != nil {
+		t.Fatalf("post-restart Flush = %v, want nil", err)
+	}
+	if got := s.Stats().Events; got != 1 {
+		t.Fatalf("post-restart ingested %d events, want 1", got)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestStreamDropPolicy checks the Drop backpressure policy sheds into
+// the drop counter instead of blocking, and never loses arrivals
+// silently (enqueued + dropped == produced).
+func TestStreamDropPolicy(t *testing.T) {
+	db, err := engine.Open(engine.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// MaxBatch 1 makes every arrival a full sweep, so the cap-1 queue
+	// backs up against a single tight producer almost immediately.
+	s, err := stream.Open(db, stream.Options{
+		MaxBatch:     1,
+		QueueSize:    1,
+		Backpressure: stream.Drop,
+		Clock:        clock.NewManual(time.Unix(0, 0)),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var produced uint64
+	for i := 0; i < 200000; i++ {
+		if err := s.Raise("burst"); err != nil {
+			t.Fatal(err)
+		}
+		produced++
+		if i%1024 == 0 && s.Stats().Dropped > 0 {
+			break
+		}
+	}
+	st := s.Stats()
+	if st.Dropped == 0 {
+		t.Fatal("tight producer against cap-1 queue never dropped")
+	}
+	if st.Enqueued+st.Dropped != produced {
+		t.Fatalf("enqueued %d + dropped %d != produced %d",
+			st.Enqueued, st.Dropped, produced)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestStreamRetentionFlatMemory checks the flat-memory mechanism: with
+// a retention window the session's Event Base stays bounded even though
+// a dormant rule pins the consumption watermark; without one the same
+// workload accumulates every occurrence.
+func TestStreamRetentionFlatMemory(t *testing.T) {
+	const n = 8192
+	const window = 256
+	const segSize = 64
+	open := func() *engine.DB {
+		o := engine.DefaultOptions()
+		o.SegmentSize = segSize
+		db, err := engine.Open(o)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return db
+	}
+	run := func(window clock.Time) stream.Stats {
+		db := open()
+		defineStreamCatalog(t, db) // rules stay dormant: no item events arrive
+		s, err := stream.Open(db, stream.Options{
+			MaxBatch:  128,
+			QueueSize: 1024,
+			Window:    window,
+			Clock:     clock.NewManual(time.Unix(0, 0)),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < n; i++ {
+			if err := s.Raise("noise"); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := s.Flush(); err != nil {
+			t.Fatal(err)
+		}
+		st := s.Stats()
+		if err := s.Close(); err != nil {
+			t.Fatal(err)
+		}
+		if err := db.Close(); err != nil {
+			t.Fatal(err)
+		}
+		return st
+	}
+
+	unbounded := run(0)
+	if unbounded.LiveEvents != n {
+		t.Fatalf("without a window the dormant rule set should pin all %d events, kept %d",
+			n, unbounded.LiveEvents)
+	}
+	bounded := run(window)
+	if bounded.Events != n {
+		t.Fatalf("windowed run ingested %d events, want %d", bounded.Events, n)
+	}
+	// Compaction retires whole segments below the retention bound, so
+	// the residual window is Window plus at most two partial segments.
+	if max := window + 2*segSize; bounded.LiveEvents > max {
+		t.Fatalf("windowed run retains %d live events, want <= %d", bounded.LiveEvents, max)
+	}
+	if max := window/segSize + 2; bounded.LiveSegments > max {
+		t.Fatalf("windowed run retains %d segments, want <= %d", bounded.LiveSegments, max)
+	}
+	if bounded.Floor == 0 {
+		t.Fatal("windowed run never advanced the compaction floor")
+	}
+}
+
+// TestStreamIdleSweeps checks clock-driven behavior under a manual
+// source: ticks flush partial batches, and on a quiet stream they run
+// idle sweeps that advance the logical clock so time-based operators
+// make progress without arrivals.
+func TestStreamIdleSweeps(t *testing.T) {
+	db, err := engine.Open(engine.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	man := clock.NewManual(time.Unix(0, 0))
+	s, err := stream.Open(db, stream.Options{
+		MaxBatch:      64,
+		FlushInterval: 10 * time.Millisecond,
+		Clock:         man,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// A partial batch must flush on the tick, not wait for MaxBatch.
+	if err := s.Raise("a"); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Raise("b"); err != nil {
+		t.Fatal(err)
+	}
+	waitStream(t, func() bool {
+		man.Advance(10 * time.Millisecond)
+		return s.Stats().Events == 2
+	})
+
+	// With the queue drained and no arrivals, further ticks are idle
+	// sweeps and each advances the logical clock.
+	if err := s.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	c0 := db.Clock().Now()
+	waitStream(t, func() bool {
+		man.Advance(10 * time.Millisecond)
+		return s.Stats().IdleSweeps >= 2
+	})
+	if now := db.Clock().Now(); now <= c0 {
+		t.Fatalf("idle sweeps did not advance the logical clock: %d -> %d", c0, now)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestStreamSoak is the -race soak: concurrent producers over a Block
+// queue, active rules, compaction on via a retention window. Lossless
+// ingestion (no drops, every event counted) and bounded live segments
+// are the invariants.
+func TestStreamSoak(t *testing.T) {
+	const producers = 4
+	perProducer := 10000
+	if testing.Short() {
+		perProducer = 2000
+	}
+	const segSize = 64
+	const window = 512
+
+	o := engine.DefaultOptions()
+	o.SegmentSize = segSize
+	db, err := engine.Open(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defineStreamCatalog(t, db)
+	oids := seedItems(t, db, 16)
+
+	s, err := stream.Open(db, stream.Options{
+		MaxBatch:      128,
+		FlushInterval: 2 * time.Millisecond,
+		QueueSize:     1024,
+		Backpressure:  stream.Block,
+		Window:        window,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Sample live segments while the soak runs; the retention window
+	// must keep them bounded despite dormant composite rules.
+	monitorDone := make(chan struct{})
+	var maxSegs int
+	go func() {
+		defer close(monitorDone)
+		for {
+			select {
+			case <-monitorDone:
+				return
+			default:
+			}
+			if n := s.Stats().LiveSegments; n > maxSegs {
+				maxSegs = n
+			}
+			time.Sleep(time.Millisecond)
+		}
+	}()
+
+	var wg sync.WaitGroup
+	for p := 0; p < producers; p++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			r := rand.New(rand.NewSource(seed))
+			for i := 0; i < perProducer; i++ {
+				oid := oids[r.Intn(len(oids))]
+				var err error
+				switch r.Intn(8) {
+				case 0:
+					err = s.Emit(event.Create("item"), oid)
+				case 1:
+					err = s.Raise("hum")
+				default:
+					err = s.Emit(event.Modify("item", "n"), oid)
+				}
+				if err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(int64(p + 1))
+	}
+	wg.Wait()
+	if err := s.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	st := s.Stats()
+	monitorDone <- struct{}{}
+	<-monitorDone
+
+	total := uint64(producers * perProducer)
+	if st.Dropped != 0 {
+		t.Fatalf("Block policy dropped %d events", st.Dropped)
+	}
+	if st.Events != total {
+		t.Fatalf("soak ingested %d events, want %d", st.Events, total)
+	}
+	if bound := window/segSize + 8; maxSegs > bound {
+		t.Fatalf("live segments peaked at %d, want <= %d (flat-memory bound)", maxSegs, bound)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestStreamDurableSmoke runs a stream over a durable store and
+// recovers from the bytes it left behind: the committed stream state
+// must survive the crash boundary.
+func TestStreamDurableSmoke(t *testing.T) {
+	store := storage.NewMemStore()
+	o := engine.DefaultOptions()
+	o.Durability = engine.DurabilityOptions{Store: store, Fsync: engine.FsyncOff}
+	db, err := engine.Open(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defineStreamCatalog(t, db)
+	oids := seedItems(t, db, 4)
+
+	s, err := stream.Open(db, stream.Options{
+		MaxBatch: 16,
+		Clock:    clock.NewManual(time.Unix(0, 0)),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 64; i++ {
+		if err := s.Emit(event.Modify("item", "n"), oids[i%4]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.Emit(event.Create("item"), oids[0]); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	want := fingerprint(db, false)
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	ro := engine.DefaultOptions()
+	ro.Durability = engine.DurabilityOptions{Store: store.Clone(), Fsync: engine.FsyncOff}
+	re, rtx, _, err := engine.Recover(ro)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rtx != nil {
+		t.Fatal("clean close left an open transaction at recovery")
+	}
+	if got := fingerprint(re, false); got != want {
+		t.Fatalf("recovered state diverged:\n--- recovered ---\n%s--- committed ---\n%s", got, want)
+	}
+	if err := re.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func waitStream(t *testing.T, step func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for !step() {
+		if time.Now().After(deadline) {
+			t.Fatal("condition never reached")
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
