@@ -18,11 +18,14 @@ race:
 # Concurrency stress under the race detector with forced parallelism:
 # the transaction-line stress tests (disjoint and contended writers at
 # the store layer, parallel triggering and the shared counter at the
-# engine layer) with GOMAXPROCS pinned to 4 so goroutines genuinely
-# interleave even on small CI runners.
+# engine layer), the snapshot readers-vs-writers mix (lock-free
+# BeginRead against committing lines, including the zero-alloc
+# steady-state assertion), and the multi-session durability/group-commit
+# suite, with GOMAXPROCS pinned to 4 so goroutines genuinely interleave
+# even on small CI runners.
 race-stress:
 	GOMAXPROCS=4 $(GO) test -race -count=2 \
-		-run 'TestLine|TestMultiSession|TestSupportConcurrentAccess' \
+		-run 'TestLine|TestMultiSession|TestSupportConcurrentAccess|TestReadTxn' \
 		./internal/object/ ./internal/engine/ ./internal/rules/
 
 # Crash/recovery smoke under the race detector: the kill-and-recover
@@ -56,14 +59,15 @@ torture:
 vet:
 	$(GO) vet ./...
 
-# Full measured-experiment sweep (B1..B13); BENCH_trigger.json holds the
+# Full measured-experiment sweep (B1..B16); BENCH_trigger.json holds the
 # machine-readable B8 results, BENCH_eb.json the B9 Event Base soak,
 # BENCH_obs.json the B10 observability-overhead run, BENCH_cse.json
 # the B11 shared-trigger-plan sweep, BENCH_mt.json the B12
 # multi-session sweep, BENCH_col.json the B13 columnar-vs-row layout
 # sweep, BENCH_wal.json the B14 WAL ingest-overhead and
-# crash-recovery run, and BENCH_stream.json the B15 streaming
-# throughput and flat-memory soak.
+# crash-recovery run, BENCH_stream.json the B15 streaming
+# throughput and flat-memory soak, and BENCH_ro.json the B16
+# snapshot-read scaling and group-commit sync-sharing run.
 bench:
 	$(GO) run ./cmd/chimera-bench
 	$(GO) run ./cmd/chimera-bench -exp B8 -json BENCH_trigger.json >/dev/null
@@ -74,14 +78,17 @@ bench:
 	$(GO) run ./cmd/chimera-bench -exp B13 -json BENCH_col.json >/dev/null
 	$(GO) run ./cmd/chimera-bench -exp B14 -json BENCH_wal.json >/dev/null
 	$(GO) run ./cmd/chimera-bench -exp B15 -json BENCH_stream.json >/dev/null
+	$(GO) run ./cmd/chimera-bench -exp B16 -json BENCH_ro.json >/dev/null
 
-# CI-sized B11..B15 runs: the acceptance cells (B11: 50 rules,
+# CI-sized B11..B16 runs: the acceptance cells (B11: 50 rules,
 # overlap 4; B12: 1 and 8 lines, both workloads; B13: 1000 rules;
 # B14: group-commit ingest configs and the smallest recovery image;
-# B15: memory and memstore/off throughput plus a short soak),
-# each held against its committed baseline. chimera-benchcmp warns
-# (exit 0) on >10% regressions — CI timing is too noisy to gate the
-# build on, but the warning shows up in the log.
+# B15: memory and memstore/off throughput plus a short soak;
+# B16: 1 and 8 snapshot readers with 0 and 4 writers plus the
+# group-commit sharing cells), each held against its committed
+# baseline. chimera-benchcmp warns (exit 0) on >10% regressions —
+# CI timing is too noisy to gate the build on, but the warning
+# shows up in the log.
 bench-smoke:
 	$(GO) run ./cmd/chimera-bench -exp B11 -smoke -json BENCH_cse_smoke.json
 	$(GO) run ./cmd/chimera-benchcmp BENCH_cse.json BENCH_cse_smoke.json
@@ -93,6 +100,8 @@ bench-smoke:
 	$(GO) run ./cmd/chimera-benchcmp -exp B14 BENCH_wal.json BENCH_wal_smoke.json
 	$(GO) run ./cmd/chimera-bench -exp B15 -smoke -json BENCH_stream_smoke.json
 	$(GO) run ./cmd/chimera-benchcmp -exp B15 BENCH_stream.json BENCH_stream_smoke.json
+	$(GO) run ./cmd/chimera-bench -exp B16 -smoke -json BENCH_ro_smoke.json
+	$(GO) run ./cmd/chimera-benchcmp -exp B16 BENCH_ro.json BENCH_ro_smoke.json
 
 # CPU + heap profiles of one experiment (default: the B13 hot-loop
 # sweep). Inspect with `go tool pprof cpu.pprof` / `mem.pprof`.

@@ -65,6 +65,11 @@ type (
 	DB = engine.DB
 	// Txn is an open transaction (a sequence of transaction lines).
 	Txn = engine.Txn
+	// ReadTxn is a lock-free read-only transaction over the latest
+	// published commit snapshot (DB.BeginRead). It never blocks writers,
+	// never triggers rules, and write operations on it return
+	// ErrReadOnly.
+	ReadTxn = engine.ReadTxn
 	// Options configures a database.
 	Options = engine.Options
 	// Body is a rule's condition/action pair.
@@ -97,6 +102,8 @@ var (
 	// ErrRuleLimit is returned (wrapped) when a rule cascade exceeds
 	// Options.MaxRuleExecutions.
 	ErrRuleLimit = engine.ErrRuleLimit
+	// ErrReadOnly is returned by write-shaped operations on a ReadTxn.
+	ErrReadOnly = engine.ErrReadOnly
 )
 
 // Rule machinery.

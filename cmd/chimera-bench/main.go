@@ -1,5 +1,5 @@
 // Command chimera-bench runs the measured experiments of EXPERIMENTS.md
-// (B1..B15) and prints their tables. Each experiment exercises a
+// (B1..B16) and prints their tables. Each experiment exercises a
 // performance claim Section 5 of the paper makes qualitatively.
 //
 // Usage:
@@ -13,6 +13,7 @@
 //	chimera-bench -exp B12 -json BENCH_mt.json         # multi-session sweep
 //	chimera-bench -exp B13 -json BENCH_col.json        # columnar-vs-row sweep
 //	chimera-bench -exp B14 -json BENCH_wal.json        # WAL ingest + recovery
+//	chimera-bench -exp B16 -json BENCH_ro.json         # snapshot reads + group commit
 //	chimera-bench -exp B11 -smoke -json smoke.json     # reduced CI sweep
 //	chimera-bench -exp B9 -cpuprofile cpu.pprof -memprofile mem.pprof
 package main
@@ -30,11 +31,11 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "", "experiment id (B1..B15); empty runs all")
+	exp := flag.String("exp", "", "experiment id (B1..B16); empty runs all")
 	format := flag.String("format", "table", "output format: table or csv")
-	jsonOut := flag.String("json", "", "write machine-readable results to this file (-exp B8..B15; defaults to B8)")
+	jsonOut := flag.String("json", "", "write machine-readable results to this file (-exp B8..B16; defaults to B8)")
 	metricsRun := flag.Bool("metrics", false, "run the B10 observability-overhead experiment and write BENCH_obs.json")
-	smoke := flag.Bool("smoke", false, "with -exp B11..B15: run the reduced CI-sized sweep instead of the full one")
+	smoke := flag.Bool("smoke", false, "with -exp B11..B16: run the reduced CI-sized sweep instead of the full one")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
 	memProfile := flag.String("memprofile", "", "write a heap profile at exit to this file")
 	flag.Parse()
@@ -145,8 +146,17 @@ func main() {
 			}
 			data, err = json.MarshalIndent(results, "", "  ")
 			table = bench.B15FromResults(results)
+		case "B16":
+			var results bench.B16Result
+			if *smoke {
+				results = bench.B16SmokeResults()
+			} else {
+				results = bench.B16Results()
+			}
+			data, err = json.MarshalIndent(results, "", "  ")
+			table = bench.B16FromResults(results)
 		default:
-			fail(fmt.Errorf("-json supports experiments B8 through B15, not %q", *exp))
+			fail(fmt.Errorf("-json supports experiments B8 through B16, not %q", *exp))
 		}
 		if err != nil {
 			fail(err)
@@ -165,7 +175,7 @@ func main() {
 	}
 	t, ok := bench.ByID(*exp)
 	if !ok {
-		fail(fmt.Errorf("unknown experiment %q (B1..B15)", *exp))
+		fail(fmt.Errorf("unknown experiment %q (B1..B16)", *exp))
 	}
 	fmt.Println(render(t))
 }

@@ -5,7 +5,9 @@
 // keyed (rules, overlap, workers); B12 compares multi-session sweeps
 // keyed (lines, workload); B13 compares columnar-vs-row layout sweeps
 // keyed (rules); B14 compares the durable-WAL ingest and recovery runs
-// keyed (section, config). Only cells present in both files are compared, so a
+// keyed (section, config); B16 compares snapshot-read scaling and
+// group-commit sync sharing keyed (section, readers, writers).
+// Only cells present in both files are compared, so a
 // smoke run holds itself against just the matching slice of the full
 // baseline.
 //
@@ -23,6 +25,7 @@
 //	chimera-benchcmp -exp B13 BENCH_col.json smoke.json
 //	chimera-benchcmp -exp B14 BENCH_wal.json smoke.json
 //	chimera-benchcmp -exp B15 BENCH_stream.json smoke.json
+//	chimera-benchcmp -exp B16 BENCH_ro.json smoke.json
 //	chimera-benchcmp -threshold 0.05 -strict old.json new.json
 package main
 
@@ -186,6 +189,38 @@ var experiments = []experiment{
 				},
 				parity: boolPtr(r.Soak.Flat),
 			})
+			return cells, nil
+		},
+	},
+	{
+		id:    "B16",
+		about: "snapshot reads + group commit, keyed (section, readers, writers)",
+		metrics: []metricDef{
+			{name: "rate", unit: "/s", higherIsBetter: true},
+			{name: "gain", unit: "x", higherIsBetter: true},
+		},
+		load: func(path string) ([]cell, error) {
+			var r bench.B16Result
+			if err := load(path, &r); err != nil {
+				return nil, err
+			}
+			var cells []cell
+			for _, c := range r.Read {
+				cells = append(cells, cell{
+					key:  fmt.Sprintf("read readers=%d writers=%d", c.Readers, c.Writers),
+					vals: []float64{c.ReadsPerSec, c.Speedup},
+				})
+			}
+			for _, c := range r.GroupCommit {
+				// Normalized to the shared schema: commit throughput and
+				// commits-per-fsync (the inverse of the fsyncs/commit
+				// acceptance ratio — higher means more sync sharing).
+				cells = append(cells, cell{
+					key:    fmt.Sprintf("group writers=%d", c.Writers),
+					vals:   []float64{c.ThroughputTPS, c.ShareFactor},
+					parity: boolPtr(c.Fsyncs > 0),
+				})
+			}
 			return cells, nil
 		},
 	},

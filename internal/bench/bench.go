@@ -1097,7 +1097,7 @@ func B10() Table { return B10FromResults(B10Results()) }
 
 // All runs every experiment.
 func All() []Table {
-	return []Table{B1(), B2(), B3(), B4(), B5(), B6(), B7(), B8(), B9(), B10(), B11(), B12(), B13(), B14(), B15()}
+	return []Table{B1(), B2(), B3(), B4(), B5(), B6(), B7(), B8(), B9(), B10(), B11(), B12(), B13(), B14(), B15(), B16()}
 }
 
 // ByID runs one experiment.
@@ -1133,6 +1133,8 @@ func ByID(id string) (Table, bool) {
 		return B14(), true
 	case "B15":
 		return B15(), true
+	case "B16":
+		return B16(), true
 	}
 	return Table{}, false
 }

@@ -603,6 +603,24 @@ func (db *DB) Checkpoint() error {
 	if db.wal == nil {
 		return errors.New("engine: not a durable database")
 	}
+	if db.multiSession() {
+		// A multi-session checkpoint must capture only committed state,
+		// but encodeCheckpoint reads the live store — which would include
+		// other lines' uncommitted latched writes. Checkpoints are
+		// therefore idle-only: db.mu is held across the whole write so no
+		// Begin can slip a new line in mid-capture (commits in flight are
+		// impossible at active == 0 — a line counts as active until its
+		// post-publication finish).
+		db.mu.Lock()
+		defer db.mu.Unlock()
+		if db.closed {
+			return ErrClosed
+		}
+		if db.active > 0 {
+			return fmt.Errorf("engine: checkpoint with %d transaction line(s) open; multi-session checkpoints require an idle engine", db.active)
+		}
+		return db.checkpointNow(nil)
+	}
 	db.mu.Lock()
 	t := db.txn
 	closed := db.closed

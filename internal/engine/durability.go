@@ -261,6 +261,37 @@ func (w *walWriter) append(payload []byte) (uint64, error) {
 	return n, nil
 }
 
+// appendRun enqueues a transaction's entire staged run — nrecs
+// already-framed records (begin, blocks, commit) — as one contiguous
+// append. Multi-session commits call it under the engine's commit
+// latch, so runs enter the log whole and in commit order; the committer
+// then makes concurrently-arriving runs durable together (one fsync
+// covers every run enqueued before it — group commit across sessions).
+// The returned count is the run's last record's sequence number, usable
+// with waitDurable.
+func (w *walWriter) appendRun(framed []byte, nrecs int) (uint64, error) {
+	w.lock()
+	if w.err != nil {
+		err := w.err
+		w.unlock()
+		return 0, err
+	}
+	if w.closed {
+		w.unlock()
+		return 0, ErrClosed
+	}
+	w.buf = append(w.buf, framed...)
+	w.enqueued += uint64(nrecs)
+	n := w.enqueued
+	wake := len(w.buf) >= walWakeBytes || w.syncReq > w.synced
+	w.unlock()
+	if wake {
+		w.ring()
+	}
+	w.m.walRecords.Add(int64(nrecs))
+	return n, nil
+}
+
 // waitDurable blocks until record count n is synced (or the writer
 // fails/closes). FsyncPerCommit commits call it; explicit DB.SyncWAL
 // uses it regardless of policy.

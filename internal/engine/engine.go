@@ -25,6 +25,7 @@ import (
 	"chimera/internal/rules"
 	"chimera/internal/schema"
 	"chimera/internal/types"
+	"chimera/internal/wire"
 )
 
 // ErrNoTransaction is returned by transactional operations outside a
@@ -189,8 +190,13 @@ func (o Options) Validate() error {
 		if !o.ColumnarEB {
 			return errors.New("engine: durability requires the columnar Event Base (segment export)")
 		}
-		if o.MaxSessions > 1 {
-			return fmt.Errorf("engine: durability requires single-session mode, MaxSessions is %d", o.MaxSessions)
+		if o.MaxSessions > 1 && o.Durability.CheckpointEvery > 0 {
+			// A multi-session checkpoint must capture only committed state,
+			// but the live store holds other lines' uncommitted latched
+			// writes; checkpoints are therefore explicit and idle-only
+			// (DB.Checkpoint with no open lines), never automatic.
+			return fmt.Errorf("engine: automatic checkpoints (CheckpointEvery %d) require single-session mode, MaxSessions is %d; use explicit DB.Checkpoint at idle",
+				o.Durability.CheckpointEvery, o.MaxSessions)
 		}
 		if o.Durability.SyncInterval < 0 {
 			return fmt.Errorf("engine: negative Durability.SyncInterval %v", o.Durability.SyncInterval)
@@ -226,6 +232,8 @@ type Stats struct {
 	Events         int64
 	RuleExecutions int64
 	Considerations int64
+	// ReadTxns counts read-only transactions (BeginRead).
+	ReadTxns int64
 	// Conflicts counts transaction-line operations that failed with
 	// ErrConflict (always 0 in single-session mode).
 	Conflicts int64
@@ -248,6 +256,7 @@ type statsCounters struct {
 	events         atomic.Int64
 	ruleExecutions atomic.Int64
 	considerations atomic.Int64
+	readTxns       atomic.Int64
 	conflicts      atomic.Int64
 	gasKills       atomic.Int64
 	deadlineKills  atomic.Int64
@@ -367,6 +376,10 @@ func newDB(opts Options) *DB {
 		baseMetrics: event.NewBaseMetrics(opts.Metrics),
 		latchM:      object.NewLatchMetrics(opts.Metrics),
 	}
+	// Publish the empty store as epoch 1 so BeginRead always has a
+	// snapshot to pin, even before the first commit.
+	db.store.PublishAll()
+	db.m.snapshotEpoch.Set(int64(db.store.PublishedEpoch()))
 	return db
 }
 
@@ -390,6 +403,7 @@ func (db *DB) Stats() Stats {
 		Events:         db.stats.events.Load(),
 		RuleExecutions: db.stats.ruleExecutions.Load(),
 		Considerations: db.stats.considerations.Load(),
+		ReadTxns:       db.stats.readTxns.Load(),
 		Conflicts:      db.stats.conflicts.Load(),
 		GasKills:       db.stats.gasKills.Load(),
 		DeadlineKills:  db.stats.deadlineKills.Load(),
@@ -578,6 +592,24 @@ type Txn struct {
 	recBuf   []byte
 	markBuf  []firedMark
 	walTypes []bool
+	// Multi-session durable-mode run staging: the transaction's framed
+	// begin and block records, withheld from the group committer until
+	// commit. The WAL must stay a serial stream of whole per-transaction
+	// runs in commit order (replay is commit-ordered), so racing sessions
+	// cannot append block records directly; each stages its run privately
+	// and hands it over in one appendRun under the commit latch. A
+	// rollback simply discards the staged run — the log never learns the
+	// transaction existed.
+	runBuf  []byte
+	runRecs int
+}
+
+// stageRec frames one record into the transaction's private run buffer
+// (multi-session durable mode). The frame copies rec, so the reused
+// record-assembly buffers are safe to pass.
+func (t *Txn) stageRec(rec []byte) {
+	t.runBuf = wire.AppendFrame(t.runBuf, rec)
+	t.runRecs++
 }
 
 // Begin opens a transaction line. The Event Base starts empty (it is
@@ -633,6 +665,17 @@ func (db *DB) Begin() (*Txn, error) {
 	}
 	db.active++
 	db.m.activeLines.Set(int64(db.active))
+	if db.opts.Durability.enabled() {
+		// The generation namespaces this transaction's persisted segment
+		// ids; segment ordinals restart at zero with the fresh base. The
+		// bump happens during WAL replay too (wal is nil then), keeping
+		// replay's generation arithmetic identical to the live run's. It
+		// lives under db.mu because concurrent multi-session Begins race
+		// on it (the generation is unused there — multi-session
+		// checkpoints are idle-only — but the counter must stay sane).
+		db.txnGen++
+		db.segsPersisted = 0
+	}
 	db.mu.Unlock()
 
 	// Install the line's budget unconditionally: the single-session view
@@ -645,18 +688,12 @@ func (db *DB) Begin() (*Txn, error) {
 	if db.tracer != nil {
 		db.tracer.TransactionStart(db.clock.Now())
 	}
-	if db.opts.Durability.enabled() {
-		// The generation namespaces this transaction's persisted segment
-		// ids; segment ordinals restart at zero with the fresh base. The
-		// bump happens during WAL replay too (wal is nil then), keeping
-		// replay's generation arithmetic identical to the live run's.
-		db.txnGen++
-		db.segsPersisted = 0
-		if db.wal != nil {
-			if _, err := db.wal.append(encBegin(nil, db.clock.Now())); err != nil {
-				t.rollback()
-				return nil, err
-			}
+	if db.wal != nil {
+		if t.multi {
+			t.stageRec(encBegin(nil, db.clock.Now()))
+		} else if _, err := db.wal.append(encBegin(nil, db.clock.Now())); err != nil {
+			t.rollback()
+			return nil, err
 		}
 	}
 	return t, nil
@@ -1046,6 +1083,14 @@ func (t *Txn) walFlushBlock(now clock.Time, fired []string) {
 	rec := encBlock(t.recBuf[:0], now, marks, t.wrec)
 	t.recBuf = rec
 	t.wrec = t.wrec[:0]
+	if t.multi {
+		// Concurrent lines stage their block records privately; the whole
+		// run reaches the committer at commit. Automatic checkpoints are
+		// disabled in multi-session mode (Options.Validate), so no
+		// block-count bookkeeping happens here either.
+		t.stageRec(rec)
+		return
+	}
 	if _, err := db.wal.append(rec); err != nil {
 		return // sticky; Commit reports it
 	}
@@ -1181,45 +1226,75 @@ func (t *Txn) Commit() error {
 		t.rollback()
 		return err
 	}
-	var wait0 time.Time
-	if t.db.m.commitWait != nil {
-		wait0 = time.Now()
-	}
-	t.db.commitMu.Lock()
-	if t.db.m.commitWait != nil {
-		t.db.m.commitWait.Observe(time.Since(wait0).Nanoseconds())
-	}
-	if err := t.processRules(nil); err != nil { // immediate + deferred
-		t.db.commitMu.Unlock()
-		t.rollback()
-		return err
-	}
-	if t.db.wal != nil {
-		// A committer in the failed state cannot make this commit durable;
-		// refuse (and roll back) rather than silently diverge from the log.
-		if err := t.db.wal.Err(); err != nil {
-			t.db.commitMu.Unlock()
+	db := t.db
+	db.lockCommit()
+	if db.support.HasDeferred() {
+		// The deferred-rule phase is the only rule work left: immediate
+		// rules quiesced above and no new occurrence has arrived since,
+		// so with zero deferred rules defined (stable while the line is
+		// open — definitions are rejected mid-transaction) the phase is
+		// skipped and the critical section shrinks to publication.
+		if err := t.processRules(nil); err != nil { // immediate + deferred
+			db.commitMu.Unlock()
 			t.rollback()
 			return err
 		}
 	}
+	if db.wal != nil {
+		// A committer in the failed state cannot make this commit durable;
+		// refuse (and roll back) rather than silently diverge from the log.
+		if err := db.wal.Err(); err != nil {
+			db.commitMu.Unlock()
+			t.rollback()
+			return err
+		}
+	}
+	// Stage the write set for snapshot publication before the line's
+	// latches release: the exclusive latches pin the touched objects'
+	// committed values, so the staging copies exactly what this commit
+	// decided. Staging is O(write set); the shard rebuild is deferred to
+	// the next BeginRead. The write set is captured first — line.Commit
+	// discards the undo log it derives from.
+	touched := t.line.TouchedOIDs()
+	if len(touched) > 0 {
+		db.store.StageTouched(touched)
+		db.m.snapshotEpoch.Set(int64(db.store.PublishedEpoch()))
+		db.m.publishedObjects.Add(int64(len(touched)))
+	}
 	t.line.Commit()
-	t.db.commitMu.Unlock()
+	// The commit record joins the log under the commit latch, so the
+	// WAL's commit order always matches publication order — two racing
+	// sessions can never log commits in the opposite order of their
+	// epochs. Only the durability wait happens outside the latch.
+	var commitLSN uint64
+	var walErr error
+	if db.wal != nil {
+		if t.multi {
+			t.stageRec([]byte{recCommit})
+			commitLSN, walErr = db.wal.appendRun(t.runBuf, t.runRecs)
+		} else {
+			commitLSN, walErr = db.wal.append([]byte{recCommit})
+		}
+	}
+	db.commitMu.Unlock()
 	if !t.multi {
 		// The legacy contract: a successful commit discards the global
 		// undo history, including entries from direct store use outside
 		// any transaction.
-		t.db.store.DiscardUndo()
+		db.store.DiscardUndo()
 	}
 	t.finish()
-	t.db.m.commits.Inc()
+	db.m.commits.Inc()
 	if t.db.tracer != nil {
 		t.db.tracer.TransactionEnd(true)
 	}
-	if t.db.wal != nil {
-		lsn, err := t.db.wal.append([]byte{recCommit})
-		if err == nil && t.db.dur().Fsync == FsyncPerCommit {
-			err = t.db.wal.waitDurable(lsn)
+	if db.wal != nil {
+		err := walErr
+		if err == nil && db.dur().Fsync == FsyncPerCommit {
+			// Commits arriving while the committer syncs another's records
+			// coalesce: one fsync covers every run enqueued before it, so N
+			// concurrent sessions share a durability round (group commit).
+			err = db.wal.waitDurable(commitLSN)
 		}
 		if err != nil {
 			// The in-memory state committed; durability did not. Report it —
@@ -1228,6 +1303,21 @@ func (t *Txn) Commit() error {
 		}
 	}
 	return nil
+}
+
+// lockCommit acquires the commit latch, observing the wait on the
+// chimera_engine_commit_wait_ns histogram exactly once per acquisition.
+// Every path through Commit — publication, a failed deferred-rule
+// phase's rollback, a failed WAL check — goes through this single
+// acquisition, so a failed commit can never double-count its wait.
+func (db *DB) lockCommit() {
+	if db.m.commitWait == nil {
+		db.commitMu.Lock()
+		return
+	}
+	wait0 := time.Now()
+	db.commitMu.Lock()
+	db.m.commitWait.Observe(time.Since(wait0).Nanoseconds())
 }
 
 // Rollback aborts the transaction, undoing every mutation it performed.
@@ -1240,7 +1330,21 @@ func (t *Txn) Rollback() error {
 }
 
 func (t *Txn) rollback() {
+	touched := t.line.TouchedOIDs()
 	t.line.Rollback()
+	if !t.multi && len(touched) > 0 {
+		// A solo line mutates the shared store in place, and recovery can
+		// publish mid-transaction state (Recover returns an interrupted
+		// transaction live after a full-store publication): restage the
+		// restored committed values so the snapshot never retains writes
+		// the rollback undid. In ordinary operation this restages
+		// identical values — uncommitted writes never reach a snapshot.
+		// Multi-session lines skip it: their writes were latched private
+		// and never staged, and staging is reserved to commits holding
+		// the commit latch.
+		t.db.store.StageTouched(touched)
+		t.db.m.snapshotEpoch.Set(int64(t.db.store.PublishedEpoch()))
+	}
 	t.finish()
 	t.db.m.rollbacks.Inc()
 	if t.db.tracer != nil {
@@ -1250,7 +1354,15 @@ func (t *Txn) rollback() {
 		// Discard the unflushed block ops (they never happened, as far as
 		// the log is concerned) and record the rollback.
 		t.wrec = t.wrec[:0]
-		t.db.wal.append([]byte{recRollback}) //nolint:errcheck // sticky in the writer
+		if t.multi {
+			// The staged run never reached the committer: discarding it is
+			// the whole rollback, and the log never learns the transaction
+			// existed (replay only ever sees committed runs).
+			t.runBuf = t.runBuf[:0]
+			t.runRecs = 0
+		} else {
+			t.db.wal.append([]byte{recRollback}) //nolint:errcheck // sticky in the writer
+		}
 	}
 }
 

@@ -27,6 +27,13 @@ type engineMetrics struct {
 	// object layer (chimera_object_latch_*).
 	activeLines *metrics.Gauge
 	commitWait  *metrics.Histogram
+	// Snapshot-read instruments: read-only transactions begun, the epoch
+	// of the latest published snapshot, and how many object copies
+	// commit publication has produced (the write-amplification of the
+	// lock-free read path).
+	readTxns         *metrics.Counter
+	snapshotEpoch    *metrics.Gauge
+	publishedObjects *metrics.Counter
 	// Durability instruments: WAL records and bytes enqueued, committer
 	// flushes (store appends) and fsyncs, checkpoints written and sealed
 	// segments persisted by them.
@@ -63,6 +70,9 @@ func newEngineMetrics(r *metrics.Registry) engineMetrics {
 		activeLines:  r.Gauge("chimera_engine_active_lines"),
 		commitWait: r.Histogram("chimera_engine_commit_wait_ns",
 			1e3, 1e4, 1e5, 1e6, 1e7, 1e8, 1e9),
+		readTxns:         r.Counter("chimera_engine_read_txns_total"),
+		snapshotEpoch:    r.Gauge("chimera_engine_snapshot_epoch"),
+		publishedObjects: r.Counter("chimera_engine_published_objects_total"),
 		walRecords:        r.Counter("chimera_wal_records_total"),
 		walBytes:          r.Counter("chimera_wal_bytes_total"),
 		walFlushes:        r.Counter("chimera_wal_flushes_total"),

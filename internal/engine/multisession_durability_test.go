@@ -1,0 +1,369 @@
+package engine_test
+
+// Multi-session durability: concurrently-arriving commits stage their
+// WAL records privately and append them as one contiguous run under the
+// commit latch, so the log is a serial stream of whole transactions in
+// commit order — and the group committer can cover any number of
+// concurrent FsyncPerCommit commits with a single fsync. This suite
+// proves the ordering (recovery lands on the identical state even when
+// commit order inverts begin order), the privacy (rolled-back and
+// in-flight transactions leave no trace in the log), and the sharing
+// (fsyncs strictly fewer than commits under concurrency).
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"chimera/internal/engine"
+	"chimera/internal/metrics"
+	"chimera/internal/storage"
+	"chimera/internal/types"
+)
+
+func multiDurOptions(store engine.SegmentStore, sessions int) engine.Options {
+	o := durOptions(store, 0) // auto checkpoints are single-session only
+	o.MaxSessions = sessions
+	o.LockWait = 5 * time.Second
+	return o
+}
+
+// storeFingerprint renders the committed object state: every object in
+// class order plus the OID allocation point. (Unlike durFingerprint it
+// omits the clock — in multi-session mode a rolled-back transaction's
+// ticks advance the live clock but are deliberately absent from the
+// log.)
+func storeFingerprint(db *engine.DB) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "nextOID=%d\n", db.Store().NextOID())
+	for _, class := range db.Schema().Names() {
+		oids, _ := db.Store().Select(class)
+		for _, oid := range oids {
+			if o, ok := db.Store().Get(oid); ok && o.Class().Name() == class {
+				b.WriteString(o.String())
+				b.WriteByte('\n')
+			}
+		}
+	}
+	return b.String()
+}
+
+// TestMultiSessionRecoveryCommitOrder is the two-session recovery
+// differential: OID allocation interleaves across two lines but the
+// second-begun line commits first, so replay (which runs the log in
+// commit order) must land creations at their logged identities, not
+// re-derive them from allocation order.
+func TestMultiSessionRecoveryCommitOrder(t *testing.T) {
+	store := storage.NewMemStore()
+	db, err := engine.Open(multiDurOptions(store, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	defineDurCatalog(t, db)
+
+	tx1, err := db.Begin()
+	if err != nil {
+		t.Fatal(err)
+	}
+	tx2, err := db.Begin()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Interleaved allocation across disjoint classes (same-class creates
+	// would conflict on the class-extension latch): tx1 takes the first
+	// and third OIDs, tx2 the second...
+	if _, err := tx1.Create("item", map[string]types.Value{
+		"n": types.Int(1), "cap": types.Int(50)}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tx2.Create("note", map[string]types.Value{
+		"n": types.Int(2)}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tx1.Create("item", map[string]types.Value{
+		"n": types.Int(3), "cap": types.Int(50)}); err != nil {
+		t.Fatal(err)
+	}
+	// ...but tx2 commits first: the log holds tx2's run, then tx1's.
+	// tx1's commit also fires the deferred audit rule (it saw item
+	// creates), whose note-create lands inside tx1's logged run.
+	if err := tx2.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx1.Commit(); err != nil {
+		t.Fatal(err)
+	}
+
+	if err := db.SyncWAL(); err != nil {
+		t.Fatal(err)
+	}
+	want := storeFingerprint(db)
+	rdb, rtx, rep, err := engine.Recover(multiDurOptions(store.Clone(), 2))
+	if err != nil {
+		t.Fatalf("recover: %v", err)
+	}
+	defer rdb.Close()
+	if rtx != nil {
+		t.Fatal("recovery of a fully-committed multi-session log returned an open transaction")
+	}
+	if rep.TxnOpen {
+		t.Error("report claims an open transaction")
+	}
+	if got := storeFingerprint(rdb); got != want {
+		t.Errorf("recovered state differs:\n--- live ---\n%s--- recovered ---\n%s", want, got)
+	}
+}
+
+// TestMultiSessionRollbackLeavesNoTrace: a rolled-back line's staged run
+// is discarded, never appended — the log (and so recovery) must not know
+// the transaction existed, while a concurrent committed line survives.
+func TestMultiSessionRollbackLeavesNoTrace(t *testing.T) {
+	store := storage.NewMemStore()
+	db, err := engine.Open(multiDurOptions(store, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	defineDurCatalog(t, db)
+
+	txKeep, err := db.Begin()
+	if err != nil {
+		t.Fatal(err)
+	}
+	txDrop, err := db.Begin()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := txDrop.Create("item", map[string]types.Value{
+		"n": types.Int(99), "cap": types.Int(50)}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := txKeep.Create("note", map[string]types.Value{
+		"n": types.Int(7)}); err != nil {
+		t.Fatal(err)
+	}
+	if err := txDrop.Rollback(); err != nil {
+		t.Fatal(err)
+	}
+	if err := txKeep.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.SyncWAL(); err != nil {
+		t.Fatal(err)
+	}
+
+	rdb, rtx, _, err := engine.Recover(multiDurOptions(store.Clone(), 2))
+	if err != nil {
+		t.Fatalf("recover: %v", err)
+	}
+	defer rdb.Close()
+	if rtx != nil {
+		t.Fatal("unexpected open transaction after recovery")
+	}
+	items, err := rdb.Store().Select("item")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(items) != 0 {
+		t.Errorf("recovered %d item(s) from a rolled-back line, want 0", len(items))
+	}
+	notes, err := rdb.Store().Select("note")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(notes) != 1 {
+		t.Fatalf("recovered %d note(s), want exactly the committed one", len(notes))
+	}
+	o, _ := rdb.Store().Get(notes[0])
+	if v, err := o.Get("n"); err != nil || v.AsInt() != 7 {
+		t.Errorf("recovered note n = %v (err %v), want 7", v, err)
+	}
+}
+
+// TestMultiSessionCrashMidTransaction: a crash while a line is open
+// mid-run loses that line entirely (its records were staged privately,
+// never in the store) and recovery reports no open transaction.
+func TestMultiSessionCrashMidTransaction(t *testing.T) {
+	store := storage.NewMemStore()
+	db, err := engine.Open(multiDurOptions(store, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	defineDurCatalog(t, db)
+
+	if err := db.Run(func(tx *engine.Txn) error {
+		_, err := tx.Create("item", map[string]types.Value{
+			"n": types.Int(1), "cap": types.Int(50)})
+		return err
+	}); err != nil {
+		t.Fatal(err)
+	}
+	tx, err := db.Begin()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tx.Create("item", map[string]types.Value{
+		"n": types.Int(2), "cap": types.Int(50)}); err != nil {
+		t.Fatal(err)
+	}
+
+	// Crash here: clone the store with the second transaction open.
+	if err := db.SyncWAL(); err != nil {
+		t.Fatal(err)
+	}
+	rdb, rtx, rep, err := engine.Recover(multiDurOptions(store.Clone(), 2))
+	if err != nil {
+		t.Fatalf("recover: %v", err)
+	}
+	defer rdb.Close()
+	if rtx != nil || rep.TxnOpen {
+		t.Fatal("multi-session recovery returned an open transaction")
+	}
+	oids, err := rdb.Store().Select("item")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(oids) != 1 {
+		t.Fatalf("recovered %d item(s), want 1 (the committed one)", len(oids))
+	}
+	tx.Rollback()
+}
+
+// TestMultiSessionCheckpointIdleOnly: explicit checkpoints in
+// multi-session mode demand an idle engine and work once it is.
+func TestMultiSessionCheckpointIdleOnly(t *testing.T) {
+	store := storage.NewMemStore()
+	db, err := engine.Open(multiDurOptions(store, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	defineDurCatalog(t, db)
+
+	tx, err := db.Begin()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Checkpoint(); err == nil {
+		t.Error("Checkpoint succeeded with a line open")
+	}
+	if err := tx.Rollback(); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Checkpoint(); err != nil {
+		t.Fatalf("idle Checkpoint: %v", err)
+	}
+
+	// Commits after the checkpoint replay on top of it.
+	if err := db.Run(func(tx *engine.Txn) error {
+		_, err := tx.Create("item", map[string]types.Value{
+			"n": types.Int(4), "cap": types.Int(50)})
+		return err
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.SyncWAL(); err != nil {
+		t.Fatal(err)
+	}
+	want := storeFingerprint(db)
+	rdb, _, _, err := engine.Recover(multiDurOptions(store.Clone(), 2))
+	if err != nil {
+		t.Fatalf("recover after checkpoint: %v", err)
+	}
+	defer rdb.Close()
+	if got := storeFingerprint(rdb); got != want {
+		t.Errorf("post-checkpoint recovery differs:\n--- live ---\n%s--- recovered ---\n%s", want, got)
+	}
+}
+
+// slowSyncStore delays SyncWAL so concurrent FsyncPerCommit committers
+// pile up behind one in-flight fsync — the condition group commit
+// exists to exploit.
+type slowSyncStore struct {
+	*storage.MemStore
+	delay time.Duration
+}
+
+func (s *slowSyncStore) SyncWAL() error {
+	time.Sleep(s.delay)
+	return s.MemStore.SyncWAL()
+}
+
+// TestMultiSessionGroupCommitSharesFsyncs drives 8 concurrent
+// FsyncPerCommit writers against a slow-sync store and requires
+// strictly fewer fsyncs than commits: concurrently-arriving commit
+// records ride the same sync.
+func TestMultiSessionGroupCommitSharesFsyncs(t *testing.T) {
+	reg := metrics.NewRegistry()
+	store := &slowSyncStore{MemStore: storage.NewMemStore(), delay: 2 * time.Millisecond}
+	opts := multiDurOptions(store, 8)
+	opts.Durability.Fsync = engine.FsyncPerCommit
+	opts.Metrics = reg
+	db, err := engine.Open(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	defineDurCatalog(t, db)
+
+	fsyncs := func() int64 { return reg.Snapshot().Counters["chimera_wal_fsyncs_total"] }
+	base := fsyncs()
+
+	const workers, perWorker = 8, 12
+	var wg sync.WaitGroup
+	errs := make(chan error, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				if err := db.Run(func(tx *engine.Txn) error {
+					_, err := tx.Create("item", map[string]types.Value{
+						"n": types.Int(int64(w)), "cap": types.Int(50)})
+					return err
+				}); err != nil {
+					errs <- fmt.Errorf("worker %d: %w", w, err)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+
+	const commits = workers * perWorker
+	got := fsyncs() - base
+	if got == 0 {
+		t.Fatal("no fsyncs recorded under FsyncPerCommit")
+	}
+	if got >= commits {
+		t.Errorf("group commit shared nothing: %d fsyncs for %d commits", got, commits)
+	}
+	t.Logf("group commit: %d commits over %d fsyncs (%.2f fsyncs/commit)",
+		commits, got, float64(got)/float64(commits))
+
+	// And the durable state is complete: every committed create survives.
+	if err := db.SyncWAL(); err != nil {
+		t.Fatal(err)
+	}
+	want := storeFingerprint(db)
+	rdb, _, _, err := engine.Recover(func() engine.Options {
+		o := multiDurOptions(store.Clone(), 8)
+		o.Durability.Fsync = engine.FsyncPerCommit
+		return o
+	}())
+	if err != nil {
+		t.Fatalf("recover: %v", err)
+	}
+	defer rdb.Close()
+	if gotFP := storeFingerprint(rdb); gotFP != want {
+		t.Error("recovered state differs after concurrent group-committed workload")
+	}
+}

@@ -46,6 +46,10 @@ func TestOptionsValidate(t *testing.T) {
 		}), "columnar"},
 		{"durable multi-session", durable(func(o *Options) {
 			o.MaxSessions = 4
+		}), ""},
+		{"durable multi-session auto-checkpoints", durable(func(o *Options) {
+			o.MaxSessions = 4
+			o.Durability.CheckpointEvery = 8
 		}), "single-session"},
 		{"durable negative sync interval", durable(func(o *Options) {
 			o.Durability.SyncInterval = -time.Millisecond

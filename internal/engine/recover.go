@@ -10,6 +10,7 @@ import (
 	"chimera/internal/event"
 	"chimera/internal/lang"
 	"chimera/internal/object"
+	"chimera/internal/rules"
 	"chimera/internal/wire"
 )
 
@@ -95,6 +96,15 @@ func Recover(opts Options) (*DB, *Txn, *RecoveryReport, error) {
 		return nil, nil, nil, err
 	}
 	rep.Replay = time.Since(replay0)
+	if t != nil && db.multiSession() {
+		// A multi-session log only ever receives whole runs (staged
+		// privately, appended at commit), so a transaction still open at
+		// the end of replay is a torn tail: its commit record never became
+		// durable and the transaction never committed. Roll it back — the
+		// wal is not attached yet, so the rollback leaves no record.
+		t.rollback()
+		t = nil
+	}
 	rep.TxnOpen = t != nil
 
 	// Re-arm durability: attach the committer and write a fresh
@@ -108,6 +118,12 @@ func Recover(opts Options) (*DB, *Txn, *RecoveryReport, error) {
 	if t != nil {
 		db.segsPersisted = t.base.SealedSegments()
 	}
+	// Publish the recovered store for the lock-free read path. With an
+	// open transaction returned live this includes its uncommitted solo
+	// writes; its eventual commit or rollback republishes the write set,
+	// converging the snapshot on the transaction's outcome.
+	db.store.PublishAll()
+	db.m.snapshotEpoch.Set(int64(db.store.PublishedEpoch()))
 	return db, t, rep, nil
 }
 
@@ -393,9 +409,12 @@ func (db *DB) replayRecord(rec walRecord, t *Txn, typeTab *replayTypes, rep *Rec
 		}
 		// The mechanical commit tail only: rule processing already
 		// happened live, and its every effect is in the preceding block
-		// records.
+		// records. (Per-commit snapshot publication is skipped — Recover
+		// publishes the whole store once at the end.)
 		t.line.Commit()
-		db.store.DiscardUndo()
+		if !t.multi {
+			db.store.DiscardUndo()
+		}
 		t.finish()
 		return nil, nil
 	case recRollback:
@@ -446,6 +465,16 @@ func (t *Txn) replayBlock(rec walRecord, typeTab *replayTypes, rep *RecoveryRepo
 			t.pending = append(t.pending, occ)
 			rep.Events++
 		case opCreate:
+			if t.multi {
+				// Commit-ordered replay interleaves with the OID allocator
+				// differently than the live sessions did (a later allocation
+				// can commit first), so creations land at their logged
+				// identities instead of being re-derived and verified.
+				if err := t.line.CreateWithOID(op.OID, op.Class, op.Vals); err != nil {
+					return fmt.Errorf("engine: recover: create: %w", err)
+				}
+				break
+			}
 			oid, err := t.line.Create(op.Class, op.Vals)
 			if err != nil {
 				return fmt.Errorf("engine: recover: create: %w", err)
@@ -482,7 +511,17 @@ func (t *Txn) replayBlock(rec walRecord, typeTab *replayTypes, rep *RecoveryRepo
 	t.view.NotifyArrivals(t.pending)
 	t.pending = t.pending[:0]
 	for _, f := range rec.Fired {
-		if err := db.support.RestoreTriggered(f.Rule, f.At); err != nil {
+		// Fired marks are per-line state: a multi-session line restores
+		// them into its private Session, the single-session engine into
+		// the shared Support (its embedded default line) — exactly where
+		// the live run recorded them.
+		var err error
+		if sess, ok := t.view.(*rules.Session); ok {
+			err = sess.RestoreTriggered(f.Rule, f.At)
+		} else {
+			err = db.support.RestoreTriggered(f.Rule, f.At)
+		}
+		if err != nil {
 			return fmt.Errorf("engine: recover: %w", err)
 		}
 	}

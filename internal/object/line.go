@@ -131,6 +131,25 @@ func (ln *Line) Create(class string, vals map[string]types.Value) (types.OID, er
 	return oid, nil
 }
 
+// CreateWithOID instantiates an object at an explicit OID, latching the
+// class chain and the OID like Create. It exists for multi-session WAL
+// replay, where creations must land at their logged identities rather
+// than wherever the allocator happens to be (see Store.createAtLocked).
+func (ln *Line) CreateWithOID(oid types.OID, class string, vals map[string]types.Value) error {
+	if err := ln.checkOpen(); err != nil {
+		return err
+	}
+	if err := ln.latchClassChain(class); err != nil {
+		return err
+	}
+	if err := ln.latch(latchKey{oid: oid}, true); err != nil {
+		return err
+	}
+	ln.s.mu.Lock()
+	defer ln.s.mu.Unlock()
+	return ln.s.createAtLocked(oid, class, vals, &ln.undo)
+}
+
 // Modify sets one attribute, exclusively latching the OID.
 func (ln *Line) Modify(oid types.OID, attr string, v types.Value) error {
 	if err := ln.checkOpen(); err != nil {
@@ -259,6 +278,25 @@ func (ln *Line) Schema() *schema.Schema { return ln.s.schema }
 
 // Undo returns the number of undo entries the line has accumulated.
 func (ln *Line) Undo() int { return len(ln.undo) }
+
+// TouchedOIDs returns the distinct OIDs the line has created, modified,
+// deleted or migrated, in first-touch order. The engine captures this
+// write set just before Commit (which discards the undo log it is
+// derived from) to drive snapshot publication.
+func (ln *Line) TouchedOIDs() []types.OID {
+	if len(ln.undo) == 0 {
+		return nil
+	}
+	seen := make(map[types.OID]struct{}, len(ln.undo))
+	out := make([]types.OID, 0, len(ln.undo))
+	for _, e := range ln.undo {
+		if _, dup := seen[e.oid]; !dup {
+			seen[e.oid] = struct{}{}
+			out = append(out, e.oid)
+		}
+	}
+	return out
+}
 
 // UndoRec is the serializable image of one undo entry. The engine
 // persists an open transaction's undo log inside its checkpoint so a

@@ -1,0 +1,203 @@
+package object
+
+import (
+	"fmt"
+	"sort"
+
+	"chimera/internal/schema"
+	"chimera/internal/types"
+)
+
+// snapShards is the number of OID-hashed shards in a published snapshot.
+// Publication copies only the shards a commit touched, so a commit that
+// wrote k objects allocates O(k + touched-shard sizes), not O(store).
+const snapShards = 64
+
+// Snapshot is an immutable, epoch-stamped image of the store's committed
+// state. A Snapshot is never mutated after publication: readers may hold
+// one indefinitely and traverse it without latches, locks or allocation.
+// Objects inside a snapshot are deep copies of the committed originals
+// (the live store mutates attribute maps in place), so a snapshot object
+// can never change underneath a reader.
+type Snapshot struct {
+	epoch  uint64
+	schema *schema.Schema
+	shards [snapShards]map[types.OID]*Object
+}
+
+// Epoch returns the snapshot's publication epoch. Epochs increase by one
+// per publication; a larger epoch strictly supersedes a smaller one.
+func (sn *Snapshot) Epoch() uint64 { return sn.epoch }
+
+// Schema returns the catalog the snapshot was published over.
+func (sn *Snapshot) Schema() *schema.Schema { return sn.schema }
+
+// Get returns the snapshot's object with the given OID. The returned
+// object is immutable; callers must not modify its attribute map.
+func (sn *Snapshot) Get(oid types.OID) (*Object, bool) {
+	o, ok := sn.shards[uint64(oid)&(snapShards-1)][oid]
+	return o, ok
+}
+
+// Len returns the number of objects in the snapshot.
+func (sn *Snapshot) Len() int {
+	n := 0
+	for _, sh := range sn.shards {
+		n += len(sh)
+	}
+	return n
+}
+
+// Select returns the OIDs of all snapshot objects whose class is (or
+// specializes) the named class, in ascending OID order — the same
+// set-oriented select as Store.Select, evaluated against the frozen
+// image instead of the live store.
+func (sn *Snapshot) Select(class string) ([]types.OID, error) {
+	target, ok := sn.schema.Class(class)
+	if !ok {
+		return nil, fmt.Errorf("object: unknown class %q", class)
+	}
+	var out []types.OID
+	for _, sh := range sn.shards {
+		for oid, o := range sh {
+			if o.class.IsA(target) {
+				out = append(out, oid)
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out, nil
+}
+
+// cloneObject deep-copies an object for publication: the live store
+// mutates attribute maps in place, so published objects must own theirs.
+func cloneObject(o *Object) *Object {
+	attrs := make(map[string]types.Value, len(o.attrs))
+	for k, v := range o.attrs {
+		attrs[k] = v
+	}
+	return &Object{oid: o.oid, class: o.class, attrs: attrs}
+}
+
+// Published returns the latest snapshot, materializing any staged
+// commits first. The steady-state path — no commit since the last call —
+// is a single atomic flag check plus an atomic load: no locks, no
+// allocation. When commits have been staged, the calling reader pays one
+// materialization (copying only the shards the staged write sets touch);
+// commits staged since the last reader share that one rebuild.
+func (s *Store) Published() *Snapshot {
+	if !s.stale.Load() {
+		if sn := s.published.Load(); sn != nil {
+			return sn
+		}
+	}
+	return s.materialize()
+}
+
+// materialize folds the pending delta map into a successor snapshot and
+// publishes it. It reads only pre-cloned pending objects and the previous
+// snapshot's immutable shards — never the live store — so it takes no
+// store mutex and no latches; pendMu alone serializes it against staging
+// commits and concurrent readers.
+func (s *Store) materialize() *Snapshot {
+	s.pendMu.Lock()
+	defer s.pendMu.Unlock()
+	prev := s.published.Load()
+	if len(s.pending) == 0 {
+		// A racing reader already materialized (or nothing was ever
+		// staged); prev carries every staged commit.
+		s.stale.Store(false)
+		return prev
+	}
+	next := &Snapshot{epoch: s.epoch.Load(), schema: s.pendSchema}
+	if prev != nil {
+		next.shards = prev.shards
+	}
+	var copied [snapShards]bool
+	for oid, o := range s.pending {
+		i := uint64(oid) & (snapShards - 1)
+		if !copied[i] {
+			copied[i] = true
+			sh := make(map[types.OID]*Object, len(next.shards[i])+1)
+			for k, v := range next.shards[i] {
+				sh[k] = v
+			}
+			next.shards[i] = sh
+		}
+		if o != nil {
+			next.shards[i][oid] = o
+		} else {
+			delete(next.shards[i], oid)
+		}
+	}
+	clear(s.pending)
+	s.published.Store(next)
+	s.stale.Store(false)
+	return next
+}
+
+// PublishAll publishes a fresh snapshot of the entire committed store
+// under a new epoch, discarding any staged deltas (the full copy
+// supersedes them). Used at engine open, snapshot load and recovery;
+// per-commit publication uses StageTouched. The caller must guarantee
+// the store holds no uncommitted state (publication deep-copies whatever
+// is live).
+func (s *Store) PublishAll() {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	s.pendMu.Lock()
+	defer s.pendMu.Unlock()
+	next := &Snapshot{epoch: s.epoch.Add(1), schema: s.schema}
+	for oid, o := range s.objects {
+		i := uint64(oid) & (snapShards - 1)
+		if next.shards[i] == nil {
+			next.shards[i] = make(map[types.OID]*Object)
+		}
+		next.shards[i][oid] = cloneObject(o)
+	}
+	clear(s.pending)
+	s.published.Store(next)
+	s.stale.Store(false)
+}
+
+// StageTouched stages a commit's write set for publication: each OID
+// present in the live store is deep-copied into the pending delta map,
+// each absent OID is staged as a delete. Cost is O(write set) — no shard
+// copies; those are deferred to the first Published() call that observes
+// the staged state, so write-only workloads never pay them.
+//
+// The engine calls this under its commit mutex — stagings are serialized
+// in commit order — and while the committing line still holds its
+// exclusive latches on the touched OIDs, which guarantees the live values
+// copied here are the committed ones and cannot be mutated mid-copy by
+// another line. Each call advances the logical epoch by one, so epochs
+// still count commits even when several stagings share one rebuild.
+func (s *Store) StageTouched(oids []types.OID) {
+	if len(oids) == 0 {
+		return
+	}
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	s.pendMu.Lock()
+	defer s.pendMu.Unlock()
+	if s.pending == nil {
+		s.pending = make(map[types.OID]*Object)
+	}
+	for _, oid := range oids {
+		if o, ok := s.objects[oid]; ok {
+			s.pending[oid] = cloneObject(o)
+		} else {
+			s.pending[oid] = nil
+		}
+	}
+	s.pendSchema = s.schema
+	s.epoch.Add(1)
+	s.stale.Store(true)
+}
+
+// PublishedEpoch returns the logical publication epoch: one tick per
+// staged commit or full publication, whether or not a reader has
+// materialized the snapshot yet (0 if nothing was ever published).
+func (s *Store) PublishedEpoch() uint64 {
+	return s.epoch.Load()
+}

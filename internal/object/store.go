@@ -165,6 +165,21 @@ type Store struct {
 	// the line id allocator.
 	latches  *latchTable
 	nextLine atomic.Uint64
+	// published is the latest epoch-stamped immutable snapshot of
+	// committed state (see snapshot.go). Read transactions pin it with a
+	// single atomic load; commits stage deltas and the first reader that
+	// observes a stale snapshot materializes the successor.
+	published atomic.Pointer[Snapshot]
+	// Staged publication state (see snapshot.go): commits deep-copy their
+	// write sets into pending under pendMu — O(write set), no shard
+	// copies — and flip stale; Published() materializes lazily. epoch is
+	// the logical epoch counter: one tick per staged commit or full
+	// publication, read by PublishedEpoch without materializing.
+	pendMu     sync.Mutex
+	pending    map[types.OID]*Object
+	pendSchema *schema.Schema
+	stale      atomic.Bool
+	epoch      atomic.Uint64
 }
 
 // NewStore returns an empty store over the given schema.
@@ -220,6 +235,42 @@ func (s *Store) createLocked(class string, vals map[string]types.Value, undo *[]
 	s.classSet(c.Name())[oid] = o
 	*undo = append(*undo, undoEntry{kind: undoCreate, oid: oid, class: c.Name(), reuse: reuseOID})
 	return oid, nil
+}
+
+// createAtLocked reinstates an object at an explicit OID — the
+// multi-session WAL replay path. Commit-ordered replay interleaves
+// differently with the allocator than the original sessions did (a txn
+// that allocated later may commit first), so replay cannot re-derive
+// OIDs from sequential allocation; it places each creation at its logged
+// identity and only ratchets the allocator forward. The undo entry never
+// rolls the allocator back (reuse=false), matching the concurrent-line
+// creation path.
+func (s *Store) createAtLocked(oid types.OID, class string, vals map[string]types.Value, undo *[]undoEntry) error {
+	if oid == types.NilOID {
+		return fmt.Errorf("object: cannot create the nil OID")
+	}
+	if _, dup := s.objects[oid]; dup {
+		return fmt.Errorf("object: OID %s already live", oid)
+	}
+	c, ok := s.schema.Class(class)
+	if !ok {
+		return fmt.Errorf("object: unknown class %q", class)
+	}
+	if err := schema.Validate(c, vals); err != nil {
+		return err
+	}
+	attrs := make(map[string]types.Value, len(vals))
+	for k, v := range vals {
+		attrs[k] = v
+	}
+	o := &Object{oid: oid, class: c, attrs: attrs}
+	s.objects[oid] = o
+	s.classSet(c.Name())[oid] = o
+	if oid > s.nextOID {
+		s.nextOID = oid
+	}
+	*undo = append(*undo, undoEntry{kind: undoCreate, oid: oid, class: c.Name()})
+	return nil
 }
 
 // Modify sets one attribute of one object.

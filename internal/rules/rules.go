@@ -473,6 +473,11 @@ type Support struct {
 	// open the rule set (and with it the plan DAG their evaluators walk)
 	// is frozen: Define and Drop fail.
 	sessions int
+	// deferred counts the defined deferred-coupling rules. The engine's
+	// commit path skips the under-latch deferred-rule phase entirely when
+	// it is zero; the count is stable while any session is open (the
+	// registry is frozen), so the skip decision cannot race a Define.
+	deferred int
 	line
 }
 
@@ -537,9 +542,21 @@ func (s *Support) Define(d Def) error {
 	if d.Consumption == Preserving {
 		s.preserving++
 	}
+	if d.Coupling == Deferred {
+		s.deferred++
+	}
 	s.index(st, s.opts.FilterMode)
 	s.sortQueue()
 	return nil
+}
+
+// HasDeferred reports whether any deferred-coupling rule is defined.
+// While sessions are open the registry is frozen, so a commit pipeline
+// reading it once per commit observes a stable value.
+func (s *Support) HasDeferred() bool {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.deferred > 0
 }
 
 // Watermark returns the consumption low-watermark: the minimum over all
@@ -634,6 +651,9 @@ func (s *Support) Drop(name string) error {
 		// preserving rule must unpin compaction without waiting for any
 		// further rule activity.
 		s.preserving--
+	}
+	if st.Def.Coupling == Deferred {
+		s.deferred--
 	}
 	s.unindex(st)
 	for i, n := range s.order {

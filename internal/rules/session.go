@@ -1,6 +1,7 @@
 package rules
 
 import (
+	"fmt"
 	"sync"
 
 	"chimera/internal/calculus"
@@ -86,6 +87,22 @@ func (s *Support) NewSession(base *event.Base, start clock.Time) *Session {
 			order:    make([]string, 0, len(s.order)),
 			ordered:  make([]*State, 0, len(s.order)),
 		},
+	}
+	// Intern the rule vocabulary into the fresh base eagerly, in the
+	// same deterministic order Rebind uses for the single-session line.
+	// The probe machinery would intern lazily at the first triggering
+	// determination; doing it here pins the interner's id assignment to
+	// a pure function of the rule set and the append order — the
+	// property multi-session WAL replay (which re-runs appends but not
+	// determinations) relies on to reproduce the logged type ids.
+	for _, name := range s.order {
+		reg := s.rules[name]
+		if reg.Def.Event == nil {
+			continue
+		}
+		for _, t := range calculus.Primitives(reg.Def.Event) {
+			base.InternType(t)
+		}
 	}
 	for _, name := range s.order {
 		reg := s.rules[name]
@@ -185,6 +202,25 @@ func (sess *Session) Pick(filter func(Def) bool) (string, bool) {
 		return names[0], true
 	}
 	return "", false
+}
+
+// RestoreTriggered reinstates one rule's triggered flag in this session
+// during multi-session WAL replay — the session-scoped twin of
+// Support.RestoreTriggered (fired marks are per-line state, so replaying
+// a concurrent line's block must restore them into that line's session,
+// never the shared registry).
+func (sess *Session) RestoreTriggered(name string, at clock.Time) error {
+	sess.mu.Lock()
+	defer sess.mu.Unlock()
+	st, ok := sess.line.rules[name]
+	if !ok {
+		return fmt.Errorf("rules: no rule %q", name)
+	}
+	st.Triggered = true
+	st.TriggeredAt = at
+	st.pending = false
+	st.lastProbe = at
+	return nil
 }
 
 // Rule returns a copy of the session's state for one rule.

@@ -23,9 +23,10 @@ import (
 
 // Shell is one interactive session over a database.
 type Shell struct {
-	db  *chimera.DB
-	txn *chimera.Txn
-	out io.Writer
+	db   *chimera.DB
+	txn  *chimera.Txn
+	rtxn *chimera.ReadTxn
+	out  io.Writer
 }
 
 // InteractiveOptions is the configuration interactive sessions should
@@ -48,14 +49,19 @@ func New(db *chimera.DB, out io.Writer) *Shell {
 // DB exposes the underlying database.
 func (s *Shell) DB() *chimera.DB { return s.db }
 
-// InTransaction reports whether a transaction is open.
-func (s *Shell) InTransaction() bool { return s.txn != nil }
+// InTransaction reports whether a transaction (writing or read-only) is
+// open.
+func (s *Shell) InTransaction() bool { return s.txn != nil || s.rtxn != nil }
 
 // Close rolls back any open transaction (used on session exit).
 func (s *Shell) Close() {
 	if s.txn != nil {
 		s.txn.Rollback()
 		s.txn = nil
+	}
+	if s.rtxn != nil {
+		s.rtxn.Close()
+		s.rtxn = nil
 	}
 }
 
@@ -86,6 +92,7 @@ func (s *Shell) Help() {
   define ... end                                     define a rule (paper syntax)
   drop rule <name>                                   remove a rule
   begin | commit | rollback                          transaction control
+  begin read                                         lock-free snapshot read transaction
   create <class>(attr = literal, ...)                create an object
   modify o<N>.<attr> = literal                       update an attribute
   delete o<N>                                        delete an object
@@ -107,8 +114,19 @@ func (s *Shell) Execute(src string) error {
 		return s.explain(fields[1])
 	}
 	if fields := strings.Fields(src); len(fields) == 2 &&
+		fields[0] == "begin" && fields[1] == "read" {
+		if s.InTransaction() {
+			return fmt.Errorf("transaction already open")
+		}
+		rt := s.db.BeginRead()
+		s.rtxn = &rt
+		fmt.Fprintf(s.out, "read transaction open at epoch %d (%d object(s))\n",
+			rt.Epoch(), rt.Len())
+		return nil
+	}
+	if fields := strings.Fields(src); len(fields) == 2 &&
 		(fields[0] == "save" || fields[0] == "load") {
-		if s.txn != nil {
+		if s.InTransaction() {
 			return fmt.Errorf("%s requires no open transaction", fields[0])
 		}
 		if fields[0] == "save" {
@@ -129,6 +147,9 @@ func (s *Shell) Execute(src string) error {
 	cmd, err := lang.ParseCommand(src)
 	if err != nil {
 		return err
+	}
+	if s.rtxn != nil {
+		return s.readCmd(cmd)
 	}
 	switch c := cmd.(type) {
 	case lang.CmdBegin:
@@ -247,6 +268,91 @@ func (s *Shell) data(t *chimera.Txn, cmd lang.Command) error {
 	return fmt.Errorf("unhandled command %T", cmd)
 }
 
+// readCmd runs one parsed command inside the open read-only
+// transaction: selects and object inspection serve from the pinned
+// snapshot (epoch-stable no matter what writers commit meanwhile), data
+// commands fail with the typed chimera.ErrReadOnly, and commit/rollback
+// both just close the handle.
+func (s *Shell) readCmd(cmd lang.Command) error {
+	switch c := cmd.(type) {
+	case lang.CmdBegin:
+		return fmt.Errorf("transaction already open")
+	case lang.CmdCommit, lang.CmdRollback:
+		s.rtxn.Close()
+		s.rtxn = nil
+		fmt.Fprintln(s.out, "read transaction closed")
+		return nil
+	case lang.CmdSelect:
+		oids, err := s.rtxn.Select(c.Class)
+		if err != nil {
+			return err
+		}
+		if len(c.Where) > 0 {
+			// Where atoms are pure comparisons (no event atoms), so the
+			// snapshot alone — no Event Base — evaluates them.
+			ctx := &cond.Ctx{Store: s.rtxn.Snapshot(), At: s.db.Clock().Now()}
+			var bindings []cond.Binding
+			for _, oid := range oids {
+				bindings = append(bindings, cond.Binding{c.Var: chimera.Ref(oid)})
+			}
+			for _, a := range c.Where {
+				if bindings, err = a.Eval(ctx, bindings); err != nil {
+					return err
+				}
+			}
+			oids = oids[:0]
+			for _, b := range bindings {
+				oids = append(oids, b[c.Var].AsOID())
+			}
+		}
+		for _, oid := range oids {
+			if o, ok := s.rtxn.Get(oid); ok {
+				fmt.Fprintln(s.out, o)
+			}
+		}
+		return nil
+	case lang.CmdShow:
+		switch c.What {
+		case "object":
+			o, ok := s.rtxn.Get(c.OID)
+			if !ok {
+				return fmt.Errorf("no object %s at epoch %d", c.OID, s.rtxn.Epoch())
+			}
+			fmt.Fprintln(s.out, o)
+			return nil
+		case "objects":
+			snap := s.rtxn.Snapshot()
+			for _, class := range snap.Schema().Names() {
+				oids, err := snap.Select(class)
+				if err != nil {
+					return err
+				}
+				for _, oid := range oids {
+					if o, ok := snap.Get(oid); ok && o.Class().Name() == class {
+						fmt.Fprintln(s.out, o)
+					}
+				}
+			}
+			return nil
+		}
+		return s.show(c)
+	case lang.CmdCreate:
+		_, err := s.rtxn.Create(c.Class, c.Vals)
+		return err
+	case lang.CmdModify:
+		return s.rtxn.Modify(c.OID, c.Attr, c.Value)
+	case lang.CmdDelete:
+		return s.rtxn.Delete(c.OID)
+	case lang.CmdSpecialize:
+		return s.rtxn.Specialize(c.OID, c.To)
+	case lang.CmdGeneralize:
+		return s.rtxn.Generalize(c.OID, c.To)
+	case lang.CmdRaise:
+		return s.rtxn.Raise(c.Signal)
+	}
+	return fmt.Errorf("command unavailable in a read transaction (%T)", cmd)
+}
+
 func (s *Shell) show(c lang.CmdShow) error {
 	switch c.What {
 	case "object":
@@ -296,6 +402,8 @@ func (s *Shell) show(c lang.CmdShow) error {
 			st.Transactions, st.Blocks, st.Events, st.Considerations, st.RuleExecutions)
 		fmt.Fprintf(s.out, "sessions: %d line(s) active, %d latch conflict(s)\n",
 			s.db.ActiveLines(), st.Conflicts)
+		fmt.Fprintf(s.out, "snapshots: published epoch %d, %d read txn(s) served\n",
+			s.db.Store().PublishedEpoch(), st.ReadTxns)
 		fmt.Fprintf(s.out, "trigger support: checks %d, examined %d, skipped %d, ts evaluations %d, triggerings %d\n",
 			ts.Checks, ts.RulesExamined, ts.RulesSkipped, ts.TsEvaluations, ts.Triggerings)
 		if ts.MemoHits+ts.MemoMisses > 0 {

@@ -2,6 +2,7 @@ package shell
 
 import (
 	"bytes"
+	"errors"
 	"os"
 	"path/filepath"
 	"strings"
@@ -414,5 +415,83 @@ func TestShowStream(t *testing.T) {
 	bare := New(chimera.Open(), out)
 	if err := bare.Execute("show stream"); err == nil {
 		t.Fatal("show stream without a metrics registry should error")
+	}
+}
+
+func TestBeginRead(t *testing.T) {
+	sh, out := newShell(t)
+	if err := sh.RunScript(setup + `
+create stock(name = "bolts", quantity = 10, maxquantity = 40)
+begin read
+`); err != nil {
+		t.Fatal(err)
+	}
+	if !sh.InTransaction() {
+		t.Fatal("begin read did not open a transaction")
+	}
+	// The snapshot is pinned: a concurrent commit (simulated via the
+	// engine directly — the shell's line is read-only) stays invisible.
+	if err := sh.DB().Run(func(tx *chimera.Txn) error {
+		return tx.Modify(1, "quantity", chimera.Int(33))
+	}); err != nil {
+		t.Fatal(err)
+	}
+	out.Reset()
+	if err := sh.Execute("select stock"); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "quantity: 10") {
+		t.Errorf("read txn saw past its pinned epoch:\n%s", out.String())
+	}
+
+	// Writes fail with the typed sentinel.
+	err := sh.Execute(`create stock(name = "nuts", quantity = 1, maxquantity = 2)`)
+	if !errors.Is(err, chimera.ErrReadOnly) {
+		t.Errorf("create inside begin read = %v, want ErrReadOnly", err)
+	}
+	if err := sh.Execute("modify o1.quantity = 5"); !errors.Is(err, chimera.ErrReadOnly) {
+		t.Errorf("modify inside begin read = %v, want ErrReadOnly", err)
+	}
+
+	// A where filter evaluates against the snapshot, not the live store.
+	out.Reset()
+	if err := sh.Execute("select stock where quantity > 5"); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "quantity: 10") {
+		t.Errorf("where filter did not run on the snapshot:\n%s", out.String())
+	}
+	out.Reset()
+	if err := sh.Execute("select stock where quantity > 20"); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(out.String(), "stock") {
+		t.Errorf("where filter matched the live value through the snapshot:\n%s", out.String())
+	}
+
+	// commit (or rollback) just closes the handle; a fresh read sees the
+	// new state.
+	if err := sh.Execute("commit"); err != nil {
+		t.Fatal(err)
+	}
+	if sh.InTransaction() {
+		t.Fatal("commit left the read transaction open")
+	}
+	out.Reset()
+	if err := sh.RunScript("begin read\nselect stock\nrollback\n"); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "quantity: 33") {
+		t.Errorf("fresh read txn missed the committed value:\n%s", out.String())
+	}
+}
+
+func TestShowStatsReadTxns(t *testing.T) {
+	sh, out := newShell(t)
+	if err := sh.RunScript(setup + "begin read\ncommit\nshow stats\n"); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "read txn(s) served") {
+		t.Errorf("show stats missing snapshot line:\n%s", out.String())
 	}
 }
